@@ -1,0 +1,78 @@
+"""Ablation A5: block-tiled CPU execution (paper Sec. IV-A).
+
+Sweeps the tile size for the thread-per-block strategy on an anti-diagonal
+workload: small tiles pay a fork per narrow block-wavefront, huge tiles
+starve cores — the minimum sits in between, and the tiled executor beats the
+one-barrier-per-cell-wavefront baseline there.
+"""
+
+import pytest
+
+from repro import Framework, hetero_high
+from repro.exec.blocked import BlockedCPUExecutor
+from repro.problems import make_lcs
+
+SIZES = [1, 8, 32, 128, 512, 4096]
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    p = make_lcs(4096, materialize=False)
+    flat = Framework(hetero_high()).estimate(p, executor="cpu").simulated_ms
+    curve = {
+        B: BlockedCPUExecutor(hetero_high(), block_size=B).estimate(p).simulated_ms
+        for B in SIZES
+    }
+    return flat, curve
+
+
+def test_u_curve(sweep):
+    flat, curve = sweep
+    times = [curve[B] for B in SIZES]
+    best = min(times)
+    assert best < times[0]  # tiny tiles pay forks
+    assert best < times[-1]  # huge tiles starve cores
+    assert best < flat  # tiling beats per-cell wavefronts
+
+
+def test_report(sweep):
+    flat, curve = sweep
+    from pathlib import Path
+
+    from repro.analysis.report import series_table
+
+    text = series_table(
+        "Ablation A5: block-size sweep, LCS 4096x4096 CPU "
+        f"(flat wavefront baseline: {flat:.2f} ms)",
+        SIZES,
+        {"blocked": [curve[B] for B in SIZES]},
+    )
+    out = Path(__file__).parent / "results"
+    out.mkdir(exist_ok=True)
+    (out / "ablation-blocking.txt").write_text(text + "\n")
+    assert "blocked" in text
+
+
+def test_skewed_tiles_also_amortize(sweep):
+    """Knight-skewed tiling gives NE-containing problems the same fork
+    amortization that square tiles give NE-free ones."""
+    from repro.problems import make_dithering
+
+    p = make_dithering(2048, materialize=False)
+    flat = Framework(hetero_high()).estimate(p, executor="cpu").simulated_ms
+    tiled = BlockedCPUExecutor(hetero_high(), block_size=64).estimate(p).simulated_ms
+    assert tiled < flat
+
+
+def test_bench_blocked_estimate(benchmark, sweep):
+    p = make_lcs(4096, materialize=False)
+    ex = BlockedCPUExecutor(hetero_high(), block_size=32)
+    res = benchmark(ex.estimate, p)
+    assert res.simulated_time > 0
+
+
+def test_bench_blocked_solve_functional(benchmark):
+    p = make_lcs(256, seed=0)
+    ex = BlockedCPUExecutor(hetero_high(), block_size=32)
+    res = benchmark(ex.solve, p)
+    assert res.table is not None

@@ -1,0 +1,26 @@
+"""Ablation A2: pipelined vs synchronous one-way transfers (Sec. IV-C1)."""
+
+from repro import ExecOptions, Framework, HeteroParams, hetero_high
+from repro.problems import make_fig9_problem
+
+
+def test_ablation_report(artifact_report):
+    result = artifact_report("ablation-pipeline")
+    data = result.data
+    for k in range(len(data["sizes"])):
+        assert data["synchronous"][k] >= data["pipelined"][k]
+
+
+def test_bench_pipelined(benchmark, artifact_report):
+    artifact_report("ablation-pipeline")
+    fw = Framework(hetero_high(), ExecOptions(pipeline=True))
+    p = make_fig9_problem(2048, materialize=False)
+    res = benchmark(fw.estimate, p, params=HeteroParams(0, 1771))
+    assert res.simulated_time > 0
+
+
+def test_bench_synchronous(benchmark):
+    fw = Framework(hetero_high(), ExecOptions(pipeline=False))
+    p = make_fig9_problem(2048, materialize=False)
+    res = benchmark(fw.estimate, p, params=HeteroParams(0, 1771))
+    assert res.simulated_time > 0

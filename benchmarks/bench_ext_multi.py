@@ -1,0 +1,43 @@
+"""Extension: multi-accelerator wavefront splitting (CPU + K20 + Phi).
+
+Generalizes the paper's two-device split to N devices and measures whether a
+third device pays off — it mostly does not (boundary traffic eats the
+throughput gain), which corroborates the paper's two-device design.
+"""
+
+from repro.multi import MultiHeteroExecutor, MultiParams, hetero_tri
+from repro.problems import make_dithering, make_levenshtein
+
+
+def test_ext_multi_regenerated(artifact_report):
+    result = artifact_report("ext-multi")
+    sizes = result.data["sizes"]
+    duo = result.data["duo(K20)"]
+    tri = result.data["tri(K20+Phi)"]
+    for k in range(len(sizes)):
+        # tri never catastrophically worse; often a touch better via the
+        # exact waterfill balance even when the Phi sits idle
+        assert tri[k] <= duo[k] * 1.10
+
+
+def test_ext_multi_phi_share_grows_with_width(artifact_report):
+    result = artifact_report("ext-multi")
+    shares = result.data["phi_shares"]
+    assert shares == sorted(shares)
+
+
+def test_bench_tri_estimate_8k(benchmark, artifact_report):
+    artifact_report("ext-multi")
+    ex = MultiHeteroExecutor(hetero_tri())
+    p = make_dithering(8192, materialize=False)
+    res = benchmark(ex.estimate, p)
+    assert res.simulated_time > 0
+
+
+def test_bench_tri_solve_functional(benchmark):
+    ex = MultiHeteroExecutor(hetero_tri())
+    p = make_levenshtein(256, seed=0)
+    res = benchmark(
+        ex.solve, p, params=MultiParams(t_switch=40, shares=(60, 120, 120))
+    )
+    assert res.table is not None

@@ -1,0 +1,47 @@
+"""Extension: k-dimensional LDDP — 3-sequence LCS over cube sizes.
+
+The paper defines LDDP-Plus for k >= 2 tables (Sec. II) and evaluates k = 2;
+this benchmark runs the lifted machinery on the classic 3-D DP.
+"""
+
+import numpy as np
+
+from repro import hetero_high
+from repro.ndim import NdExecutor, make_lcs3, reference_lcs3
+
+
+def test_ext_ndim_regenerated(artifact_report):
+    result = artifact_report("ext-ndim")
+    sizes = result.data["sizes"]
+    cpu, gpu, het = result.data["cpu"], result.data["gpu"], result.data["hetero"]
+    # CPU wins the smallest cube; by the largest, the split is competitive
+    assert cpu[0] < gpu[0]
+    assert het[-1] <= cpu[-1] * 1.05
+
+
+def test_ext_ndim_growth_is_cubic(artifact_report):
+    result = artifact_report("ext-ndim")
+    sizes = result.data["sizes"]
+    if len(sizes) < 3:
+        return
+    cpu = result.data["cpu"]
+    ratio = cpu[-1] / cpu[0]
+    size_ratio = (sizes[-1] / sizes[0]) ** 3
+    assert 0.3 * size_ratio < ratio < 3 * size_ratio
+
+
+def test_bench_lcs3_estimate(benchmark, artifact_report):
+    artifact_report("ext-ndim")
+    ex = NdExecutor(hetero_high())
+    p = make_lcs3(64, materialize=False)
+    res = benchmark(ex.estimate, p, mode="hetero", t_switch=20, t_share=1500)
+    assert res.simulated_time > 0
+
+
+def test_bench_lcs3_solve_functional(benchmark):
+    ex = NdExecutor(hetero_high())
+    p = make_lcs3(24, 24, 24, seed=0)
+    res = benchmark(ex.solve, p, mode="cpu")
+    assert int(res.table[-1, -1, -1]) == reference_lcs3(
+        p.payload["a"], p.payload["b"], p.payload["c"]
+    )

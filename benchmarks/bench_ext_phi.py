@@ -1,0 +1,55 @@
+"""Extension: Xeon Phi accelerator (paper Sec. VII future work).
+
+"It would be interesting to see how does a heterogeneous approach impact the
+implementation if the system has some other accelerators like Intel
+Xeon-Phi." — this benchmark swaps the K20 model for a Phi 5110P model (same
+host CPU) and regenerates the Fig. 10/12-style sweeps on both.
+"""
+
+from repro import Framework, hetero_phi
+from repro.problems import make_dithering, make_levenshtein
+
+
+def test_ext_phi_regenerated(artifact_report):
+    result = artifact_report("ext-phi")
+    sizes = result.data["sizes"]
+    for workload in ("levenshtein", "dithering"):
+        phi = result.data[f"{workload}/Hetero-Phi"]
+        k20 = result.data[f"{workload}/Hetero-High"]
+        for k in range(len(sizes)):
+            # the hetero framework still never loses to its own baselines
+            assert phi["hetero"][k] <= min(phi["cpu"][k], phi["gpu"][k]) * 1.001
+            # and the Phi accelerator trails the K20 on raw sweeps
+            assert phi["gpu"][k] >= k20["gpu"][k]
+
+
+def test_ext_phi_crossover_shifts_right(artifact_report):
+    """The Phi's higher offload latency moves the accelerator's break-even
+    to larger tables than the K20's."""
+    result = artifact_report("ext-phi")
+    sizes = result.data["sizes"]
+    if max(sizes) < 8192:
+        return  # quick mode
+    from repro.analysis.stats import crossover_size
+
+    lev_k20 = result.data["levenshtein/Hetero-High"]
+    lev_phi = result.data["levenshtein/Hetero-Phi"]
+    x_k20 = crossover_size(sizes, lev_k20["gpu"], lev_k20["cpu"])
+    x_phi = crossover_size(sizes, lev_phi["gpu"], lev_phi["cpu"])
+    assert x_k20 is not None
+    assert x_phi is None or x_phi >= x_k20
+
+
+def test_bench_phi_hetero_estimate_4k(benchmark, artifact_report):
+    artifact_report("ext-phi")
+    fw = Framework(hetero_phi())
+    p = make_levenshtein(4096, materialize=False)
+    res = benchmark(fw.estimate, p)
+    assert res.simulated_time > 0
+
+
+def test_bench_phi_dithering_estimate_4k(benchmark):
+    fw = Framework(hetero_phi())
+    p = make_dithering(4096, materialize=False)
+    res = benchmark(fw.estimate, p)
+    assert res.simulated_time > 0

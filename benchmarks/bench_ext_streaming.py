@@ -1,0 +1,56 @@
+"""Extension: memory-streamed execution (rolling wavefront window).
+
+Real wall-clock and memory measurements of the streaming solver vs the full
+functional solve, plus Hirschberg's linear-space alignment — the two
+large-instance modes the full-table executors cannot reach.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Framework, hetero_high
+from repro.exec.streaming import StreamingSolver
+from repro.problems import make_levenshtein, make_needleman_wunsch
+from repro.solutions import align_global_linear_space
+from repro.solutions.hirschberg import nw_score_last_row
+
+N = 1024
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return make_levenshtein(N, N, seed=0)
+
+
+def test_streaming_equals_full(problem):
+    full = Framework(hetero_high()).solve(problem, executor="cpu")
+    res = StreamingSolver().solve(problem, track=[(N, N)])
+    assert int(res.tracked[(N, N)]) == int(full.table[-1, -1])
+    assert res.memory_fraction < 0.005
+
+
+def test_bench_full_solve(benchmark, problem):
+    fw = Framework(hetero_high())
+    res = benchmark(fw.solve, problem, executor="cpu")
+    assert res.table is not None
+
+
+def test_bench_streaming_solve(benchmark, problem):
+    solver = StreamingSolver()
+    res = benchmark(solver.solve, problem, track=[(N, N)])
+    assert (N, N) in res.tracked
+
+
+def test_bench_hirschberg_alignment(benchmark):
+    p = make_needleman_wunsch(N, N, seed=1)
+    a, b = p.payload["a"], p.payload["b"]
+    aln = benchmark(align_global_linear_space, a, b)
+    assert aln.score == nw_score_last_row(a, b, 1, -1, -2)[-1]
+
+
+def test_hirschberg_score_optimal_at_scale():
+    p = make_needleman_wunsch(N, N, seed=1)
+    a, b = p.payload["a"], p.payload["b"]
+    aln = align_global_linear_space(a, b)
+    table = Framework(hetero_high()).solve(p).table
+    assert aln.score == table[-1, -1]

@@ -1,0 +1,51 @@
+"""Fig. 10: Levenshtein distance (anti-diagonal) on both platforms.
+
+The paper's claims for this case study (Sec. VI-A):
+* the framework beats the pure GPU implementation at *every* size, because
+  the CPU absorbs the low-work ramps;
+* the gap grows with the table size.
+"""
+
+from repro import Framework, hetero_high
+from repro.problems import make_levenshtein
+
+
+def test_fig10_hetero_always_beats_gpu(artifact_report):
+    result = artifact_report("fig10")
+    for plat in ("Hetero-High", "Hetero-Low"):
+        series = result.data[plat]
+        for k in range(len(result.data["sizes"])):
+            assert series["hetero"][k] < series["gpu"][k]
+
+
+def test_fig10_gap_to_gpu_grows(artifact_report):
+    result = artifact_report("fig10")
+    series = result.data["Hetero-High"]
+    gaps = [g - h for g, h in zip(series["gpu"], series["hetero"])]
+    assert gaps[-1] > gaps[0]
+
+
+def test_fig10_cpu_loses_at_scale(artifact_report):
+    result = artifact_report("fig10")
+    sizes = result.data["sizes"]
+    if max(sizes) < 8192:
+        return  # quick mode
+    for plat in ("Hetero-High", "Hetero-Low"):
+        series = result.data[plat]
+        assert series["cpu"][-1] > series["hetero"][-1]
+        assert series["cpu"][-1] > series["gpu"][-1]
+
+
+def test_bench_hetero_estimate_4k(benchmark, artifact_report):
+    artifact_report("fig10")
+    fw = Framework(hetero_high())
+    p = make_levenshtein(4096, materialize=False)
+    res = benchmark(fw.estimate, p)
+    assert res.simulated_time > 0
+
+
+def test_bench_solve_functional_512(benchmark):
+    fw = Framework(hetero_high())
+    p = make_levenshtein(512, seed=0)
+    res = benchmark(fw.solve, p)
+    assert int(res.table[-1, -1]) > 0

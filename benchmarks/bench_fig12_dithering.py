@@ -1,0 +1,55 @@
+"""Fig. 12: Floyd-Steinberg dithering (knight-move) on both platforms.
+
+Paper Sec. VI-B: the CPU wins small images, the GPU wins large ones, and
+work sharing puts the framework ahead of both as the image grows.
+"""
+
+from repro import Framework, hetero_high
+from repro.analysis.stats import crossover_size
+from repro.problems import make_dithering
+
+
+def test_fig12_cpu_wins_small(artifact_report):
+    result = artifact_report("fig12")
+    for plat in ("Hetero-High", "Hetero-Low"):
+        series = result.data[plat]
+        assert series["cpu"][0] < series["gpu"][0]
+        # the framework matches the CPU there (it degenerates to pure CPU)
+        assert series["hetero"][0] <= series["cpu"][0] * 1.001
+
+
+def test_fig12_gpu_wins_large(artifact_report):
+    result = artifact_report("fig12")
+    sizes = result.data["sizes"]
+    if max(sizes) < 16384:
+        return  # quick mode
+    for plat in ("Hetero-High", "Hetero-Low"):
+        series = result.data[plat]
+        assert series["gpu"][-1] < series["cpu"][-1]
+        assert crossover_size(sizes, series["gpu"], series["cpu"]) is not None
+
+
+def test_fig12_hetero_best_at_scale(artifact_report):
+    result = artifact_report("fig12")
+    sizes = result.data["sizes"]
+    if max(sizes) < 8192:
+        return
+    for plat in ("Hetero-High", "Hetero-Low"):
+        series = result.data[plat]
+        assert series["hetero"][-1] < min(series["cpu"][-1], series["gpu"][-1])
+
+
+def test_bench_hetero_estimate_4k(benchmark, artifact_report):
+    artifact_report("fig12")
+    fw = Framework(hetero_high())
+    p = make_dithering(4096, materialize=False)
+    res = benchmark(fw.estimate, p)
+    assert res.simulated_time > 0
+
+
+def test_bench_solve_functional_256(benchmark):
+    fw = Framework(hetero_high())
+    p = make_dithering(256, 256)
+    res = benchmark(fw.solve, p)
+    out = res.aux["output"]
+    assert set(map(float, set(out.ravel()[:100]))) <= {0.0, 255.0}

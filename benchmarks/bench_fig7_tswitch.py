@@ -1,0 +1,35 @@
+"""Fig. 7: heterogeneous runtime vs t_switch (LCS 4k x 4k, t_share = 0).
+
+Regenerates the U-shaped curve of paper Sec. V-A and benchmarks single
+estimate calls at the curve's extremes.
+"""
+
+from repro import Framework, HeteroParams, hetero_high
+from repro.problems import make_lcs
+from repro.tuning.search import argmin_curve, is_roughly_unimodal
+
+
+def test_fig7_curve_u_shaped(artifact_report):
+    result = artifact_report("fig7")
+    curve = result.data["curve"]
+    assert is_roughly_unimodal(curve, tolerance=0.05)
+    best_ts, best_t = argmin_curve(curve)
+    # the optimum is interior: better than both extremes
+    assert best_t < curve[0][1]
+    assert best_t < curve[-1][1]
+
+
+def test_bench_estimate_at_optimum(benchmark, artifact_report):
+    result = artifact_report("fig7")
+    best_ts, _ = argmin_curve(result.data["curve"])
+    p = make_lcs(1024, materialize=False)
+    ex = Framework(hetero_high()).executor("hetero")
+    res = benchmark(ex.estimate, p, params=HeteroParams(min(best_ts, 1023), 0))
+    assert res.simulated_time > 0
+
+
+def test_bench_estimate_no_switch(benchmark):
+    p = make_lcs(1024, materialize=False)
+    ex = Framework(hetero_high()).executor("hetero")
+    res = benchmark(ex.estimate, p, params=HeteroParams(0, 0))
+    assert res.simulated_time > 0

@@ -1,0 +1,50 @@
+"""Fig. 8: inverted-L schedule vs horizontal case-1 for {NW} problems.
+
+Regenerates the Sec. V-B comparison (the experiment behind the framework's
+default of executing inverted-L problems as rows) and benchmarks both
+execution paths functionally at a small size.
+"""
+
+import numpy as np
+
+from repro import ExecOptions, Framework, Pattern, hetero_high
+from repro.problems import make_fig8_problem
+
+
+def test_fig8_h1_wins_on_both_devices(artifact_report):
+    result = artifact_report("fig8")
+    for dev in ("cpu", "gpu"):
+        for k in range(len(result.data["sizes"])):
+            assert result.data[f"{dev}-H1"][k] < result.data[f"{dev}-iL"][k]
+
+
+def test_fig8_gpu_gap_wider_than_cpu_gap(artifact_report):
+    """Coalescing hits the GPU harder (paper Sec. V-B)."""
+    result = artifact_report("fig8")
+    k = -1  # largest size
+    gpu_gap = result.data["gpu-iL"][k] / result.data["gpu-H1"][k]
+    cpu_gap = result.data["cpu-iL"][k] / result.data["cpu-H1"][k]
+    assert gpu_gap > cpu_gap > 1.0
+
+
+def test_bench_solve_inverted_l_native(benchmark):
+    fw = Framework(hetero_high(), ExecOptions(pattern_override=Pattern.INVERTED_L))
+    p = make_fig8_problem(192, seed=0)
+    res = benchmark(fw.solve, p, executor="hetero")
+    assert res.table is not None
+
+
+def test_bench_solve_as_horizontal(benchmark):
+    fw = Framework(hetero_high())
+    p = make_fig8_problem(192, seed=0)
+    res = benchmark(fw.solve, p, executor="hetero")
+    assert res.table is not None
+
+
+def test_both_paths_same_table():
+    p = make_fig8_problem(96, seed=1)
+    a = Framework(hetero_high()).solve(p, executor="hetero").table
+    b = Framework(
+        hetero_high(), ExecOptions(pattern_override=Pattern.INVERTED_L)
+    ).solve(p, executor="hetero").table
+    assert np.array_equal(a, b)

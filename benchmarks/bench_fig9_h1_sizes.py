@@ -1,0 +1,49 @@
+"""Fig. 9: horizontal case-1 (f = min(NW, N) + c), CPU/GPU/framework on both
+platforms over a size sweep."""
+
+from repro import Framework, hetero_high
+from repro.analysis.stats import crossover_size
+from repro.problems import make_fig9_problem
+
+
+def test_fig9_regenerated(artifact_report):
+    result = artifact_report("fig9")
+    for plat in ("Hetero-High", "Hetero-Low"):
+        series = result.data[plat]
+        sizes = result.data["sizes"]
+        # the framework never loses to either pure implementation
+        for k in range(len(sizes)):
+            assert series["hetero"][k] <= min(series["cpu"][k], series["gpu"][k]) * 1.001
+
+
+def test_fig9_gpu_overtakes_cpu(artifact_report):
+    result = artifact_report("fig9")
+    sizes = result.data["sizes"]
+    if max(sizes) < 8192:
+        return  # quick mode: crossover not reachable
+    series = result.data["Hetero-High"]
+    assert crossover_size(sizes, series["gpu"], series["cpu"]) is not None
+
+
+def test_fig9_hetero_margin_grows(artifact_report):
+    """Paper Sec. VII: work sharing pays off more as input grows."""
+    result = artifact_report("fig9")
+    series = result.data["Hetero-High"]
+    first = min(series["cpu"][0], series["gpu"][0]) / series["hetero"][0]
+    last = min(series["cpu"][-1], series["gpu"][-1]) / series["hetero"][-1]
+    assert last >= first
+
+
+def test_bench_hetero_estimate_4k(benchmark, artifact_report):
+    artifact_report("fig9")
+    fw = Framework(hetero_high())
+    p = make_fig9_problem(4096, materialize=False)
+    res = benchmark(fw.estimate, p)
+    assert res.simulated_time > 0
+
+
+def test_bench_solve_functional_512(benchmark):
+    fw = Framework(hetero_high())
+    p = make_fig9_problem(512)
+    res = benchmark(fw.solve, p)
+    assert res.table is not None

@@ -1,0 +1,32 @@
+"""Table I: contributing set -> pattern classification.
+
+Regenerates the mapping and benchmarks the classification hot path (it sits
+on the framework's dispatch route).
+"""
+
+from repro.core.classification import classify, table1_rows
+from repro.types import ContributingSet, Pattern
+
+
+def test_table1_regenerated(artifact_report):
+    result = artifact_report("table1")
+    assert "knight-move" in result.text
+    # the rendered table must contain all 15 rows
+    body = [l for l in result.text.splitlines() if l.startswith("|")][2:]
+    assert len(body) == 15
+
+
+def test_bench_classify_all_sets(benchmark, artifact_report):
+    artifact_report("table1")
+    sets = ContributingSet.all_sets()
+
+    def run():
+        return [classify(cs) for cs in sets]
+
+    patterns = benchmark(run)
+    assert patterns[14] is Pattern.KNIGHT_MOVE
+
+
+def test_bench_table1_rows(benchmark):
+    rows = benchmark(table1_rows)
+    assert len(rows) == 15

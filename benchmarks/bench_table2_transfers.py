@@ -1,0 +1,33 @@
+"""Table II: pattern -> boundary-transfer need.
+
+Regenerates the table from the dependency analysis and benchmarks phase-plan
+construction (which embeds the same per-iteration transfer decisions).
+"""
+
+from repro.core.partition import HeteroParams
+from repro.patterns.registry import strategy_for
+from repro.problems import make_checkerboard, make_dithering, make_levenshtein
+
+
+def test_table2_regenerated(artifact_report):
+    result = artifact_report("table2")
+    assert result.text.count("2 way") == 2
+    assert result.text.count("1 way") == 3
+
+
+def test_bench_plan_antidiagonal(benchmark):
+    strategy = strategy_for(make_levenshtein(1024, materialize=False))
+    plan = benchmark(strategy.plan, HeteroParams(t_switch=200, t_share=100))
+    assert plan.transfer_way() == "1-way"
+
+
+def test_bench_plan_knight(benchmark):
+    strategy = strategy_for(make_dithering(512, materialize=False))
+    plan = benchmark(strategy.plan, HeteroParams(t_switch=100, t_share=50))
+    assert plan.transfer_way() == "2-way"
+
+
+def test_bench_plan_horizontal_case2(benchmark):
+    strategy = strategy_for(make_checkerboard(1024, materialize=False))
+    plan = benchmark(strategy.plan, HeteroParams(t_switch=0, t_share=128))
+    assert plan.transfer_way() == "2-way"

@@ -1,0 +1,47 @@
+"""Benchmark-suite plumbing.
+
+Each ``bench_*`` module regenerates one paper artifact (table, figure or
+ablation) through :mod:`repro.analysis.catalog` — the same code path the CLI
+uses — writes the rendered series to ``benchmarks/results/<artifact>.txt``,
+and wraps a representative solve in ``pytest-benchmark`` so the harness also
+tracks the *wall-clock* cost of the simulation machinery itself.
+
+Artifact sweeps run once per session and are cached; set the environment
+variable ``REPRO_BENCH_QUICK=1`` to shrink sweep sizes (CI smoke mode).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.catalog import run_artifact
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_cache: dict[str, object] = {}
+
+
+def _quick() -> bool:
+    return os.environ.get("REPRO_BENCH_QUICK", "") == "1"
+
+
+@pytest.fixture(scope="session")
+def artifact_report():
+    """Run a catalog artifact once, persist its report, return its result."""
+
+    def run(name: str):
+        if name not in _cache:
+            from repro.analysis.persist import save_figure
+
+            result = run_artifact(name, quick=_quick())
+            RESULTS_DIR.mkdir(exist_ok=True)
+            path = RESULTS_DIR / f"{name}.txt"
+            path.write_text(f"{result.title}\n\n{result.text}\n")
+            save_figure(result, RESULTS_DIR)  # machine-readable twin
+            _cache[name] = result
+        return _cache[name]
+
+    return run

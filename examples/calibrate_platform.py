@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Re-fit the machine models to a new platform from timing samples.
+
+The presets target the paper's 2012-era testbeds; to model *your* machine,
+measure a few (work, seconds) points per component and let
+``repro.machine.calibration`` recover the model constants by least squares.
+
+This demo plays both roles: it fabricates noisy "measurements" from a
+hypothetical workstation (a faster CPU, a mid-range GPU, PCIe 4.0), fits
+fresh models, builds a Platform from them, and shows how the Fig. 10
+crossovers move.
+
+Run:  python examples/calibrate_platform.py
+"""
+
+import numpy as np
+
+from repro import Framework, Platform, hetero_high
+from repro.machine import (
+    CPUModel,
+    GPUModel,
+    TransferModel,
+    calibrate_cpu,
+    calibrate_gpu,
+    calibrate_transfer,
+)
+from repro.problems import make_levenshtein
+from repro.types import TransferKind
+
+
+def fabricate_measurements(rng):
+    """Pretend-microbenchmarks of a modern workstation (ground truth)."""
+    truth_cpu = CPUModel("Ryzen-ish 16C", cores=16, threads=32, freq_ghz=4.5,
+                         cell_ns=3.0, fork_us=1.5)
+    truth_gpu = GPUModel("mid-range GPU", smx_count=28, cores_per_smx=128,
+                         clock_ghz=1.8, cell_ns=180.0, launch_us=4.0)
+    truth_x = TransferModel(pageable_latency_us=8.0, pageable_gbps=12.0,
+                            pinned_latency_us=0.6, pinned_gbps=14.0)
+
+    cells = [5_000, 20_000, 100_000, 400_000]
+    noise = lambda: 1 + rng.normal(0, 0.01)
+    cpu_t = [truth_cpu.parallel_time(n) * noise() for n in cells]
+    gpu_t = [truth_gpu.kernel_time(n) * noise() for n in cells]
+    sizes = [4096, 1 << 16, 1 << 20, 1 << 24]
+    pg = [truth_x.time(b, TransferKind.PAGEABLE) * noise() for b in sizes]
+    pn = [truth_x.time(b, TransferKind.PINNED) * noise() for b in sizes]
+    return (truth_cpu, truth_gpu), (cells, cpu_t, gpu_t), (sizes, pg, pn)
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    (truth_cpu, truth_gpu), (cells, cpu_t, gpu_t), (sizes, pg, pn) = (
+        fabricate_measurements(rng)
+    )
+
+    fitted_cpu = calibrate_cpu(cells, cpu_t, base=truth_cpu)
+    fitted_gpu = calibrate_gpu(cells, gpu_t, base=truth_gpu)
+    fitted_x = calibrate_transfer((sizes, pg), (sizes, pn))
+
+    print("recovered parameters (truth -> fitted):")
+    print(f"  cpu cell_ns : {truth_cpu.cell_ns:.2f} -> {fitted_cpu.cell_ns:.2f}")
+    print(f"  cpu fork_us : {truth_cpu.fork_us:.2f} -> {fitted_cpu.fork_us:.2f}")
+    print(f"  gpu cell_ns : {truth_gpu.cell_ns:.1f} -> {fitted_gpu.cell_ns:.1f}")
+    print(f"  gpu launch  : {truth_gpu.launch_us:.2f} -> {fitted_gpu.launch_us:.2f} us")
+    print(f"  pcie (pag.) : 12.0 -> {fitted_x.pageable_gbps:.2f} GB/s")
+
+    modern = Platform("Workstation-2020s", fitted_cpu, fitted_gpu, fitted_x)
+    print(f"\n{modern.describe()}")
+
+    print("\nLevenshtein, simulated ms (who wins where moves with the metal):")
+    print(f"{'size':>7} | {'paper Hetero-High':>28} | {'calibrated workstation':>28}")
+    for n in (1024, 4096, 16384):
+        p = make_levenshtein(n, materialize=False)
+        row = []
+        for plat in (hetero_high(), modern):
+            fw = Framework(plat)
+            r = fw.compare(p)
+            t = {k: v.simulated_ms for k, v in r.items()}
+            best = min(t, key=t.get)
+            row.append(f"cpu {t['cpu']:7.1f} gpu {t['gpu']:7.1f} -> {best}")
+        print(f"{n:>7} | {row[0]:>28} | {row[1]:>28}")
+
+
+if __name__ == "__main__":
+    main()

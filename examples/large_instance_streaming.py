@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Edit distance between two 8192-symbol sequences without the table.
+
+An 8193 x 8193 int32 DP table is ~256 MB; the answer is one number. The
+streaming solver keeps only the rolling wavefront window (the generalized
+two-row trick of classic LCS implementations) — here under 25 k resident
+cells, 0.04% of the table — while computing bit-identical values through
+the same schedules as the full executors.
+
+Run:  python examples/large_instance_streaming.py
+"""
+
+import time
+
+from repro.baselines import myers_edit_distance
+from repro.exec.streaming import StreamingSolver
+from repro.problems import make_levenshtein, make_smith_waterman
+
+
+def main() -> None:
+    n = 8192
+    problem = make_levenshtein(n, n, seed=123)
+
+    t0 = time.perf_counter()
+    result = StreamingSolver().solve(problem, track=[(n, n)])
+    elapsed = time.perf_counter() - t0
+
+    distance = int(result.tracked[(n, n)])
+    print(f"edit distance        : {distance}")
+    print(f"wall clock           : {elapsed:.1f} s "
+          f"({n * n / elapsed / 1e6:.1f} Mcell/s, vectorized wavefronts)")
+    print(f"peak resident cells  : {result.peak_cells} "
+          f"({result.memory_fraction:.2%} of the {n}x{n} table)")
+
+    # cross-check with the bit-parallel champion (different algorithm family)
+    check = myers_edit_distance(problem.payload["a"], problem.payload["b"])
+    print(f"bit-parallel check   : {check}  (match: {check == distance})")
+
+    # a reduction example: best local-alignment score without the table
+    sw = make_smith_waterman(2048, 2048, seed=7)
+    t0 = time.perf_counter()
+    res = StreamingSolver(
+        reduce=lambda acc, v: max(acc, int(v.max())), reduce_init=0
+    ).solve(sw)
+    print(f"\nSmith-Waterman best local score over 2048x2048: {res.reduced} "
+          f"({time.perf_counter() - t0:.1f} s, "
+          f"{res.memory_fraction:.2%} memory)")
+
+
+if __name__ == "__main__":
+    main()

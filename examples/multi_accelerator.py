@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Beyond the paper: splitting one wavefront across CPU + two accelerators.
+
+The paper's framework cuts each wavefront once (CPU | GPU). `repro.multi`
+generalizes to N cuts and answers the natural follow-up to the paper's
+Xeon-Phi question: does a *second* accelerator help?
+
+Short version (an honest negative result): the exact-cost waterfill gives
+the latency-heavy Phi zero cells until wavefronts are extremely wide, and
+where it does contribute, the extra boundary traffic eats most of the gain.
+
+Run:  python examples/multi_accelerator.py
+"""
+
+from dataclasses import replace
+
+from repro import Framework, hetero_high
+from repro.multi import (
+    MultiHeteroExecutor,
+    MultiParams,
+    hetero_tri,
+    multi_balanced_shares,
+)
+from repro.problems import make_dithering, make_levenshtein
+
+
+def main() -> None:
+    tri = hetero_tri()
+    print(f"platform: {tri.name} = {tri.cpu.name} + "
+          + " + ".join(a.name for a in tri.accelerators))
+
+    # --- how the waterfill divides a wavefront --------------------------------
+    print("\nper-iteration shares from the exact-cost waterfill "
+          "(cpu, K20, Phi):")
+    for width in (4096, 16384, 65536, 131072):
+        shares = multi_balanced_shares(tri, width)
+        print(f"  width {width:6d}: {shares}"
+              + ("   <- Phi idle: its 15 us offload exceeds the balanced "
+                 "iteration time" if shares[2] == 0 else ""))
+
+    # --- correctness: a three-way split fills the same table ------------------
+    p = make_levenshtein(128, 128, seed=0)
+    ex = MultiHeteroExecutor(tri)
+    res3 = ex.solve(p, params=MultiParams(t_switch=20, shares=(30, 60, 38)))
+    res1 = Framework(hetero_high()).solve(p, executor="sequential")
+    import numpy as np
+
+    print(f"\n3-way split table identical to oracle: "
+          f"{np.array_equal(res3.table, res1.table)}")
+    print(f"device utilization: "
+          + ", ".join(f"{k}={v:.0%}" for k, v in res3.stats["utilization"].items()))
+
+    # --- duo vs tri at scale (estimate mode) ----------------------------------
+    print("\nFloyd-Steinberg dithering, simulated ms:")
+    print(f"{'size':>8} {'duo(K20)':>10} {'tri':>10} {'tri+P2P':>10} {'Phi share':>10}")
+    fw_duo = Framework(hetero_high())
+    ex_p2p = MultiHeteroExecutor(replace(tri, p2p_gbps=10.0))
+    for n in (8192, 16384, 32768):
+        prob = make_dithering(n, materialize=False)
+        duo = fw_duo.estimate(prob).simulated_ms
+        r = ex.estimate(prob)
+        p2p = ex_p2p.estimate(prob).simulated_ms
+        print(f"{n:>8} {duo:>10.1f} {r.simulated_ms:>10.1f} {p2p:>10.1f} "
+              f"{r.stats['shares'][2]:>10}")
+    print("\nconclusion: the third device only engages at extreme widths and "
+          "its boundary traffic\n(staged through the host) eats most of the "
+          "gain — corroborating the paper's two-device design.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Solving a Poisson equation with framework-scheduled Gauss-Seidel sweeps.
+
+LDDP-Plus is not only dynamic programming (the paper's dithering case study
+is the hint): an in-order Gauss-Seidel relaxation sweep reads exactly
+{W, N} — the anti-diagonal pattern. This example solves
+
+    -(u_xx + u_yy) = f   on the unit square, Dirichlet boundary
+
+by iterating framework-scheduled sweeps and watching the residual fall.
+
+Run:  python examples/poisson_solver.py
+"""
+
+import numpy as np
+
+from repro import Framework, hetero_high
+from repro.problems import gs_solve, make_gauss_seidel_sweep, residual
+
+
+def main() -> None:
+    n = 33  # grid points per side; h = 1/(n-1)
+    # (GS converges at 1 - O(h^2) per sweep: finer grids want multigrid)
+    h = 1.0 / (n - 1)
+    x = np.linspace(0, 1, n)
+    X, Y = np.meshgrid(x, x, indexing="ij")
+
+    # manufactured solution u* = sin(pi x) sin(pi y):  f = 2 pi^2 u*
+    u_star = np.sin(np.pi * X) * np.sin(np.pi * Y)
+    f = 2 * np.pi**2 * u_star
+    h2f = h * h * f
+    boundary = np.zeros((n, n))  # u* vanishes on the boundary
+
+    fw = Framework(hetero_high())
+    problem = make_gauss_seidel_sweep(boundary, h2f)
+    print(f"one sweep is pattern  : {fw.classify(problem).value}")
+    print(f"grid                  : {n} x {n}, h = {h:.4f}")
+
+    u, history = gs_solve(fw, h2f, boundary, sweeps=600, executor="hetero")
+
+    print("\nresidual history (max-norm):")
+    for k in (0, 9, 49, 149, 299, 599):
+        print(f"  after sweep {k + 1:3d}: {history[k]:.3e}")
+
+    err = np.abs(u - u_star).max()
+    print(f"\nmax error vs u*       : {err:.3e} "
+          f"(discretization error is O(h^2) ~ {h * h:.1e})")
+    rate = (history[-1] / history[20]) ** (1 / (len(history) - 21))
+    print(f"asymptotic GS rate    : {rate:.4f} per sweep "
+          f"(theory: 1 - O(h^2) for Poisson)")
+    assert residual(u, h2f) < 1e-4
+
+
+if __name__ == "__main__":
+    main()

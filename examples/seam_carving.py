@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Content-aware image narrowing (seam carving) on the LDDP framework.
+
+Seam carving removes, per step, the connected top-to-bottom path of least
+visual energy — exactly the checkerboard recurrence of paper Sec. VI-C
+(horizontal pattern, case 2) with the cost grid replaced by an image energy
+map. Each removed seam is reconstructed with
+:func:`repro.solutions.checkerboard_path`.
+
+Run:  python examples/seam_carving.py
+"""
+
+import numpy as np
+
+from repro import ContributingSet, Framework, LDDPProblem, hetero_high
+from repro.solutions import checkerboard_path
+
+
+def test_image(rows: int = 96, cols: int = 140) -> np.ndarray:
+    """Synthetic grayscale scene: smooth sky + two high-detail 'objects'."""
+    rng = np.random.default_rng(5)
+    ii = np.arange(rows)[:, None]
+    jj = np.arange(cols)[None, :]
+    img = np.broadcast_to(120.0 + 40.0 * np.sin(ii / 17.0), (rows, cols)).copy()
+    for cy, cx, r in ((rows // 3, cols // 4, 14), (2 * rows // 3, 3 * cols // 4, 18)):
+        d2 = (ii - cy) ** 2 + (jj - cx) ** 2
+        img += 90.0 * np.exp(-d2 / (2 * r * r)) * (1 + 0.5 * rng.normal(size=(rows, cols)) * (d2 < r * r))
+    return np.clip(img, 0, 255)
+
+
+def energy(img: np.ndarray) -> np.ndarray:
+    """Gradient-magnitude energy (forward differences, edge-replicated)."""
+    gx = np.abs(np.diff(img, axis=1, append=img[:, -1:]))
+    gy = np.abs(np.diff(img, axis=0, append=img[-1:, :]))
+    return gx + gy
+
+
+def seam_problem(e: np.ndarray) -> LDDPProblem:
+    def cell(ctx):
+        best = np.minimum(np.minimum(ctx.nw, ctx.n), ctx.ne)
+        return e[ctx.i, ctx.j] + best
+
+    def init(table, payload):
+        table[0, :] = e[0, :]
+
+    return LDDPProblem(
+        name="seam",
+        shape=e.shape,
+        contributing=ContributingSet.of("NW", "N", "NE"),
+        cell=cell,
+        init=init,
+        fixed_rows=1,
+        dtype=np.float64,
+        payload={"cost": e},
+        oob_value=np.inf,
+        gpu_work=3.0,
+    )
+
+
+def remove_seam(img: np.ndarray, seam: list[tuple[int, int]]) -> np.ndarray:
+    rows, cols = img.shape
+    out = np.empty((rows, cols - 1), dtype=img.dtype)
+    for i, j in seam:
+        out[i] = np.delete(img[i], j)
+    return out
+
+
+def main() -> None:
+    img = test_image()
+    fw = Framework(hetero_high())
+    print(f"input image        : {img.shape[0]} x {img.shape[1]}")
+
+    n_seams = 30
+    total_ms = 0.0
+    work = img
+    for k in range(n_seams):
+        e = energy(work)
+        problem = seam_problem(e)
+        res = fw.solve(problem)
+        total_ms += res.simulated_ms
+        seam = checkerboard_path(res.table, e)
+        work = remove_seam(work, seam)
+
+    print(f"removed            : {n_seams} seams "
+          f"({img.shape[1]} -> {work.shape[1]} columns)")
+    print(f"pattern            : {problem.pattern.value} (case 2)")
+    print(f"simulated DP time  : {total_ms:.2f} ms total on {fw.platform.name}")
+    # objects carry high energy: their pixels should survive carving
+    print(f"mean energy kept   : {energy(work).mean():.2f} "
+          f"(input {energy(img).mean():.2f} — rises as low-energy "
+          f"background is carved away)")
+    assert energy(work).mean() > energy(img).mean()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The target environment ships setuptools without the ``wheel`` package, so
+PEP 660 editable installs (which build an editable wheel) are unavailable;
+this classic ``setup.py`` keeps ``pip install -e .`` working through the
+legacy develop path. Metadata lives in ``setup.cfg``/``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,78 @@
+"""repro — a heterogeneous (CPU+GPU) framework for LDDP-Plus problems.
+
+Reproduction of Kumar & Kothapalli, *"A Novel Heterogeneous Framework for
+Local Dependency Dynamic Programming Problems"* (IPPS 2015), on a simulated
+heterogeneous machine. See DESIGN.md for the system inventory and the
+substitution rationale, and EXPERIMENTS.md for paper-vs-measured results.
+
+Quickstart::
+
+    import numpy as np
+    from repro import ContributingSet, Framework, LDDPProblem, hetero_high
+
+    def f(ctx):                        # the recurrence, vectorized
+        return np.minimum(ctx.nw, ctx.n) + 1
+
+    problem = LDDPProblem(
+        name="demo",
+        shape=(512, 512),
+        contributing=ContributingSet.of("NW", "N"),
+        cell=f,
+        fixed_rows=1,
+        dtype=np.int64,
+    )
+    fw = Framework(hetero_high())
+    result = fw.solve(problem)         # hetero CPU+GPU execution
+    print(result.simulated_ms, result.table)
+"""
+
+from ._version import __version__
+from .types import (
+    ContributingSet,
+    Device,
+    Neighbor,
+    Pattern,
+    TransferDirection,
+    TransferKind,
+)
+from .core.cellfunc import CellFunction, EvalContext
+from .core.classification import classify, table1_rows, transfer_need
+from .core.framework import Framework
+from .core.partition import HeteroParams
+from .core.problem import LDDPProblem
+from .core.schedule import schedule_for
+from .exec.base import ExecOptions, SolveResult
+from .machine.platform import Platform, hetero_high, hetero_low, hetero_phi
+from .tuning.autotune import TuneResult, autotune
+
+__all__ = [
+    "__version__",
+    # problem specification
+    "ContributingSet",
+    "Neighbor",
+    "LDDPProblem",
+    "CellFunction",
+    "EvalContext",
+    # classification
+    "Pattern",
+    "classify",
+    "table1_rows",
+    "transfer_need",
+    # execution
+    "Framework",
+    "ExecOptions",
+    "SolveResult",
+    "HeteroParams",
+    "schedule_for",
+    "Device",
+    "TransferDirection",
+    "TransferKind",
+    # machine
+    "Platform",
+    "hetero_high",
+    "hetero_low",
+    "hetero_phi",
+    # tuning
+    "autotune",
+    "TuneResult",
+]

@@ -1,0 +1,28 @@
+"""Analysis and reporting: parallelism profiles, series statistics, and the
+text tables/series that regenerate every table and figure of the paper."""
+
+from .profiles import parallelism_profile, profile_kind, profile_summary
+from .stats import speedup, crossover_size, best_executor
+from .report import (
+    format_table,
+    table1_text,
+    table2_text,
+    series_table,
+)
+from .experiments import SeriesPoint, figure_series, sweep_sizes
+
+__all__ = [
+    "parallelism_profile",
+    "profile_kind",
+    "profile_summary",
+    "speedup",
+    "crossover_size",
+    "best_executor",
+    "format_table",
+    "table1_text",
+    "table2_text",
+    "series_table",
+    "SeriesPoint",
+    "figure_series",
+    "sweep_sizes",
+]

@@ -1,0 +1,70 @@
+"""Cost-composition analysis: what the makespan is made of.
+
+The figures say *who* wins; this module says *why*. For any solve result it
+reports the critical path's composition (compute vs boundary transfers vs
+staging vs idle) and per-device busy/idle fractions — e.g. a GPU-only run on
+a small anti-diagonal table shows up as launch-dominated compute, matching
+the paper's "kernel setup time" explanation in Sec. VI-A.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..exec.base import SolveResult
+from .report import format_table
+
+__all__ = ["cost_breakdown", "breakdown_table"]
+
+
+def cost_breakdown(result: SolveResult) -> dict[str, Any]:
+    """Aggregate composition facts for one solve/estimate result."""
+    tl = result.timeline
+    if tl is None:
+        raise ValueError("result carries no timeline")
+    makespan = tl.makespan or 1.0
+    critical = tl.critical_breakdown()
+    devices = {}
+    for res in tl.resources:
+        busy = tl.busy(res)
+        devices[res] = {
+            "busy_s": busy,
+            "utilization": busy / makespan,
+            "tasks": len(tl.on(res)),
+        }
+    return {
+        "problem": result.problem,
+        "executor": result.executor,
+        "makespan_s": tl.makespan,
+        "critical_path": {k: v / makespan for k, v in critical.items()},
+        "devices": devices,
+        "transfer_bytes": result.ledger.bytes_moved(),
+        "transfer_count": result.ledger.count(),
+    }
+
+
+def breakdown_table(results: list[SolveResult]) -> str:
+    """Side-by-side composition of several results (one per row)."""
+    headers = [
+        "executor", "makespan (ms)", "critical compute", "critical transfers",
+        "critical idle", "copies", "bytes",
+    ]
+    rows = []
+    for res in results:
+        bd = cost_breakdown(res)
+        cp = bd["critical_path"]
+        transfers = cp.get("boundary-transfer", 0.0) + cp.get(
+            "phase-transfer", 0.0
+        ) + cp.get("setup", 0.0)
+        rows.append(
+            [
+                res.executor,
+                f"{bd['makespan_s'] * 1e3:.3f}",
+                f"{cp.get('compute', 0.0):.1%}",
+                f"{transfers:.1%}",
+                f"{cp.get('idle', 0.0):.1%}",
+                bd["transfer_count"],
+                bd["transfer_bytes"],
+            ]
+        )
+    return format_table(headers, rows)

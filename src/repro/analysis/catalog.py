@@ -1,0 +1,463 @@
+"""Catalog of the paper's tables, figures and ablations.
+
+One runner per artifact; each returns a :class:`FigureResult` with the
+rendered text report and the raw data. The CLI, the benchmark suite and the
+EXPERIMENTS.md generator all dispatch through :func:`run_artifact`, so every
+surface reports identical numbers.
+
+Sizes follow the paper's sweeps; ``quick=True`` shrinks them for CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..core.framework import Framework
+from ..core.partition import HeteroParams
+from ..core.schedule import schedule_for
+from ..exec.base import ExecOptions
+from ..machine.platform import Platform, hetero_high, hetero_low, hetero_phi
+from ..tuning.model import balanced_share
+from ..types import Pattern
+from ..problems import (
+    make_checkerboard,
+    make_dithering,
+    make_fig8_problem,
+    make_fig9_problem,
+    make_lcs,
+    make_levenshtein,
+)
+from .experiments import figure_series, sweep_sizes
+from .report import series_table, table1_text, table2_text
+
+__all__ = ["FigureResult", "ARTIFACTS", "run_artifact"]
+
+
+@dataclass
+class FigureResult:
+    """Output of one artifact runner."""
+
+    artifact: str
+    title: str
+    text: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+
+def _platforms() -> list[Platform]:
+    return [hetero_high(), hetero_low()]
+
+
+def _standard_figure(
+    artifact: str,
+    title: str,
+    maker,
+    sizes: list[int],
+    quick_sizes: list[int],
+    quick: bool,
+) -> FigureResult:
+    sizes = quick_sizes if quick else sizes
+    points = figure_series(maker, sizes, _platforms())
+    blocks = []
+    data: dict[str, Any] = {"sizes": sizes}
+    for plat in _platforms():
+        s, series = sweep_sizes(points, plat.name)
+        blocks.append(series_table(f"{title} — {plat.name}", s, series))
+        data[plat.name] = series
+    return FigureResult(artifact, title, "\n\n".join(blocks), data)
+
+
+# -- Tables -----------------------------------------------------------------
+
+
+def run_table1(quick: bool = False) -> FigureResult:
+    return FigureResult(
+        "table1",
+        "Table I: contributing sets and corresponding pattern",
+        table1_text(),
+    )
+
+
+def run_table2(quick: bool = False) -> FigureResult:
+    return FigureResult(
+        "table2",
+        "Table II: patterns and corresponding data transfer need",
+        table2_text(),
+    )
+
+
+# -- Fig. 2: the six wavefront maps -----------------------------------------
+
+
+def run_fig2(quick: bool = False) -> FigureResult:
+    """Render each pattern's iteration numbering on a small grid."""
+    rows, cols = 5, 6
+    blocks = []
+    data: dict[str, Any] = {}
+    for pattern in Pattern:
+        sched = schedule_for(pattern, rows, cols)
+        grid = [[0] * cols for _ in range(rows)]
+        for t in range(sched.num_iterations):
+            ci, cj = sched.cells(t)
+            for i, j in zip(ci, cj):
+                grid[int(i)][int(j)] = t + 1
+        text = "\n".join(
+            " ".join(f"{v:2d}" for v in row) for row in grid
+        )
+        blocks.append(f"({pattern.value})\n{text}")
+        data[pattern.value] = grid
+    return FigureResult(
+        "fig2",
+        "Fig. 2: pattern types (cells sharing a number run in parallel)",
+        "\n\n".join(blocks),
+        data,
+    )
+
+
+# -- Fig. 7: t_switch sweep ---------------------------------------------------
+
+
+def run_fig7(quick: bool = False) -> FigureResult:
+    n = 1024 if quick else 4096
+    problem = make_lcs(n, materialize=False)
+    fw = Framework(hetero_high())
+    ex = fw.executor("hetero")
+    sched = problem.schedule()
+    half = sched.num_iterations // 2
+    points = 9 if quick else 13
+    grid = sorted({round(k * half / (points - 1)) for k in range(points)})
+    curve = [
+        (ts, ex.estimate(problem, params=HeteroParams(t_switch=ts, t_share=0)).simulated_ms)
+        for ts in grid
+    ]
+    text = series_table(
+        f"Fig. 7: heterogeneous time vs t_switch (LCS {n}x{n}, t_share=0, Hetero-High)",
+        [ts for ts, _ in curve],
+        {"hetero": [t for _, t in curve]},
+    )
+    return FigureResult(
+        "fig7",
+        "Fig. 7: runtime vs t_switch (U-shaped curve)",
+        text,
+        {"curve": curve},
+    )
+
+
+# -- Fig. 8: inverted-L vs horizontal case-1 -----------------------------------
+
+
+def run_fig8(quick: bool = False) -> FigureResult:
+    sizes = [256, 512, 1024] if quick else [1024, 2048, 4096, 8192]
+    series: dict[str, list[float]] = {
+        "cpu-iL": [], "cpu-H1": [], "gpu-iL": [], "gpu-H1": []
+    }
+    platform = hetero_high()
+    fw_il = Framework(platform, ExecOptions(pattern_override=Pattern.INVERTED_L))
+    fw_h1 = Framework(platform, ExecOptions())  # default: iL runs as horizontal
+    for n in sizes:
+        p = make_fig8_problem(n, materialize=False)
+        series["cpu-iL"].append(fw_il.estimate(p, executor="cpu").simulated_ms)
+        series["gpu-iL"].append(fw_il.estimate(p, executor="gpu").simulated_ms)
+        series["cpu-H1"].append(fw_h1.estimate(p, executor="cpu").simulated_ms)
+        series["gpu-H1"].append(fw_h1.estimate(p, executor="gpu").simulated_ms)
+    text = series_table(
+        "Fig. 8: inverted-L (iL) vs horizontal case-1 (H1), f = max(cell, NW) + c, Hetero-High",
+        sizes,
+        series,
+    )
+    return FigureResult(
+        "fig8", "Fig. 8: inverted-L vs horizontal case-1", text,
+        {"sizes": sizes, **series},
+    )
+
+
+# -- Figs. 9, 10, 12: standard three-executor sweeps ---------------------------
+
+
+def run_fig9(quick: bool = False) -> FigureResult:
+    return _standard_figure(
+        "fig9",
+        "Fig. 9: horizontal case-1, f = min(NW, N) + c",
+        make_fig9_problem,
+        sizes=[1024, 2048, 4096, 8192, 16384],
+        quick_sizes=[256, 512, 1024],
+        quick=quick,
+    )
+
+
+def run_fig10(quick: bool = False) -> FigureResult:
+    return _standard_figure(
+        "fig10",
+        "Fig. 10: Levenshtein distance (anti-diagonal)",
+        make_levenshtein,
+        sizes=[1024, 2048, 4096, 8192, 16384],
+        quick_sizes=[256, 512, 1024],
+        quick=quick,
+    )
+
+
+def run_fig12(quick: bool = False) -> FigureResult:
+    return _standard_figure(
+        "fig12",
+        "Fig. 12: Floyd-Steinberg dithering (knight-move)",
+        make_dithering,
+        sizes=[1024, 2048, 4096, 8192, 16384],
+        quick_sizes=[256, 512, 1024],
+        quick=quick,
+    )
+
+
+# -- Fig. 13: checkerboard, with the forced-split variant ----------------------
+
+
+def run_fig13(quick: bool = False) -> FigureResult:
+    sizes = [256, 512, 1024] if quick else [1024, 2048, 4096, 8192, 16384, 32768]
+    blocks = []
+    data: dict[str, Any] = {"sizes": sizes}
+    for platform in _platforms():
+        fw = Framework(platform)
+        series: dict[str, list[float]] = {
+            "cpu": [], "gpu": [], "hetero": [], "hetero-forced-split": []
+        }
+        for n in sizes:
+            p = make_checkerboard(n, materialize=False)
+            for name in ("cpu", "gpu", "hetero"):
+                series[name].append(fw.estimate(p, executor=name).simulated_ms)
+            # The paper's framework splits every row regardless of size and
+            # pays the two-way pinned overhead at small sizes (Sec. VI-C);
+            # our tuned default degenerates to pure CPU there instead. This
+            # variant forces the paper's behaviour.
+            x = balanced_share(platform, n, p.cpu_work, p.gpu_work)
+            forced = HeteroParams(t_switch=0, t_share=max(1, min(x, n - 1)))
+            series["hetero-forced-split"].append(
+                fw.estimate(p, executor="hetero", params=forced).simulated_ms
+            )
+        blocks.append(
+            series_table(
+                f"Fig. 13: checkerboard (horizontal case-2) — {platform.name}",
+                sizes,
+                series,
+            )
+        )
+        data[platform.name] = series
+    return FigureResult(
+        "fig13",
+        "Fig. 13: checkerboard problem (horizontal case-2)",
+        "\n\n".join(blocks),
+        data,
+    )
+
+
+# -- Ablations -----------------------------------------------------------------
+
+
+def run_ablation_coalescing(quick: bool = False) -> FigureResult:
+    """A1: wavefront-major layout on vs off (simulated GPU/CPU penalty)."""
+    sizes = [512, 1024] if quick else [2048, 4096, 8192]
+    platform = hetero_high()
+    on = Framework(platform, ExecOptions(use_wavefront_layout=True))
+    off = Framework(platform, ExecOptions(use_wavefront_layout=False))
+    series: dict[str, list[float]] = {
+        "gpu-coalesced": [], "gpu-uncoalesced": [],
+        "hetero-coalesced": [], "hetero-uncoalesced": [],
+    }
+    for n in sizes:
+        p = make_levenshtein(n, materialize=False)
+        series["gpu-coalesced"].append(on.estimate(p, executor="gpu").simulated_ms)
+        series["gpu-uncoalesced"].append(off.estimate(p, executor="gpu").simulated_ms)
+        series["hetero-coalesced"].append(on.estimate(p, executor="hetero").simulated_ms)
+        series["hetero-uncoalesced"].append(off.estimate(p, executor="hetero").simulated_ms)
+    text = series_table(
+        "Ablation A1: coalesced wavefront-major layout (Levenshtein, Hetero-High)",
+        sizes,
+        series,
+    )
+    return FigureResult("ablation-coalescing", "A1: memory coalescing", text,
+                        {"sizes": sizes, **series})
+
+
+def run_ablation_pipeline(quick: bool = False) -> FigureResult:
+    """A2: streamed (overlapped) vs synchronous one-way boundary copies."""
+    sizes = [512, 1024] if quick else [2048, 4096, 8192, 16384]
+    platform = hetero_high()
+    on = Framework(platform, ExecOptions(pipeline=True))
+    off = Framework(platform, ExecOptions(pipeline=False))
+    series: dict[str, list[float]] = {"pipelined": [], "synchronous": []}
+    for n in sizes:
+        p = make_fig9_problem(n, materialize=False)
+        series["pipelined"].append(on.estimate(p, executor="hetero").simulated_ms)
+        series["synchronous"].append(off.estimate(p, executor="hetero").simulated_ms)
+    text = series_table(
+        "Ablation A2: pipelined vs synchronous one-way transfers "
+        "(horizontal case-1, Hetero-High)",
+        sizes,
+        series,
+    )
+    return FigureResult("ablation-pipeline", "A2: transfer pipelining", text,
+                        {"sizes": sizes, **series})
+
+
+def run_ext_phi(quick: bool = False) -> FigureResult:
+    """Extension: the paper's future-work platform (i7-980 + Xeon Phi).
+
+    Same CPU as Hetero-High, different accelerator: the Phi's higher offload
+    latency but stride-tolerant caches shift every crossover. Reported side
+    by side with the K20 for the anti-diagonal and knight-move case studies.
+    """
+    sizes = [256, 512, 1024] if quick else [1024, 2048, 4096, 8192, 16384]
+    platforms = [hetero_high(), hetero_phi()]
+    blocks = []
+    data: dict[str, Any] = {"sizes": sizes}
+    for maker, label in ((make_levenshtein, "levenshtein"), (make_dithering, "dithering")):
+        points = figure_series(maker, sizes, platforms)
+        for plat in platforms:
+            s, series = sweep_sizes(points, plat.name)
+            blocks.append(series_table(f"{label} — {plat.name}", s, series))
+            data[f"{label}/{plat.name}"] = series
+    return FigureResult(
+        "ext-phi",
+        "Extension: Xeon Phi accelerator (paper Sec. VII future work)",
+        "\n\n".join(blocks),
+        data,
+    )
+
+
+def run_ext_multi(quick: bool = False) -> FigureResult:
+    """Extension: CPU + two accelerators (K20 + Phi) on one wavefront.
+
+    Generalizes the paper's two-device split to N devices. The honest
+    finding: the waterfill gives a latency-heavy third device zero cells
+    until wavefronts are extremely wide, and even then the extra boundary
+    traffic eats most of its contribution (P2P recovers a little) — evidence
+    for the paper's two-device design point.
+    """
+    from ..multi import MultiHeteroExecutor, hetero_tri
+
+    sizes = [512, 1024] if quick else [4096, 8192, 16384, 32768]
+    fw_duo = Framework(hetero_high())
+    ex_tri = MultiHeteroExecutor(hetero_tri())
+    series: dict[str, list[float]] = {"duo(K20)": [], "tri(K20+Phi)": []}
+    phi_shares: list[int] = []
+    for n in sizes:
+        p = make_dithering(n, materialize=False)
+        series["duo(K20)"].append(fw_duo.estimate(p).simulated_ms)
+        res = ex_tri.estimate(p)
+        series["tri(K20+Phi)"].append(res.simulated_ms)
+        phi_shares.append(res.stats["shares"][2])
+    text = series_table(
+        "Extension: two-device vs three-device split "
+        "(Floyd-Steinberg dithering; Phi per-iteration share shown below)",
+        sizes,
+        series,
+    )
+    text += "\nPhi share per iteration: " + ", ".join(
+        f"{n}->{s}" for n, s in zip(sizes, phi_shares)
+    )
+    return FigureResult(
+        "ext-multi",
+        "Extension: multi-accelerator wavefront splitting",
+        text,
+        {"sizes": sizes, **series, "phi_shares": phi_shares},
+    )
+
+
+def run_ext_ndim(quick: bool = False) -> FigureResult:
+    """Extension: k-dimensional LDDP (3-sequence LCS over cube sizes).
+
+    The paper's definition covers k >= 2; this sweep runs the classic 3-D DP
+    on the same machine models. Plane wavefronts ramp quadratically, so the
+    low-work region grows milder with size and the heterogeneous split takes
+    over once the central planes pass the CPU/GPU crossover width.
+    """
+    from ..ndim import NdExecutor, make_lcs3
+
+    sizes = [16, 24, 32] if quick else [32, 64, 96, 128]
+    ex = NdExecutor(hetero_high())
+    series: dict[str, list[float]] = {"cpu": [], "gpu": [], "hetero": []}
+    for n in sizes:
+        p = make_lcs3(n, materialize=False)
+        series["cpu"].append(ex.estimate(p, mode="cpu").simulated_ms)
+        series["gpu"].append(ex.estimate(p, mode="gpu").simulated_ms)
+        # share ~ half the peak plane width
+        t_share = max(1, (3 * n * n) // 8)
+        series["hetero"].append(
+            ex.estimate(
+                p, mode="hetero", t_switch=max(1, n // 3), t_share=t_share
+            ).simulated_ms
+        )
+    text = series_table(
+        "Extension: 3-sequence LCS (k = 3), cube edge sweep, Hetero-High",
+        sizes,
+        series,
+    )
+    return FigureResult(
+        "ext-ndim",
+        "Extension: k-dimensional LDDP (3-sequence LCS)",
+        text,
+        {"sizes": sizes, **series},
+    )
+
+
+def run_ext_scaling(quick: bool = False) -> FigureResult:
+    """Extension: asymptotic scaling exponents and regime knees.
+
+    Fits ``time ~ c * n^e`` per executor for the Levenshtein sweep and
+    locates the GPU's launch-bound -> compute-bound knee — the quantitative
+    version of the paper's Sec. VI-A amortization argument.
+    """
+    from .scaling import find_knee, fit_power_law, local_exponents
+
+    sizes = [256, 512, 1024, 2048] if quick else [512, 1024, 2048, 4096, 8192, 16384, 32768]
+    fw = Framework(hetero_high())
+    series: dict[str, list[float]] = {"cpu": [], "gpu": [], "hetero": []}
+    for n in sizes:
+        p = make_levenshtein(n, materialize=False)
+        series["cpu"].append(fw.estimate(p, executor="cpu").simulated_ms)
+        series["gpu"].append(fw.estimate(p, executor="gpu").simulated_ms)
+        series["hetero"].append(fw.estimate_fast(p) * 1e3)
+    lines = [series_table(
+        "Levenshtein size sweep (Hetero-High, simulated ms)", sizes, series
+    ), ""]
+    fits = {}
+    for name, times in series.items():
+        fit = fit_power_law(sizes, times)
+        knee = find_knee(sizes, times)
+        fits[name] = {"exponent": fit.exponent, "r2": fit.r2, "knee": knee}
+        lines.append(
+            f"{name:7s} time ~ n^{fit.exponent:.2f} (r2={fit.r2:.3f})"
+            + (f", regime knee at n={knee}" if knee else ", no knee in range")
+        )
+        lines.append(
+            f"        local exponents: "
+            + " ".join(f"{e:.2f}" for e in local_exponents(sizes, times))
+        )
+    return FigureResult(
+        "ext-scaling",
+        "Extension: scaling exponents and regime knees",
+        "\n".join(lines),
+        {"sizes": sizes, **series, "fits": fits},
+    )
+
+
+ARTIFACTS: dict[str, Callable[[bool], FigureResult]] = {
+    "table1": run_table1,
+    "table2": run_table2,
+    "fig2": run_fig2,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "fig10": run_fig10,
+    "fig12": run_fig12,
+    "fig13": run_fig13,
+    "ablation-coalescing": run_ablation_coalescing,
+    "ablation-pipeline": run_ablation_pipeline,
+    "ext-phi": run_ext_phi,
+    "ext-multi": run_ext_multi,
+    "ext-ndim": run_ext_ndim,
+    "ext-scaling": run_ext_scaling,
+}
+
+
+def run_artifact(name: str, quick: bool = False) -> FigureResult:
+    """Run one catalog entry by id (raises KeyError for unknown ids)."""
+    return ARTIFACTS[name](quick)

@@ -1,0 +1,84 @@
+"""Shared harness for regenerating the paper's figures.
+
+Each figure is a size sweep of several executors on one workload and one or
+two platforms. Benchmarks (``benchmarks/``), the CLI and EXPERIMENTS.md all
+go through :func:`figure_series` so the numbers agree everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..core.framework import Framework
+from ..core.problem import LDDPProblem
+from ..exec.base import ExecOptions
+from ..machine.platform import Platform
+
+__all__ = ["SeriesPoint", "figure_series", "sweep_sizes"]
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One measured point of a figure."""
+
+    platform: str
+    executor: str
+    size: int
+    simulated_ms: float
+
+
+def figure_series(
+    maker: Callable[..., LDDPProblem],
+    sizes: Sequence[int],
+    platforms: Sequence[Platform],
+    executors: Sequence[str] = ("cpu", "gpu", "hetero"),
+    options: ExecOptions | None = None,
+    functional: bool = False,
+    **maker_kwargs,
+) -> list[SeriesPoint]:
+    """Sweep ``maker(size)`` over sizes x platforms x executors.
+
+    ``functional=False`` (default) runs the executors in estimate mode:
+    identical task graphs and simulated times, no table allocation — which is
+    what makes paper-scale sizes tractable. The problem factories are called
+    with ``materialize=functional``.
+    """
+    points: list[SeriesPoint] = []
+    for platform in platforms:
+        fw = Framework(platform, options)
+        for size in sizes:
+            problem = maker(size, materialize=functional, **maker_kwargs)
+            for name in executors:
+                run = fw.solve if functional else fw.estimate
+                res = run(problem, executor=name)
+                points.append(
+                    SeriesPoint(
+                        platform=platform.name,
+                        executor=name,
+                        size=int(size),
+                        simulated_ms=res.simulated_ms,
+                    )
+                )
+    return points
+
+
+def sweep_sizes(
+    points: Sequence[SeriesPoint], platform: str
+) -> tuple[list[int], dict[str, list[float]]]:
+    """Pivot points of one platform into (sizes, {executor: times})."""
+    sizes = sorted({p.size for p in points if p.platform == platform})
+    series: dict[str, list[float]] = {}
+    for p in sorted(
+        (p for p in points if p.platform == platform),
+        key=lambda p: (p.executor, p.size),
+    ):
+        series.setdefault(p.executor, [])
+    for name in series:
+        by_size = {
+            p.size: p.simulated_ms
+            for p in points
+            if p.platform == platform and p.executor == name
+        }
+        series[name] = [by_size[s] for s in sizes]
+    return sizes, series

@@ -1,0 +1,84 @@
+"""JSON persistence for figure data and solve summaries.
+
+Keeps the benchmark outputs machine-readable next to the rendered text
+tables, so downstream tooling (plotting, regression tracking) can consume
+them without re-running sweeps.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..exec.base import SolveResult
+from .catalog import FigureResult
+
+__all__ = ["figure_to_json", "save_figure", "load_figure", "result_summary"]
+
+
+def result_summary(result: SolveResult) -> dict[str, Any]:
+    """A JSON-safe summary of one solve/estimate result (no arrays)."""
+    out: dict[str, Any] = {
+        "problem": result.problem,
+        "executor": result.executor,
+        "pattern": result.pattern.value,
+        "simulated_ms": result.simulated_ms,
+        "transfer_count": result.ledger.count(),
+        "transfer_bytes": result.ledger.bytes_moved(),
+    }
+    stats = {}
+    for k, v in result.stats.items():
+        if isinstance(v, (int, float, str, bool)):
+            stats[k] = v
+        elif isinstance(v, (list, tuple)):
+            stats[k] = [x if isinstance(x, (int, float, str)) else str(x) for x in v]
+        elif isinstance(v, dict):
+            stats[k] = {str(kk): vv for kk, vv in v.items()}
+    out["stats"] = stats
+    if result.table is not None:
+        out["table_shape"] = list(result.table.shape)
+        out["table_dtype"] = str(result.table.dtype)
+    return out
+
+
+def figure_to_json(result: FigureResult) -> str:
+    """Serialize a catalog artifact's data block."""
+    return json.dumps(
+        {
+            "artifact": result.artifact,
+            "title": result.title,
+            "data": result.data,
+        },
+        indent=2,
+        default=_coerce,
+    )
+
+
+def _coerce(obj):
+    try:
+        import numpy as np
+
+        if isinstance(obj, np.generic):
+            return obj.item()
+        if isinstance(obj, np.ndarray):
+            return obj.tolist()
+    except ImportError:  # pragma: no cover
+        pass
+    if isinstance(obj, tuple):
+        return list(obj)
+    return str(obj)
+
+
+def save_figure(result: FigureResult, directory: str | Path) -> Path:
+    """Write ``<artifact>.json`` into ``directory``; returns the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{result.artifact}.json"
+    path.write_text(figure_to_json(result))
+    return path
+
+
+def load_figure(path: str | Path) -> dict[str, Any]:
+    """Read back a saved artifact's JSON payload."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,56 @@
+"""Degree-of-parallelism profiles (paper Sec. I / Fig. 2).
+
+The parallelism profile — wavefront width as a function of iteration — is
+what distinguishes the four categories and dictates their heterogeneous
+strategies. These helpers compute and characterize profiles for any schedule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.schedule import WavefrontSchedule
+
+__all__ = ["parallelism_profile", "profile_kind", "profile_summary"]
+
+
+def parallelism_profile(schedule: WavefrontSchedule) -> np.ndarray:
+    """Width of each wavefront, in iteration order."""
+    return schedule.widths()
+
+
+def profile_kind(widths: np.ndarray, tolerance: int = 1) -> str:
+    """Classify a profile: constant / increasing / decreasing / ramp.
+
+    ``ramp`` is the anti-diagonal/knight shape: rises to a peak, then falls.
+    ``tolerance`` forgives counter-movements up to that many cells — the
+    knight-move plateau oscillates by one cell with wavefront parity.
+    """
+    w = np.asarray(widths)
+    if w.size == 0:
+        raise ValueError("empty profile")
+    d = np.diff(w)
+    if w.size == 1 or not d.any():
+        return "constant"
+    if (d >= 0).all():
+        return "increasing"
+    if (d <= 0).all():
+        return "decreasing"
+    peak = int(np.argmax(w))
+    if (d[:peak] >= -tolerance).all() and (d[peak:] <= tolerance).all():
+        return "ramp"
+    return "irregular"
+
+
+def profile_summary(schedule: WavefrontSchedule) -> dict:
+    """Aggregate facts about a schedule's profile, for reports and tests."""
+    w = parallelism_profile(schedule)
+    return {
+        "pattern": schedule.pattern.value,
+        "iterations": int(w.size),
+        "total_cells": int(w.sum()),
+        "max_width": int(w.max()),
+        "min_width": int(w.min()),
+        "mean_width": float(w.mean()),
+        "kind": profile_kind(w),
+    }

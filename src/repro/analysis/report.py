@@ -1,0 +1,88 @@
+"""Plain-text table rendering for the paper's tables and figure series."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..core.classification import table1_rows, transfer_need
+from ..types import ContributingSet, Pattern
+
+__all__ = ["format_table", "table1_text", "table2_text", "series_table"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render a fixed-width text table (GitHub-flavoured pipes)."""
+    srows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        for k, cell in enumerate(row):
+            widths[k] = max(widths[k], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    sep = "|-" + "-|-".join("-" * w for w in widths) + "-|"
+    return "\n".join([line(list(headers)), sep, *(line(r) for r in srows)])
+
+
+def table1_text() -> str:
+    """Regenerate paper Table I: contributing set -> pattern."""
+    rows = []
+    for cs, pat in table1_rows():
+        rows.append(
+            [
+                "Y" if cs.w else "N",
+                "Y" if cs.nw else "N",
+                "Y" if cs.n else "N",
+                "Y" if cs.ne else "N",
+                pat.value,
+            ]
+        )
+    return format_table(
+        ["cell(i,j-1)", "cell(i-1,j-1)", "cell(i-1,j)", "cell(i-1,j+1)", "Pattern"],
+        rows,
+    )
+
+
+#: Representative contributing set per executed-pattern row of paper Table II.
+_TABLE2_ROWS: list[tuple[str, ContributingSet]] = [
+    ("Anti-diagonal", ContributingSet.of("W", "NW", "N")),
+    ("Horizontal(case-1)", ContributingSet.of("NW", "N")),
+    ("Horizontal(case-2)", ContributingSet.of("NW", "N", "NE")),
+    ("Inverted-L", ContributingSet.of("NW")),
+    ("Knight-Move", ContributingSet.of("W", "NW", "N", "NE")),
+]
+
+
+def table2_text() -> str:
+    """Regenerate paper Table II: pattern -> data transfer need.
+
+    The paper lists Inverted-L and both horizontal cases explicitly; the
+    1-way/2-way column comes straight from the dependency analysis in
+    :func:`repro.core.classification.transfer_need`.
+    """
+    from ..core.classification import classify
+
+    rows = []
+    for label, cs in _TABLE2_ROWS:
+        need = transfer_need(classify(cs), cs)
+        # The paper folds "none"/"1 way" rows into "1 way" (one-way or no
+        # transfer can always use the pipeline scheme).
+        rows.append([label, "1 way" if need in ("none", "1-way") else "2 way"])
+    return format_table(["Pattern", "1-way / 2-way"], rows)
+
+
+def series_table(
+    title: str,
+    sizes: Sequence[int],
+    series: dict[str, Sequence[float]],
+    unit: str = "ms",
+) -> str:
+    """Render one figure's data: rows = sizes, columns = executor series."""
+    headers = ["size"] + [f"{name} ({unit})" for name in series]
+    rows = []
+    for k, s in enumerate(sizes):
+        rows.append([s] + [f"{vals[k]:.2f}" for vals in series.values()])
+    return f"{title}\n" + format_table(headers, rows)

@@ -1,0 +1,78 @@
+"""Scaling analysis: power-law fits and regime knees for size sweeps.
+
+Each executor's time-vs-size series hides a story the figures only imply:
+CPU wavefront execution scales ~n^2 throughout, while a launch-bound GPU on
+an anti-diagonal pattern scales ~n (one launch per diagonal) until compute
+takes over and the exponent bends toward 2. These helpers make that story
+quantitative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["PowerLaw", "fit_power_law", "local_exponents", "find_knee"]
+
+
+@dataclass(frozen=True)
+class PowerLaw:
+    """``time ~ coeff * size ** exponent`` with goodness of fit."""
+
+    exponent: float
+    coeff: float
+    r2: float
+
+    def predict(self, size: float) -> float:
+        return self.coeff * size**self.exponent
+
+
+def fit_power_law(sizes: Sequence[float], times: Sequence[float]) -> PowerLaw:
+    """Least squares in log-log space."""
+    xs = np.asarray(sizes, dtype=np.float64)
+    ys = np.asarray(times, dtype=np.float64)
+    if xs.size < 2:
+        raise ValueError("need at least two points")
+    if (xs <= 0).any() or (ys <= 0).any() or not (
+        np.isfinite(xs).all() and np.isfinite(ys).all()
+    ):
+        raise ValueError("sizes and times must be positive and finite")
+    x = np.log(xs)
+    y = np.log(ys)
+    A = np.stack([np.ones_like(x), x], axis=1)
+    coef, *_ = np.linalg.lstsq(A, y, rcond=None)
+    pred = A @ coef
+    ss_res = float(((y - pred) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum()) or 1.0
+    return PowerLaw(
+        exponent=float(coef[1]),
+        coeff=float(np.exp(coef[0])),
+        r2=1.0 - ss_res / ss_tot,
+    )
+
+
+def local_exponents(sizes: Sequence[float], times: Sequence[float]) -> np.ndarray:
+    """Per-interval log-log slopes (length ``len(sizes) - 1``)."""
+    x = np.log(np.asarray(sizes, dtype=np.float64))
+    y = np.log(np.asarray(times, dtype=np.float64))
+    if x.size < 2:
+        raise ValueError("need at least two points")
+    return np.diff(y) / np.diff(x)
+
+
+def find_knee(
+    sizes: Sequence[float], times: Sequence[float], jump: float = 0.3
+) -> int | None:
+    """Smallest size where the local exponent rises by >= ``jump``.
+
+    Detects regime changes like launch-bound -> compute-bound. Returns the
+    size at the start of the steeper regime, or None when the series is
+    regime-stable.
+    """
+    exps = local_exponents(sizes, times)
+    for k in range(1, len(exps)):
+        if exps[k] - exps[0] >= jump:
+            return int(sizes[k])
+    return None

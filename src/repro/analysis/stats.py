@@ -1,0 +1,44 @@
+"""Series statistics: speedups, winners, crossover detection."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["speedup", "best_executor", "crossover_size"]
+
+
+def speedup(baseline_time: float, other_time: float) -> float:
+    """How many times faster ``other`` is than ``baseline`` (>1 = faster)."""
+    if other_time <= 0:
+        raise ValueError("times must be positive")
+    return baseline_time / other_time
+
+
+def best_executor(times: Mapping[str, float]) -> str:
+    """Name of the fastest executor (smallest time, first on ties)."""
+    if not times:
+        raise ValueError("empty comparison")
+    return min(times, key=lambda k: (times[k], k))
+
+
+def crossover_size(
+    sizes: Sequence[int],
+    a_times: Sequence[float],
+    b_times: Sequence[float],
+) -> int | None:
+    """Smallest size from which ``a`` stays at least as fast as ``b``.
+
+    Returns ``None`` if ``a`` never (durably) overtakes ``b``. "Durably"
+    means: at the returned size and at every larger measured size.
+    """
+    if not (len(sizes) == len(a_times) == len(b_times)):
+        raise ValueError("series length mismatch")
+    order = sorted(range(len(sizes)), key=lambda k: sizes[k])
+    result: int | None = None
+    for k in order:
+        if a_times[k] <= b_times[k]:
+            if result is None:
+                result = sizes[k]
+        else:
+            result = None
+    return result

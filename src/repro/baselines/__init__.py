@@ -1,0 +1,26 @@
+"""Baselines.
+
+Two kinds, mirroring the paper's evaluation methodology:
+
+* *generic* baselines — the pure-CPU-parallel and pure-GPU executions every
+  figure plots against the framework (thin named front-ends over
+  :mod:`repro.exec`);
+* a *problem-specific* champion — Myers' bit-parallel edit-distance
+  algorithm (:mod:`repro.baselines.bitparallel`), standing in for the
+  bit-vector LCS lineage the related-work section cites (Allison & Dix,
+  Kloetzli et al., Kawanami et al.). The paper's stated aim is "good
+  performance for all (LDDP-Plus) problems against excellent performance for
+  a specific problem"; the ``bench_ablation_specific`` benchmark quantifies
+  that trade on real wall-clock.
+"""
+
+from .generic import solve_cpu_only, solve_gpu_only, solve_hetero, solve_sequential
+from .bitparallel import myers_edit_distance
+
+__all__ = [
+    "solve_cpu_only",
+    "solve_gpu_only",
+    "solve_hetero",
+    "solve_sequential",
+    "myers_edit_distance",
+]

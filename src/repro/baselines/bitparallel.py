@@ -1,0 +1,73 @@
+"""Myers' bit-parallel edit distance — a problem-*specific* champion.
+
+The paper's related work traces a line of bit-vector algorithms (Allison &
+Dix for LCS, later GPU variants) that beat any generic wavefront scheme on
+their one problem by packing a whole DP column into machine words. Myers'
+1999 algorithm is the edit-distance member of that family: it advances one
+text character per step using a constant number of word-parallel operations,
+i.e. O(n * m / w) time instead of O(n * m).
+
+This implementation uses Python's arbitrary-precision integers as the bit
+vectors (each bigint op is a tight C loop over 30-bit limbs), which keeps it
+simple, exact for any m, and still orders of magnitude faster than the
+generic framework's functional layer — the quantitative content of the
+paper's "good performance for all problems vs excellent performance for a
+specific problem" remark (Sec. I).
+
+Reference: G. Myers, "A fast bit-vector algorithm for approximate string
+matching based on dynamic programming", JACM 46(3), 1999 (adapted to global
+edit distance: text deletions charge via the score column, see the ``| 1``
+carry-in below).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["myers_edit_distance"]
+
+
+def _match_masks(pattern: Sequence[int]) -> dict[int, int]:
+    masks: dict[int, int] = {}
+    for i, c in enumerate(pattern):
+        masks[c] = masks.get(c, 0) | (1 << i)
+    return masks
+
+
+def myers_edit_distance(a: Sequence[int], b: Sequence[int]) -> int:
+    """Levenshtein distance between two symbol sequences.
+
+    ``a`` plays the pattern role (its length sets the bit-vector width),
+    ``b`` is scanned left to right. Symbols may be any hashable ints
+    (e.g. ``np.int8`` array elements).
+    """
+    m = len(a)
+    n = len(b)
+    if m == 0:
+        return n
+    if n == 0:
+        return m
+
+    peq = _match_masks([int(c) for c in a])
+    mask = (1 << m) - 1
+    high = 1 << (m - 1)
+
+    pv = mask  # +1 deltas down the current column
+    mv = 0  # -1 deltas
+    score = m  # d(a, "") = m
+
+    for c in b:
+        eq = peq.get(int(c), 0)
+        xv = eq | mv
+        xh = (((eq & pv) + pv) ^ pv) | eq
+        ph = mv | (~(xh | pv) & mask)
+        mh = pv & xh
+        if ph & high:
+            score += 1
+        elif mh & high:
+            score -= 1
+        ph = ((ph << 1) | 1) & mask
+        mh = (mh << 1) & mask
+        pv = (mh | (~(xv | ph) & mask)) & mask
+        mv = ph & xv
+    return score

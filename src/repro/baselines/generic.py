@@ -1,0 +1,56 @@
+"""Named front-ends for the paper's baseline executions."""
+
+from __future__ import annotations
+
+from ..core.framework import Framework
+from ..core.problem import LDDPProblem
+from ..exec.base import ExecOptions, SolveResult
+from ..machine.platform import Platform
+
+__all__ = ["solve_cpu_only", "solve_gpu_only", "solve_hetero", "solve_sequential"]
+
+
+def _solve(problem: LDDPProblem, executor: str, platform, options, functional):
+    fw = Framework(platform, options)
+    run = fw.solve if functional else fw.estimate
+    return run(problem, executor=executor)
+
+
+def solve_sequential(
+    problem: LDDPProblem,
+    platform: Platform | None = None,
+    options: ExecOptions | None = None,
+    functional: bool = True,
+) -> SolveResult:
+    """Single-core reference sweep (the correctness oracle)."""
+    return _solve(problem, "sequential", platform, options, functional)
+
+
+def solve_cpu_only(
+    problem: LDDPProblem,
+    platform: Platform | None = None,
+    options: ExecOptions | None = None,
+    functional: bool = True,
+) -> SolveResult:
+    """The paper's "CPU parallel" baseline: one fork/join per wavefront."""
+    return _solve(problem, "cpu", platform, options, functional)
+
+
+def solve_gpu_only(
+    problem: LDDPProblem,
+    platform: Platform | None = None,
+    options: ExecOptions | None = None,
+    functional: bool = True,
+) -> SolveResult:
+    """The paper's "GPU" baseline: one kernel per wavefront + bulk staging."""
+    return _solve(problem, "gpu", platform, options, functional)
+
+
+def solve_hetero(
+    problem: LDDPProblem,
+    platform: Platform | None = None,
+    options: ExecOptions | None = None,
+    functional: bool = True,
+) -> SolveResult:
+    """The framework itself."""
+    return _solve(problem, "hetero", platform, options, functional)

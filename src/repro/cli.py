@@ -1,0 +1,247 @@
+"""Command-line front-end: regenerate tables/figures, solve, tune, inspect.
+
+Examples::
+
+    repro-lddp list
+    repro-lddp figure table1
+    repro-lddp figure fig10 --quick
+    repro-lddp solve levenshtein --size 512 --platform high --executor hetero
+    repro-lddp tune lcs --size 2048
+    repro-lddp profile knight-move --rows 8 --cols 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from .analysis.catalog import ARTIFACTS, run_artifact
+from .analysis.profiles import profile_summary
+from .core.framework import Framework
+from .core.schedule import schedule_for
+from .machine.platform import Platform, hetero_high, hetero_low, hetero_phi
+from .problems import (
+    make_checkerboard,
+    make_dithering,
+    make_dtw,
+    make_gotoh,
+    make_lcs,
+    make_lcsubstr,
+    make_levenshtein,
+    make_needleman_wunsch,
+    make_prefix_sum,
+    make_smith_waterman,
+)
+from .types import Pattern
+
+__all__ = ["main"]
+
+_PROBLEMS: dict[str, Callable] = {
+    "levenshtein": make_levenshtein,
+    "lcs": make_lcs,
+    "dtw": make_dtw,
+    "needleman-wunsch": make_needleman_wunsch,
+    "smith-waterman": make_smith_waterman,
+    "gotoh": make_gotoh,
+    "lcsubstr": make_lcsubstr,
+    "prefix-sum": make_prefix_sum,
+    "dithering": make_dithering,
+    "checkerboard": make_checkerboard,
+}
+
+
+def _platform(name: str) -> Platform:
+    return {"high": hetero_high(), "low": hetero_low(), "phi": hetero_phi()}[name]
+
+
+def _cmd_list(args) -> int:
+    print("artifacts:")
+    for name in ARTIFACTS:
+        print(f"  {name}")
+    print("problems:")
+    for name in _PROBLEMS:
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    if args.name not in ARTIFACTS:
+        print(f"unknown artifact {args.name!r}; see `repro-lddp list`", file=sys.stderr)
+        return 2
+    result = run_artifact(args.name, quick=args.quick)
+    print(result.title)
+    print()
+    print(result.text)
+    return 0
+
+
+def _cmd_solve(args) -> int:
+    maker = _PROBLEMS[args.problem]
+    problem = maker(args.size, materialize=not args.estimate)
+    fw = Framework(_platform(args.platform))
+    run = fw.estimate if args.estimate else fw.solve
+    res = run(problem, executor=args.executor)
+    print(f"problem   : {res.problem}")
+    print(f"pattern   : {res.pattern.value}")
+    print(f"executor  : {res.executor}")
+    print(f"simulated : {res.simulated_ms:.3f} ms")
+    for key in ("t_switch", "t_share", "cpu_utilization", "gpu_utilization"):
+        if key in res.stats:
+            val = res.stats[key]
+            print(f"{key:10s}: {val:.3f}" if isinstance(val, float) else f"{key:10s}: {val}")
+    if res.table is not None:
+        print(f"table     : shape={res.table.shape} dtype={res.table.dtype} "
+              f"corner={res.table[-1, -1]}")
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    maker = _PROBLEMS[args.problem]
+    problem = maker(args.size, materialize=False)
+    fw = Framework(_platform(args.platform))
+    result = fw.tune(problem)
+    print(f"tuned params: t_switch={result.params.t_switch} "
+          f"t_share={result.params.t_share}  ({result.best_time * 1e3:.3f} ms)")
+    print("t_switch curve:")
+    for ts, t in result.t_switch_curve:
+        print(f"  {ts:8d}  {t * 1e3:10.3f} ms")
+    print("t_share curve:")
+    for sh, t in result.t_share_curve:
+        print(f"  {sh:8d}  {t * 1e3:10.3f} ms")
+    return 0
+
+
+def _cmd_breakdown(args) -> int:
+    from .analysis.breakdown import breakdown_table
+
+    maker = _PROBLEMS[args.problem]
+    problem = maker(args.size, materialize=False)
+    fw = Framework(_platform(args.platform))
+    results = [
+        fw.estimate(problem, executor=name)
+        for name in ("sequential", "cpu", "gpu", "hetero")
+    ]
+    print(f"{problem.name} on {fw.platform.name} — what the makespans are made of")
+    print(breakdown_table(results))
+    return 0
+
+
+def _cmd_gantt(args) -> int:
+    from .core.partition import HeteroParams
+    from .sim.svg import gantt_svg
+
+    maker = _PROBLEMS[args.problem]
+    problem = maker(args.size, materialize=False)
+    fw = Framework(_platform(args.platform))
+    params = None
+    if args.t_switch is not None or args.t_share is not None:
+        params = HeteroParams(args.t_switch or 0, args.t_share or 0)
+    res = fw.estimate(problem, params=params)
+    svg = gantt_svg(res.timeline, title=f"{problem.name} ({res.executor})")
+    with open(args.out, "w") as fh:
+        fh.write(svg)
+    print(f"wrote {args.out} ({len(svg)} bytes, "
+          f"makespan {res.simulated_ms:.3f} ms)")
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    from .analysis.verify import verification_report, verify_reproduction
+
+    results = verify_reproduction(quick=args.quick)
+    print(verification_report(results))
+    failed = [r for r in results if not r.passed and not r.skipped]
+    print()
+    print(f"{sum(1 for r in results if r.passed and not r.skipped)} passed, "
+          f"{len(failed)} failed, "
+          f"{sum(1 for r in results if r.skipped)} skipped")
+    return 1 if failed else 0
+
+
+def _cmd_profile(args) -> int:
+    pattern = Pattern(args.pattern)
+    sched = schedule_for(pattern, args.rows, args.cols)
+    info = profile_summary(sched)
+    for k, v in info.items():
+        print(f"{k:12s}: {v}")
+    widths = sched.widths()
+    if len(widths) <= 40:
+        print("widths      :", " ".join(str(int(w)) for w in widths))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lddp",
+        description="Heterogeneous LDDP-Plus framework — experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list artifacts and problems").set_defaults(fn=_cmd_list)
+
+    p = sub.add_parser("figure", help="regenerate a paper table/figure/ablation")
+    p.add_argument("name")
+    p.add_argument("--quick", action="store_true", help="smaller sweep sizes")
+    p.set_defaults(fn=_cmd_figure)
+
+    p = sub.add_parser("solve", help="solve one problem instance")
+    p.add_argument("problem", choices=sorted(_PROBLEMS))
+    p.add_argument("--size", type=int, default=512)
+    p.add_argument("--platform", choices=["high", "low", "phi"], default="high")
+    p.add_argument(
+        "--executor", choices=["sequential", "cpu", "cpu-blocked", "gpu", "hetero"], default="hetero"
+    )
+    p.add_argument("--estimate", action="store_true", help="timing model only")
+    p.set_defaults(fn=_cmd_solve)
+
+    p = sub.add_parser("tune", help="two-step empirical parameter search")
+    p.add_argument("problem", choices=sorted(_PROBLEMS))
+    p.add_argument("--size", type=int, default=1024)
+    p.add_argument("--platform", choices=["high", "low", "phi"], default="high")
+    p.set_defaults(fn=_cmd_tune)
+
+    p = sub.add_parser("gantt", help="render a heterogeneous schedule as SVG")
+    p.add_argument("problem", choices=sorted(_PROBLEMS))
+    p.add_argument("--size", type=int, default=128)
+    p.add_argument("--platform", choices=["high", "low", "phi"], default="high")
+    p.add_argument("--t-switch", type=int, default=None)
+    p.add_argument("--t-share", type=int, default=None)
+    p.add_argument("--out", default="timeline.svg")
+    p.set_defaults(fn=_cmd_gantt)
+
+    p = sub.add_parser("breakdown", help="critical-path cost composition per executor")
+    p.add_argument("problem", choices=sorted(_PROBLEMS))
+    p.add_argument("--size", type=int, default=1024)
+    p.add_argument("--platform", choices=["high", "low", "phi"], default="high")
+    p.set_defaults(fn=_cmd_breakdown)
+
+    p = sub.add_parser(
+        "verify", help="check every reproduced claim (EXPERIMENTS.md checklist)"
+    )
+    p.add_argument("--quick", action="store_true", help="smaller sweeps; "
+                   "claims needing paper-scale sizes are skipped")
+    p.set_defaults(fn=_cmd_verify)
+
+    p = sub.add_parser("profile", help="show a pattern's parallelism profile")
+    p.add_argument("pattern", choices=[pat.value for pat in Pattern])
+    p.add_argument("--rows", type=int, default=8)
+    p.add_argument("--cols", type=int, default=8)
+    p.set_defaults(fn=_cmd_profile)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:  # e.g. `repro-lddp ... | head`
+        import os
+
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        os.close(2)
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

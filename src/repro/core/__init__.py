@@ -1,0 +1,26 @@
+"""Core of the LDDP-Plus framework: classification, problem spec, scheduling,
+partitioning and the top-level :class:`~repro.core.framework.Framework`."""
+
+from .classification import classify, conflicts, representative_set, table1_rows
+from .cellfunc import CellFunction, EvalContext
+from .problem import LDDPProblem
+from .schedule import WavefrontSchedule, schedule_for
+from .partition import PhasePlan, HeteroParams, build_phase_plan
+from .framework import Framework, SolveResult
+
+__all__ = [
+    "classify",
+    "conflicts",
+    "representative_set",
+    "table1_rows",
+    "CellFunction",
+    "EvalContext",
+    "LDDPProblem",
+    "WavefrontSchedule",
+    "schedule_for",
+    "PhasePlan",
+    "HeteroParams",
+    "build_phase_plan",
+    "Framework",
+    "SolveResult",
+]

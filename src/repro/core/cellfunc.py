@@ -1,0 +1,147 @@
+"""The user-supplied cell function and its evaluation context.
+
+The framework's single extension point (paper Sec. V-C): the user provides a
+*vectorized* function ``f`` that, given the values of the contributing cells
+for a batch of table positions, returns the values to store. Vectorization is
+what lets the same function run on every executor — the scalar reference
+executor simply calls it with batches of size one.
+
+Contract::
+
+    def f(ctx: EvalContext) -> np.ndarray:
+        # ctx.i, ctx.j        global table indices of the batch (int64 arrays)
+        # ctx.w, ctx.nw, ctx.n, ctx.ne
+        #                     neighbour value arrays for members of the
+        #                     contributing set; None for non-members
+        # ctx.payload         problem payload (sequences, cost grids, ...)
+        # ctx.aux             named auxiliary output arrays (full table shape)
+        return values        # array of ctx.size values, castable to the
+                             # table dtype
+
+The function must be *pure* w.r.t. the table: it may only read neighbour
+values through the context (never index the table directly), so that the
+framework is free to reorder iterations, split work across devices, and use
+wavefront-major storage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from ..errors import CellFunctionError
+from ..types import ContributingSet, Neighbor
+
+__all__ = ["EvalContext", "CellFunction", "gather_neighbors"]
+
+
+@dataclass
+class EvalContext:
+    """Inputs handed to a cell function for one batch of cells.
+
+    Attributes
+    ----------
+    i, j:
+        Global (full-table) row/column indices of the batch, ``int64``.
+    w, nw, n, ne:
+        Value arrays of the corresponding contributing cells, aligned with
+        ``i``/``j``; ``None`` when the neighbour is not in the contributing
+        set. Out-of-table reads are filled with the problem's ``oob_value``.
+    payload:
+        Problem-specific read-only data (e.g. the two strings of an edit
+        distance, the pixel grid of a dithering run).
+    aux:
+        Named auxiliary output arrays of full table shape the function may
+        write to (e.g. the quantized pixels of a dithering run).
+    """
+
+    i: np.ndarray
+    j: np.ndarray
+    w: np.ndarray | None = None
+    nw: np.ndarray | None = None
+    n: np.ndarray | None = None
+    ne: np.ndarray | None = None
+    payload: Mapping[str, Any] = field(default_factory=dict)
+    aux: Mapping[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        return int(self.i.shape[0])
+
+    def neighbor(self, nb: Neighbor) -> np.ndarray | None:
+        """The value array for one representative cell, by enum."""
+        return {
+            Neighbor.W: self.w,
+            Neighbor.NW: self.nw,
+            Neighbor.N: self.n,
+            Neighbor.NE: self.ne,
+        }[nb]
+
+
+class CellFunction:
+    """A validated, named wrapper around a user cell function.
+
+    Wrapping is optional — executors accept any callable with the
+    :class:`EvalContext` signature — but the wrapper performs output
+    validation that is invaluable while developing a new problem.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[EvalContext], np.ndarray],
+        contributing: ContributingSet,
+        name: str | None = None,
+        validate: bool = True,
+    ) -> None:
+        if not callable(fn):
+            raise CellFunctionError("cell function must be callable")
+        self.fn = fn
+        self.contributing = contributing
+        self.name = name or getattr(fn, "__name__", "cell_fn")
+        self.validate = validate
+
+    def __call__(self, ctx: EvalContext) -> np.ndarray:
+        out = self.fn(ctx)
+        if self.validate:
+            out = np.asarray(out)
+            if out.shape != ctx.i.shape:
+                raise CellFunctionError(
+                    f"{self.name}: returned shape {out.shape}, expected "
+                    f"{ctx.i.shape} (one value per cell in the batch)"
+                )
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CellFunction({self.name!r}, contributing={self.contributing})"
+
+
+def gather_neighbors(
+    table: np.ndarray,
+    contributing: ContributingSet,
+    i: np.ndarray,
+    j: np.ndarray,
+    oob_value: float | int = 0,
+) -> dict[str, np.ndarray | None]:
+    """Read contributing-cell values for a batch of global positions.
+
+    Returns a dict with keys ``"w"``, ``"nw"``, ``"n"``, ``"ne"`` mapping to
+    value arrays (or ``None`` for non-members). Reads that fall outside the
+    table are filled with ``oob_value`` — this implements boundary handling
+    like the checkerboard recurrence's ``f = inf if j < 1 or j > n``.
+    """
+    rows, cols = table.shape
+    out: dict[str, np.ndarray | None] = {"w": None, "nw": None, "n": None, "ne": None}
+    for nb in contributing:
+        di, dj = nb.offset
+        ni = i + di
+        nj = j + dj
+        inb = (ni >= 0) & (ni < rows) & (nj >= 0) & (nj < cols)
+        if inb.all():
+            vals = table[ni, nj]
+        else:
+            vals = np.full(i.shape, oob_value, dtype=table.dtype)
+            vals[inb] = table[ni[inb], nj[inb]]
+        out[nb.value.lower()] = vals
+    return out

@@ -1,0 +1,133 @@
+"""Contributing-set classification (paper Sec. II--III, Table I).
+
+Given the contributing set of a cell function, this module decides which of
+the six wavefront patterns the problem follows, reproducing Table I of the
+paper exactly, and provides the conflict predicate of Sec. II used to argue
+that at most four non-conflicting neighbours may contribute.
+"""
+
+from __future__ import annotations
+
+from ..errors import ClassificationError
+from ..types import ContributingSet, Neighbor, Pattern
+
+__all__ = [
+    "classify",
+    "conflicts",
+    "representative_set",
+    "table1_rows",
+    "transfer_need",
+]
+
+#: The eight neighbours of (i, j) as (di, dj) offsets.
+EIGHT_NEIGHBORS: tuple[tuple[int, int], ...] = (
+    (-1, -1), (-1, 0), (-1, 1),
+    (0, -1), (0, 1),
+    (1, -1), (1, 0), (1, 1),
+)
+
+
+def conflicts(a: tuple[int, int], b: tuple[int, int]) -> bool:
+    """Whether two neighbour offsets *conflict* with respect to the centre.
+
+    Two cells conflict w.r.t. ``cell(i, j)`` when both are neighbours of
+    ``(i, j)`` and the straight line through them passes through ``(i, j)``
+    (paper Fig. 1(a)) — i.e. they are point-symmetric about the centre.
+    """
+    if a not in EIGHT_NEIGHBORS or b not in EIGHT_NEIGHBORS:
+        raise ClassificationError(f"{a} and {b} must both be neighbour offsets")
+    return a == (-b[0], -b[1])
+
+
+def representative_set() -> tuple[tuple[int, int], ...]:
+    """The paper's representative set RS(i, j), as (di, dj) offsets.
+
+    One of the 8 maximal pairwise-non-conflicting 4-subsets of the eight
+    neighbours (paper Fig. 1(b), the set marked 'a').
+    """
+    return (Neighbor.W.offset, Neighbor.NW.offset, Neighbor.N.offset, Neighbor.NE.offset)
+
+
+def classify(cs: ContributingSet) -> Pattern:
+    """Map a contributing set to its wavefront pattern (paper Table I).
+
+    Decision order mirrors the dependency structure:
+
+    * ``W`` and ``NE`` together force the knight-move wavefront ``2i + j``.
+    * ``W`` with ``N`` (but no ``NE``) forces the anti-diagonal ``i + j``.
+    * ``W`` alone (possibly with ``NW``) allows column sweeps -> Vertical.
+    * Without ``W``: a singleton ``NW`` is Inverted-L, a singleton ``NE`` is
+      mInverted-L, and every other subset of the previous row is Horizontal.
+    """
+    if cs.w and cs.ne:
+        return Pattern.KNIGHT_MOVE
+    if cs.w and cs.n:
+        return Pattern.ANTI_DIAGONAL
+    if cs.w:
+        return Pattern.VERTICAL
+    # no W from here on; at least one of NW, N, NE is set
+    if cs.nw and not cs.n and not cs.ne:
+        return Pattern.INVERTED_L
+    if cs.ne and not cs.n and not cs.nw:
+        return Pattern.MINVERTED_L
+    return Pattern.HORIZONTAL
+
+
+def transfer_need(pattern: Pattern, cs: ContributingSet) -> str:
+    """Boundary-exchange requirement for a split wavefront (paper Table II).
+
+    Returns ``"none"``, ``"1-way"`` or ``"2-way"``. The CPU takes the *first*
+    ``t_share`` cells of each wavefront (low indices) and the GPU the rest, so:
+
+    * a dependency pointing left across the split (``W``/``NW`` for row-like
+      wavefronts) requires CPU -> GPU traffic;
+    * a dependency pointing right (``NE``) requires GPU -> CPU traffic.
+    """
+    pattern = pattern.canonical
+    if pattern is Pattern.KNIGHT_MOVE:
+        return "2-way"
+    if pattern is Pattern.ANTI_DIAGONAL:
+        return "1-way"
+    if pattern is Pattern.INVERTED_L:
+        return "1-way"
+    if pattern is Pattern.HORIZONTAL:
+        # Work in canonical orientation: a Vertical set is transposed first.
+        canon = cs.transposed() if classify(cs) is Pattern.VERTICAL else cs
+        left = canon.nw  # needs value from lower column index (CPU side)
+        right = canon.ne  # needs value from higher column index (GPU side)
+        if left and right:
+            return "2-way"
+        if left or right:
+            return "1-way"
+        return "none"
+    raise ClassificationError(f"no transfer rule for pattern {pattern}")
+
+
+def horizontal_case(cs: ContributingSet) -> int:
+    """Sub-case of the horizontal pattern (paper Sec. III-B / IV-C).
+
+    Case 1: one-way (or no) boundary transfer suffices.
+    Case 2: two-way transfer needed ({NW, N, NE} or {NW, NE}).
+
+    Accepts every set that *can* execute under row wavefronts: any subset of
+    {NW, N, NE} — which includes the inverted-L and mInverted-L singletons
+    the paper recommends running as horizontal case-1 (Sec. V-B) — plus the
+    vertical sets via transposition. Sets containing W (other than vertical's)
+    cannot run row-wise and are rejected.
+    """
+    if classify(cs) is Pattern.VERTICAL:
+        cs = cs.transposed()
+    if cs.w:
+        raise ClassificationError(
+            f"{cs} depends on cell(i, j-1) and cannot follow the horizontal pattern"
+        )
+    return 2 if (cs.nw and cs.ne) else 1
+
+
+def table1_rows() -> list[tuple[ContributingSet, Pattern]]:
+    """All 15 rows of paper Table I, in the paper's (W, NW, N, NE) bit order.
+
+    The paper enumerates rows with W as the most-significant column,
+    ascending; this matches :meth:`ContributingSet.from_mask` order.
+    """
+    return [(cs, classify(cs)) for cs in ContributingSet.all_sets()]

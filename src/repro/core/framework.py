@@ -1,0 +1,134 @@
+"""The user-facing framework facade (paper Sec. III / V-C).
+
+A user supplies an :class:`~repro.core.problem.LDDPProblem` (cell function +
+initialization); :class:`Framework` classifies it, picks the execution
+strategy, chooses or tunes the work-division parameters, and runs it on the
+chosen executor over the configured platform.
+
+>>> from repro import Framework, hetero_high
+>>> fw = Framework(hetero_high())
+>>> result = fw.solve(problem)            # heterogeneous by default
+>>> result.table, result.simulated_ms
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..exec.base import ExecOptions, Executor, SolveResult
+from ..exec.blocked import BlockedCPUExecutor
+from ..exec.cpu_exec import CPUExecutor
+from ..exec.gpu_exec import GPUExecutor
+from ..exec.hetero import HeteroExecutor
+from ..exec.layout_exec import WavefrontMajorExecutor
+from ..exec.sequential import SequentialExecutor
+from ..errors import ExecutionError
+from ..machine.platform import Platform, hetero_high
+from ..types import Pattern
+from .classification import classify
+from .partition import HeteroParams
+from .problem import LDDPProblem
+
+__all__ = ["Framework", "SolveResult"]
+
+_EXECUTORS: dict[str, type[Executor]] = {
+    "sequential": SequentialExecutor,
+    "cpu": CPUExecutor,
+    "cpu-blocked": BlockedCPUExecutor,
+    "cpu-wavefront-major": WavefrontMajorExecutor,
+    "gpu": GPUExecutor,
+    "hetero": HeteroExecutor,
+}
+
+
+class Framework:
+    """Ties platform, options and executors together."""
+
+    def __init__(
+        self,
+        platform: Platform | None = None,
+        options: ExecOptions | None = None,
+    ) -> None:
+        self.platform = platform or hetero_high()
+        self.options = options or ExecOptions()
+
+    # -- introspection ---------------------------------------------------------
+
+    @staticmethod
+    def classify(problem: LDDPProblem) -> Pattern:
+        """Paper Table I: contributing set -> pattern."""
+        return classify(problem.contributing)
+
+    def executor(self, name: str = "hetero") -> Executor:
+        """Instantiate an executor by name (sequential/cpu/gpu/hetero)."""
+        try:
+            cls = _EXECUTORS[name]
+        except KeyError:
+            raise ExecutionError(
+                f"unknown executor {name!r}; choose from {sorted(_EXECUTORS)}"
+            ) from None
+        return cls(self.platform, self.options)
+
+    # -- solving ----------------------------------------------------------------
+
+    def solve(
+        self,
+        problem: LDDPProblem,
+        executor: str = "hetero",
+        params: HeteroParams | None = None,
+    ) -> SolveResult:
+        """Fill the table and model the timing on the chosen executor."""
+        return self._dispatch(problem, executor, params, functional=True)
+
+    def estimate(
+        self,
+        problem: LDDPProblem,
+        executor: str = "hetero",
+        params: HeteroParams | None = None,
+    ) -> SolveResult:
+        """Timing model only — no table allocation (for large sweeps)."""
+        return self._dispatch(problem, executor, params, functional=False)
+
+    def estimate_fast(
+        self,
+        problem: LDDPProblem,
+        params: HeteroParams | None = None,
+    ) -> float:
+        """Heterogeneous makespan in seconds via the closed-form scan.
+
+        Several times faster than :meth:`estimate` and provably identical
+        (see :mod:`repro.exec.fast_estimate`); returns only the makespan —
+        no timeline, ledger or stats.
+        """
+        from ..exec.fast_estimate import fast_hetero_makespan
+
+        return fast_hetero_makespan(problem, self.platform, params, self.options)
+
+    def _dispatch(self, problem, executor, params, functional):
+        ex = self.executor(executor)
+        kwargs = {}
+        if params is not None:
+            if not isinstance(ex, HeteroExecutor):
+                raise ExecutionError(
+                    "params only apply to the heterogeneous executor"
+                )
+            kwargs["params"] = params
+        return ex.solve(problem, **kwargs) if functional else ex.estimate(problem, **kwargs)
+
+    def compare(
+        self,
+        problem: LDDPProblem,
+        executors: tuple[str, ...] = ("cpu", "gpu", "hetero"),
+        functional: bool = False,
+    ) -> Mapping[str, SolveResult]:
+        """Run several executors on one problem — a figure's data points."""
+        run = self.solve if functional else self.estimate
+        return {name: run(problem, executor=name) for name in executors}
+
+    # -- tuning -------------------------------------------------------------------
+
+    def tune(self, problem: LDDPProblem, **kwargs):
+        """The paper's two-step empirical parameter search (Sec. V-A)."""
+        from ..tuning.autotune import autotune
+
+        return autotune(problem, self.platform, self.options, **kwargs)

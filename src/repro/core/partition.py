@@ -1,0 +1,166 @@
+"""Work-division plans: phases, splits and boundary transfers.
+
+The paper's heterogeneous strategies (Sec. III) all reduce to a sequence of
+*iteration assignments*: for each wavefront, how many of its (canonically
+ordered) cells the CPU takes — a canonical prefix, sized per pattern: a flat
+``min(t_share, width)`` for constant-width patterns, a fixed row/column
+*strip* for the ramp patterns (paper Figs. 3 and 6 — see
+``PatternStrategy.split_cpu_cells``) — the whole wavefront in CPU-only
+phases — plus which boundary cells must cross the PCIe bus before the next
+iteration.
+
+The two parameters of Sec. V-A:
+
+* ``t_switch`` — how many *low-work* iterations (at each applicable end) the
+  CPU handles alone;
+* ``t_share``  — how many cells per iteration the CPU takes in the shared
+  (high-work) region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import PartitionError
+from ..types import Pattern, TransferDirection, TransferKind
+
+__all__ = [
+    "HeteroParams",
+    "TransferSpec",
+    "IterationAssignment",
+    "Phase",
+    "PhasePlan",
+    "build_phase_plan",
+]
+
+
+@dataclass(frozen=True)
+class HeteroParams:
+    """The tunable work-division parameters (paper Sec. V-A)."""
+
+    t_switch: int = 0
+    t_share: int = 0
+
+    def __post_init__(self) -> None:
+        if self.t_switch < 0:
+            raise PartitionError("t_switch cannot be negative")
+        if self.t_share < 0:
+            raise PartitionError("t_share cannot be negative")
+
+
+@dataclass(frozen=True)
+class TransferSpec:
+    """One boundary copy required after an iteration completes."""
+
+    direction: TransferDirection
+    cells: int
+    kind: TransferKind
+
+    def __post_init__(self) -> None:
+        if self.cells <= 0:
+            raise PartitionError("a transfer must move at least one cell")
+
+
+@dataclass(frozen=True)
+class IterationAssignment:
+    """Device split of one wavefront iteration.
+
+    The CPU processes canonical positions ``[0, cpu_cells)``; the GPU
+    processes ``[cpu_cells, cpu_cells + gpu_cells)``. ``transfers`` are the
+    boundary copies issued *after* this iteration, feeding iteration
+    ``t + 1`` (and, for anti-diagonal/knight-move, later iterations — the
+    engine models only the binding ``t + 1`` edge, the longer-range ones are
+    strictly slacker).
+    """
+
+    t: int
+    phase: str
+    cpu_cells: int
+    gpu_cells: int
+    transfers: tuple[TransferSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.cpu_cells < 0 or self.gpu_cells < 0:
+            raise PartitionError("cell counts cannot be negative")
+
+    @property
+    def width(self) -> int:
+        return self.cpu_cells + self.gpu_cells
+
+    @property
+    def is_empty(self) -> bool:
+        """Zero-width wavefront (degenerate geometry) — a legal no-op."""
+        return self.width == 0
+
+    @property
+    def is_split(self) -> bool:
+        return self.cpu_cells > 0 and self.gpu_cells > 0
+
+
+@dataclass(frozen=True)
+class Phase:
+    """A contiguous run of iterations with one execution mode."""
+
+    name: str
+    start: int  # first iteration (inclusive)
+    stop: int  # last iteration (exclusive)
+
+    @property
+    def length(self) -> int:
+        return self.stop - self.start
+
+
+@dataclass
+class PhasePlan:
+    """A fully materialized heterogeneous execution plan."""
+
+    pattern: Pattern
+    params: HeteroParams
+    phases: list[Phase]
+    assignments: list[IterationAssignment] = field(repr=False)
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self.assignments)
+
+    def cpu_cells_total(self) -> int:
+        return sum(a.cpu_cells for a in self.assignments)
+
+    def gpu_cells_total(self) -> int:
+        return sum(a.gpu_cells for a in self.assignments)
+
+    def transfer_way(self) -> str:
+        """Table-II vocabulary over the per-iteration boundary transfers."""
+        dirs = {ts.direction for a in self.assignments for ts in a.transfers}
+        if not dirs:
+            return "none"
+        return "2-way" if len(dirs) == 2 else "1-way"
+
+    def validate(self, widths) -> None:
+        """Cross-check against a schedule's widths."""
+        if len(widths) != len(self.assignments):
+            raise PartitionError(
+                f"plan covers {len(self.assignments)} iterations, schedule "
+                f"has {len(widths)}"
+            )
+        for a, w in zip(self.assignments, widths):
+            if a.width != int(w):
+                raise PartitionError(
+                    f"iteration {a.t}: assigned {a.width} cells, width is {w}"
+                )
+
+
+def build_phase_plan(problem, params=None, **kwargs) -> PhasePlan:
+    """Build the plan for a problem via its pattern strategy.
+
+    Thin convenience front-end; the real logic lives in
+    :mod:`repro.patterns`. Imported lazily to avoid a package cycle.
+    """
+    from ..patterns.registry import strategy_for
+
+    strategy = strategy_for(problem, **kwargs)
+    if params is None:
+        from ..tuning.model import analytic_params
+
+        params = analytic_params(problem, strategy=strategy, **kwargs)
+    return strategy.plan(params)

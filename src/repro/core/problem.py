@@ -1,0 +1,190 @@
+"""Problem specification: everything the framework needs from a user.
+
+Per paper Sec. V-C a user supplies (1) the cell function ``f`` and (2) the
+initialization; the framework derives the pattern, schedule, partitioning and
+execution from the contributing set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from ..errors import ProblemSpecError
+from ..types import ContributingSet, Pattern
+from .cellfunc import CellFunction, EvalContext
+from .classification import classify
+from .schedule import WavefrontSchedule, schedule_for
+
+__all__ = ["LDDPProblem"]
+
+InitFn = Callable[[np.ndarray, Mapping[str, Any]], None]
+
+
+@dataclass
+class LDDPProblem:
+    """A 2-D LDDP-Plus problem instance.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier, used in traces and reports.
+    shape:
+        Full table shape ``(rows, cols)`` including any fixed boundary.
+    contributing:
+        Which representative cells the cell function reads; determines the
+        pattern via paper Table I.
+    cell:
+        Vectorized cell function (see :class:`~repro.core.cellfunc.EvalContext`
+        for the contract). Plain callables are wrapped in
+        :class:`~repro.core.cellfunc.CellFunction` automatically.
+    init:
+        ``init(table, payload)`` fills initial values in-place. It must set at
+        least the fixed boundary; it runs once before any wavefront.
+    fixed_rows, fixed_cols:
+        The first ``fixed_rows`` rows / ``fixed_cols`` columns hold
+        initialization values and are never recomputed (e.g. row 0 / column 0
+        of an edit-distance table). The wavefront schedule covers only the
+        remaining *computed region*.
+    dtype:
+        Table element type.
+    payload:
+        Read-only problem data handed to the cell function (sequences, cost
+        grids, thresholds...).
+    aux_specs:
+        Named auxiliary full-table output arrays, ``name -> dtype``; executors
+        allocate them zero-filled and expose them via ``ctx.aux`` and the
+        solve result.
+    oob_value:
+        Fill value for contributing-cell reads that fall outside the table.
+    cpu_work, gpu_work:
+        Per-cell arithmetic intensity relative to the machine models' unit
+        cell, per device. These encode *problem* properties (branchiness,
+        extra state, memory traffic) that hit the two devices differently —
+        e.g. error-diffusion dithering is divergence-heavy on a GPU.
+    """
+
+    name: str
+    shape: tuple[int, int]
+    contributing: ContributingSet
+    cell: Callable[[EvalContext], np.ndarray] | CellFunction
+    init: InitFn | None = None
+    fixed_rows: int = 0
+    fixed_cols: int = 0
+    dtype: np.dtype = np.dtype(np.float64)
+    payload: dict[str, Any] = field(default_factory=dict)
+    aux_specs: dict[str, np.dtype] = field(default_factory=dict)
+    oob_value: float | int = 0
+    cpu_work: float = 1.0
+    gpu_work: float = 1.0
+
+    def __post_init__(self) -> None:
+        rows, cols = self.shape
+        if rows <= 0 or cols <= 0:
+            raise ProblemSpecError(f"table shape must be positive, got {self.shape}")
+        if not 0 <= self.fixed_rows < rows:
+            raise ProblemSpecError(
+                f"fixed_rows={self.fixed_rows} must lie in [0, rows={rows})"
+            )
+        if not 0 <= self.fixed_cols < cols:
+            raise ProblemSpecError(
+                f"fixed_cols={self.fixed_cols} must lie in [0, cols={cols})"
+            )
+        if self.cpu_work <= 0 or self.gpu_work <= 0:
+            raise ProblemSpecError("work factors must be positive")
+        self.dtype = np.dtype(self.dtype)
+        if not isinstance(self.cell, CellFunction):
+            self.cell = CellFunction(self.cell, self.contributing, name=self.name)
+        elif self.cell.contributing != self.contributing:
+            raise ProblemSpecError(
+                "cell function contributing set does not match the problem's"
+            )
+
+    # -- derived geometry ---------------------------------------------------
+
+    @property
+    def pattern(self) -> Pattern:
+        """The wavefront pattern implied by the contributing set (Table I)."""
+        return classify(self.contributing)
+
+    @property
+    def computed_shape(self) -> tuple[int, int]:
+        """Shape of the region actually swept by wavefronts."""
+        return (self.shape[0] - self.fixed_rows, self.shape[1] - self.fixed_cols)
+
+    @property
+    def total_computed_cells(self) -> int:
+        r, c = self.computed_shape
+        return r * c
+
+    def schedule(self, pattern: Pattern | None = None) -> WavefrontSchedule:
+        """The wavefront schedule over the computed region.
+
+        ``pattern`` may override the classified pattern with a *compatible*
+        one — e.g. an inverted-L problem (contributing set ``{NW}``) may
+        legally run under the horizontal schedule, which the paper shows is
+        faster (Sec. V-B). Compatibility is validated.
+        """
+        pat = pattern or self.pattern
+        if pattern is not None and not _compatible(self.contributing, pattern):
+            raise ProblemSpecError(
+                f"pattern {pattern.value} cannot execute contributing set "
+                f"{self.contributing} without violating dependencies"
+            )
+        r, c = self.computed_shape
+        return schedule_for(pat, r, c)
+
+    # -- table management ----------------------------------------------------
+
+    def make_table(self) -> np.ndarray:
+        """Allocate and initialize a fresh table."""
+        table = np.zeros(self.shape, dtype=self.dtype)
+        if self.init is not None:
+            self.init(table, self.payload)
+        return table
+
+    def payload_nbytes(self) -> int:
+        """Bytes the GPU must stage to read the payload.
+
+        Uses the ``_nbytes_hint`` payload entry when present (estimate-only
+        problems), otherwise sums the ndarray payload entries.
+        """
+        hint = self.payload.get("_nbytes_hint")
+        if hint is not None:
+            return int(hint)
+        return sum(
+            v.nbytes for v in self.payload.values() if isinstance(v, np.ndarray)
+        )
+
+    def make_aux(self) -> dict[str, np.ndarray]:
+        """Allocate the auxiliary output arrays."""
+        return {
+            name: np.zeros(self.shape, dtype=np.dtype(dt))
+            for name, dt in self.aux_specs.items()
+        }
+
+
+def _compatible(cs: ContributingSet, pattern: Pattern) -> bool:
+    """Whether ``pattern``'s wavefronts respect all dependencies of ``cs``.
+
+    A pattern is compatible when, for every member of the contributing set,
+    the neighbour's iteration index is strictly smaller than the cell's
+    (evaluated symbolically on the index maps of
+    :mod:`~repro.core.schedule`).
+    """
+    # iteration index deltas for (W, NW, N, NE) = offsets (0,-1) (-1,-1) (-1,0) (-1,1)
+    deltas: dict[Pattern, dict[str, int]] = {
+        Pattern.ANTI_DIAGONAL: {"w": -1, "nw": -2, "n": -1, "ne": 0},
+        Pattern.HORIZONTAL: {"w": 0, "nw": -1, "n": -1, "ne": -1},
+        Pattern.VERTICAL: {"w": -1, "nw": -1, "n": 0, "ne": 1},
+        Pattern.KNIGHT_MOVE: {"w": -1, "nw": -3, "n": -2, "ne": -1},
+        # min() index maps are not linear; for inverted-L, only NW strictly
+        # decreases the ring index everywhere. Mirrored for mInverted-L.
+        Pattern.INVERTED_L: {"w": 0, "nw": -1, "n": 0, "ne": 1},
+        Pattern.MINVERTED_L: {"w": 1, "nw": 1, "n": 0, "ne": -1},
+    }
+    d = deltas[pattern]
+    flags = {"w": cs.w, "nw": cs.nw, "n": cs.n, "ne": cs.ne}
+    return all(d[k] < 0 for k, used in flags.items() if used)

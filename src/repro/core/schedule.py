@@ -1,0 +1,348 @@
+"""Wavefront schedules: iteration geometry for each pattern (paper Fig. 2).
+
+A :class:`WavefrontSchedule` describes, for a computed region of shape
+``(rows, cols)``, how cells group into *iterations* (wavefronts): all cells of
+one iteration may be computed in parallel, and iteration ``t`` only reads
+cells from iterations ``< t`` (or fixed/initialized cells).
+
+Each schedule also fixes a canonical *intra-wavefront order*. This matters for
+the heterogeneous split ("first ``t_share`` cells go to the CPU", paper
+Sec. III) and for the coalesced memory layout (paper Sec. IV-B): cells of one
+iteration are stored contiguously in canonical order.
+
+Canonical orders (chosen so that the boundary-exchange directions reproduce
+the paper's Figures 3--6):
+
+=================  ==========================  =============================
+pattern            iteration index of (i, j)    order within an iteration
+=================  ==========================  =============================
+anti-diagonal      ``i + j``                   ``i`` ascending (top first)
+horizontal         ``i``                       ``j`` ascending (left first)
+vertical           ``j``                       ``i`` ascending
+inverted-L         ``min(i, j)``               up the column arm, then right
+                                               along the row arm
+mInverted-L        ``min(i, cols-1-j)``        up the column arm, then left
+                                               along the row arm
+knight-move        ``2*i + j``                 ``j`` ascending (``i`` desc.)
+=================  ==========================  =============================
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..errors import ScheduleError
+from ..types import Pattern
+
+__all__ = [
+    "WavefrontSchedule",
+    "AntiDiagonalSchedule",
+    "HorizontalSchedule",
+    "VerticalSchedule",
+    "InvertedLSchedule",
+    "MInvertedLSchedule",
+    "KnightMoveSchedule",
+    "schedule_for",
+]
+
+
+class WavefrontSchedule(ABC):
+    """Iteration geometry of one pattern over a ``(rows, cols)`` region.
+
+    Indices here are *local* to the computed region; the executors add the
+    offset of any fixed boundary rows/columns before touching the table.
+    """
+
+    pattern: Pattern
+
+    def __init__(self, rows: int, cols: int) -> None:
+        if rows <= 0 or cols <= 0:
+            raise ScheduleError(f"region must be non-empty, got {rows}x{cols}")
+        self.rows = int(rows)
+        self.cols = int(cols)
+
+    # -- geometry ----------------------------------------------------------
+
+    @property
+    @abstractmethod
+    def num_iterations(self) -> int:
+        """Total number of wavefronts."""
+
+    @abstractmethod
+    def width(self, t: int) -> int:
+        """Number of cells in iteration ``t``."""
+
+    @abstractmethod
+    def cells(self, t: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(i, j)`` index arrays of iteration ``t`` in canonical order."""
+
+    @abstractmethod
+    def iteration_of(self, i: np.ndarray, j: np.ndarray) -> np.ndarray:
+        """Vectorized iteration index of cells ``(i, j)``."""
+
+    @abstractmethod
+    def position_of(self, i: np.ndarray, j: np.ndarray) -> np.ndarray:
+        """Vectorized canonical position of ``(i, j)`` within its iteration."""
+
+    # -- derived -----------------------------------------------------------
+
+    def _check_t(self, t: int) -> None:
+        if not 0 <= t < self.num_iterations:
+            raise ScheduleError(
+                f"iteration {t} outside [0, {self.num_iterations}) for "
+                f"{self.pattern.value} on {self.rows}x{self.cols}"
+            )
+
+    @property
+    def total_cells(self) -> int:
+        return self.rows * self.cols
+
+    def widths(self) -> np.ndarray:
+        """Parallelism profile: array of ``width(t)`` for all iterations."""
+        return np.array([self.width(t) for t in range(self.num_iterations)], dtype=np.int64)
+
+    @property
+    def max_width(self) -> int:
+        return int(self.widths().max())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(rows={self.rows}, cols={self.cols}, "
+            f"iterations={self.num_iterations})"
+        )
+
+
+class AntiDiagonalSchedule(WavefrontSchedule):
+    """Wavefronts are anti-diagonals ``i + j = t`` (paper Fig. 2(a))."""
+
+    pattern = Pattern.ANTI_DIAGONAL
+
+    @property
+    def num_iterations(self) -> int:
+        return self.rows + self.cols - 1
+
+    def _bounds(self, t: int) -> tuple[int, int]:
+        """Inclusive ``i`` range of diagonal ``t``."""
+        lo = max(0, t - self.cols + 1)
+        hi = min(self.rows - 1, t)
+        return lo, hi
+
+    def width(self, t: int) -> int:
+        self._check_t(t)
+        lo, hi = self._bounds(t)
+        return hi - lo + 1
+
+    def cells(self, t: int) -> tuple[np.ndarray, np.ndarray]:
+        self._check_t(t)
+        lo, hi = self._bounds(t)
+        i = np.arange(lo, hi + 1, dtype=np.int64)
+        return i, t - i
+
+    def iteration_of(self, i: np.ndarray, j: np.ndarray) -> np.ndarray:
+        return np.asarray(i) + np.asarray(j)
+
+    def position_of(self, i: np.ndarray, j: np.ndarray) -> np.ndarray:
+        i = np.asarray(i)
+        t = self.iteration_of(i, j)
+        lo = np.maximum(0, t - self.cols + 1)
+        return i - lo
+
+
+class HorizontalSchedule(WavefrontSchedule):
+    """Wavefronts are rows ``i = t`` (paper Fig. 2(b))."""
+
+    pattern = Pattern.HORIZONTAL
+
+    @property
+    def num_iterations(self) -> int:
+        return self.rows
+
+    def width(self, t: int) -> int:
+        self._check_t(t)
+        return self.cols
+
+    def cells(self, t: int) -> tuple[np.ndarray, np.ndarray]:
+        self._check_t(t)
+        j = np.arange(self.cols, dtype=np.int64)
+        return np.full_like(j, t), j
+
+    def iteration_of(self, i: np.ndarray, j: np.ndarray) -> np.ndarray:
+        return np.asarray(i) + np.zeros_like(np.asarray(j))
+
+    def position_of(self, i: np.ndarray, j: np.ndarray) -> np.ndarray:
+        return np.asarray(j) + np.zeros_like(np.asarray(i))
+
+
+class VerticalSchedule(WavefrontSchedule):
+    """Wavefronts are columns ``j = t`` (paper Fig. 2(e)).
+
+    Executed by symmetry as a horizontal sweep of the transposed problem; the
+    schedule still exists in its own right for profiles and layouts.
+    """
+
+    pattern = Pattern.VERTICAL
+
+    @property
+    def num_iterations(self) -> int:
+        return self.cols
+
+    def width(self, t: int) -> int:
+        self._check_t(t)
+        return self.rows
+
+    def cells(self, t: int) -> tuple[np.ndarray, np.ndarray]:
+        self._check_t(t)
+        i = np.arange(self.rows, dtype=np.int64)
+        return i, np.full_like(i, t)
+
+    def iteration_of(self, i: np.ndarray, j: np.ndarray) -> np.ndarray:
+        return np.asarray(j) + np.zeros_like(np.asarray(i))
+
+    def position_of(self, i: np.ndarray, j: np.ndarray) -> np.ndarray:
+        return np.asarray(i) + np.zeros_like(np.asarray(j))
+
+
+class InvertedLSchedule(WavefrontSchedule):
+    """Wavefronts are shrinking L-shapes ``min(i, j) = t`` (paper Fig. 2(c)).
+
+    Ring ``t`` is stored/visited starting at the *bottom* of the column arm
+    ``(rows-1, t) .. (t+1, t)``, then the corner ``(t, t)``, then right along
+    the row arm ``(t, t+1) .. (t, cols-1)``. With this order a cell at
+    position ``p`` of ring ``t`` has its NW parent at position ``p + 1`` of
+    ring ``t - 1`` — the split boundary therefore needs exactly one cell
+    transferred per iteration (1-way, paper Table II).
+    """
+
+    pattern = Pattern.INVERTED_L
+
+    @property
+    def num_iterations(self) -> int:
+        return min(self.rows, self.cols)
+
+    def width(self, t: int) -> int:
+        self._check_t(t)
+        return (self.rows - t - 1) + (self.cols - t)
+
+    def cells(self, t: int) -> tuple[np.ndarray, np.ndarray]:
+        self._check_t(t)
+        col_i = np.arange(self.rows - 1, t, -1, dtype=np.int64)  # rows-1 .. t+1
+        col_j = np.full_like(col_i, t)
+        row_j = np.arange(t, self.cols, dtype=np.int64)  # t .. cols-1
+        row_i = np.full_like(row_j, t)
+        return np.concatenate([col_i, row_i]), np.concatenate([col_j, row_j])
+
+    def iteration_of(self, i: np.ndarray, j: np.ndarray) -> np.ndarray:
+        return np.minimum(np.asarray(i), np.asarray(j))
+
+    def position_of(self, i: np.ndarray, j: np.ndarray) -> np.ndarray:
+        i = np.asarray(i)
+        j = np.asarray(j)
+        t = self.iteration_of(i, j)
+        col_len = self.rows - t - 1
+        # column arm (j == t, i > t): position rows-1-i; row arm: col_len + j-t
+        return np.where(i > t, self.rows - 1 - i, col_len + (j - t))
+
+
+class MInvertedLSchedule(WavefrontSchedule):
+    """Mirror-image inverted-L: ``min(i, cols-1-j) = t`` (paper Fig. 2(f)).
+
+    The exact left-right mirror of :class:`InvertedLSchedule`: the column arm
+    sits at ``j = cols-1-t`` and the row arm extends *leftwards*. The single
+    contributing cell is NE, the mirror image of NW.
+    """
+
+    pattern = Pattern.MINVERTED_L
+
+    @property
+    def num_iterations(self) -> int:
+        return min(self.rows, self.cols)
+
+    def width(self, t: int) -> int:
+        self._check_t(t)
+        return (self.rows - t - 1) + (self.cols - t)
+
+    def cells(self, t: int) -> tuple[np.ndarray, np.ndarray]:
+        self._check_t(t)
+        jc = self.cols - 1 - t
+        col_i = np.arange(self.rows - 1, t, -1, dtype=np.int64)
+        col_j = np.full_like(col_i, jc)
+        row_j = np.arange(jc, -1, -1, dtype=np.int64)  # jc .. 0
+        row_i = np.full_like(row_j, t)
+        return np.concatenate([col_i, row_i]), np.concatenate([col_j, row_j])
+
+    def iteration_of(self, i: np.ndarray, j: np.ndarray) -> np.ndarray:
+        return np.minimum(np.asarray(i), self.cols - 1 - np.asarray(j))
+
+    def position_of(self, i: np.ndarray, j: np.ndarray) -> np.ndarray:
+        i = np.asarray(i)
+        j = np.asarray(j)
+        t = self.iteration_of(i, j)
+        col_len = self.rows - t - 1
+        jc = self.cols - 1 - t
+        return np.where(i > t, self.rows - 1 - i, col_len + (jc - j))
+
+
+class KnightMoveSchedule(WavefrontSchedule):
+    """Wavefronts ``2*i + j = t`` (paper Fig. 2(d)).
+
+    Ordered by ``j`` ascending (``i`` descending): the CPU then owns the
+    left-most cells, and a GPU boundary cell reads its W (iteration ``t-1``)
+    and NW (iteration ``t-3``) values from the CPU while a CPU boundary cell
+    reads its NE (iteration ``t-1``) value from the GPU — exactly the two-way
+    exchange of paper Fig. 6.
+    """
+
+    pattern = Pattern.KNIGHT_MOVE
+
+    @property
+    def num_iterations(self) -> int:
+        return 2 * (self.rows - 1) + self.cols
+
+    def _bounds(self, t: int) -> tuple[int, int]:
+        """Inclusive ``i`` range of wavefront ``t``."""
+        lo = max(0, -((self.cols - 1 - t) // 2))  # ceil((t - cols + 1) / 2)
+        hi = min(self.rows - 1, t // 2)
+        return lo, hi
+
+    def width(self, t: int) -> int:
+        self._check_t(t)
+        lo, hi = self._bounds(t)
+        # Degenerate regions (cols == 1) leave odd wavefronts empty: 2i + j
+        # only hits even values. Empty iterations are legal no-ops.
+        return max(0, hi - lo + 1)
+
+    def cells(self, t: int) -> tuple[np.ndarray, np.ndarray]:
+        self._check_t(t)
+        lo, hi = self._bounds(t)
+        i = np.arange(hi, lo - 1, -1, dtype=np.int64)  # i descending -> j ascending
+        return i, t - 2 * i
+
+    def iteration_of(self, i: np.ndarray, j: np.ndarray) -> np.ndarray:
+        return 2 * np.asarray(i) + np.asarray(j)
+
+    def position_of(self, i: np.ndarray, j: np.ndarray) -> np.ndarray:
+        i = np.asarray(i)
+        t = self.iteration_of(i, j)
+        hi = np.minimum(self.rows - 1, t // 2)
+        return hi - i
+
+
+_SCHEDULES: dict[Pattern, type[WavefrontSchedule]] = {
+    Pattern.ANTI_DIAGONAL: AntiDiagonalSchedule,
+    Pattern.HORIZONTAL: HorizontalSchedule,
+    Pattern.VERTICAL: VerticalSchedule,
+    Pattern.INVERTED_L: InvertedLSchedule,
+    Pattern.MINVERTED_L: MInvertedLSchedule,
+    Pattern.KNIGHT_MOVE: KnightMoveSchedule,
+}
+
+
+def schedule_for(pattern: Pattern, rows: int, cols: int) -> WavefrontSchedule:
+    """Instantiate the schedule class for ``pattern`` on a ``rows x cols`` region."""
+    try:
+        cls = _SCHEDULES[pattern]
+    except KeyError:  # pragma: no cover - Pattern enum is closed
+        raise ScheduleError(f"no schedule for pattern {pattern!r}") from None
+    return cls(rows, cols)

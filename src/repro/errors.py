@@ -1,0 +1,60 @@
+"""Exception hierarchy for the LDDP-Plus framework.
+
+All framework-raised exceptions derive from :class:`ReproError` so callers can
+catch everything library-specific with a single ``except`` clause while still
+letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ContributingSetError(ReproError):
+    """The contributing set is empty, conflicting, or otherwise invalid."""
+
+
+class ClassificationError(ReproError):
+    """A contributing set could not be mapped to a pattern (internal bug)."""
+
+
+class ProblemSpecError(ReproError):
+    """An :class:`~repro.core.problem.LDDPProblem` is mis-specified."""
+
+
+class CellFunctionError(ReproError):
+    """A user cell function returned a malformed result."""
+
+
+class ScheduleError(ReproError):
+    """Wavefront geometry was queried outside its valid range."""
+
+
+class PartitionError(ReproError):
+    """A phase plan or work split is infeasible (e.g. t_switch too large)."""
+
+
+class ExecutionError(ReproError):
+    """An executor failed while filling the table."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine detected an inconsistency (e.g. a cycle)."""
+
+
+class TransferError(ReproError):
+    """A data-transfer request is malformed (negative bytes, unknown kind)."""
+
+
+class PlatformError(ReproError):
+    """A machine/platform model is mis-configured."""
+
+
+class TuningError(ReproError):
+    """Autotuning failed (empty search space, non-finite objective, ...)."""
+
+
+class LayoutError(ReproError):
+    """A memory-layout transform was asked something inconsistent."""

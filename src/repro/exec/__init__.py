@@ -1,0 +1,30 @@
+"""Executors: functional table filling + simulated timing.
+
+Four executors share one functional core (vectorized NumPy wavefront sweeps —
+every executor produces bit-identical tables) and differ in the *task graph*
+they submit to the discrete-event engine:
+
+* :class:`~repro.exec.sequential.SequentialExecutor` — single-core oracle;
+* :class:`~repro.exec.cpu_exec.CPUExecutor` — the paper's "CPU parallel"
+  baseline (one fork/join per wavefront);
+* :class:`~repro.exec.gpu_exec.GPUExecutor` — the paper's "GPU" baseline
+  (one kernel per wavefront + bulk staging copies);
+* :class:`~repro.exec.hetero.HeteroExecutor` — the framework itself: phased
+  CPU/GPU split with per-iteration boundary exchanges.
+"""
+
+from .base import ExecOptions, Executor, SolveResult
+from .sequential import SequentialExecutor
+from .cpu_exec import CPUExecutor
+from .gpu_exec import GPUExecutor
+from .hetero import HeteroExecutor
+
+__all__ = [
+    "ExecOptions",
+    "Executor",
+    "SolveResult",
+    "SequentialExecutor",
+    "CPUExecutor",
+    "GPUExecutor",
+    "HeteroExecutor",
+]

@@ -1,0 +1,171 @@
+"""Executor ABC, options, results, and the shared functional core."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..core.cellfunc import EvalContext, gather_neighbors
+from ..core.problem import LDDPProblem
+from ..core.schedule import WavefrontSchedule
+from ..errors import ExecutionError
+from ..machine.platform import Platform
+from ..memory.buffers import TransferLedger
+from ..sim.timeline import Timeline
+from ..types import Pattern
+
+__all__ = [
+    "ExecOptions",
+    "SolveResult",
+    "Executor",
+    "evaluate_span",
+    "wavefront_contiguous",
+]
+
+
+@dataclass(frozen=True)
+class ExecOptions:
+    """Cross-cutting execution switches (mostly ablation knobs).
+
+    Parameters
+    ----------
+    use_wavefront_layout:
+        Store each wavefront contiguously (paper Sec. IV-B). Off: the GPU
+        pays its coalescing penalty and the CPU its strided penalty on
+        non-row patterns.
+    pipeline:
+        Overlap one-way boundary copies with compute on the copy engine
+        (paper Sec. IV-C1). Off: those copies run synchronously on the bus.
+    pattern_override:
+        Force a dependency-compatible pattern instead of the classified one.
+    inverted_l_as_horizontal:
+        Execute inverted-L/mInverted-L problems under the horizontal pattern
+        (the paper's recommendation, Sec. V-B).
+    validate_timeline:
+        Run the timeline's structural invariant checks after every solve.
+    block_size:
+        Tile edge for the block-tiled CPU executor (``cpu-blocked``).
+    """
+
+    use_wavefront_layout: bool = True
+    pipeline: bool = True
+    pattern_override: Pattern | None = None
+    inverted_l_as_horizontal: bool = True
+    validate_timeline: bool = False
+    block_size: int = 64
+
+
+@dataclass
+class SolveResult:
+    """Output of one executor run.
+
+    ``table`` is ``None`` for estimate-only runs (timing without filling).
+    ``simulated_time`` is the modeled makespan in seconds — the number the
+    paper's figures plot.
+    """
+
+    problem: str
+    executor: str
+    pattern: Pattern
+    simulated_time: float
+    table: np.ndarray | None = None
+    aux: dict[str, np.ndarray] = field(default_factory=dict)
+    timeline: Timeline | None = None
+    ledger: TransferLedger = field(default_factory=TransferLedger)
+    stats: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def simulated_ms(self) -> float:
+        return self.simulated_time * 1e3
+
+
+def wavefront_contiguous(pattern: Pattern, use_wavefront_layout: bool) -> bool:
+    """Whether wavefront accesses are contiguous in memory.
+
+    Rows of a row-major table are contiguous whatever the storage. Diagonal
+    and knight wavefronts become contiguous under the wavefront-major layout
+    of :mod:`repro.memory.layout` (paper Sec. IV-B). The two-arm L rings are
+    the exception: packing them contiguously requires strided gathers of both
+    arms each iteration, which defeats the purpose — the non-uniform,
+    coalescing-hostile access is intrinsic, and exactly why the paper prefers
+    running these problems as horizontal case-1 (Sec. V-B).
+    """
+    if pattern is Pattern.HORIZONTAL:
+        return True
+    if pattern in (Pattern.INVERTED_L, Pattern.MINVERTED_L):
+        return False
+    return use_wavefront_layout
+
+
+def evaluate_span(
+    problem: LDDPProblem,
+    schedule: WavefrontSchedule,
+    table: np.ndarray,
+    aux: dict[str, np.ndarray],
+    t: int,
+    lo: int = 0,
+    hi: int | None = None,
+) -> int:
+    """Functionally compute positions ``[lo, hi)`` of wavefront ``t``.
+
+    Returns the number of cells written. All executors funnel through this
+    one function, which is why their tables agree bit-for-bit.
+    """
+    ci, cj = schedule.cells(t)
+    if hi is None:
+        hi = ci.shape[0]
+    if not 0 <= lo <= hi <= ci.shape[0]:
+        raise ExecutionError(
+            f"span [{lo}, {hi}) outside iteration {t} of width {ci.shape[0]}"
+        )
+    if lo == hi:
+        return 0
+    gi = ci[lo:hi] + problem.fixed_rows
+    gj = cj[lo:hi] + problem.fixed_cols
+    nb = gather_neighbors(table, problem.contributing, gi, gj, problem.oob_value)
+    ctx = EvalContext(
+        i=gi, j=gj, w=nb["w"], nw=nb["nw"], n=nb["n"], ne=nb["ne"],
+        payload=problem.payload, aux=aux,
+    )
+    values = problem.cell(ctx)
+    table[gi, gj] = values
+    return hi - lo
+
+
+class Executor(ABC):
+    """Common executor interface: functional solve or timing-only estimate."""
+
+    name: str = "executor"
+
+    def __init__(self, platform: Platform, options: ExecOptions | None = None) -> None:
+        self.platform = platform
+        self.options = options or ExecOptions()
+
+    def solve(self, problem: LDDPProblem, **kwargs) -> SolveResult:
+        """Fill the table *and* model the timing."""
+        return self._run(problem, functional=True, **kwargs)
+
+    def estimate(self, problem: LDDPProblem, **kwargs) -> SolveResult:
+        """Model the timing only; no table is allocated or filled.
+
+        The task graph is identical to :meth:`solve`'s, which is what lets
+        benchmarks sweep paper-scale sizes (16k-32k tables) without
+        allocating gigabyte arrays.
+        """
+        return self._run(problem, functional=False, **kwargs)
+
+    @abstractmethod
+    def _run(self, problem: LDDPProblem, functional: bool, **kwargs) -> SolveResult:
+        ...
+
+    # -- shared helpers -------------------------------------------------------
+
+    def _payload_nbytes(self, problem: LDDPProblem) -> int:
+        return problem.payload_nbytes()
+
+    def _maybe_validate(self, timeline: Timeline) -> None:
+        if self.options.validate_timeline:
+            timeline.validate()

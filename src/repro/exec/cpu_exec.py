@@ -1,0 +1,68 @@
+"""CPU-only parallel executor — the paper's "CPU parallel" baseline.
+
+One fork/join parallel region per wavefront iteration (thread-per-block of
+cells, paper Sec. IV-A); no transfers. Functionally each wavefront is one
+vectorized batch.
+"""
+
+from __future__ import annotations
+
+from ..core.problem import LDDPProblem
+from ..patterns.registry import strategy_for
+from ..sim.engine import Engine
+from .base import Executor, SolveResult, evaluate_span, wavefront_contiguous
+
+__all__ = ["CPUExecutor"]
+
+
+class CPUExecutor(Executor):
+    name = "cpu"
+
+    def _run(self, problem: LDDPProblem, functional: bool) -> SolveResult:
+        strategy = strategy_for(
+            problem,
+            pattern_override=self.options.pattern_override,
+            inverted_l_as_horizontal=self.options.inverted_l_as_horizontal,
+        )
+        schedule = strategy.schedule
+        contiguous = wavefront_contiguous(
+            schedule.pattern, self.options.use_wavefront_layout
+        )
+        work = problem.cpu_work * strategy.cpu_overhead
+
+        table = aux = None
+        if functional:
+            table = problem.make_table()
+            aux = problem.make_aux()
+
+        engine = Engine()
+        cpu = self.platform.cpu
+        for t in range(schedule.num_iterations):
+            width = schedule.width(t)
+            if width == 0:
+                continue  # degenerate geometry: empty wavefront
+            if functional:
+                evaluate_span(problem, schedule, table, aux, t)
+            engine.task(
+                "cpu",
+                cpu.parallel_time(width, work, contiguous),
+                label=f"iter[{t}]",
+                kind="compute",
+                iteration=t,
+            )
+        timeline = engine.run()
+        self._maybe_validate(timeline)
+        return SolveResult(
+            problem=problem.name,
+            executor=self.name,
+            pattern=schedule.pattern,
+            simulated_time=timeline.makespan,
+            table=table,
+            aux=aux or {},
+            timeline=timeline,
+            stats={
+                "iterations": schedule.num_iterations,
+                "contiguous": contiguous,
+                "strategy": strategy.name,
+            },
+        )

@@ -1,0 +1,280 @@
+"""The heterogeneous executor: phased CPU/GPU split with boundary exchange.
+
+This is the framework proper (paper Sec. III). Per iteration of the phase
+plan it submits:
+
+* a CPU task (fork/join parallel region over the CPU's prefix of the
+  wavefront, if any);
+* a GPU kernel task over the remainder (if any);
+* the boundary copies the pattern requires — pipelined on the copy engine
+  for one-way patterns (Sec. IV-C1), or host-blocking pinned-memory
+  exchanges for two-way patterns (Sec. IV-C2);
+
+plus bulk staging copies at phase boundaries (the halo of the last few
+wavefronts changes ownership when the machine switches between CPU-only and
+split execution) and at setup/teardown.
+
+Dependencies submitted to the engine:
+
+* same-device tasks serialize via resource FIFO;
+* a GPU task at iteration ``t+1`` waits for the H2D boundary copy issued
+  after CPU iteration ``t`` (and vice versa for D2H) — the binding edges of
+  Figs. 3-6; longer-range edges (NW at ``t-2``/``t-3``) are strictly slacker
+  and therefore implied;
+* pinned/pageable copies block the host: the next CPU task waits for them
+  too. Streamed copies only block their consumer.
+"""
+
+from __future__ import annotations
+
+from ..core.partition import HeteroParams, PhasePlan
+from ..core.problem import LDDPProblem
+from ..errors import ExecutionError
+from ..memory.buffers import TransferLedger
+from ..patterns.base import PatternStrategy
+from ..patterns.registry import strategy_for
+from ..sim.engine import Engine
+from ..types import Pattern, TransferDirection, TransferKind
+from .base import Executor, SolveResult, evaluate_span, wavefront_contiguous
+
+__all__ = ["HeteroExecutor"]
+
+#: Dependency depth: how many previous wavefronts hold live halo cells.
+_HALO_DEPTH: dict[Pattern, int] = {
+    Pattern.ANTI_DIAGONAL: 2,
+    Pattern.HORIZONTAL: 1,
+    Pattern.VERTICAL: 1,
+    Pattern.INVERTED_L: 1,
+    Pattern.MINVERTED_L: 1,
+    Pattern.KNIGHT_MOVE: 3,
+}
+
+
+class HeteroExecutor(Executor):
+    name = "hetero"
+
+    def _run(
+        self,
+        problem: LDDPProblem,
+        functional: bool,
+        params: HeteroParams | None = None,
+    ) -> SolveResult:
+        strategy = strategy_for(
+            problem,
+            pattern_override=self.options.pattern_override,
+            inverted_l_as_horizontal=self.options.inverted_l_as_horizontal,
+        )
+        if params is None:
+            from ..tuning.model import analytic_params
+
+            params = analytic_params(problem, self.platform, strategy)
+        plan = strategy.plan(params)
+        schedule = strategy.schedule
+
+        contiguous = wavefront_contiguous(
+            schedule.pattern, self.options.use_wavefront_layout
+        )
+        cpu_work = problem.cpu_work * strategy.cpu_overhead
+        gpu_work = problem.gpu_work * strategy.gpu_overhead
+
+        table = aux = None
+        if functional:
+            table = problem.make_table()
+            aux = problem.make_aux()
+
+        engine = Engine()
+        ledger = TransferLedger()
+        cpu, gpu, xfer = self.platform.cpu, self.platform.gpu, self.platform.transfer
+        itemsize = problem.dtype.itemsize
+        halo = _HALO_DEPTH[schedule.pattern]
+
+        gpu_participates = plan.gpu_cells_total() > 0
+        setup_tid: int | None = None
+        if gpu_participates:
+            in_bytes = self._payload_nbytes(problem) + (
+                problem.shape[0] * problem.shape[1] - problem.total_computed_cells
+            ) * itemsize
+            setup_tid = engine.task(
+                "bus",
+                xfer.time(max(in_bytes, itemsize), TransferKind.PAGEABLE),
+                label="h2d-setup",
+                kind="setup",
+            )
+            ledger.record(
+                TransferDirection.H2D, TransferKind.PAGEABLE,
+                cells=0, nbytes=in_bytes, label="setup",
+            )
+
+        cpu_extra: list[int] = []  # deps for the *next* CPU task
+        gpu_extra: list[int] = [setup_tid] if setup_tid is not None else []
+        last_cpu: int | None = None
+        last_gpu: int | None = None
+        prev_phase: str | None = None
+        # Deferred cpu-low -> split halo: emitted just before the phase's
+        # first actual GPU task, so an all-CPU "split" phase moves nothing.
+        pending_h2d_halo: tuple[int, int] | None = None  # (iteration, cells)
+
+        for a in plan.assignments:
+            # ---- phase-boundary bulk halo copies ------------------------------
+            if prev_phase is not None and a.phase != prev_phase:
+                lo = max(0, a.t - halo)
+                if a.phase == "split" and prev_phase == "cpu-low":
+                    halo_cells = sum(schedule.width(u) for u in range(lo, a.t))
+                    pending_h2d_halo = (a.t, halo_cells)
+                elif a.phase == "cpu-low" and prev_phase == "split":
+                    gpu_halo_cells = sum(
+                        pa.gpu_cells for pa in plan.assignments[lo: a.t]
+                    )
+                    if gpu_halo_cells > 0:
+                        halo_bytes = gpu_halo_cells * itemsize
+                        tid = engine.task(
+                            "bus",
+                            xfer.time(halo_bytes, TransferKind.PAGEABLE),
+                            deps=() if last_gpu is None else (last_gpu,),
+                            label=f"d2h-halo[{a.t}]",
+                            kind="phase-transfer",
+                        )
+                        cpu_extra.append(tid)
+                        ledger.record(
+                            TransferDirection.D2H, TransferKind.PAGEABLE,
+                            cells=gpu_halo_cells, nbytes=halo_bytes,
+                            label="phase-halo",
+                        )
+                    pending_h2d_halo = None
+            prev_phase = a.phase
+
+            if pending_h2d_halo is not None and a.gpu_cells:
+                at, halo_cells = pending_h2d_halo
+                pending_h2d_halo = None
+                if halo_cells > 0:
+                    halo_bytes = halo_cells * itemsize
+                    tid = engine.task(
+                        "bus",
+                        xfer.time(halo_bytes, TransferKind.PAGEABLE),
+                        deps=() if last_cpu is None else (last_cpu,),
+                        label=f"h2d-halo[{at}]",
+                        kind="phase-transfer",
+                    )
+                    gpu_extra.append(tid)
+                    cpu_extra.append(tid)  # pageable copy blocks the host
+                    ledger.record(
+                        TransferDirection.H2D, TransferKind.PAGEABLE,
+                        cells=halo_cells, nbytes=halo_bytes,
+                        label="phase-halo",
+                    )
+
+            # ---- functional evaluation ---------------------------------------
+            if functional:
+                if a.cpu_cells:
+                    evaluate_span(problem, schedule, table, aux, a.t, 0, a.cpu_cells)
+                if a.gpu_cells:
+                    evaluate_span(
+                        problem, schedule, table, aux, a.t, a.cpu_cells, a.width
+                    )
+
+            # ---- compute tasks ------------------------------------------------
+            cpu_tid = gpu_tid = None
+            if a.cpu_cells:
+                cpu_tid = engine.task(
+                    "cpu",
+                    cpu.parallel_time(a.cpu_cells, cpu_work, contiguous),
+                    deps=tuple(cpu_extra),
+                    label=f"cpu[{a.t}]",
+                    kind="compute",
+                    iteration=a.t,
+                    phase=a.phase,
+                )
+                cpu_extra = []
+                last_cpu = cpu_tid
+            if a.gpu_cells:
+                gpu_tid = engine.task(
+                    "gpu",
+                    gpu.kernel_time(a.gpu_cells, gpu_work, contiguous),
+                    deps=tuple(gpu_extra),
+                    label=f"gpu[{a.t}]",
+                    kind="compute",
+                    iteration=a.t,
+                    phase=a.phase,
+                )
+                gpu_extra = []
+                last_gpu = gpu_tid
+
+            # ---- boundary transfers ------------------------------------------
+            for spec in a.transfers:
+                nbytes = spec.cells * itemsize
+                producer = cpu_tid if spec.direction is TransferDirection.H2D else gpu_tid
+                if producer is None:
+                    raise ExecutionError(
+                        f"iteration {a.t}: transfer {spec} has no producer task"
+                    )
+                streamed = (
+                    spec.kind is TransferKind.STREAMED and self.options.pipeline
+                )
+                kind = spec.kind if streamed else (
+                    TransferKind.PINNED
+                    if spec.kind in (TransferKind.PINNED, TransferKind.STREAMED)
+                    else TransferKind.PAGEABLE
+                )
+                resource = "copy" if streamed else "bus"
+                tid = engine.task(
+                    resource,
+                    xfer.time(nbytes, kind),
+                    deps=(producer,),
+                    label=f"{spec.direction.value}[{a.t}]",
+                    kind="boundary-transfer",
+                    iteration=a.t,
+                    direction=spec.direction.value,
+                )
+                if spec.direction is TransferDirection.H2D:
+                    gpu_extra.append(tid)
+                    if not streamed:
+                        cpu_extra.append(tid)  # host blocked by the copy
+                else:
+                    cpu_extra.append(tid)
+                    if not streamed:
+                        gpu_extra.append(tid)
+                ledger.record(
+                    spec.direction, kind, cells=spec.cells, nbytes=nbytes,
+                    iteration=a.t,
+                )
+
+        # ---- gather the GPU-resident part of the result -----------------------
+        if gpu_participates:
+            out_bytes = plan.gpu_cells_total() * itemsize
+            engine.task(
+                "bus",
+                xfer.time(out_bytes, TransferKind.PAGEABLE),
+                deps=() if last_gpu is None else (last_gpu,),
+                label="d2h-result",
+                kind="setup",
+            )
+            ledger.record(
+                TransferDirection.D2H, TransferKind.PAGEABLE,
+                cells=plan.gpu_cells_total(), nbytes=out_bytes, label="result",
+            )
+
+        timeline = engine.run()
+        self._maybe_validate(timeline)
+        return SolveResult(
+            problem=problem.name,
+            executor=self.name,
+            pattern=schedule.pattern,
+            simulated_time=timeline.makespan,
+            table=table,
+            aux=aux or {},
+            timeline=timeline,
+            ledger=ledger,
+            stats={
+                "iterations": schedule.num_iterations,
+                "strategy": strategy.name,
+                "t_switch": plan.params.t_switch,
+                "t_share": plan.params.t_share,
+                "phases": [(p.name, p.start, p.stop) for p in plan.phases],
+                "cpu_cells": plan.cpu_cells_total(),
+                "gpu_cells": plan.gpu_cells_total(),
+                "transfer_way": plan.transfer_way(),
+                "contiguous": contiguous,
+                "cpu_utilization": timeline.utilization("cpu"),
+                "gpu_utilization": timeline.utilization("gpu"),
+            },
+        )

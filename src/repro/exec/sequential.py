@@ -1,0 +1,57 @@
+"""Single-core reference executor (the correctness oracle).
+
+Processes cells one at a time in wavefront order with batch size 1 — the
+most direct transcription of the recurrence, against which every parallel
+executor's table is compared bit-for-bit in the test suite. Timing is a
+single uninterrupted single-core task (no fork, no transfers).
+"""
+
+from __future__ import annotations
+
+from ..core.problem import LDDPProblem
+from ..patterns.registry import strategy_for
+from ..sim.engine import Engine
+from .base import Executor, SolveResult, evaluate_span
+
+__all__ = ["SequentialExecutor"]
+
+
+class SequentialExecutor(Executor):
+    name = "sequential"
+
+    def _run(self, problem: LDDPProblem, functional: bool) -> SolveResult:
+        strategy = strategy_for(
+            problem,
+            pattern_override=self.options.pattern_override,
+            inverted_l_as_horizontal=self.options.inverted_l_as_horizontal,
+        )
+        schedule = strategy.schedule
+        table = aux = None
+        if functional:
+            table = problem.make_table()
+            aux = problem.make_aux()
+            for t in range(schedule.num_iterations):
+                width = schedule.width(t)
+                for k in range(width):
+                    evaluate_span(problem, schedule, table, aux, t, k, k + 1)
+
+        engine = Engine()
+        cpu = self.platform.cpu
+        engine.task(
+            "cpu",
+            cpu.sequential_time(problem.total_computed_cells, problem.cpu_work),
+            label="sequential-sweep",
+            kind="compute",
+        )
+        timeline = engine.run()
+        self._maybe_validate(timeline)
+        return SolveResult(
+            problem=problem.name,
+            executor=self.name,
+            pattern=schedule.pattern,
+            simulated_time=timeline.makespan,
+            table=table,
+            aux=aux or {},
+            timeline=timeline,
+            stats={"iterations": schedule.num_iterations},
+        )

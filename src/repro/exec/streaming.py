@@ -1,0 +1,243 @@
+"""Streaming execution: fill the recurrence without storing the table.
+
+Edit-distance-style results usually need only the final cell, a row, or a
+global reduction — not the O(mn) table. Because every representative-set
+dependency sits a *fixed number of wavefronts* behind its reader (for each
+compatible pattern the wavefront-index delta of each offset is a constant:
+e.g. anti-diagonal W/N are one diagonal back and NW two), the solver only
+ever needs a rolling window of the last few wavefronts — O(width) memory.
+
+This is the classic two-row space optimization of LCS/Levenshtein,
+generalized to all six patterns and driven by the same schedules the
+executors use, so results are identical by construction (asserted in
+``tests/test_streaming.py`` against full solves).
+
+What you get back:
+
+* the final wavefront's values (for horizontal patterns that is the last
+  row — e.g. the full last row of an edit-distance table);
+* any explicitly tracked cells (e.g. the bottom-right corner);
+* an optional running reduction over every computed value (e.g. ``max`` for
+  Smith-Waterman's best local score);
+* the peak number of cells resident, to verify the memory claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from ..core.cellfunc import EvalContext
+from ..core.problem import LDDPProblem
+from ..errors import ExecutionError
+from ..patterns.registry import strategy_for
+from ..types import Neighbor, Pattern
+
+__all__ = ["StreamingSolver", "StreamingResult"]
+
+#: Wavefront-index delta of each representative cell, per executed pattern.
+#: Only offsets a pattern may legally read are listed (constant by linearity
+#: of the index maps — and for the L-rings by ``min(i-1, j-1) = min(i,j)-1``).
+_DELTAS: dict[Pattern, dict[Neighbor, int]] = {
+    Pattern.ANTI_DIAGONAL: {Neighbor.W: 1, Neighbor.NW: 2, Neighbor.N: 1},
+    Pattern.HORIZONTAL: {Neighbor.NW: 1, Neighbor.N: 1, Neighbor.NE: 1},
+    Pattern.VERTICAL: {Neighbor.W: 1, Neighbor.NW: 1},
+    Pattern.INVERTED_L: {Neighbor.NW: 1},
+    Pattern.MINVERTED_L: {Neighbor.NE: 1},
+    Pattern.KNIGHT_MOVE: {
+        Neighbor.W: 1, Neighbor.NW: 3, Neighbor.N: 2, Neighbor.NE: 1
+    },
+}
+
+
+class _BoundaryRecorder:
+    """Captures an init hook's writes into the fixed boundary strips.
+
+    Presents just enough of the ndarray writing interface (``shape``, basic
+    2-index ``__setitem__``, structured-field access) for the bundled init
+    styles; writes outside the fixed strips are ignored (inits must not
+    write computed cells anyway).
+    """
+
+    def __init__(self, shape, dtype, fixed_rows: int, fixed_cols: int,
+                 top: np.ndarray, left: np.ndarray, fieldname: str | None = None):
+        self.shape = shape
+        self.dtype = dtype
+        self._fr = fixed_rows
+        self._fc = fixed_cols
+        self._top = top
+        self._left = left
+        self._field = fieldname
+
+    def __getitem__(self, key):
+        if isinstance(key, str):  # structured-field access: table["m"][...]
+            return _BoundaryRecorder(
+                self.shape, self.dtype[key], self._fr, self._fc,
+                self._top, self._left, fieldname=key,
+            )
+        raise ExecutionError(
+            "streaming init hooks may only *write* the table (reads would "
+            "need the full array)"
+        )
+
+    def __setitem__(self, key, value) -> None:
+        if isinstance(key, str):
+            _BoundaryRecorder(
+                self.shape, self.dtype, self._fr, self._fc,
+                self._top, self._left, fieldname=key,
+            )[:, :] = value
+            return
+        rows, cols = self.shape
+        if not isinstance(key, tuple):
+            key = (key, slice(None))
+        ri = np.arange(rows)[key[0]]
+        ci = np.arange(cols)[key[1]]
+        # honour numpy's basic-indexing assignment shape: scalar key parts
+        # do not contribute an axis (table[0, :] = v expects v of len cols,
+        # table[1:, 0] = v expects v of len rows-1)
+        r_axis = np.ndim(ri) != 0
+        c_axis = np.ndim(ci) != 0
+        ri = np.atleast_1d(ri)
+        ci = np.atleast_1d(ci)
+        shape = tuple(
+            n for n, keep in ((len(ri), r_axis), (len(ci), c_axis)) if keep
+        )
+        patch = np.broadcast_to(value, shape).reshape(len(ri), len(ci))
+        top = self._top[self._field] if self._field else self._top
+        left = self._left[self._field] if self._field else self._left
+        rsel = ri < self._fr
+        if rsel.any():
+            top[np.ix_(ri[rsel], ci)] = patch[rsel, :]
+        csel = ci < self._fc
+        if csel.any():
+            left[np.ix_(ri, ci[csel])] = patch[:, csel]
+
+
+@dataclass
+class StreamingResult:
+    """Output of a streaming solve."""
+
+    problem: str
+    pattern: Pattern
+    last_values: np.ndarray
+    last_cells: tuple[np.ndarray, np.ndarray]  # global (i, j) of last_values
+    tracked: dict[tuple[int, int], Any] = field(default_factory=dict)
+    reduced: Any = None
+    peak_cells: int = 0
+    total_cells: int = 0
+
+    @property
+    def memory_fraction(self) -> float:
+        """Peak resident cells over total computed cells."""
+        return self.peak_cells / max(1, self.total_cells)
+
+
+class StreamingSolver:
+    """O(wavefront)-memory functional execution."""
+
+    def __init__(
+        self,
+        reduce: Callable[[Any, np.ndarray], Any] | None = None,
+        reduce_init: Any = None,
+    ) -> None:
+        self.reduce = reduce
+        self.reduce_init = reduce_init
+
+    def solve(
+        self,
+        problem: LDDPProblem,
+        track: list[tuple[int, int]] | None = None,
+        pattern_override: Pattern | None = None,
+        inverted_l_as_horizontal: bool = True,
+    ) -> StreamingResult:
+        strategy = strategy_for(
+            problem,
+            pattern_override=pattern_override,
+            inverted_l_as_horizontal=inverted_l_as_horizontal,
+        )
+        sched = strategy.schedule
+        pattern = sched.pattern
+        deltas = _DELTAS[pattern]
+        for nb in problem.contributing:
+            if nb not in deltas:
+                raise ExecutionError(  # pragma: no cover - registry prevents it
+                    f"pattern {pattern.value} cannot stream neighbour {nb.value}"
+                )
+        window = max(deltas[nb] for nb in problem.contributing)
+
+        fr, fc = problem.fixed_rows, problem.fixed_cols
+        rows, cols = problem.shape
+        top = np.zeros((fr, cols), dtype=problem.dtype)
+        left = np.zeros((rows, fc), dtype=problem.dtype)
+        if problem.init is not None:
+            rec = _BoundaryRecorder(problem.shape, problem.dtype, fr, fc, top, left)
+            problem.init(rec, problem.payload)
+
+        aux = problem.make_aux()  # aux outputs remain full-size by contract
+        track_keys = (
+            np.array([i * cols + j for i, j in track], dtype=np.int64)
+            if track
+            else None
+        )
+        tracked: dict[tuple[int, int], Any] = {}
+        reduced = self.reduce_init
+        buffers: dict[int, np.ndarray] = {}
+        peak = 0
+
+        ci = cj = values = None
+        for t in range(sched.num_iterations):
+            ci, cj = sched.cells(t)
+            if ci.shape[0] == 0:
+                continue
+            gi = ci + fr
+            gj = cj + fc
+            kwargs: dict[str, np.ndarray | None] = {
+                "w": None, "nw": None, "n": None, "ne": None
+            }
+            for nb in problem.contributing:
+                di, dj = nb.offset
+                ni, nj = gi + di, gj + dj
+                vals = np.full(gi.shape, problem.oob_value, dtype=problem.dtype)
+                oob = (ni < 0) | (ni >= rows) | (nj < 0) | (nj >= cols)
+                in_top = ~oob & (ni < fr)
+                in_left = ~oob & (ni >= fr) & (nj < fc)
+                in_window = ~oob & (ni >= fr) & (nj >= fc)
+                if in_top.any():
+                    vals[in_top] = top[ni[in_top], nj[in_top]]
+                if in_left.any():
+                    vals[in_left] = left[ni[in_left], nj[in_left]]
+                if in_window.any():
+                    src_t = t - deltas[nb]
+                    pos = sched.position_of(ni[in_window] - fr, nj[in_window] - fc)
+                    vals[in_window] = buffers[src_t][pos]
+                kwargs[nb.value.lower()] = vals
+            ctx = EvalContext(
+                i=gi, j=gj, payload=problem.payload, aux=aux, **kwargs
+            )
+            values = np.asarray(problem.cell(ctx)).astype(problem.dtype, copy=False)
+
+            buffers[t] = values
+            stale = t - window
+            if stale in buffers:
+                del buffers[stale]
+            peak = max(peak, sum(b.shape[0] for b in buffers.values()))
+
+            if self.reduce is not None:
+                reduced = self.reduce(reduced, values)
+            if track_keys is not None:
+                hits = np.isin(gi * cols + gj, track_keys)
+                for k in np.nonzero(hits)[0]:
+                    tracked[(int(gi[k]), int(gj[k]))] = values[k]
+
+        return StreamingResult(
+            problem=problem.name,
+            pattern=pattern,
+            last_values=values,
+            last_cells=(ci + fr, cj + fc),
+            tracked=tracked,
+            reduced=reduced,
+            peak_cells=peak,
+            total_cells=problem.total_computed_cells,
+        )

@@ -1,0 +1,42 @@
+"""Analytic cost models of the heterogeneous machine.
+
+The paper measures wall-clock on two physical testbeds (Sec. II-A). This
+reproduction has no GPU, so the machine is *modeled*: each device exposes a
+deterministic cost function (seconds as a function of work), and the
+discrete-event engine in :mod:`repro.sim` composes those costs with the
+dependency structure of the heterogeneous schedule. The model captures every
+first-order effect the paper's evaluation turns on:
+
+* GPU kernel-launch latency dominating narrow wavefronts;
+* CPU fork/barrier overhead per parallel iteration (cheap, but per-core
+  throughput far below the GPU's aggregate);
+* PCIe transfer latency/bandwidth, pageable vs pinned vs streamed;
+* the coalescing penalty for non-contiguous GPU access (Sec. IV-B).
+"""
+
+from .cpu import CPUModel
+from .gpu import GPUModel
+from .transfer import TransferModel
+from .platform import Platform, hetero_high, hetero_low, hetero_phi
+from .calibration import (
+    FitResult,
+    calibrate_cpu,
+    calibrate_gpu,
+    calibrate_transfer,
+    fit_affine,
+)
+
+__all__ = [
+    "CPUModel",
+    "GPUModel",
+    "TransferModel",
+    "Platform",
+    "hetero_high",
+    "hetero_low",
+    "hetero_phi",
+    "FitResult",
+    "calibrate_cpu",
+    "calibrate_gpu",
+    "calibrate_transfer",
+    "fit_affine",
+]

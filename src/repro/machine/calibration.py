@@ -1,0 +1,139 @@
+"""Cost-model calibration from timing samples.
+
+The platform presets ship constants calibrated against the paper's
+qualitative results, but the models are designed to be re-fitted to *any*
+machine: measure a handful of (cells, seconds) points per device — kernel
+sweeps, parallel-for sweeps, copy sweeps — and fit the model parameters by
+least squares. All model costs are affine in their work term::
+
+    cpu:      t(n) = fork + n * k_cpu          (k = work*cell_ns / speedup)
+    gpu:      t(n) = launch + n * k_gpu        (n >= lanes, throughput regime)
+    transfer: t(b) = latency + b / bandwidth
+
+so ordinary least squares on (x, t) recovers (intercept, slope) exactly, and
+the helpers below translate slopes back into model constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import PlatformError
+from .cpu import CPUModel
+from .gpu import GPUModel
+from .transfer import TransferModel
+
+__all__ = [
+    "FitResult",
+    "fit_affine",
+    "calibrate_cpu",
+    "calibrate_gpu",
+    "calibrate_transfer",
+    "relative_error",
+]
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """An affine fit ``t = intercept + slope * x`` with its residual."""
+
+    intercept: float
+    slope: float
+    rmse: float
+
+    def predict(self, x: float) -> float:
+        return self.intercept + self.slope * x
+
+
+def fit_affine(x: Sequence[float], t: Sequence[float]) -> FitResult:
+    """Least-squares affine fit, clamping the physical parameters to >= 0."""
+    x = np.asarray(x, dtype=np.float64)
+    t = np.asarray(t, dtype=np.float64)
+    if x.shape != t.shape or x.size < 2:
+        raise PlatformError("need at least two (x, t) samples of equal length")
+    if np.ptp(x) == 0:
+        raise PlatformError("samples must span more than one x value")
+    A = np.stack([np.ones_like(x), x], axis=1)
+    coef, *_ = np.linalg.lstsq(A, t, rcond=None)
+    intercept = max(0.0, float(coef[0]))
+    slope = max(0.0, float(coef[1]))
+    resid = t - (intercept + slope * x)
+    return FitResult(intercept, slope, float(np.sqrt(np.mean(resid**2))))
+
+
+def calibrate_cpu(
+    cells: Sequence[int],
+    seconds: Sequence[float],
+    base: CPUModel,
+) -> CPUModel:
+    """Re-fit ``fork_us`` and ``cell_ns`` from parallel-iteration timings.
+
+    Samples should be wide iterations (cells >= cores) so the speedup term is
+    the full-parallel one; the fitted slope is ``cell_ns / speedup(cores)``.
+    """
+    fit = fit_affine(cells, seconds)
+    speedup = base.speedup(base.cores)
+    return CPUModel(
+        name=base.name,
+        cores=base.cores,
+        threads=base.threads,
+        freq_ghz=base.freq_ghz,
+        cell_ns=fit.slope * speedup * 1e9,
+        parallel_efficiency=base.parallel_efficiency,
+        fork_us=fit.intercept * 1e6,
+        strided_penalty=base.strided_penalty,
+    )
+
+
+def calibrate_gpu(
+    cells: Sequence[int],
+    seconds: Sequence[float],
+    base: GPUModel,
+) -> GPUModel:
+    """Re-fit ``launch_us`` and ``cell_ns`` from saturated kernel timings.
+
+    Samples must be in the throughput regime (cells >= lanes); the fitted
+    slope is ``cell_ns / lanes``.
+    """
+    if min(cells) < base.lanes:
+        raise PlatformError(
+            "gpu calibration needs saturated kernels (cells >= lanes)"
+        )
+    fit = fit_affine(cells, seconds)
+    return GPUModel(
+        name=base.name,
+        smx_count=base.smx_count,
+        cores_per_smx=base.cores_per_smx,
+        clock_ghz=base.clock_ghz,
+        cell_ns=fit.slope * base.lanes * 1e9,
+        occupancy=base.occupancy,
+        launch_us=fit.intercept * 1e6,
+        uncoalesced_penalty=base.uncoalesced_penalty,
+    )
+
+
+def calibrate_transfer(
+    pageable_samples: tuple[Sequence[int], Sequence[float]],
+    pinned_samples: tuple[Sequence[int], Sequence[float]],
+) -> TransferModel:
+    """Re-fit both staging paths from (bytes, seconds) sweeps."""
+    pg = fit_affine(*pageable_samples)
+    pn = fit_affine(*pinned_samples)
+    if pg.slope <= 0 or pn.slope <= 0:
+        raise PlatformError("transfer samples imply infinite bandwidth")
+    return TransferModel(
+        pageable_latency_us=pg.intercept * 1e6,
+        pageable_gbps=1.0 / pg.slope / 1e9,
+        pinned_latency_us=pn.intercept * 1e6,
+        pinned_gbps=1.0 / pn.slope / 1e9,
+    )
+
+
+def relative_error(predicted: float, measured: float) -> float:
+    """|predicted - measured| / measured (measured must be positive)."""
+    if measured <= 0:
+        raise PlatformError("measured time must be positive")
+    return abs(predicted - measured) / measured

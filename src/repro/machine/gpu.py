@@ -1,0 +1,94 @@
+"""GPU cost model.
+
+Captures the two effects that shape every figure in the paper: a *fixed
+kernel-launch latency* per wavefront iteration (which dominates narrow
+wavefronts and small tables — the "kernel setup time" of Sec. VI-A) and a
+high aggregate throughput once enough threads are resident. Non-coalesced
+access (paper Sec. IV-B) multiplies the per-cell cost by a penalty factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import PlatformError
+
+__all__ = ["GPUModel"]
+
+
+@dataclass(frozen=True)
+class GPUModel:
+    """Cost model for a CUDA-style GPU.
+
+    Parameters
+    ----------
+    name:
+        Marketing name, for reports.
+    smx_count, cores_per_smx:
+        Streaming-multiprocessor geometry (K20: 13 x 192; GT650M: 2 x 192).
+    clock_ghz:
+        Core clock, for reports.
+    cell_ns:
+        Nanoseconds one resident thread context needs per unit-work cell
+        (dominated by global-memory latency for LDDP kernels, hence large).
+    occupancy:
+        Fraction of cores with resident work, in (0, 1]; effective lanes are
+        ``smx_count * cores_per_smx * occupancy``.
+    launch_us:
+        Fixed kernel-launch + driver overhead per iteration, microseconds.
+    uncoalesced_penalty:
+        Multiplier on ``cell_ns`` when the wavefront is *not* stored
+        contiguously (>= 1; Sec. IV-B's motivation).
+    """
+
+    name: str
+    smx_count: int
+    cores_per_smx: int
+    clock_ghz: float
+    cell_ns: float
+    occupancy: float = 0.5
+    launch_us: float = 7.0
+    uncoalesced_penalty: float = 3.5
+
+    def __post_init__(self) -> None:
+        if self.smx_count < 1 or self.cores_per_smx < 1:
+            raise PlatformError("SMX geometry must be positive")
+        if self.cell_ns <= 0:
+            raise PlatformError("cell_ns must be positive")
+        if not 0 < self.occupancy <= 1:
+            raise PlatformError("occupancy must be in (0, 1]")
+        if self.launch_us < 0:
+            raise PlatformError("launch_us cannot be negative")
+        if self.uncoalesced_penalty < 1:
+            raise PlatformError("uncoalesced_penalty must be >= 1")
+
+    @property
+    def total_cores(self) -> int:
+        return self.smx_count * self.cores_per_smx
+
+    @property
+    def lanes(self) -> float:
+        """Effective concurrent thread contexts."""
+        return self.total_cores * self.occupancy
+
+    # -- costs (seconds) ----------------------------------------------------
+
+    def kernel_time(self, cells: int, work: float = 1.0, coalesced: bool = True) -> float:
+        """Seconds for one kernel over ``cells`` cells (thread-per-cell)."""
+        if cells < 0:
+            raise PlatformError("cells cannot be negative")
+        if cells == 0:
+            return 0.0
+        per_cell = self.cell_ns * (1.0 if coalesced else self.uncoalesced_penalty)
+        compute = cells * work * per_cell * 1e-9 / min(self.lanes, cells)
+        return self.launch_us * 1e-6 + compute
+
+    @property
+    def peak_cells_per_second(self) -> float:
+        """Aggregate throughput at full occupancy (unit work, coalesced)."""
+        return self.lanes / (self.cell_ns * 1e-9)
+
+    def marginal_cell_seconds(self, work: float = 1.0, coalesced: bool = True) -> float:
+        """Per-cell cost at saturation — used by the analytic tuner."""
+        per_cell = self.cell_ns * (1.0 if coalesced else self.uncoalesced_penalty)
+        return work * per_cell * 1e-9 / self.lanes

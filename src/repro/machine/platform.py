@@ -1,0 +1,180 @@
+"""Heterogeneous platform presets (paper Sec. II-A).
+
+Two calibrated presets mirror the paper's testbeds:
+
+* :func:`hetero_high` — Intel i7-980 (6C/12T @ 3.33 GHz) + Nvidia Tesla K20
+  (13 SMX x 192 = 2496 cores), the server-class development box.
+* :func:`hetero_low` — Intel i7-3632QM (4C/8T @ 2.2 GHz) + Nvidia GeForce
+  GT650M (2 SMX x 192 = 384 cores), the commodity laptop.
+
+Calibration targets the paper's *qualitative* results (who wins at which
+size, where crossovers fall), not absolute milliseconds — see DESIGN.md §2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import PlatformError
+from .cpu import CPUModel
+from .gpu import GPUModel
+from .transfer import TransferModel
+
+__all__ = ["Platform", "hetero_high", "hetero_low", "hetero_phi"]
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A CPU + GPU + interconnect triple."""
+
+    name: str
+    cpu: CPUModel
+    gpu: GPUModel
+    transfer: TransferModel
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise PlatformError("platform needs a name")
+
+    def with_(self, **kwargs) -> "Platform":
+        """A copy with some components replaced (for ablations)."""
+        return replace(self, **kwargs)
+
+    def describe(self) -> str:
+        """One-paragraph summary for reports."""
+        c, g = self.cpu, self.gpu
+        return (
+            f"{self.name}: {c.name} ({c.cores}C/{c.threads}T @ {c.freq_ghz} GHz, "
+            f"~{c.peak_cells_per_second / 1e9:.2f} Gcell/s) + {g.name} "
+            f"({g.smx_count} SMX x {g.cores_per_smx} = {g.total_cores} cores, "
+            f"~{g.peak_cells_per_second / 1e9:.2f} Gcell/s, "
+            f"launch {g.launch_us:.1f} us)"
+        )
+
+
+def hetero_high() -> Platform:
+    """The paper's server-class testbed: i7-980 + Tesla K20.
+
+    Calibration highlights (unit work):
+
+    * CPU aggregate throughput ~0.44 Gcell/s (wavefront DP loops on a 2010-era
+      6-core are cache- and barrier-bound, far from peak flops);
+    * GPU aggregate throughput ~5 Gcell/s with a 7 us launch per wavefront —
+      launch cost dominates widths below ~2k cells, so the CPU/GPU
+      per-iteration crossover falls at widths of a couple thousand cells,
+      which is what produces the paper's Fig. 7 optimum and the Fig. 9/10
+      size crossovers.
+    """
+    return Platform(
+        name="Hetero-High",
+        cpu=CPUModel(
+            name="Intel i7-980",
+            cores=6,
+            threads=12,
+            freq_ghz=3.33,
+            cell_ns=12.0,
+            parallel_efficiency=0.85,
+            fork_us=3.0,
+            strided_penalty=1.15,
+        ),
+        gpu=GPUModel(
+            name="Nvidia Tesla K20",
+            smx_count=13,
+            cores_per_smx=192,
+            clock_ghz=0.706,
+            cell_ns=250.0,
+            occupancy=0.5,
+            launch_us=7.0,
+            uncoalesced_penalty=3.5,
+        ),
+        transfer=TransferModel(
+            pageable_latency_us=20.0,
+            pageable_gbps=5.0,
+            pinned_latency_us=1.0,
+            pinned_gbps=6.5,
+        ),
+    )
+
+
+def hetero_low() -> Platform:
+    """The paper's commodity testbed: i7-3632QM + GeForce GT650M.
+
+    CPU aggregate ~0.22 Gcell/s, GPU ~1.6 Gcell/s with a 10 us launch —
+    the same qualitative regime as Hetero-High, shifted toward the CPU
+    (the laptop GPU's edge over the laptop CPU is much smaller than the
+    K20's over the i7-980, matching the paper's Figs. 9-13).
+    """
+    return Platform(
+        name="Hetero-Low",
+        cpu=CPUModel(
+            name="Intel i7-3632QM",
+            cores=4,
+            threads=8,
+            freq_ghz=2.2,
+            cell_ns=16.0,
+            parallel_efficiency=0.85,
+            fork_us=3.5,
+            strided_penalty=1.15,
+        ),
+        gpu=GPUModel(
+            name="Nvidia GeForce GT650M",
+            smx_count=2,
+            cores_per_smx=192,
+            clock_ghz=0.835,
+            cell_ns=120.0,
+            occupancy=0.5,
+            launch_us=10.0,
+            uncoalesced_penalty=3.5,
+        ),
+        transfer=TransferModel(
+            pageable_latency_us=25.0,
+            pageable_gbps=3.0,
+            pinned_latency_us=1.5,
+            pinned_gbps=4.0,
+        ),
+    )
+
+
+def hetero_phi() -> Platform:
+    """The paper's future-work platform: i7-980 + Intel Xeon Phi 5110P.
+
+    The paper closes with "It would be interesting to see how does a
+    heterogeneous approach impact the implementation if the system has some
+    other accelerators like Intel Xeon-Phi". The Phi fits the same
+    accelerator cost model as a GPU: a per-offload fixed latency (higher than
+    a kernel launch — an offload region round trip) plus aggregate
+    throughput from many resident hardware threads (60 cores x 4 threads).
+    Its x86 cores tolerate strided access far better than a GPU's coalescing
+    hardware (``uncoalesced_penalty``), and its per-thread cores are stronger
+    but far fewer than the K20's lanes — the crossovers land elsewhere,
+    which is exactly what the ext-phi experiment shows.
+    """
+    return Platform(
+        name="Hetero-Phi",
+        cpu=CPUModel(
+            name="Intel i7-980",
+            cores=6,
+            threads=12,
+            freq_ghz=3.33,
+            cell_ns=12.0,
+            parallel_efficiency=0.85,
+            fork_us=3.0,
+            strided_penalty=1.15,
+        ),
+        gpu=GPUModel(
+            name="Intel Xeon Phi 5110P",
+            smx_count=60,  # cores
+            cores_per_smx=4,  # hardware threads per core
+            clock_ghz=1.053,
+            cell_ns=75.0,
+            occupancy=1.0,
+            launch_us=15.0,  # offload-region round trip
+            uncoalesced_penalty=1.6,  # caches absorb most of the stride cost
+        ),
+        transfer=TransferModel(
+            pageable_latency_us=22.0,
+            pageable_gbps=6.0,
+            pinned_latency_us=1.2,
+            pinned_gbps=6.5,
+        ),
+    )

@@ -1,0 +1,16 @@
+"""Memory layouts and buffer accounting.
+
+Paper Sec. IV-B: the framework stores all cells of one wavefront iteration
+contiguously ("all the cells marked with the same number ... together in a
+one-dimensional array"), so GPU accesses coalesce. :mod:`repro.memory.layout`
+implements that wavefront-major storage for every pattern;
+:mod:`repro.memory.address` provides the (i, j) <-> flat index maps; and
+:mod:`repro.memory.buffers` does byte-level accounting of simulated host and
+device allocations and transfers.
+"""
+
+from .address import AddressMap
+from .layout import WavefrontLayout
+from .buffers import BufferPool, TransferLedger
+
+__all__ = ["AddressMap", "WavefrontLayout", "BufferPool", "TransferLedger"]

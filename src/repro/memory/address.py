@@ -1,0 +1,62 @@
+"""Index maps between table coordinates and wavefront-major flat offsets."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.schedule import WavefrontSchedule
+from ..errors import LayoutError
+
+__all__ = ["AddressMap"]
+
+
+class AddressMap:
+    """Bijective map ``(i, j) <-> flat offset`` in wavefront-major order.
+
+    Cells are numbered iteration by iteration, within an iteration in the
+    schedule's canonical order. Iteration ``t`` therefore occupies the
+    contiguous flat range ``[starts[t], starts[t] + width(t))``.
+    """
+
+    def __init__(self, schedule: WavefrontSchedule) -> None:
+        self.schedule = schedule
+        widths = schedule.widths()
+        self.starts = np.zeros(len(widths) + 1, dtype=np.int64)
+        np.cumsum(widths, out=self.starts[1:])
+
+    @property
+    def size(self) -> int:
+        """Total number of cells."""
+        return int(self.starts[-1])
+
+    def span(self, t: int) -> tuple[int, int]:
+        """Flat ``(start, stop)`` range of iteration ``t``."""
+        if not 0 <= t < self.schedule.num_iterations:
+            raise LayoutError(f"iteration {t} out of range")
+        return int(self.starts[t]), int(self.starts[t + 1])
+
+    def flat_of(self, i: np.ndarray, j: np.ndarray) -> np.ndarray:
+        """Flat offsets of cells ``(i, j)`` (local region coordinates)."""
+        i = np.asarray(i, dtype=np.int64)
+        j = np.asarray(j, dtype=np.int64)
+        t = self.schedule.iteration_of(i, j)
+        return self.starts[t] + self.schedule.position_of(i, j)
+
+    def cells_of_range(self, t: int) -> tuple[np.ndarray, np.ndarray]:
+        """The (i, j) arrays whose flat offsets are ``range(*span(t))``."""
+        return self.schedule.cells(t)
+
+    def full_index(self) -> tuple[np.ndarray, np.ndarray]:
+        """(i, j) arrays for *all* cells, ordered by flat offset.
+
+        O(size) memory — intended for layout conversion, tests and small
+        tables, not for the inner loop.
+        """
+        ii = np.empty(self.size, dtype=np.int64)
+        jj = np.empty(self.size, dtype=np.int64)
+        for t in range(self.schedule.num_iterations):
+            a, b = self.span(t)
+            ci, cj = self.schedule.cells(t)
+            ii[a:b] = ci
+            jj[a:b] = cj
+        return ii, jj

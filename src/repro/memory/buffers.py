@@ -1,0 +1,121 @@
+"""Simulated host/device buffer accounting.
+
+The executors use these ledgers to track every simulated allocation and copy,
+so tests can assert e.g. "horizontal case-1 moved exactly one boundary cell
+per iteration, all CPU->GPU" — the quantitative content of paper Table II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import TransferError
+from ..types import TransferDirection, TransferKind
+
+__all__ = ["BufferPool", "TransferLedger", "TransferRecord"]
+
+
+class BufferPool:
+    """Tracks simulated allocations on one memory space (host or device)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._live: dict[str, int] = {}
+        self.peak_bytes = 0
+        self.total_allocated = 0
+
+    @property
+    def live_bytes(self) -> int:
+        return sum(self._live.values())
+
+    def alloc(self, tag: str, nbytes: int) -> None:
+        if nbytes < 0:
+            raise TransferError("allocation size cannot be negative")
+        if tag in self._live:
+            raise TransferError(f"buffer {tag!r} already allocated on {self.name}")
+        self._live[tag] = nbytes
+        self.total_allocated += nbytes
+        self.peak_bytes = max(self.peak_bytes, self.live_bytes)
+
+    def free(self, tag: str) -> None:
+        if tag not in self._live:
+            raise TransferError(f"buffer {tag!r} not allocated on {self.name}")
+        del self._live[tag]
+
+    def leaks(self) -> dict[str, int]:
+        """Buffers still live (tag -> bytes); empty means clean shutdown."""
+        return dict(self._live)
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One recorded host<->device copy."""
+
+    direction: TransferDirection
+    kind: TransferKind
+    cells: int
+    nbytes: int
+    iteration: int | None = None
+    label: str = ""
+
+
+@dataclass
+class TransferLedger:
+    """Aggregate view of all copies an execution performed."""
+
+    records: list[TransferRecord] = field(default_factory=list)
+
+    def record(
+        self,
+        direction: TransferDirection,
+        kind: TransferKind,
+        cells: int,
+        nbytes: int,
+        iteration: int | None = None,
+        label: str = "",
+    ) -> TransferRecord:
+        if cells < 0 or nbytes < 0:
+            raise TransferError("cells/nbytes cannot be negative")
+        rec = TransferRecord(direction, kind, cells, nbytes, iteration, label)
+        self.records.append(rec)
+        return rec
+
+    # -- aggregation ----------------------------------------------------------
+
+    def count(self, direction: TransferDirection | None = None) -> int:
+        return sum(
+            1
+            for r in self.records
+            if direction is None or r.direction is direction
+        )
+
+    def bytes_moved(self, direction: TransferDirection | None = None) -> int:
+        return sum(
+            r.nbytes
+            for r in self.records
+            if direction is None or r.direction is direction
+        )
+
+    def directions_used(self) -> set[TransferDirection]:
+        return {r.direction for r in self.records}
+
+    def per_iteration(self) -> dict[int, list[TransferRecord]]:
+        """Split-phase records grouped by iteration (setup copies excluded)."""
+        out: dict[int, list[TransferRecord]] = {}
+        for r in self.records:
+            if r.iteration is not None:
+                out.setdefault(r.iteration, []).append(r)
+        return out
+
+    def way(self) -> str:
+        """Summarize as the paper's Table II vocabulary: none / 1-way / 2-way.
+
+        Only per-iteration boundary copies count; bulk setup/teardown copies
+        (which every GPU-touching execution needs) are excluded.
+        """
+        dirs = {
+            r.direction for r in self.records if r.iteration is not None
+        }
+        if not dirs:
+            return "none"
+        return "2-way" if len(dirs) == 2 else "1-way"

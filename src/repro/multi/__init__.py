@@ -1,0 +1,36 @@
+"""Multi-accelerator extension: CPU + N accelerators on one wavefront.
+
+The paper splits each wavefront between one CPU and one GPU. Nothing in the
+dependency analysis restricts the split to two devices: the canonical order
+of a wavefront can be cut into any number of contiguous *segments*, with the
+same boundary cells crossing each cut that cross the paper's single cut
+(left-pointing deps flow toward-right across the cut, right-pointing deps
+toward-left — paper Figs. 3-6 generalize verbatim).
+
+This package provides:
+
+* :class:`~repro.multi.platform.MultiPlatform` — a CPU plus an ordered list
+  of accelerators, each with its own PCIe link (preset:
+  :func:`~repro.multi.platform.hetero_tri`, i7-980 + Tesla K20 + Xeon Phi);
+* :class:`~repro.multi.partition.MultiParams` — ``t_switch`` plus one share
+  per device;
+* :func:`~repro.multi.tuning.multi_balanced_shares` — waterfilling the
+  wavefront across devices with the exact cost models;
+* :class:`~repro.multi.executor.MultiHeteroExecutor` — the generalized
+  executor (functional + timing), including via-host or peer-to-peer
+  accelerator-to-accelerator boundary copies.
+"""
+
+from .platform import MultiPlatform, hetero_tri
+from .partition import MultiParams
+from .executor import MultiHeteroExecutor
+from .tuning import multi_analytic_params, multi_balanced_shares
+
+__all__ = [
+    "MultiPlatform",
+    "hetero_tri",
+    "MultiParams",
+    "MultiHeteroExecutor",
+    "multi_analytic_params",
+    "multi_balanced_shares",
+]

@@ -1,0 +1,53 @@
+"""Work division across CPU + N accelerators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import PartitionError
+
+__all__ = ["MultiParams", "segment_bounds"]
+
+
+@dataclass(frozen=True)
+class MultiParams:
+    """Generalized split parameters.
+
+    ``shares[d]`` is the cell budget of device ``d`` (0 = CPU, then the
+    accelerators in order) per split iteration; the *last* accelerator
+    absorbs the remainder of wider wavefronts, mirroring the paper's
+    "first ``t_share`` cells to the CPU, rest to the GPU". ``t_switch``
+    keeps its meaning: low-work iterations run entirely on the CPU.
+    """
+
+    t_switch: int
+    shares: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.t_switch < 0:
+            raise PartitionError("t_switch cannot be negative")
+        if len(self.shares) < 2:
+            raise PartitionError("need shares for the CPU and >= 1 accelerator")
+        if any(s < 0 for s in self.shares):
+            raise PartitionError("shares cannot be negative")
+
+
+def segment_bounds(width: int, shares: tuple[int, ...]) -> list[tuple[int, int]]:
+    """Cut ``[0, width)`` into one contiguous span per device.
+
+    Devices take their share in order; the last device absorbs any
+    remainder. Narrow wavefronts simply exhaust earlier devices' shares
+    first (later segments come out empty).
+    """
+    if width < 0:
+        raise PartitionError("width cannot be negative")
+    bounds: list[tuple[int, int]] = []
+    pos = 0
+    for k, share in enumerate(shares):
+        if k == len(shares) - 1:
+            take = width - pos
+        else:
+            take = min(share, width - pos)
+        bounds.append((pos, pos + take))
+        pos += take
+    return bounds

@@ -1,0 +1,96 @@
+"""Platforms with one CPU and several accelerators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import PlatformError
+from ..machine.cpu import CPUModel
+from ..machine.gpu import GPUModel
+from ..machine.platform import Platform, hetero_high, hetero_phi
+from ..machine.transfer import TransferModel
+
+__all__ = ["MultiPlatform", "hetero_tri"]
+
+
+@dataclass(frozen=True)
+class MultiPlatform:
+    """A CPU plus an ordered tuple of (accelerator, its PCIe link).
+
+    ``p2p_gbps`` > 0 enables direct accelerator-to-accelerator copies at
+    that bandwidth (GPUDirect-style); otherwise peer traffic is staged
+    through host memory, paying both links.
+    """
+
+    name: str
+    cpu: CPUModel
+    accelerators: tuple[GPUModel, ...]
+    links: tuple[TransferModel, ...]
+    p2p_gbps: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise PlatformError("platform needs a name")
+        if not self.accelerators:
+            raise PlatformError("need at least one accelerator")
+        if len(self.accelerators) != len(self.links):
+            raise PlatformError("one transfer link per accelerator required")
+        if self.p2p_gbps < 0:
+            raise PlatformError("p2p_gbps cannot be negative")
+
+    @property
+    def num_devices(self) -> int:
+        """CPU + accelerators."""
+        return 1 + len(self.accelerators)
+
+    def device_name(self, d: int) -> str:
+        """0 is the CPU; 1.. are the accelerators, in split order."""
+        return "cpu" if d == 0 else f"acc{d - 1}"
+
+    def as_pair(self, accel_index: int = 0) -> Platform:
+        """A classic two-device view (CPU + one accelerator)."""
+        return Platform(
+            name=f"{self.name}[{self.accelerators[accel_index].name}]",
+            cpu=self.cpu,
+            gpu=self.accelerators[accel_index],
+            transfer=self.links[accel_index],
+        )
+
+    def peer_time(self, src: int, dst: int, nbytes: int) -> float:
+        """Seconds to move bytes between two accelerators (1-based ids in
+        split order are not used here — indices are into ``accelerators``).
+
+        Direct P2P when enabled, else staged through the host: a D2H on the
+        source link plus an H2D on the destination link (pinned staging).
+        """
+        from ..types import TransferKind
+
+        if nbytes < 0:
+            raise PlatformError("nbytes cannot be negative")
+        if nbytes == 0:
+            return 0.0
+        if self.p2p_gbps > 0:
+            lat = max(
+                self.links[src].pinned_latency_us, self.links[dst].pinned_latency_us
+            )
+            return lat * 1e-6 + nbytes / (self.p2p_gbps * 1e9)
+        return self.links[src].time(nbytes, TransferKind.PINNED) + self.links[
+            dst
+        ].time(nbytes, TransferKind.PINNED)
+
+
+def hetero_tri() -> MultiPlatform:
+    """i7-980 + Tesla K20 + Xeon Phi 5110P, each on its own PCIe slot.
+
+    Combines the paper's Hetero-High testbed with its future-work
+    accelerator: the throughput sum exceeds either two-device platform, so
+    wide wavefronts finish faster, while narrow ones still belong to the CPU.
+    """
+    hi, phi = hetero_high(), hetero_phi()
+    return MultiPlatform(
+        name="Hetero-Tri",
+        cpu=hi.cpu,
+        accelerators=(hi.gpu, phi.gpu),
+        links=(hi.transfer, phi.transfer),
+        p2p_gbps=0.0,  # no GPUDirect between an Nvidia and an Intel card
+    )

@@ -1,0 +1,155 @@
+"""Analytic work division for multi-accelerator platforms.
+
+Waterfilling: pick a target per-iteration time ``tau`` and give every device
+as many cells as it can finish within ``tau`` (inverting its exact cost
+model); bisect on ``tau`` until the wavefront just fits. This is the
+N-device generalization of the two-device balance of
+:func:`repro.tuning.model.balanced_share`.
+"""
+
+from __future__ import annotations
+
+from ..core.problem import LDDPProblem
+from ..errors import TuningError
+from ..patterns.base import PatternStrategy
+from ..types import Pattern
+from .partition import MultiParams
+from .platform import MultiPlatform
+
+__all__ = ["multi_balanced_shares", "multi_analytic_params"]
+
+
+def _cpu_capacity(platform: MultiPlatform, tau: float, work: float) -> int:
+    """Cells the CPU finishes within ``tau`` (inverse of parallel_time)."""
+    cpu = platform.cpu
+    budget = tau - cpu.fork_us * 1e-6
+    if budget <= 0:
+        return 0
+    # parallel_time is piecewise in the sub-core regime; bisect exactly.
+    lo, hi = 0, 1
+    while cpu.parallel_time(hi, work) <= tau:
+        hi *= 2
+        if hi > 1 << 40:  # pragma: no cover - tau is always finite here
+            break
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if cpu.parallel_time(mid, work) <= tau:
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo
+
+
+def _acc_capacity(platform: MultiPlatform, k: int, tau: float, work: float) -> int:
+    acc = platform.accelerators[k]
+    budget = tau - acc.launch_us * 1e-6
+    if budget <= 0:
+        return 0
+    lo, hi = 0, 1
+    while acc.kernel_time(hi, work) <= tau:
+        hi *= 2
+        if hi > 1 << 40:  # pragma: no cover
+            break
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if acc.kernel_time(mid, work) <= tau:
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo
+
+
+def multi_balanced_shares(
+    platform: MultiPlatform,
+    width: int,
+    cpu_work: float = 1.0,
+    acc_works: tuple[float, ...] | None = None,
+    iterations: int = 60,
+) -> tuple[int, ...]:
+    """Per-device shares covering ``width`` cells with minimal makespan.
+
+    Returns one share per device (CPU first). Devices whose fixed cost
+    already exceeds the balanced ``tau`` receive zero cells — a narrow
+    wavefront may end up entirely on the CPU.
+    """
+    if width <= 0:
+        raise TuningError("width must be positive")
+    acc_works = acc_works or tuple(cpu_work for _ in platform.accelerators)
+    if len(acc_works) != len(platform.accelerators):
+        raise TuningError("one work factor per accelerator required")
+
+    def capacity(tau: float) -> int:
+        total = _cpu_capacity(platform, tau, cpu_work)
+        for k in range(len(platform.accelerators)):
+            total += _acc_capacity(platform, k, tau, acc_works[k])
+        return total
+
+    lo = 0.0
+    hi = max(
+        platform.cpu.parallel_time(width, cpu_work),
+        *(
+            platform.accelerators[k].kernel_time(width, acc_works[k])
+            for k in range(len(platform.accelerators))
+        ),
+    )
+    for _ in range(iterations):
+        mid = (lo + hi) / 2
+        if capacity(mid) >= width:
+            hi = mid
+        else:
+            lo = mid
+    tau = hi
+    shares = [_cpu_capacity(platform, tau, cpu_work)] + [
+        _acc_capacity(platform, k, tau, acc_works[k])
+        for k in range(len(platform.accelerators))
+    ]
+    # Trim surplus from the fastest-filled end so shares sum to width; the
+    # final surplus is small (capacity is a step function of tau).
+    surplus = sum(shares) - width
+    for d in range(len(shares) - 1, -1, -1):
+        if surplus <= 0:
+            break
+        cut = min(shares[d], surplus)
+        shares[d] -= cut
+        surplus -= cut
+    return tuple(shares)
+
+
+def multi_analytic_params(
+    problem: LDDPProblem,
+    platform: MultiPlatform,
+    strategy: PatternStrategy,
+) -> MultiParams:
+    """t_switch from the best single accelerator; shares by waterfilling."""
+    from ..tuning.model import analytic_params
+
+    # t_switch: crossover against the accelerator that pays off earliest.
+    best_ts = None
+    for k in range(len(platform.accelerators)):
+        params = analytic_params(problem, platform.as_pair(k), strategy)
+        best_ts = params.t_switch if best_ts is None else min(best_ts, params.t_switch)
+
+    sched = strategy.schedule
+    total = sched.num_iterations
+    pattern = sched.pattern
+    if pattern in (Pattern.HORIZONTAL, Pattern.VERTICAL):
+        best_ts = 0
+        split_range = range(0, total)
+    elif pattern in (Pattern.INVERTED_L, Pattern.MINVERTED_L):
+        split_range = range(0, total - best_ts)
+    else:
+        split_range = range(best_ts, total - best_ts)
+    w_ref = max((sched.width(t) for t in split_range), default=0)
+    if w_ref <= 0:
+        shares = tuple([0] * platform.num_devices)
+        return MultiParams(t_switch=best_ts, shares=shares)
+
+    cpu_work = problem.cpu_work * strategy.cpu_overhead
+    acc_work = problem.gpu_work * strategy.gpu_overhead
+    shares = multi_balanced_shares(
+        platform,
+        w_ref,
+        cpu_work=cpu_work,
+        acc_works=tuple(acc_work for _ in platform.accelerators),
+    )
+    return MultiParams(t_switch=best_ts, shares=shares)

@@ -1,0 +1,34 @@
+"""k-dimensional LDDP (the paper's general definition, Sec. II).
+
+The paper defines LDDP-Plus over k-dimensional tables (``k >= 2``) and then
+"for simplicity" treats only ``k = 2``. This package lifts the wavefront
+machinery to arbitrary dimension:
+
+* an :class:`~repro.ndim.problem.NdProblem` declares its dependency
+  *offsets* directly (the 2-D representative-set abstraction does not scale
+  — in k dimensions the non-conflicting neighbour structure explodes);
+* a weight vector ``w`` turns coordinates into a scalar wavefront index
+  ``t(x) = w . x``; the framework validates that every offset strictly
+  decreases it (the k-dimensional analogue of Table I's patterns — the 2-D
+  patterns are exactly the index maps ``i+j``, ``i``, ``j``, ``2i+j``);
+* :class:`~repro.ndim.executor.NdExecutor` runs the same four execution
+  modes (sequential oracle / CPU / GPU / heterogeneous split with boundary
+  transfers) against the same machine cost models.
+
+Flagship instance: the three-sequence LCS
+(:func:`~repro.ndim.problems.make_lcs3`), a classic 3-D DP.
+"""
+
+from .problem import NdProblem
+from .schedule import NdSchedule
+from .executor import NdExecutor
+from .problems import make_lcs3, reference_lcs3, make_nd_synthetic
+
+__all__ = [
+    "NdProblem",
+    "NdSchedule",
+    "NdExecutor",
+    "make_lcs3",
+    "reference_lcs3",
+    "make_nd_synthetic",
+]

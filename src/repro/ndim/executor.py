@@ -1,0 +1,204 @@
+"""k-dimensional executor: the paper's execution modes in any dimension.
+
+Functionally, every wavefront is one vectorized batch (gathers over the k-dim
+table with out-of-range masking). For timing, the same machine cost models
+apply: one fork per wavefront on the CPU, one kernel per wavefront on the
+GPU, and the heterogeneous split assigns the canonical prefix of each
+wavefront to the CPU with a streamed one-way boundary copy per iteration
+(one-way suffices: with a prefix split under lexicographic order, deps can
+cross the cut in both directions in general, so the k-dim executor
+conservatively ships the full boundary surface both ways through pinned
+memory, like the 2-D knight-move).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..machine.platform import Platform
+from ..memory.buffers import TransferLedger
+from ..sim.engine import Engine
+from ..types import TransferDirection, TransferKind
+from .problem import NdEvalContext, NdProblem
+from .schedule import NdSchedule
+
+__all__ = ["NdExecutor", "NdResult"]
+
+
+class NdResult:
+    """Result wrapper (kept minimal relative to the 2-D SolveResult)."""
+
+    def __init__(self, problem, executor, simulated_time, table, timeline, ledger, stats):
+        self.problem = problem
+        self.executor = executor
+        self.simulated_time = simulated_time
+        self.table = table
+        self.timeline = timeline
+        self.ledger = ledger
+        self.stats = stats
+
+    @property
+    def simulated_ms(self) -> float:
+        return self.simulated_time * 1e3
+
+
+class NdExecutor:
+    """Runs an :class:`NdProblem` in one of four modes."""
+
+    def __init__(self, platform: Platform) -> None:
+        self.platform = platform
+
+    # -- public API ------------------------------------------------------------
+
+    def solve(self, problem: NdProblem, mode: str = "hetero",
+              t_switch: int = 0, t_share: int = 0) -> NdResult:
+        return self._run(problem, mode, t_switch, t_share, functional=True)
+
+    def estimate(self, problem: NdProblem, mode: str = "hetero",
+                 t_switch: int = 0, t_share: int = 0) -> NdResult:
+        return self._run(problem, mode, t_switch, t_share, functional=False)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _run(self, problem, mode, t_switch, t_share, functional):
+        if mode not in ("sequential", "cpu", "gpu", "hetero"):
+            raise ExecutionError(f"unknown mode {mode!r}")
+        sched = NdSchedule(problem.computed_shape, problem.weights)
+        table = None
+        if functional:
+            table = problem.make_table()
+
+        engine = Engine()
+        ledger = TransferLedger()
+        cpu, gpu, xfer = self.platform.cpu, self.platform.gpu, self.platform.transfer
+        itemsize = problem.dtype.itemsize
+        total = sched.total_cells
+        boundary_cells = max(1, len(problem.offsets))
+
+        if mode == "sequential":
+            if functional:
+                for t in range(sched.num_iterations):
+                    self._evaluate(problem, sched, table, t, 0, sched.width(t))
+            engine.task("cpu", cpu.sequential_time(total, problem.cpu_work),
+                        label="nd-sequential", kind="compute")
+            return self._finish(problem, mode, engine, table, ledger, sched, 0)
+
+        gpu_cells_total = 0
+        setup_tid = None
+        if mode in ("gpu", "hetero"):
+            in_bytes = problem.payload_nbytes() + (
+                int(np.prod(problem.shape)) - total
+            ) * itemsize
+            setup_tid = engine.task(
+                "bus", xfer.time(max(in_bytes, itemsize), TransferKind.PAGEABLE),
+                label="h2d-setup", kind="setup",
+            )
+            ledger.record(TransferDirection.H2D, TransferKind.PAGEABLE, 0, in_bytes,
+                          label="setup")
+
+        cpu_extra: list[int] = []
+        gpu_extra: list[int] = [setup_tid] if setup_tid is not None else []
+        cpu_tid = gpu_tid = None
+        half = sched.num_iterations // 2
+        eff_switch = min(t_switch, half)
+
+        for t in range(sched.num_iterations):
+            w = sched.width(t)
+            if w == 0:
+                continue
+            low = mode == "hetero" and (
+                t < eff_switch or t >= sched.num_iterations - eff_switch
+            )
+            if mode == "cpu" or low:
+                c_cells, g_cells = w, 0
+            elif mode == "gpu":
+                c_cells, g_cells = 0, w
+            else:
+                c_cells = min(t_share, w)
+                g_cells = w - c_cells
+            if functional:
+                if c_cells:
+                    self._evaluate(problem, sched, table, t, 0, c_cells)
+                if g_cells:
+                    self._evaluate(problem, sched, table, t, c_cells, w)
+            if c_cells:
+                cpu_tid = engine.task(
+                    "cpu", cpu.parallel_time(c_cells, problem.cpu_work),
+                    deps=tuple(cpu_extra), label=f"cpu[{t}]", kind="compute",
+                    iteration=t,
+                )
+                cpu_extra = []
+            if g_cells:
+                gpu_tid = engine.task(
+                    "gpu", gpu.kernel_time(g_cells, problem.gpu_work),
+                    deps=tuple(gpu_extra), label=f"gpu[{t}]", kind="compute",
+                    iteration=t,
+                )
+                gpu_extra = []
+                gpu_cells_total += g_cells
+            if c_cells and g_cells:
+                nbytes = boundary_cells * itemsize
+                h2d = engine.task(
+                    "bus", xfer.time(nbytes, TransferKind.PINNED),
+                    deps=(cpu_tid,), label=f"h2d[{t}]", kind="boundary-transfer",
+                    iteration=t, direction="h2d",
+                )
+                d2h = engine.task(
+                    "bus", xfer.time(nbytes, TransferKind.PINNED),
+                    deps=(gpu_tid,), label=f"d2h[{t}]", kind="boundary-transfer",
+                    iteration=t, direction="d2h",
+                )
+                gpu_extra += [h2d, d2h]
+                cpu_extra += [h2d, d2h]
+                ledger.record(TransferDirection.H2D, TransferKind.PINNED,
+                              boundary_cells, nbytes, iteration=t)
+                ledger.record(TransferDirection.D2H, TransferKind.PINNED,
+                              boundary_cells, nbytes, iteration=t)
+
+        if mode in ("gpu", "hetero") and gpu_cells_total:
+            out_bytes = gpu_cells_total * itemsize
+            engine.task(
+                "bus", xfer.time(out_bytes, TransferKind.PAGEABLE),
+                deps=() if gpu_tid is None else (gpu_tid,),
+                label="d2h-result", kind="setup",
+            )
+            ledger.record(TransferDirection.D2H, TransferKind.PAGEABLE,
+                          gpu_cells_total, out_bytes, label="result")
+        return self._finish(problem, mode, engine, table, ledger, sched,
+                            gpu_cells_total)
+
+    def _evaluate(self, problem, sched, table, t, lo, hi):
+        coords = sched.cells(t)[:, lo:hi]
+        if coords.shape[1] == 0:
+            return
+        gidx = coords + np.array(problem.fixed, dtype=np.int64)[:, None]
+        neighbors = []
+        for off in problem.offsets:
+            nidx = gidx + np.array(off, dtype=np.int64)[:, None]
+            inb = np.ones(nidx.shape[1], dtype=bool)
+            for axis, size in enumerate(problem.shape):
+                inb &= (nidx[axis] >= 0) & (nidx[axis] < size)
+            vals = np.full(nidx.shape[1], problem.oob_value, dtype=table.dtype)
+            if inb.any():
+                sel = tuple(nidx[axis][inb] for axis in range(problem.ndim))
+                vals[inb] = table[sel]
+            neighbors.append(vals)
+        ctx = NdEvalContext(index=gidx, neighbors=neighbors, payload=problem.payload)
+        table[tuple(gidx[axis] for axis in range(problem.ndim))] = problem.cell(ctx)
+
+    def _finish(self, problem, mode, engine, table, ledger, sched, gpu_cells):
+        timeline = engine.run()
+        return NdResult(
+            problem=problem.name,
+            executor=mode,
+            simulated_time=timeline.makespan,
+            table=table,
+            timeline=timeline,
+            ledger=ledger,
+            stats={
+                "iterations": sched.num_iterations,
+                "max_width": sched.max_width,
+                "gpu_cells": gpu_cells,
+            },
+        )

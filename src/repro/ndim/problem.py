@@ -1,0 +1,125 @@
+"""k-dimensional problem specification."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from ..errors import ProblemSpecError
+
+__all__ = ["NdProblem", "NdEvalContext"]
+
+
+@dataclass
+class NdEvalContext:
+    """Batch context for a k-dimensional cell function.
+
+    ``index`` is a ``(d, n)`` int array of the batch's coordinates;
+    ``neighbors[k]`` holds the value array for the problem's k-th offset
+    (out-of-table reads filled with ``oob_value``).
+    """
+
+    index: np.ndarray
+    neighbors: list[np.ndarray]
+    payload: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        return int(self.index.shape[1])
+
+    def coord(self, axis: int) -> np.ndarray:
+        return self.index[axis]
+
+
+@dataclass
+class NdProblem:
+    """A k-dimensional local-dependency DP.
+
+    Parameters
+    ----------
+    shape:
+        Table shape, one entry per dimension (``len(shape) == k >= 2``).
+    offsets:
+        The dependency offsets (each a length-k tuple, e.g. ``(-1, 0, -1)``).
+        Together with ``weights`` they must satisfy ``w . o < 0`` for every
+        offset — the existence of such weights is exactly what makes the
+        recurrence computable by wavefronts (the k-dim generalization of the
+        paper's pattern classification).
+    weights:
+        Positive integer wavefront weights, one per dimension (default all
+        ones: the hyperplane wavefront ``i1 + ... + ik``).
+    fixed:
+        Per-axis counts of leading fixed (initialized) slices.
+    """
+
+    name: str
+    shape: tuple[int, ...]
+    offsets: tuple[tuple[int, ...], ...]
+    cell: Callable[[NdEvalContext], np.ndarray]
+    weights: tuple[int, ...] | None = None
+    init: Callable[[np.ndarray, Mapping[str, Any]], None] | None = None
+    fixed: tuple[int, ...] | None = None
+    dtype: np.dtype = np.dtype(np.float64)
+    payload: dict[str, Any] = field(default_factory=dict)
+    oob_value: float | int = 0
+    cpu_work: float = 1.0
+    gpu_work: float = 1.0
+
+    def __post_init__(self) -> None:
+        d = len(self.shape)
+        if d < 2:
+            raise ProblemSpecError("NdProblem needs k >= 2 dimensions")
+        if any(s <= 0 for s in self.shape):
+            raise ProblemSpecError(f"shape must be positive, got {self.shape}")
+        if not self.offsets:
+            raise ProblemSpecError("need at least one dependency offset")
+        for o in self.offsets:
+            if len(o) != d:
+                raise ProblemSpecError(f"offset {o} has wrong dimension")
+            if all(v == 0 for v in o):
+                raise ProblemSpecError("zero offset is not a dependency")
+        if self.weights is None:
+            self.weights = tuple(1 for _ in range(d))
+        if len(self.weights) != d or any(w <= 0 for w in self.weights):
+            raise ProblemSpecError("weights must be positive, one per axis")
+        for o in self.offsets:
+            if sum(w * v for w, v in zip(self.weights, o)) >= 0:
+                raise ProblemSpecError(
+                    f"offset {o} does not decrease the wavefront index under "
+                    f"weights {self.weights}; no valid wavefront order exists"
+                )
+        if self.fixed is None:
+            self.fixed = tuple(0 for _ in range(d))
+        if len(self.fixed) != d or any(
+            not 0 <= f < s for f, s in zip(self.fixed, self.shape)
+        ):
+            raise ProblemSpecError("fixed slice counts out of range")
+        self.dtype = np.dtype(self.dtype)
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def computed_shape(self) -> tuple[int, ...]:
+        return tuple(s - f for s, f in zip(self.shape, self.fixed))
+
+    @property
+    def total_computed_cells(self) -> int:
+        return int(np.prod(self.computed_shape))
+
+    def make_table(self) -> np.ndarray:
+        table = np.zeros(self.shape, dtype=self.dtype)
+        if self.init is not None:
+            self.init(table, self.payload)
+        return table
+
+    def payload_nbytes(self) -> int:
+        hint = self.payload.get("_nbytes_hint")
+        if hint is not None:
+            return int(hint)
+        return sum(
+            v.nbytes for v in self.payload.values() if isinstance(v, np.ndarray)
+        )

@@ -1,0 +1,101 @@
+"""k-dimensional problem instances."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .problem import NdEvalContext, NdProblem
+
+__all__ = ["make_lcs3", "reference_lcs3", "make_nd_synthetic"]
+
+
+def _lcs3_cell(ctx: NdEvalContext) -> np.ndarray:
+    a = ctx.payload["a"]
+    b = ctx.payload["b"]
+    c = ctx.payload["c"]
+    i, j, k = ctx.coord(0), ctx.coord(1), ctx.coord(2)
+    match = (a[i - 1] == b[j - 1]) & (b[j - 1] == c[k - 1])
+    diag, di, dj, dk = ctx.neighbors
+    best = np.maximum(np.maximum(di, dj), dk)
+    return np.where(match, diag + 1, best)
+
+
+def make_lcs3(
+    m: int,
+    n: int | None = None,
+    p: int | None = None,
+    alphabet: int = 4,
+    seed: int = 0,
+    materialize: bool = True,
+) -> NdProblem:
+    """Longest common subsequence of *three* sequences — a classic 3-D DP.
+
+    Recurrence::
+
+        L[i,j,k] = L[i-1,j-1,k-1] + 1                       if a=b=c
+                 = max(L[i-1,j,k], L[i,j-1,k], L[i,j,k-1])  otherwise
+
+    Offsets all strictly decrease ``i+j+k``: plane wavefronts apply.
+    """
+    n = m if n is None else n
+    p = m if p is None else p
+    if materialize:
+        rng = np.random.default_rng(seed)
+        payload = {
+            "a": rng.integers(0, alphabet, m, dtype=np.int8),
+            "b": rng.integers(0, alphabet, n, dtype=np.int8),
+            "c": rng.integers(0, alphabet, p, dtype=np.int8),
+        }
+    else:
+        payload = {"_nbytes_hint": m + n + p}
+    return NdProblem(
+        name=f"lcs3-{m}x{n}x{p}",
+        shape=(m + 1, n + 1, p + 1),
+        offsets=((-1, -1, -1), (-1, 0, 0), (0, -1, 0), (0, 0, -1)),
+        cell=_lcs3_cell,
+        fixed=(1, 1, 1),
+        dtype=np.dtype(np.int32),
+        payload=payload,
+        cpu_work=1.3,
+        gpu_work=2.0,
+    )
+
+
+def reference_lcs3(a, b, c) -> int:
+    """Scalar reference 3-LCS length, for tests (O(mnp))."""
+    m, n, p = len(a), len(b), len(c)
+    L = np.zeros((m + 1, n + 1, p + 1), dtype=np.int64)
+    for i in range(1, m + 1):
+        for j in range(1, n + 1):
+            for k in range(1, p + 1):
+                if a[i - 1] == b[j - 1] == c[k - 1]:
+                    L[i, j, k] = L[i - 1, j - 1, k - 1] + 1
+                else:
+                    L[i, j, k] = max(
+                        L[i - 1, j, k], L[i, j - 1, k], L[i, j, k - 1]
+                    )
+    return int(L[m, n, p])
+
+
+def _min_plus_one(ctx: NdEvalContext) -> np.ndarray:
+    out = ctx.neighbors[0]
+    for v in ctx.neighbors[1:]:
+        out = np.minimum(out, v)
+    return out + 1
+
+
+def make_nd_synthetic(
+    shape: tuple[int, ...],
+    offsets: tuple[tuple[int, ...], ...],
+    weights: tuple[int, ...] | None = None,
+) -> NdProblem:
+    """``f = 1 + min(neighbours)`` with a zero out-of-table boundary, any k."""
+    return NdProblem(
+        name=f"nd-synthetic-{'x'.join(map(str, shape))}",
+        shape=shape,
+        offsets=offsets,
+        cell=_min_plus_one,
+        weights=weights,
+        dtype=np.dtype(np.int64),
+        oob_value=0,
+    )

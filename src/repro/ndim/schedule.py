@@ -1,0 +1,77 @@
+"""k-dimensional wavefront schedule.
+
+Wavefront index ``t(x) = w . x`` over the computed region; all cells of one
+``t`` are independent (every offset strictly decreases ``t``). Cells are
+materialized once, sorted by ``t`` (a counting-sort-style grouping), which
+costs O(cells) memory — the k-dim package targets the moderate sizes where a
+k-dimensional table is storable at all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ScheduleError
+
+__all__ = ["NdSchedule"]
+
+
+class NdSchedule:
+    """Wavefronts of a ``shape`` region under weights ``w``."""
+
+    def __init__(self, shape: tuple[int, ...], weights: tuple[int, ...]) -> None:
+        if len(shape) != len(weights):
+            raise ScheduleError("shape/weights dimension mismatch")
+        if any(s <= 0 for s in shape) or any(w <= 0 for w in weights):
+            raise ScheduleError("shape and weights must be positive")
+        self.shape = tuple(int(s) for s in shape)
+        self.weights = tuple(int(w) for w in weights)
+
+        grids = np.meshgrid(
+            *[np.arange(s, dtype=np.int64) for s in self.shape], indexing="ij"
+        )
+        coords = np.stack([g.ravel() for g in grids])  # (d, n)
+        t = np.zeros(coords.shape[1], dtype=np.int64)
+        for w, row in zip(self.weights, coords):
+            t += w * row
+        order = np.argsort(t, kind="stable")
+        self._coords = coords[:, order]
+        self._t_sorted = t[order]
+        self.t_max = int(t.max()) if t.size else 0
+        #: start offset of each wavefront in the sorted coordinate array
+        self._starts = np.searchsorted(
+            self._t_sorted, np.arange(self.t_max + 2)
+        )
+
+    @property
+    def num_iterations(self) -> int:
+        return self.t_max + 1
+
+    @property
+    def total_cells(self) -> int:
+        return int(self._coords.shape[1])
+
+    def width(self, t: int) -> int:
+        self._check(t)
+        return int(self._starts[t + 1] - self._starts[t])
+
+    def widths(self) -> np.ndarray:
+        return (self._starts[1:] - self._starts[:-1]).astype(np.int64)
+
+    def cells(self, t: int) -> np.ndarray:
+        """``(d, width)`` coordinates of wavefront ``t`` in canonical order.
+
+        Canonical order = lexicographic by coordinates (the stable sort of a
+        C-ordered meshgrid), so the heterogeneous prefix split is
+        deterministic.
+        """
+        self._check(t)
+        return self._coords[:, self._starts[t]: self._starts[t + 1]]
+
+    @property
+    def max_width(self) -> int:
+        return int(self.widths().max())
+
+    def _check(self, t: int) -> None:
+        if not 0 <= t < self.num_iterations:
+            raise ScheduleError(f"iteration {t} outside [0, {self.num_iterations})")

@@ -1,0 +1,32 @@
+"""Per-pattern heterogeneous execution strategies (paper Sec. III-A..D).
+
+Each strategy knows, for its wavefront pattern:
+
+* the *phase structure* (where the CPU runs alone vs where work is split);
+* the per-iteration *boundary transfers* a split requires, and their staging
+  kind (streamed pipeline vs pinned exchange, paper Sec. IV-C);
+* device-specific *addressing overhead* factors (e.g. the inverted-L's
+  two-arm index arithmetic is expensive in a GPU kernel — the reason the
+  paper prefers solving those problems as horizontal case-1, Sec. V-B).
+"""
+
+from .base import PatternStrategy
+from .antidiagonal import AntiDiagonalStrategy
+from .horizontal import HorizontalStrategy
+from .inverted_l import InvertedLStrategy
+from .knight_move import KnightMoveStrategy
+from .vertical import VerticalStrategy
+from .minverted_l import MInvertedLStrategy
+from .registry import strategy_for, strategy_class_for
+
+__all__ = [
+    "PatternStrategy",
+    "AntiDiagonalStrategy",
+    "HorizontalStrategy",
+    "InvertedLStrategy",
+    "KnightMoveStrategy",
+    "VerticalStrategy",
+    "MInvertedLStrategy",
+    "strategy_for",
+    "strategy_class_for",
+]

@@ -1,0 +1,24 @@
+"""mInverted-L pattern: the inverted-L strategy over a mirrored schedule.
+
+Paper Sec. III: mInverted-L (contributing set ``{NE}``) is the left-right
+mirror of inverted-L (``{NW}``). The framework runs the inverted-L *strategy*
+over a :class:`~repro.core.schedule.MInvertedLSchedule`; the arm-by-arm ring
+order is mirror-symmetric, so the parent of canonical position ``p`` is again
+at position ``p + 1`` of the previous ring and the same one-cell one-way
+boundary exchange applies.
+
+This subclass exists for explicitness in traces and reports.
+"""
+
+from __future__ import annotations
+
+from ..types import Pattern
+from .inverted_l import InvertedLStrategy
+
+__all__ = ["MInvertedLStrategy"]
+
+
+class MInvertedLStrategy(InvertedLStrategy):
+    """Identical mechanics to inverted-L; labeled with its own pattern."""
+
+    pattern = Pattern.MINVERTED_L

@@ -1,0 +1,24 @@
+"""Vertical pattern: the horizontal strategy over a column schedule.
+
+Paper Sec. III: vertical is symmetric to horizontal (transpose i/j). Rather
+than physically transposing the table, the framework runs the horizontal
+*strategy* over a :class:`~repro.core.schedule.VerticalSchedule`: constant
+width, single split phase. The contributing set is transposed when deciding
+transfer directions (W/NW for columns play the roles N/NW play for rows) —
+:class:`~repro.patterns.horizontal.HorizontalStrategy` does that internally.
+
+This subclass exists for explicitness in traces and reports.
+"""
+
+from __future__ import annotations
+
+from ..types import Pattern
+from .horizontal import HorizontalStrategy
+
+__all__ = ["VerticalStrategy"]
+
+
+class VerticalStrategy(HorizontalStrategy):
+    """Identical mechanics to horizontal; labeled with its own pattern."""
+
+    pattern = Pattern.VERTICAL

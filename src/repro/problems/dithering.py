@@ -1,0 +1,120 @@
+"""Floyd-Steinberg error-diffusion dithering — case study VI-B (Fig. 12).
+
+A *non-DP* local-dependency problem (LDDP-Plus). In raster order, each pixel
+is quantized and its quantization error forwarded with weights 7/16 (east),
+3/16 (south-west), 5/16 (south), 1/16 (south-east). Gathered at the receiving
+cell this reads::
+
+    acc(i,j) = 7/16 err(i,j-1) + 1/16 err(i-1,j-1)
+             + 5/16 err(i-1,j) + 3/16 err(i-1,j+1)
+    old      = image[i,j] + acc(i,j)
+    out[i,j] = white if old >= threshold else black
+    err(i,j) = old - out[i,j]
+
+The table stores ``err``; the dithered pixels land in the ``output``
+auxiliary array. Contributing set {W, NW, N, NE} (all four) -> knight-move
+pattern (Table I row 15), with the scheduling constraint of the paper's
+Fig. 11. Out-of-table neighbours contribute zero error, which is exactly the
+classic algorithm's boundary behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.cellfunc import EvalContext
+from ..core.problem import LDDPProblem
+from ..types import ContributingSet
+
+__all__ = ["make_dithering", "dithering_cell", "reference_dithering"]
+
+#: Classic Floyd-Steinberg weights, as gathered by the receiving cell.
+W_EAST = 7.0 / 16.0  # from (i, j-1)
+W_SW = 1.0 / 16.0  # from (i-1, j-1)
+W_S = 5.0 / 16.0  # from (i-1, j)
+W_SE = 3.0 / 16.0  # from (i-1, j+1)
+
+
+def dithering_cell(ctx: EvalContext) -> np.ndarray:
+    image = ctx.payload["image"]
+    threshold = ctx.payload["threshold"]
+    white = ctx.payload["white"]
+    acc = W_EAST * ctx.w + W_SW * ctx.nw + W_S * ctx.n + W_SE * ctx.ne
+    old = image[ctx.i, ctx.j] + acc
+    out = np.where(old >= threshold, white, 0.0)
+    ctx.aux["output"][ctx.i, ctx.j] = out
+    return old - out
+
+
+def make_dithering(
+    rows: int,
+    cols: int | None = None,
+    threshold: float = 127.5,
+    white: float = 255.0,
+    seed: int = 0,
+    materialize: bool = True,
+) -> LDDPProblem:
+    """Dither a smooth synthetic grayscale image of shape (rows, cols)."""
+    cols = rows if cols is None else cols
+    if materialize:
+        # A smooth gradient-plus-ripple test card: exercises both saturated
+        # regions (long error runs) and mid-gray regions (dense toggling).
+        ii = np.arange(rows, dtype=np.float64)[:, None]
+        jj = np.arange(cols, dtype=np.float64)[None, :]
+        image = 255.0 * (
+            0.5
+            + 0.35 * np.sin(ii / max(rows, 1) * 3.1) * np.cos(jj / max(cols, 1) * 2.3)
+            + 0.15 * (ii + jj) / max(rows + cols, 1)
+        )
+        image = np.clip(image, 0.0, 255.0)
+        payload = {"image": image, "threshold": threshold, "white": white}
+    else:
+        # A real implementation ships the image as 8-bit pixels.
+        payload = {
+            "_nbytes_hint": rows * cols,
+            "threshold": threshold,
+            "white": white,
+        }
+    return LDDPProblem(
+        name=f"dithering-{rows}x{cols}",
+        shape=(rows, cols),
+        contributing=ContributingSet.of("W", "NW", "N", "NE"),
+        cell=dithering_cell,
+        init=None,
+        dtype=np.dtype(np.float32),  # error values: f32 suffices (8-bit pixels)
+        payload=payload,
+        aux_specs={"output": np.dtype(np.float32)},
+        oob_value=0.0,
+        cpu_work=2.0,  # heavier per-pixel arithmetic than an edit-distance cell
+        gpu_work=6.0,  # divergence-heavy on a GPU (Deshpande et al.)
+    )
+
+
+def reference_dithering(
+    image: np.ndarray, threshold: float = 127.5, white: float = 255.0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Classic raster-order Floyd-Steinberg; returns (output, error) arrays.
+
+    The textbook *scatter* formulation, used to validate the framework's
+    gather formulation cell by cell.
+    """
+    rows, cols = image.shape
+    work = image.astype(np.float64).copy()
+    out = np.zeros_like(work)
+    err = np.zeros_like(work)
+    for i in range(rows):
+        for j in range(cols):
+            old = work[i, j]
+            new = white if old >= threshold else 0.0
+            e = old - new
+            out[i, j] = new
+            err[i, j] = e
+            if j + 1 < cols:
+                work[i, j + 1] += e * 7.0 / 16.0
+            if i + 1 < rows:
+                if j - 1 >= 0:
+                    work[i + 1, j - 1] += e * 3.0 / 16.0
+                work[i + 1, j] += e * 5.0 / 16.0
+                if j + 1 < cols:
+                    work[i + 1, j + 1] += e * 1.0 / 16.0
+    return out, err

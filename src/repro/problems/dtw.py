@@ -1,0 +1,95 @@
+"""Dynamic time warping — the introduction's speech-processing motivation.
+
+Recurrence::
+
+    D[i][j] = |x[i] - y[j]| + min(D[i-1][j], D[i][j-1], D[i-1][j-1])
+
+with ``D[0][0] = 0`` and the rest of row/column 0 at +inf.
+Contributing set {W, NW, N} -> anti-diagonal pattern.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.cellfunc import EvalContext
+from ..core.problem import LDDPProblem
+from ..types import ContributingSet
+
+__all__ = ["make_dtw", "dtw_cell", "reference_dtw"]
+
+
+def dtw_cell(ctx: EvalContext) -> np.ndarray:
+    x = ctx.payload["x"]
+    y = ctx.payload["y"]
+    cost = np.abs(x[ctx.i - 1] - y[ctx.j - 1])
+    best = cost + np.minimum(np.minimum(ctx.n, ctx.w), ctx.nw)
+    band = ctx.payload.get("band")
+    if band is not None:
+        # Sakoe-Chiba constraint: cells outside |i - j| <= band are walls
+        best = np.where(np.abs(ctx.i - ctx.j) <= band, best, np.inf)
+    return best
+
+
+def _init(table: np.ndarray, payload) -> None:
+    table[0, :] = np.inf
+    table[:, 0] = np.inf
+    table[0, 0] = 0.0
+
+
+def make_dtw(
+    m: int,
+    n: int | None = None,
+    seed: int = 0,
+    band: int | None = None,
+    materialize: bool = True,
+) -> LDDPProblem:
+    """DTW distance between two random walks of lengths ``m`` and ``n``.
+
+    ``band`` enables the Sakoe-Chiba constraint: warping paths may not leave
+    the diagonal corridor ``|i - j| <= band``. The banded table is still the
+    same anti-diagonal LDDP (out-of-corridor cells become +inf walls), a
+    classic speech-processing restriction from the paper's DTW citation.
+    """
+    n = m if n is None else n
+    if materialize:
+        rng = np.random.default_rng(seed)
+        payload = {
+            "x": np.cumsum(rng.normal(size=m)),
+            "y": np.cumsum(rng.normal(size=n)),
+        }
+        init = _init
+    else:
+        payload = {"_nbytes_hint": 8 * (m + n)}
+        init = None
+    if band is not None:
+        if band < abs(m - n):
+            raise ValueError(
+                f"band {band} < |m - n| = {abs(m - n)}: no path can reach the corner"
+            )
+        payload["band"] = int(band)
+    return LDDPProblem(
+        name=f"dtw-{m}x{n}",
+        shape=(m + 1, n + 1),
+        contributing=ContributingSet.of("W", "NW", "N"),
+        cell=dtw_cell,
+        init=init,
+        fixed_rows=1,
+        fixed_cols=1,
+        dtype=np.dtype(np.float64),
+        payload=payload,
+        cpu_work=1.2,
+        gpu_work=1.5,
+    )
+
+
+def reference_dtw(x: np.ndarray, y: np.ndarray) -> float:
+    """Scalar reference DTW distance, for tests."""
+    m, n = len(x), len(y)
+    D = np.full((m + 1, n + 1), np.inf)
+    D[0, 0] = 0.0
+    for i in range(1, m + 1):
+        for j in range(1, n + 1):
+            c = abs(x[i - 1] - y[j - 1])
+            D[i, j] = c + min(D[i - 1, j], D[i, j - 1], D[i - 1, j - 1])
+    return float(D[m, n])

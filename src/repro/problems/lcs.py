@@ -1,0 +1,72 @@
+"""Longest common subsequence length — the paper's Fig. 7 tuning workload.
+
+Recurrence::
+
+    L[i][j] = L[i-1][j-1] + 1              if a[i] == b[j]
+            = max(L[i-1][j], L[i][j-1])    otherwise
+
+Contributing set {W, NW, N} -> anti-diagonal pattern.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.cellfunc import EvalContext
+from ..core.problem import LDDPProblem
+from ..types import ContributingSet
+
+__all__ = ["make_lcs", "lcs_cell", "reference_lcs"]
+
+
+def lcs_cell(ctx: EvalContext) -> np.ndarray:
+    a = ctx.payload["a"]
+    b = ctx.payload["b"]
+    match = a[ctx.i - 1] == b[ctx.j - 1]
+    return np.where(match, ctx.nw + 1, np.maximum(ctx.n, ctx.w))
+
+
+def make_lcs(
+    m: int,
+    n: int | None = None,
+    alphabet: int = 4,
+    seed: int = 0,
+    materialize: bool = True,
+    dtype=np.int32,
+) -> LDDPProblem:
+    """LCS length of two random sequences; row/column 0 fixed to zero."""
+    n = m if n is None else n
+    if materialize:
+        rng = np.random.default_rng(seed)
+        payload = {
+            "a": rng.integers(0, alphabet, m, dtype=np.int8),
+            "b": rng.integers(0, alphabet, n, dtype=np.int8),
+        }
+    else:
+        payload = {"_nbytes_hint": m + n}
+    return LDDPProblem(
+        name=f"lcs-{m}x{n}",
+        shape=(m + 1, n + 1),
+        contributing=ContributingSet.of("W", "NW", "N"),
+        cell=lcs_cell,
+        init=None,  # all-zero boundary is the correct initialization
+        fixed_rows=1,
+        fixed_cols=1,
+        dtype=np.dtype(dtype),
+        payload=payload,
+        cpu_work=1.0,
+        gpu_work=1.5,
+    )
+
+
+def reference_lcs(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """O(mn) scalar reference table, for tests."""
+    m, n = len(a), len(b)
+    L = np.zeros((m + 1, n + 1), dtype=np.int64)
+    for i in range(1, m + 1):
+        for j in range(1, n + 1):
+            if a[i - 1] == b[j - 1]:
+                L[i, j] = L[i - 1, j - 1] + 1
+            else:
+                L[i, j] = max(L[i - 1, j], L[i, j - 1])
+    return L

@@ -1,0 +1,87 @@
+"""Longest common *substring* (contiguous) — the tutorial's worked example.
+
+Recurrence::
+
+    S[i][j] = S[i-1][j-1] + 1   if a[i] == b[j]
+            = 0                 otherwise
+
+Contributing set {NW} -> inverted-L pattern (Table I row 4), executed as
+horizontal case-1 by default (paper Sec. V-B). The answer is the table
+maximum; the matching substring ends at its argmax.
+
+This module exists so `docs/adding-a-problem.md` stays executable and
+tested.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.cellfunc import EvalContext
+from ..core.problem import LDDPProblem
+from ..types import ContributingSet
+
+__all__ = ["make_lcsubstr", "lcsubstr_cell", "extract_substring", "reference_lcsubstr"]
+
+
+def lcsubstr_cell(ctx: EvalContext) -> np.ndarray:
+    a = ctx.payload["a"]
+    b = ctx.payload["b"]
+    match = a[ctx.i - 1] == b[ctx.j - 1]
+    return np.where(match, ctx.nw + 1, 0)
+
+
+def make_lcsubstr(
+    m: int,
+    n: int | None = None,
+    alphabet: int = 4,
+    seed: int = 0,
+    materialize: bool = True,
+) -> LDDPProblem:
+    """Longest common substring of two random sequences."""
+    n = m if n is None else n
+    if materialize:
+        rng = np.random.default_rng(seed)
+        payload = {
+            "a": rng.integers(0, alphabet, m, dtype=np.int8),
+            "b": rng.integers(0, alphabet, n, dtype=np.int8),
+        }
+    else:
+        payload = {"_nbytes_hint": m + n}
+    return LDDPProblem(
+        name=f"lcsubstr-{m}x{n}",
+        shape=(m + 1, n + 1),
+        contributing=ContributingSet.of("NW"),
+        cell=lcsubstr_cell,
+        init=None,  # zero boundary is correct
+        fixed_rows=1,
+        fixed_cols=1,
+        dtype=np.dtype(np.int32),
+        payload=payload,
+        cpu_work=0.8,
+        gpu_work=1.0,
+    )
+
+
+def extract_substring(table: np.ndarray, a: np.ndarray) -> np.ndarray:
+    """The (first) longest common substring, read off the filled table."""
+    length = int(table.max())
+    if length == 0:
+        return a[:0]
+    i, _ = np.unravel_index(int(np.argmax(table)), table.shape)
+    return a[i - length: i]
+
+
+def reference_lcsubstr(a, b) -> int:
+    """Scalar reference length, for tests."""
+    best = 0
+    m, n = len(a), len(b)
+    prev = [0] * (n + 1)
+    for i in range(1, m + 1):
+        cur = [0] * (n + 1)
+        for j in range(1, n + 1):
+            if a[i - 1] == b[j - 1]:
+                cur[j] = prev[j - 1] + 1
+                best = max(best, cur[j])
+        prev = cur
+    return best

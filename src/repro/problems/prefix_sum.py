@@ -1,0 +1,67 @@
+"""2-D prefix sums (summed-area table) as an LDDP-Plus problem.
+
+The inclusion-exclusion recurrence::
+
+    S[i,j] = x[i,j] + S[i,j-1] + S[i-1,j] - S[i-1,j-1]
+
+reads {W, NW, N} -> anti-diagonal pattern (Table I row 14). Not an
+optimization problem at all — a reminder that LDDP-Plus is about the
+*dependency footprint*, not about min/max semantics — and priceless for
+testing because NumPy's ``cumsum`` provides an exact closed-form oracle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.cellfunc import EvalContext
+from ..core.problem import LDDPProblem
+from ..types import ContributingSet
+
+__all__ = ["make_prefix_sum", "prefix_sum_cell", "reference_prefix_sum"]
+
+
+def prefix_sum_cell(ctx: EvalContext) -> np.ndarray:
+    x = ctx.payload["x"]
+    return x[ctx.i, ctx.j] + ctx.w + ctx.n - ctx.nw
+
+
+def make_prefix_sum(
+    rows: int,
+    cols: int | None = None,
+    seed: int = 0,
+    integer: bool = True,
+    materialize: bool = True,
+) -> LDDPProblem:
+    """Summed-area table of a random matrix.
+
+    ``integer=True`` uses int64 input (exact equality against the oracle);
+    floats exercise accumulated-rounding behaviour instead.
+    """
+    cols = rows if cols is None else cols
+    if materialize:
+        rng = np.random.default_rng(seed)
+        if integer:
+            x = rng.integers(-50, 50, size=(rows, cols)).astype(np.int64)
+        else:
+            x = rng.normal(size=(rows, cols))
+        payload = {"x": x}
+    else:
+        payload = {"_nbytes_hint": rows * cols * 8}
+    return LDDPProblem(
+        name=f"prefix-sum-{rows}x{cols}",
+        shape=(rows, cols),
+        contributing=ContributingSet.of("W", "NW", "N"),
+        cell=prefix_sum_cell,
+        init=None,
+        dtype=np.dtype(np.int64 if integer else np.float64),
+        payload=payload,
+        oob_value=0,  # S vanishes outside the table: exactly the boundary rule
+        cpu_work=0.8,
+        gpu_work=1.0,
+    )
+
+
+def reference_prefix_sum(x: np.ndarray) -> np.ndarray:
+    """The closed-form oracle: double cumulative sum."""
+    return np.cumsum(np.cumsum(x, axis=0), axis=1)

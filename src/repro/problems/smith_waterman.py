@@ -1,0 +1,71 @@
+"""Smith-Waterman local sequence alignment (linear gap penalty).
+
+Recurrence::
+
+    H[i][j] = max( 0,
+                   H[i-1][j-1] + s(a[i], b[j]),
+                   H[i-1][j]   + gap,
+                   H[i][j-1]   + gap )
+
+Contributing set {W, NW, N} -> anti-diagonal pattern. The best local
+alignment score is the table maximum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.cellfunc import EvalContext
+from ..core.problem import LDDPProblem
+from ..types import ContributingSet
+
+__all__ = ["make_smith_waterman", "sw_cell"]
+
+
+def sw_cell(ctx: EvalContext) -> np.ndarray:
+    a = ctx.payload["a"]
+    b = ctx.payload["b"]
+    s = np.where(
+        a[ctx.i - 1] == b[ctx.j - 1], ctx.payload["match"], ctx.payload["mismatch"]
+    )
+    gap = ctx.payload["gap"]
+    best = np.maximum(np.maximum(ctx.nw + s, ctx.n + gap), ctx.w + gap)
+    return np.maximum(best, 0)
+
+
+def make_smith_waterman(
+    m: int,
+    n: int | None = None,
+    alphabet: int = 4,
+    match: int = 2,
+    mismatch: int = -1,
+    gap: int = -1,
+    seed: int = 0,
+    materialize: bool = True,
+) -> LDDPProblem:
+    """Local alignment score table; zero boundary, zero floor."""
+    n = m if n is None else n
+    if materialize:
+        rng = np.random.default_rng(seed)
+        payload = {
+            "a": rng.integers(0, alphabet, m, dtype=np.int8),
+            "b": rng.integers(0, alphabet, n, dtype=np.int8),
+            "match": match,
+            "mismatch": mismatch,
+            "gap": gap,
+        }
+    else:
+        payload = {"_nbytes_hint": m + n}
+    return LDDPProblem(
+        name=f"smith-waterman-{m}x{n}",
+        shape=(m + 1, n + 1),
+        contributing=ContributingSet.of("W", "NW", "N"),
+        cell=sw_cell,
+        init=None,  # zero boundary is correct
+        fixed_rows=1,
+        fixed_cols=1,
+        dtype=np.dtype(np.int32),
+        payload=payload,
+        cpu_work=1.3,
+        gpu_work=1.8,
+    )

@@ -1,0 +1,121 @@
+"""Parametric synthetic problems.
+
+* :func:`make_synthetic` builds a problem for *any* of the 15 contributing
+  sets (``f = min over contributing cells + 1``) — used to exercise every
+  Table-I row end to end.
+* :func:`make_fig8_problem` is the paper's Sec. V-B workload,
+  ``f(i,j) = max(cell_ij, f(i-1,j-1)) + c`` (contributing set {NW}), used to
+  compare the inverted-L schedule against horizontal case-1 (Fig. 8).
+* :func:`make_fig9_problem` is the paper's Fig. 9 workload,
+  ``f(i,j) = min(f(i-1,j-1), f(i-1,j)) + c`` (contributing set {NW, N}),
+  a horizontal case-1 pattern.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.cellfunc import EvalContext
+from ..core.problem import LDDPProblem
+from ..types import ContributingSet
+
+__all__ = ["make_synthetic", "make_fig8_problem", "make_fig9_problem"]
+
+
+def _min_plus_one(ctx: EvalContext) -> np.ndarray:
+    vals = [v for v in (ctx.w, ctx.nw, ctx.n, ctx.ne) if v is not None]
+    out = vals[0]
+    for v in vals[1:]:
+        out = np.minimum(out, v)
+    return out + 1
+
+
+def make_synthetic(
+    contributing: ContributingSet,
+    rows: int = 64,
+    cols: int | None = None,
+    dtype=np.int64,
+) -> LDDPProblem:
+    """``f = 1 + min(contributing cells)`` with a zero boundary.
+
+    Out-of-table reads see 0, so the table is well-defined for every one of
+    the 15 contributing sets without fixed rows/columns. For sets not
+    containing W the value is related to a shortest hop-count to the
+    boundary — handy for eyeballing pattern correctness.
+    """
+    cols = rows if cols is None else cols
+    return LDDPProblem(
+        name=f"synthetic-{contributing.mask:02d}-{rows}x{cols}",
+        shape=(rows, cols),
+        contributing=contributing,
+        cell=_min_plus_one,
+        init=None,
+        dtype=np.dtype(dtype),
+        oob_value=0,
+    )
+
+
+def _fig8_base(i: np.ndarray, j: np.ndarray) -> np.ndarray:
+    """Deterministic pseudo-random per-cell base value, computed in-kernel.
+
+    A Weyl-style hash keeps the workload data-free: no grid has to be staged
+    to the device, so the Fig. 8 comparison measures the *schedules*, not
+    PCIe bandwidth.
+    """
+    h = (i * np.int64(2654435761) + j * np.int64(40503)) & np.int64(0xFFFF)
+    return h.astype(np.float64) / 655.36  # range [0, 100)
+
+
+def _fig8_cell(ctx: EvalContext) -> np.ndarray:
+    return np.maximum(_fig8_base(ctx.i, ctx.j), ctx.nw) + ctx.payload["c"]
+
+
+def make_fig8_problem(
+    n: int,
+    cols: int | None = None,
+    c: float = 1.0,
+    seed: int = 0,
+    materialize: bool = True,
+) -> LDDPProblem:
+    """Sec. V-B workload: ``f = max(cell_ij, NW) + c``, contributing {NW}."""
+    cols = n if cols is None else cols
+    payload: dict = {"c": c}
+    if not materialize:
+        payload["_nbytes_hint"] = 0
+    return LDDPProblem(
+        name=f"fig8-{n}x{cols}",
+        shape=(n, cols),
+        contributing=ContributingSet.of("NW"),
+        cell=_fig8_cell,
+        init=None,
+        dtype=np.dtype(np.float64),
+        payload=payload,
+        oob_value=0.0,
+    )
+
+
+def _fig9_cell(ctx: EvalContext) -> np.ndarray:
+    return np.minimum(ctx.nw, ctx.n) + ctx.payload["c"]
+
+
+def make_fig9_problem(
+    n: int,
+    cols: int | None = None,
+    c: float = 1.0,
+    materialize: bool = True,
+) -> LDDPProblem:
+    """Fig. 9 workload: ``f = min(NW, N) + c``, horizontal case-1."""
+    cols = n if cols is None else cols
+    payload: dict = {"c": c}
+    if not materialize:
+        payload["_nbytes_hint"] = 0
+    return LDDPProblem(
+        name=f"fig9-{n}x{cols}",
+        shape=(n, cols),
+        contributing=ContributingSet.of("NW", "N"),
+        cell=_fig9_cell,
+        init=None,
+        dtype=np.dtype(np.float64),
+        payload=payload,
+        oob_value=0.0,
+    )

@@ -1,0 +1,47 @@
+"""CUDA-stream-like FIFO helpers.
+
+A :class:`Stream` chains its own tasks: each pushed task implicitly depends
+on the previously pushed one, regardless of which resource it runs on — the
+in-order semantics of a CUDA stream (a copy and a kernel issued to the same
+stream serialize even though they use different engines). Independent streams
+only synchronize through explicit dependencies, which is exactly what the
+paper's pipelining scheme exploits (Sec. IV-C1).
+"""
+
+from __future__ import annotations
+
+from .engine import Engine
+
+__all__ = ["Stream"]
+
+
+class Stream:
+    """An in-order issue queue on top of an :class:`Engine`."""
+
+    def __init__(self, engine: Engine, name: str) -> None:
+        self.engine = engine
+        self.name = name
+        self._last: int | None = None
+
+    @property
+    def last(self) -> int | None:
+        """Id of the most recently pushed task (None if empty)."""
+        return self._last
+
+    def push(
+        self,
+        resource: str,
+        duration: float,
+        deps: tuple[int, ...] | list[int] = (),
+        label: str = "",
+        **meta,
+    ) -> int:
+        """Submit a task that also waits for this stream's previous task."""
+        alldeps = tuple(deps)
+        if self._last is not None:
+            alldeps = alldeps + (self._last,)
+        tid = self.engine.task(
+            resource, duration, deps=alldeps, label=label, stream=self.name, **meta
+        )
+        self._last = tid
+        return tid

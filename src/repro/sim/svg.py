@@ -1,0 +1,107 @@
+"""Dependency-free SVG Gantt rendering of timelines.
+
+For eyeballing heterogeneous schedules: one lane per resource, one rectangle
+per task (colored by the ``kind`` meta), the critical path outlined. Pure
+string assembly — no plotting libraries.
+"""
+
+from __future__ import annotations
+
+import html
+
+from .timeline import Timeline
+
+__all__ = ["gantt_svg"]
+
+_KIND_COLORS = {
+    "compute": "#4878a8",
+    "boundary-transfer": "#c94f4f",
+    "phase-transfer": "#e0a03c",
+    "setup": "#8a8a8a",
+    "other": "#70a070",
+}
+
+_LANE_H = 28
+_LANE_GAP = 8
+_LEFT = 90
+_WIDTH = 960
+_TOP = 34
+
+
+def gantt_svg(
+    timeline: Timeline,
+    title: str = "",
+    max_tasks: int | None = 4000,
+    highlight_critical: bool = True,
+) -> str:
+    """Render a timeline as an SVG document string.
+
+    ``max_tasks`` caps the rectangles drawn (long runs stay viewable); the
+    cap keeps the *earliest* tasks and notes the truncation in the subtitle.
+    """
+    records = list(timeline)
+    truncated = False
+    if max_tasks is not None and len(records) > max_tasks:
+        records = records[:max_tasks]
+        truncated = True
+    span = max((r.end for r in records), default=0.0) or 1.0
+    resources = []
+    for r in records:
+        if r.resource not in resources:
+            resources.append(r.resource)
+    lane_of = {res: k for k, res in enumerate(resources)}
+    height = _TOP + len(resources) * (_LANE_H + _LANE_GAP) + 24
+
+    def x(t: float) -> float:
+        return _LEFT + (t / span) * (_WIDTH - _LEFT - 10)
+
+    critical = set()
+    if highlight_critical:
+        critical = {r.tid for r in timeline.critical_path()}
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" '
+        f'height="{height}" font-family="monospace" font-size="11">',
+        f'<rect width="{_WIDTH}" height="{height}" fill="white"/>',
+    ]
+    sub = f" (first {len(records)} tasks)" if truncated else ""
+    parts.append(
+        f'<text x="8" y="16" font-size="13">{html.escape(title)}{sub} '
+        f"— makespan {span * 1e3:.3f} ms</text>"
+    )
+    for res, k in lane_of.items():
+        y = _TOP + k * (_LANE_H + _LANE_GAP)
+        parts.append(
+            f'<text x="8" y="{y + _LANE_H * 0.65:.1f}">{html.escape(res)}</text>'
+        )
+        parts.append(
+            f'<line x1="{_LEFT}" y1="{y + _LANE_H}" x2="{_WIDTH - 10}" '
+            f'y2="{y + _LANE_H}" stroke="#ddd"/>'
+        )
+    for r in records:
+        y = _TOP + lane_of[r.resource] * (_LANE_H + _LANE_GAP)
+        x0, x1 = x(r.start), x(r.end)
+        w = max(0.5, x1 - x0)
+        kind = str(r.meta.get("kind", "other"))
+        fill = _KIND_COLORS.get(kind, _KIND_COLORS["other"])
+        stroke = (
+            ' stroke="#202020" stroke-width="1.2"' if r.tid in critical else ""
+        )
+        label = html.escape(f"{r.label} [{r.start * 1e3:.3f}, {r.end * 1e3:.3f}] ms")
+        parts.append(
+            f'<rect x="{x0:.2f}" y="{y + 3}" width="{w:.2f}" '
+            f'height="{_LANE_H - 6}" fill="{fill}"{stroke}>'
+            f"<title>{label}</title></rect>"
+        )
+    legend_x = _LEFT
+    for kind, color in _KIND_COLORS.items():
+        parts.append(
+            f'<rect x="{legend_x}" y="{height - 18}" width="10" height="10" '
+            f'fill="{color}"/>'
+        )
+        parts.append(
+            f'<text x="{legend_x + 14}" y="{height - 9}">{kind}</text>'
+        )
+        legend_x += 14 + 8 * len(kind) + 22
+    parts.append("</svg>")
+    return "\n".join(parts)

@@ -1,0 +1,178 @@
+"""Resolved schedules: per-task times, makespan, utilization, Gantt export."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from ..errors import SimulationError
+
+__all__ = ["TaskRecord", "Timeline"]
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """A task with resolved start/end times (simulated seconds).
+
+    ``binding`` is the id of the task whose completion set this task's start
+    time (its critical predecessor) — ``None`` for tasks starting at zero.
+    """
+
+    tid: int
+    resource: str
+    label: str
+    start: float
+    end: float
+    deps: tuple[int, ...] = ()
+    meta: dict[str, Any] = field(default_factory=dict)
+    binding: int | None = None
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Timeline:
+    """An immutable, queryable resolved schedule."""
+
+    def __init__(self, records: list[TaskRecord]) -> None:
+        self._records = records
+
+    # -- basic queries -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    def __getitem__(self, tid: int) -> TaskRecord:
+        return self._records[tid]
+
+    @property
+    def makespan(self) -> float:
+        """End of the last task (0 for an empty timeline)."""
+        return max((r.end for r in self._records), default=0.0)
+
+    @property
+    def resources(self) -> tuple[str, ...]:
+        seen: dict[str, None] = {}
+        for r in self._records:
+            seen.setdefault(r.resource, None)
+        return tuple(seen)
+
+    def on(self, resource: str) -> list[TaskRecord]:
+        """All tasks on one resource, in execution (= submission) order."""
+        return [r for r in self._records if r.resource == resource]
+
+    def busy(self, resource: str) -> float:
+        """Total busy seconds of a resource."""
+        return sum(r.duration for r in self._records if r.resource == resource)
+
+    def utilization(self, resource: str) -> float:
+        """Busy fraction of the makespan; 0 for an empty timeline."""
+        span = self.makespan
+        return self.busy(resource) / span if span > 0 else 0.0
+
+    def where(self, **meta) -> list[TaskRecord]:
+        """Tasks whose ``meta`` matches all given key/value pairs."""
+        out = []
+        for r in self._records:
+            if all(r.meta.get(k) == v for k, v in meta.items()):
+                out.append(r)
+        return out
+
+    def critical_path(self) -> list[TaskRecord]:
+        """The chain of tasks that determines the makespan.
+
+        Walks binding predecessors backwards from the last-finishing task;
+        the result is in execution order (first task first). Gaps between
+        consecutive chain members are idle waits (possible when a binding
+        resource predecessor ended earlier than a dependency — the chain is
+        contiguous in *constraint* order, not necessarily in time).
+        """
+        if not self._records:
+            return []
+        cur: TaskRecord | None = max(self._records, key=lambda r: r.end)
+        chain: list[TaskRecord] = []
+        while cur is not None:
+            chain.append(cur)
+            cur = self._records[cur.binding] if cur.binding is not None else None
+        chain.reverse()
+        return chain
+
+    def critical_breakdown(self, key: str = "kind") -> dict[str, float]:
+        """Critical-path seconds grouped by a meta key (default: task kind).
+
+        Answers "what is the bottleneck made of" — launch-bound runs show up
+        as compute-kind time on narrow kernels, transfer-bound runs as
+        boundary/setup time. Idle gaps (if any) appear under ``"idle"``.
+        """
+        chain = self.critical_path()
+        out: dict[str, float] = {}
+        prev_end = 0.0
+        for r in chain:
+            if r.start > prev_end + 1e-15:
+                out["idle"] = out.get("idle", 0.0) + (r.start - prev_end)
+            group = str(r.meta.get(key, "other"))
+            out[group] = out.get(group, 0.0) + r.duration
+            prev_end = r.end
+        return out
+
+    # -- validation -----------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`SimulationError`.
+
+        * every task starts at/after each of its dependencies' ends;
+        * tasks on one resource never overlap and preserve FIFO order.
+        """
+        ends = [r.end for r in self._records]
+        last_on: dict[str, TaskRecord] = {}
+        for r in self._records:
+            if r.end < r.start:
+                raise SimulationError(f"task {r.tid} ends before it starts")
+            for d in r.deps:
+                if ends[d] > r.start + 1e-15:
+                    raise SimulationError(
+                        f"task {r.tid} starts at {r.start} before dep {d} "
+                        f"ends at {ends[d]}"
+                    )
+            prev = last_on.get(r.resource)
+            if prev is not None and r.start < prev.end - 1e-15:
+                raise SimulationError(
+                    f"tasks {prev.tid} and {r.tid} overlap on {r.resource}"
+                )
+            last_on[r.resource] = r
+
+    # -- export ----------------------------------------------------------------
+
+    def gantt(self, max_rows: int | None = None) -> str:
+        """A plain-text Gantt sketch for debugging / examples."""
+        rows: list[str] = []
+        span = self.makespan or 1.0
+        width = 60
+        records: Iterable[TaskRecord] = self._records
+        if max_rows is not None:
+            records = self._records[:max_rows]
+        for r in records:
+            a = int(r.start / span * width)
+            b = max(a + 1, int(r.end / span * width))
+            bar = " " * a + "#" * (b - a)
+            rows.append(f"{r.resource:>6} |{bar:<{width}}| {r.label}")
+        return "\n".join(rows)
+
+    def to_trace(self) -> list[dict[str, Any]]:
+        """JSON-serializable list of task dicts (chrome-trace-ish)."""
+        return [
+            {
+                "tid": r.tid,
+                "resource": r.resource,
+                "label": r.label,
+                "start": r.start,
+                "end": r.end,
+                "deps": list(r.deps),
+                **({"meta": r.meta} if r.meta else {}),
+            }
+            for r in self._records
+        ]

@@ -1,0 +1,34 @@
+"""Structured trace export for solved timelines."""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .timeline import Timeline
+
+__all__ = ["trace_json", "summarize"]
+
+
+def trace_json(timeline: Timeline, indent: int | None = None) -> str:
+    """Serialize a timeline to JSON (list of task dicts)."""
+    return json.dumps(timeline.to_trace(), indent=indent)
+
+
+def summarize(timeline: Timeline) -> dict[str, Any]:
+    """Aggregate statistics for reports and assertions.
+
+    Returns makespan, per-resource busy time and utilization, and counts of
+    tasks grouped by the ``kind`` meta key (compute / transfer / setup).
+    """
+    kinds: dict[str, int] = {}
+    for r in timeline:
+        kind = r.meta.get("kind", "other")
+        kinds[kind] = kinds.get(kind, 0) + 1
+    return {
+        "makespan": timeline.makespan,
+        "num_tasks": len(timeline),
+        "busy": {res: timeline.busy(res) for res in timeline.resources},
+        "utilization": {res: timeline.utilization(res) for res in timeline.resources},
+        "task_kinds": kinds,
+    }

@@ -1,0 +1,37 @@
+"""Solution reconstruction (tracebacks) for the bundled problems.
+
+The framework fills score/cost tables; downstream users usually want the
+*witness* — the edit script, the alignment, the path. This package
+backtracks the filled tables of every bundled problem family:
+
+* :func:`edit_script` / :func:`apply_edit_script` — Levenshtein operations;
+* :func:`align_global` / :func:`align_local` — Needleman-Wunsch and
+  Smith-Waterman alignments (gapped sequence pairs);
+* :func:`checkerboard_path` — the minimum-cost board walk (also powers the
+  seam-carving example);
+* :func:`dtw_path` — the optimal warping path.
+
+Backtracking is O(path length) over the already-filled table; no framework
+machinery is involved, so these work on the output of *any* executor.
+"""
+
+from .editscript import EditKind, EditOp, apply_edit_script, edit_script
+from .alignment import Alignment, align_global, align_local
+from .hirschberg import align_global_linear_space, nw_score_last_row
+from .gotoh_traceback import align_affine
+from .paths import checkerboard_path, dtw_path
+
+__all__ = [
+    "align_affine",
+    "align_global_linear_space",
+    "nw_score_last_row",
+    "EditKind",
+    "EditOp",
+    "edit_script",
+    "apply_edit_script",
+    "Alignment",
+    "align_global",
+    "align_local",
+    "checkerboard_path",
+    "dtw_path",
+]

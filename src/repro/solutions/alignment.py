@@ -1,0 +1,129 @@
+"""Alignment reconstruction for Needleman-Wunsch and Smith-Waterman tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ReproError
+
+__all__ = ["Alignment", "align_global", "align_local"]
+
+GAP = -1  # sentinel index marking a gap column
+
+
+@dataclass(frozen=True)
+class Alignment:
+    """A gapped pairing of two sequences.
+
+    ``a_idx``/``b_idx`` are equal-length tuples of source indices, ``GAP``
+    (-1) marking gap columns. ``score`` is the table score of the alignment.
+    """
+
+    a_idx: tuple[int, ...]
+    b_idx: tuple[int, ...]
+    score: float
+
+    def __len__(self) -> int:
+        return len(self.a_idx)
+
+    def render(self, a: Sequence[int], b: Sequence[int],
+               alphabet: str = "ACGT") -> tuple[str, str]:
+        """Two display strings with ``-`` for gaps."""
+        top = "".join(
+            "-" if i == GAP else alphabet[int(a[i]) % len(alphabet)]
+            for i in self.a_idx
+        )
+        bot = "".join(
+            "-" if j == GAP else alphabet[int(b[j]) % len(alphabet)]
+            for j in self.b_idx
+        )
+        return top, bot
+
+    def identity(self, a: Sequence[int], b: Sequence[int]) -> float:
+        """Fraction of columns pairing equal symbols."""
+        if len(self.a_idx) == 0:
+            return 0.0
+        same = sum(
+            1
+            for i, j in zip(self.a_idx, self.b_idx)
+            if i != GAP and j != GAP and a[i] == b[j]
+        )
+        return same / len(self.a_idx)
+
+
+def _backtrack(
+    table: np.ndarray,
+    a: Sequence[int],
+    b: Sequence[int],
+    i: int,
+    j: int,
+    match: float,
+    mismatch: float,
+    gap: float,
+    local: bool,
+) -> Alignment:
+    a_idx: list[int] = []
+    b_idx: list[int] = []
+    score = float(table[i, j])
+    while i > 0 or j > 0:
+        if local and table[i, j] == 0:
+            break
+        if i > 0 and j > 0:
+            s = match if a[i - 1] == b[j - 1] else mismatch
+            if table[i, j] == table[i - 1, j - 1] + s:
+                a_idx.append(i - 1)
+                b_idx.append(j - 1)
+                i, j = i - 1, j - 1
+                continue
+        if i > 0 and table[i, j] == table[i - 1, j] + gap:
+            a_idx.append(i - 1)
+            b_idx.append(GAP)
+            i -= 1
+            continue
+        if j > 0 and table[i, j] == table[i, j - 1] + gap:
+            a_idx.append(GAP)
+            b_idx.append(j - 1)
+            j -= 1
+            continue
+        raise ReproError(f"table is not a valid alignment table at ({i}, {j})")
+    a_idx.reverse()
+    b_idx.reverse()
+    return Alignment(tuple(a_idx), tuple(b_idx), score)
+
+
+def align_global(
+    table: np.ndarray,
+    a: Sequence[int],
+    b: Sequence[int],
+    match: float = 1,
+    mismatch: float = -1,
+    gap: float = -2,
+) -> Alignment:
+    """Backtrack a Needleman-Wunsch table into one optimal global alignment.
+
+    Scoring parameters must match those used to fill the table
+    (:func:`repro.problems.make_needleman_wunsch` defaults shown).
+    """
+    m, n = len(a), len(b)
+    if table.shape != (m + 1, n + 1):
+        raise ReproError(f"table shape {table.shape} does not fit ({m}, {n})")
+    return _backtrack(table, a, b, m, n, match, mismatch, gap, local=False)
+
+
+def align_local(
+    table: np.ndarray,
+    a: Sequence[int],
+    b: Sequence[int],
+    match: float = 2,
+    mismatch: float = -1,
+    gap: float = -1,
+) -> Alignment:
+    """Backtrack a Smith-Waterman table from its maximum to the first zero."""
+    m, n = len(a), len(b)
+    if table.shape != (m + 1, n + 1):
+        raise ReproError(f"table shape {table.shape} does not fit ({m}, {n})")
+    i, j = np.unravel_index(int(np.argmax(table)), table.shape)
+    return _backtrack(table, a, b, int(i), int(j), match, mismatch, gap, local=True)

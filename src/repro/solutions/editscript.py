@@ -1,0 +1,94 @@
+"""Edit-script reconstruction from a filled Levenshtein table."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ReproError
+
+__all__ = ["EditKind", "EditOp", "edit_script", "apply_edit_script"]
+
+
+class EditKind(enum.Enum):
+    MATCH = "match"
+    SUBSTITUTE = "substitute"
+    INSERT = "insert"  # insert b[j] into a
+    DELETE = "delete"  # delete a[i]
+
+
+@dataclass(frozen=True)
+class EditOp:
+    """One edit operation transforming ``a`` into ``b``.
+
+    ``i``/``j`` are 0-based positions into ``a``/``b`` (``j`` is the source
+    position of an inserted symbol, ``i`` of a deleted/substituted one).
+    """
+
+    kind: EditKind
+    i: int
+    j: int
+
+    @property
+    def costs(self) -> int:
+        return 0 if self.kind is EditKind.MATCH else 1
+
+
+def edit_script(
+    table: np.ndarray, a: Sequence[int], b: Sequence[int]
+) -> list[EditOp]:
+    """Backtrack a Wagner-Fischer table into an optimal edit script.
+
+    ``table`` must be the filled ``(len(a)+1) x (len(b)+1)`` distance table
+    (e.g. ``Framework.solve(make_levenshtein(...)).table``). Ties resolve
+    deterministically: match/substitute, then delete, then insert.
+    """
+    m, n = len(a), len(b)
+    if table.shape != (m + 1, n + 1):
+        raise ReproError(
+            f"table shape {table.shape} does not fit sequences ({m}, {n})"
+        )
+    ops: list[EditOp] = []
+    i, j = m, n
+    while i > 0 or j > 0:
+        if i > 0 and j > 0:
+            diag_cost = 0 if a[i - 1] == b[j - 1] else 1
+            if table[i, j] == table[i - 1, j - 1] + diag_cost:
+                kind = EditKind.MATCH if diag_cost == 0 else EditKind.SUBSTITUTE
+                ops.append(EditOp(kind, i - 1, j - 1))
+                i, j = i - 1, j - 1
+                continue
+        if i > 0 and table[i, j] == table[i - 1, j] + 1:
+            ops.append(EditOp(EditKind.DELETE, i - 1, j))
+            i -= 1
+            continue
+        if j > 0 and table[i, j] == table[i, j - 1] + 1:
+            ops.append(EditOp(EditKind.INSERT, i, j - 1))
+            j -= 1
+            continue
+        raise ReproError(
+            f"table is not a valid edit-distance table at ({i}, {j})"
+        )  # pragma: no cover - guarded by construction
+    ops.reverse()
+    return ops
+
+
+def apply_edit_script(
+    a: Sequence[int], b: Sequence[int], ops: list[EditOp]
+) -> list[int]:
+    """Apply a script to ``a``; the result must equal ``b`` (verified)."""
+    out: list[int] = []
+    for op in ops:
+        if op.kind in (EditKind.MATCH,):
+            out.append(int(a[op.i]))
+        elif op.kind is EditKind.SUBSTITUTE:
+            out.append(int(b[op.j]))
+        elif op.kind is EditKind.INSERT:
+            out.append(int(b[op.j]))
+        # DELETE contributes nothing
+    if out != [int(x) for x in b]:
+        raise ReproError("edit script does not transform a into b")
+    return out

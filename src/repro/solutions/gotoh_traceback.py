@@ -1,0 +1,105 @@
+"""Affine-gap alignment reconstruction from a filled Gotoh table.
+
+Backtracks the three coupled tables (M / Ix / Iy, stored as one structured
+array by :func:`repro.problems.make_gotoh`) into an optimal alignment. The
+state machine matters: inside a gap run the predecessor may be either "open
+from M" or "extend in the same gap table", and picking wrongly breaks the
+score — so the walker tracks which table it is in.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ReproError
+from .alignment import GAP, Alignment
+
+__all__ = ["align_affine"]
+
+
+def align_affine(
+    table: np.ndarray,
+    a: Sequence[int],
+    b: Sequence[int],
+    match: float = 2.0,
+    mismatch: float = -1.0,
+    gap_open: float = -3.0,
+    gap_extend: float = -1.0,
+) -> Alignment:
+    """One optimal affine-gap global alignment.
+
+    Parameters must match those used to fill the table
+    (:func:`repro.problems.make_gotoh` defaults shown). The alignment score
+    is ``max(M, Ix, Iy)`` at the corner; columns re-add to it exactly
+    (property-tested).
+    """
+    m, n = len(a), len(b)
+    if table.shape != (m + 1, n + 1):
+        raise ReproError(f"table shape {table.shape} does not fit ({m}, {n})")
+    M, Ix, Iy = table["m"], table["ix"], table["iy"]
+
+    i, j = m, n
+    state = max(("m", "ix", "iy"), key=lambda s: table[s][i, j])
+    score = float(table[state][i, j])
+    a_idx: list[int] = []
+    b_idx: list[int] = []
+
+    def close(x: float, y: float) -> bool:
+        return abs(x - y) <= 1e-9 * max(1.0, abs(x), abs(y))
+
+    while i > 0 or j > 0:
+        if state == "m":
+            if i == 0 or j == 0:
+                # M is -inf on the boundary except (0,0); switch to the gap
+                # state that can consume the rest
+                state = "ix" if i > 0 else "iy"
+                continue
+            s = match if a[i - 1] == b[j - 1] else mismatch
+            cur = M[i, j]
+            a_idx.append(i - 1)
+            b_idx.append(j - 1)
+            prev = max(M[i - 1, j - 1], Ix[i - 1, j - 1], Iy[i - 1, j - 1])
+            if not close(cur, prev + s):
+                raise ReproError(f"inconsistent M entry at ({i}, {j})")
+            i, j = i - 1, j - 1
+            if i == 0 and j == 0:
+                break
+            state = max(
+                ("m", "ix", "iy"), key=lambda st: table[st][i, j]
+            )
+        elif state == "ix":  # gap in b: consume a[i-1]
+            if i == 0:
+                raise ReproError(f"Ix walked off the top at ({i}, {j})")
+            cur = Ix[i, j]
+            a_idx.append(i - 1)
+            b_idx.append(GAP)
+            if close(cur, Ix[i - 1, j] + gap_extend) and i > 1:
+                state = "ix"
+            elif close(cur, M[i - 1, j] + gap_open):
+                state = "m"
+            elif close(cur, Ix[i - 1, j] + gap_extend):
+                state = "ix"
+            else:
+                raise ReproError(f"inconsistent Ix entry at ({i}, {j})")
+            i -= 1
+        else:  # "iy": gap in a: consume b[j-1]
+            if j == 0:
+                raise ReproError(f"Iy walked off the left at ({i}, {j})")
+            cur = Iy[i, j]
+            a_idx.append(GAP)
+            b_idx.append(j - 1)
+            if close(cur, Iy[i, j - 1] + gap_extend) and j > 1:
+                state = "iy"
+            elif close(cur, M[i, j - 1] + gap_open):
+                state = "m"
+            elif close(cur, Iy[i, j - 1] + gap_extend):
+                state = "iy"
+            else:
+                raise ReproError(f"inconsistent Iy entry at ({i}, {j})")
+            j -= 1
+
+    a_idx.reverse()
+    b_idx.reverse()
+    return Alignment(tuple(a_idx), tuple(b_idx), score)

@@ -1,0 +1,105 @@
+"""Hirschberg's linear-space global alignment.
+
+`align_global` backtracks a full O(mn) table. For sequences long enough that
+the table does not fit, Hirschberg's divide-and-conquer recovers a full
+optimal alignment from *two rows at a time*: score the forward half and the
+reversed backward half against the middle row, pick the crossing column,
+and recurse on the two sub-problems. Same score as Needleman-Wunsch, O(m+n)
+memory, O(mn) time (twice the constant).
+
+The companion to :mod:`repro.exec.streaming` (which streams *scores*): this
+streams the *witness*.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .alignment import GAP, Alignment
+
+__all__ = ["align_global_linear_space", "nw_score_last_row"]
+
+
+def nw_score_last_row(
+    a: np.ndarray,
+    b: np.ndarray,
+    match: float,
+    mismatch: float,
+    gap: float,
+) -> np.ndarray:
+    """Last row of the Needleman-Wunsch table, in O(len(b)) memory."""
+    n = len(b)
+    prev = gap * np.arange(n + 1, dtype=np.float64)
+    for i in range(1, len(a) + 1):
+        cur = np.empty(n + 1)
+        cur[0] = gap * i
+        s = np.where(b == a[i - 1], match, mismatch)
+        diag = prev[:-1] + s
+        up = prev[1:] + gap
+        # left-dependency is a prefix scan: resolve with a running maximum
+        best = np.maximum(diag, up)
+        running = cur[0]
+        for j in range(1, n + 1):
+            running = max(best[j - 1], running + gap)
+            cur[j] = running
+        prev = cur
+    return prev
+
+
+def align_global_linear_space(
+    a: Sequence[int],
+    b: Sequence[int],
+    match: float = 1,
+    mismatch: float = -1,
+    gap: float = -2,
+) -> Alignment:
+    """One optimal global alignment in O(m + n) memory."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    cols: list[tuple[int, int]] = []
+    _hirschberg(a, b, 0, 0, match, mismatch, gap, cols)
+    a_idx = tuple(i for i, _ in cols)
+    b_idx = tuple(j for _, j in cols)
+    score = 0.0
+    for i, j in cols:
+        if i == GAP or j == GAP:
+            score += gap
+        else:
+            score += match if a[i] == b[j] else mismatch
+    return Alignment(a_idx, b_idx, score)
+
+
+def _hirschberg(a, b, off_a, off_b, match, mismatch, gap, out) -> None:
+    m, n = len(a), len(b)
+    if m == 0:
+        out.extend((GAP, off_b + j) for j in range(n))
+        return
+    if n == 0:
+        out.extend((off_a + i, GAP) for i in range(m))
+        return
+    if m == 1:
+        # one symbol of a vs b: either aligned to the best-matching column
+        # (if that beats pure gaps) or gapped out entirely
+        s = np.where(b == a[0], match, mismatch)
+        with_j = s + gap * (n - 1)  # align to column j, gap the rest of b
+        j_best = int(np.argmax(with_j))
+        if with_j[j_best] >= gap * (n + 1):
+            for j in range(n):
+                if j == j_best:
+                    out.append((off_a, off_b + j))
+                else:
+                    out.append((GAP, off_b + j))
+        else:
+            out.append((off_a, GAP))
+            out.extend((GAP, off_b + j) for j in range(n))
+        return
+    mid = m // 2
+    upper = nw_score_last_row(a[:mid], b, match, mismatch, gap)
+    lower = nw_score_last_row(a[mid:][::-1], b[::-1], match, mismatch, gap)
+    split = int(np.argmax(upper + lower[::-1]))
+    _hirschberg(a[:mid], b[:split], off_a, off_b, match, mismatch, gap, out)
+    _hirschberg(
+        a[mid:], b[split:], off_a + mid, off_b + split, match, mismatch, gap, out
+    )

@@ -1,0 +1,68 @@
+"""Path reconstruction: checkerboard walks and DTW warping paths."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ReproError
+
+__all__ = ["checkerboard_path", "dtw_path"]
+
+
+def checkerboard_path(
+    table: np.ndarray, cost: np.ndarray, end_col: int | None = None
+) -> list[tuple[int, int]]:
+    """One minimum-cost walk from row 0 to the last row.
+
+    ``table`` is the filled checkerboard DP table, ``cost`` the per-cell
+    cost grid (``problem.payload["cost"]``). ``end_col`` selects the exit
+    column (default: the cheapest). Returned path is top-to-bottom; each step
+    moves straight or diagonally forward (the paper's Sec. VI-C constraint),
+    which is verified.
+    """
+    if table.shape != cost.shape:
+        raise ReproError("table and cost shapes differ")
+    n, m = table.shape
+    j = int(np.argmin(table[n - 1])) if end_col is None else int(end_col)
+    if not 0 <= j < m:
+        raise ReproError(f"end_col {j} out of range")
+    path = [(n - 1, j)]
+    for i in range(n - 1, 0, -1):
+        best_j, best_v = None, np.inf
+        for dj in (-1, 0, 1):
+            jj = j + dj
+            if 0 <= jj < m and table[i - 1, jj] < best_v:
+                best_j, best_v = jj, float(table[i - 1, jj])
+        if best_j is None or not np.isclose(table[i, j], cost[i, j] + best_v):
+            raise ReproError(f"table is not a valid checkerboard table at ({i}, {j})")
+        j = best_j
+        path.append((i - 1, j))
+    path.reverse()
+    return path
+
+
+def dtw_path(table: np.ndarray) -> list[tuple[int, int]]:
+    """The optimal warping path of a filled DTW table.
+
+    Returned as 0-based (i, j) pairs from (0, 0) to (m-1, n-1) in the
+    *sequence* index space (the table has the +1 boundary row/column).
+    The path satisfies the DTW step constraints (diagonal, down, right) and
+    monotonicity by construction.
+    """
+    m, n = table.shape[0] - 1, table.shape[1] - 1
+    if m < 1 or n < 1:
+        raise ReproError("DTW table must cover non-empty sequences")
+    i, j = m, n
+    path = [(i - 1, j - 1)]
+    while (i, j) != (1, 1):
+        candidates = []
+        if i > 1 and j > 1:
+            candidates.append((table[i - 1, j - 1], i - 1, j - 1))
+        if i > 1:
+            candidates.append((table[i - 1, j], i - 1, j))
+        if j > 1:
+            candidates.append((table[i, j - 1], i, j - 1))
+        _, i, j = min(candidates, key=lambda c: c[0])
+        path.append((i - 1, j - 1))
+    path.reverse()
+    return path

@@ -1,0 +1,25 @@
+"""Parameter selection for the heterogeneous split.
+
+Two routes to ``(t_switch, t_share)``:
+
+* :mod:`repro.tuning.model` — closed-form first guesses from the machine
+  models (per-iteration cost crossover and throughput balance);
+* :mod:`repro.tuning.autotune` — the paper's empirical two-step procedure
+  (Sec. V-A, Fig. 7): sweep ``t_switch`` with ``t_share = 0``, take the
+  minimum of the resulting U-shaped curve, then sweep ``t_share``.
+"""
+
+from .model import analytic_params, crossover_width, balanced_share
+from .search import sweep, argmin_curve, is_roughly_unimodal
+from .autotune import autotune, TuneResult
+
+__all__ = [
+    "analytic_params",
+    "crossover_width",
+    "balanced_share",
+    "sweep",
+    "argmin_curve",
+    "is_roughly_unimodal",
+    "autotune",
+    "TuneResult",
+]

@@ -1,0 +1,63 @@
+"""Sweep and minimum-finding utilities for empirical tuning."""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, Sequence
+
+from ..errors import TuningError
+
+__all__ = ["sweep", "argmin_curve", "is_roughly_unimodal", "grid"]
+
+
+def sweep(
+    values: Iterable[int],
+    objective: Callable[[int], float],
+) -> list[tuple[int, float]]:
+    """Evaluate ``objective`` over ``values``; returns (value, time) pairs."""
+    out: list[tuple[int, float]] = []
+    for v in values:
+        y = float(objective(v))
+        if not math.isfinite(y):
+            raise TuningError(f"objective({v}) is not finite: {y}")
+        out.append((int(v), y))
+    if not out:
+        raise TuningError("empty search space")
+    return out
+
+
+def argmin_curve(curve: Sequence[tuple[int, float]]) -> tuple[int, float]:
+    """The (value, time) pair with minimal time (first on ties)."""
+    if not curve:
+        raise TuningError("empty curve")
+    return min(curve, key=lambda p: p[1])
+
+
+def is_roughly_unimodal(
+    curve: Sequence[tuple[int, float]], tolerance: float = 0.02
+) -> bool:
+    """Whether the curve decreases to a minimum then increases (a U shape).
+
+    ``tolerance`` forgives wiggles up to that relative size — the paper's
+    Fig. 7 curve is empirically concave-up but noisy.
+    """
+    ys = [y for _, y in sorted(curve)]
+    if len(ys) < 3:
+        return True
+    k = ys.index(min(ys))
+    eps = tolerance * (max(ys) - min(ys) if max(ys) > min(ys) else 1.0)
+    descending = all(ys[i] >= ys[i + 1] - eps for i in range(k))
+    ascending = all(ys[i] <= ys[i + 1] + eps for i in range(k, len(ys) - 1))
+    return descending and ascending
+
+
+def grid(lo: int, hi: int, points: int) -> list[int]:
+    """``points`` distinct integers spread over ``[lo, hi]`` inclusive."""
+    if hi < lo:
+        raise TuningError(f"empty range [{lo}, {hi}]")
+    if points < 1:
+        raise TuningError("need at least one point")
+    if points == 1 or hi == lo:
+        return [lo]
+    vals = sorted({lo + round(k * (hi - lo) / (points - 1)) for k in range(points)})
+    return [int(v) for v in vals]

@@ -1,0 +1,231 @@
+"""Core value types shared across the framework.
+
+Terminology follows the paper. For a cell ``(i, j)`` the *representative set*
+is the four non-conflicting neighbours::
+
+    RS(i, j) = { (i, j-1), (i-1, j-1), (i-1, j), (i-1, j+1) }
+
+which we abbreviate with compass-style names relative to ``(i, j)``:
+
+===========  ==============  =========
+abbrev       cell            meaning
+===========  ==============  =========
+``W``        ``(i, j-1)``    west (same row, previous column)
+``NW``       ``(i-1, j-1)``  north-west
+``N``        ``(i-1, j)``    north
+``NE``       ``(i-1, j+1)``  north-east
+===========  ==============  =========
+
+A *contributing set* is the non-empty subset of the representative set that a
+problem's cell function actually reads; it determines the wavefront
+:class:`Pattern` (paper Table I).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+from .errors import ContributingSetError
+
+__all__ = [
+    "Pattern",
+    "Device",
+    "TransferKind",
+    "TransferDirection",
+    "Neighbor",
+    "ContributingSet",
+    "NEIGHBOR_OFFSETS",
+]
+
+
+class Pattern(enum.Enum):
+    """The six wavefront patterns of paper Fig. 2.
+
+    ``VERTICAL`` reduces to ``HORIZONTAL`` and ``MINVERTED_L`` to
+    ``INVERTED_L`` by symmetry (paper Sec. III), leaving four distinct
+    execution strategies.
+    """
+
+    ANTI_DIAGONAL = "anti-diagonal"
+    HORIZONTAL = "horizontal"
+    INVERTED_L = "inverted-L"
+    KNIGHT_MOVE = "knight-move"
+    VERTICAL = "vertical"
+    MINVERTED_L = "mInverted-L"
+
+    @property
+    def canonical(self) -> "Pattern":
+        """The pattern actually executed after symmetry reduction."""
+        if self is Pattern.VERTICAL:
+            return Pattern.HORIZONTAL
+        if self is Pattern.MINVERTED_L:
+            return Pattern.INVERTED_L
+        return self
+
+    @property
+    def is_canonical(self) -> bool:
+        return self.canonical is self
+
+
+class Device(enum.Enum):
+    """A compute resource in the heterogeneous machine."""
+
+    CPU = "cpu"
+    GPU = "gpu"
+
+    @property
+    def other(self) -> "Device":
+        return Device.GPU if self is Device.CPU else Device.CPU
+
+
+class TransferDirection(enum.Enum):
+    """Direction of a host/device copy."""
+
+    H2D = "h2d"  # CPU -> GPU
+    D2H = "d2h"  # GPU -> CPU
+
+
+class TransferKind(enum.Enum):
+    """How a copy is staged (paper Sec. IV-C).
+
+    ``PAGEABLE``  plain synchronous copy through pageable host memory.
+    ``PINNED``    page-locked host memory: lower latency, higher bandwidth;
+                  the paper uses it for small two-way boundary exchanges.
+    ``STREAMED``  asynchronous copy on a dedicated copy engine, overlappable
+                  with compute (the paper's pipelining scheme, CUDA streams).
+    """
+
+    PAGEABLE = "pageable"
+    PINNED = "pinned"
+    STREAMED = "streamed"
+
+
+class Neighbor(enum.Enum):
+    """One member of the representative set, named relative to (i, j)."""
+
+    W = "W"
+    NW = "NW"
+    N = "N"
+    NE = "NE"
+
+    @property
+    def offset(self) -> tuple[int, int]:
+        """(di, dj) such that the neighbour of (i, j) is (i+di, j+dj)."""
+        return NEIGHBOR_OFFSETS[self]
+
+
+NEIGHBOR_OFFSETS: dict[Neighbor, tuple[int, int]] = {
+    Neighbor.W: (0, -1),
+    Neighbor.NW: (-1, -1),
+    Neighbor.N: (-1, 0),
+    Neighbor.NE: (-1, 1),
+}
+
+
+@dataclass(frozen=True)
+class ContributingSet:
+    """The subset of the representative set a cell function reads.
+
+    Instances are immutable and hashable, so they can key caches and tables.
+    The set must be non-empty (a cell function reading *no* neighbours is not
+    an LDDP-Plus problem — every cell would be independent).
+    """
+
+    w: bool = False
+    nw: bool = False
+    n: bool = False
+    ne: bool = False
+
+    def __post_init__(self) -> None:
+        if not (self.w or self.nw or self.n or self.ne):
+            raise ContributingSetError(
+                "contributing set must contain at least one representative cell"
+            )
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def of(cls, *neighbors: Neighbor | str) -> "ContributingSet":
+        """Build from neighbour names: ``ContributingSet.of("W", "NW", "N")``."""
+        flags = {"w": False, "nw": False, "n": False, "ne": False}
+        for nb in neighbors:
+            name = nb.value if isinstance(nb, Neighbor) else str(nb)
+            key = name.lower()
+            if key not in flags:
+                raise ContributingSetError(f"unknown representative cell {name!r}")
+            flags[key] = True
+        return cls(**flags)
+
+    @classmethod
+    def from_mask(cls, mask: int) -> "ContributingSet":
+        """Build from a 4-bit mask, bit order (W, NW, N, NE) = (8, 4, 2, 1)."""
+        if not 1 <= mask <= 15:
+            raise ContributingSetError(f"mask must be in [1, 15], got {mask}")
+        return cls(
+            w=bool(mask & 8), nw=bool(mask & 4), n=bool(mask & 2), ne=bool(mask & 1)
+        )
+
+    @classmethod
+    def all_sets(cls) -> list["ContributingSet"]:
+        """All 15 non-empty contributing sets, in mask order (paper Table I)."""
+        return [cls.from_mask(m) for m in range(1, 16)]
+
+    # -- views -------------------------------------------------------------
+
+    @property
+    def mask(self) -> int:
+        return (
+            (8 if self.w else 0)
+            | (4 if self.nw else 0)
+            | (2 if self.n else 0)
+            | (1 if self.ne else 0)
+        )
+
+    def members(self) -> tuple[Neighbor, ...]:
+        """Members in fixed (W, NW, N, NE) order."""
+        out: list[Neighbor] = []
+        if self.w:
+            out.append(Neighbor.W)
+        if self.nw:
+            out.append(Neighbor.NW)
+        if self.n:
+            out.append(Neighbor.N)
+        if self.ne:
+            out.append(Neighbor.NE)
+        return tuple(out)
+
+    def __contains__(self, nb: Neighbor) -> bool:
+        return nb in self.members()
+
+    def __iter__(self) -> Iterator[Neighbor]:
+        return iter(self.members())
+
+    def __len__(self) -> int:
+        return len(self.members())
+
+    def mirrored(self) -> "ContributingSet":
+        """The left-right mirror (column reversal): swaps NW and NE.
+
+        Mirroring maps mInverted-L problems onto Inverted-L problems and is
+        how the framework reduces the symmetric patterns (paper Sec. III).
+        """
+        return ContributingSet(w=self.w, nw=self.ne, n=self.n, ne=self.nw)
+
+    def transposed(self) -> "ContributingSet":
+        """The transpose (swap i/j): W <-> N; NW fixed; NE has no image.
+
+        Only valid for sets without NE: transposing maps Vertical onto
+        Horizontal. ``(i, j-1) -> (i-1, j)`` and ``(i-1, j-1)`` is fixed;
+        ``(i-1, j+1)`` would map to ``(i+1, j-1)`` which is outside the
+        representative set.
+        """
+        if self.ne:
+            raise ContributingSetError(
+                "cannot transpose a contributing set containing NE"
+            )
+        return ContributingSet(w=self.n, nw=self.nw, n=self.w, ne=False)
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(nb.value for nb in self.members()) + "}"

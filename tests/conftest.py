@@ -1,0 +1,62 @@
+"""Shared fixtures: platforms, frameworks, and small problem instances."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ContributingSet, ExecOptions, Framework, LDDPProblem
+from repro.machine.platform import hetero_high, hetero_low
+
+
+@pytest.fixture
+def high():
+    return hetero_high()
+
+
+@pytest.fixture
+def low():
+    return hetero_low()
+
+
+@pytest.fixture
+def fw(high):
+    return Framework(high)
+
+
+@pytest.fixture
+def fw_low(low):
+    return Framework(low)
+
+
+@pytest.fixture
+def fw_validating(high):
+    """Framework that structurally validates every timeline it produces."""
+    return Framework(high, ExecOptions(validate_timeline=True))
+
+
+def make_minsum_problem(
+    contributing: ContributingSet, rows: int = 12, cols: int = 15
+) -> LDDPProblem:
+    """Tiny ``f = 1 + min(contributing)`` problem, any contributing set."""
+
+    def cell(ctx):
+        vals = [v for v in (ctx.w, ctx.nw, ctx.n, ctx.ne) if v is not None]
+        out = vals[0]
+        for v in vals[1:]:
+            out = np.minimum(out, v)
+        return out + 1
+
+    return LDDPProblem(
+        name=f"minsum-{contributing.mask}",
+        shape=(rows, cols),
+        contributing=contributing,
+        cell=cell,
+        dtype=np.int64,
+        oob_value=0,
+    )
+
+
+@pytest.fixture
+def minsum_factory():
+    return make_minsum_problem

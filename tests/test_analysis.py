@@ -1,0 +1,204 @@
+"""Tests for repro.analysis: profiles, stats, reports, experiment harness."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    best_executor,
+    crossover_size,
+    figure_series,
+    format_table,
+    parallelism_profile,
+    profile_kind,
+    profile_summary,
+    series_table,
+    speedup,
+    sweep_sizes,
+    table1_text,
+    table2_text,
+)
+from repro.core.schedule import schedule_for
+from repro.machine.platform import hetero_high, hetero_low
+from repro.problems import make_fig9_problem
+from repro.types import Pattern
+
+
+class TestProfiles:
+    @pytest.mark.parametrize(
+        "pattern,kind",
+        [
+            (Pattern.ANTI_DIAGONAL, "ramp"),
+            (Pattern.HORIZONTAL, "constant"),
+            (Pattern.VERTICAL, "constant"),
+            (Pattern.INVERTED_L, "decreasing"),
+            (Pattern.MINVERTED_L, "decreasing"),
+            (Pattern.KNIGHT_MOVE, "ramp"),
+        ],
+        ids=lambda v: getattr(v, "value", v),
+    )
+    def test_profile_kinds_match_paper(self, pattern, kind):
+        sched = schedule_for(pattern, 9, 9)
+        assert profile_kind(parallelism_profile(sched)) == kind
+
+    def test_profile_kind_edge_cases(self):
+        assert profile_kind(np.array([5])) == "constant"
+        assert profile_kind(np.array([1, 2, 3])) == "increasing"
+        assert profile_kind(np.array([3, 1, 3])) == "irregular"
+        with pytest.raises(ValueError):
+            profile_kind(np.array([]))
+
+    def test_summary_fields(self):
+        s = profile_summary(schedule_for(Pattern.ANTI_DIAGONAL, 4, 6))
+        assert s["iterations"] == 9
+        assert s["total_cells"] == 24
+        assert s["max_width"] == 4
+        assert s["min_width"] == 1
+        assert s["kind"] == "ramp"
+
+
+class TestStats:
+    def test_speedup(self):
+        assert speedup(10.0, 5.0) == 2.0
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+    def test_best_executor(self):
+        assert best_executor({"cpu": 3.0, "gpu": 2.0, "hetero": 2.5}) == "gpu"
+
+    def test_best_executor_tie_deterministic(self):
+        assert best_executor({"b": 1.0, "a": 1.0}) == "a"
+
+    def test_best_executor_empty(self):
+        with pytest.raises(ValueError):
+            best_executor({})
+
+    def test_crossover_found(self):
+        sizes = [1, 2, 4, 8]
+        a = [5.0, 4.0, 2.0, 1.0]
+        b = [1.0, 2.0, 3.0, 4.0]
+        assert crossover_size(sizes, a, b) == 4
+
+    def test_crossover_requires_durability(self):
+        sizes = [1, 2, 4, 8]
+        a = [0.5, 3.0, 2.0, 1.0]  # wins at 1, loses at 2, wins from 4
+        b = [1.0, 2.0, 3.0, 4.0]
+        assert crossover_size(sizes, a, b) == 4
+
+    def test_crossover_none(self):
+        assert crossover_size([1, 2], [5.0, 5.0], [1.0, 1.0]) is None
+
+    def test_crossover_length_mismatch(self):
+        with pytest.raises(ValueError):
+            crossover_size([1], [1.0, 2.0], [1.0])
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bbbb"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_table1_text_has_15_rows(self):
+        text = table1_text()
+        body = [l for l in text.splitlines() if l.startswith("|")][2:]
+        assert len(body) == 15
+        assert sum("knight-move" in l for l in body) == 4
+
+    def test_table2_text_matches_paper(self):
+        text = table2_text()
+        assert "Anti-diagonal" in text and "1 way" in text
+        body = [l for l in text.splitlines() if "way" in l and "|" in l]
+        two_way = [l for l in body if "2 way" in l]
+        assert len(two_way) == 2  # case-2 and knight-move
+
+    def test_series_table_contains_values(self):
+        text = series_table("T", [10, 20], {"cpu": [1.0, 2.0], "gpu": [3.0, 4.0]})
+        assert "T" in text and "10" in text and "3.00" in text
+
+
+class TestExperimentHarness:
+    def test_figure_series_and_pivot(self):
+        points = figure_series(
+            make_fig9_problem,
+            sizes=[32, 64],
+            platforms=[hetero_high(), hetero_low()],
+            executors=("cpu", "gpu"),
+        )
+        assert len(points) == 2 * 2 * 2
+        sizes, series = sweep_sizes(points, "Hetero-High")
+        assert sizes == [32, 64]
+        assert set(series) == {"cpu", "gpu"}
+        assert all(len(v) == 2 for v in series.values())
+
+    def test_functional_mode_materializes(self):
+        points = figure_series(
+            make_fig9_problem,
+            sizes=[16],
+            platforms=[hetero_high()],
+            executors=("cpu",),
+            functional=True,
+        )
+        assert points[0].simulated_ms > 0
+
+
+class TestCatalog:
+    def test_artifact_ids_complete(self):
+        from repro.analysis.catalog import ARTIFACTS
+
+        assert {
+            "table1", "table2", "fig2", "fig7", "fig8", "fig9", "fig10",
+            "fig12", "fig13", "ablation-coalescing", "ablation-pipeline",
+        } <= set(ARTIFACTS)
+
+    def test_fig2_grids_match_schedule(self):
+        from repro.analysis.catalog import run_artifact
+
+        res = run_artifact("fig2")
+        grid = res.data["knight-move"]
+        assert grid[1][0] == 3  # 2*1 + 0 + 1
+
+    def test_fig7_quick_curve_u_shaped(self):
+        from repro.analysis.catalog import run_artifact
+        from repro.tuning.search import is_roughly_unimodal
+
+        res = run_artifact("fig7", quick=True)
+        assert is_roughly_unimodal(res.data["curve"], tolerance=0.05)
+
+    def test_fig8_quick_h1_beats_il(self):
+        from repro.analysis.catalog import run_artifact
+
+        res = run_artifact("fig8", quick=True)
+        for dev in ("cpu", "gpu"):
+            for k in range(len(res.data["sizes"])):
+                assert res.data[f"{dev}-H1"][k] < res.data[f"{dev}-iL"][k]
+
+    def test_unknown_artifact(self):
+        from repro.analysis.catalog import run_artifact
+
+        with pytest.raises(KeyError):
+            run_artifact("fig99")
+
+    def test_ext_scaling_quick(self):
+        from repro.analysis.catalog import run_artifact
+
+        res = run_artifact("ext-scaling", quick=True)
+        assert "n^" in res.text
+        assert 1.0 < res.data["fits"]["cpu"]["exponent"] < 2.5
+
+    def test_ext_ndim_quick(self):
+        from repro.analysis.catalog import run_artifact
+
+        res = run_artifact("ext-ndim", quick=True)
+        assert set(res.data) >= {"sizes", "cpu", "gpu", "hetero"}
+
+    def test_every_artifact_has_quick_mode(self):
+        """All catalog entries must run in CI-sized quick mode."""
+        from repro.analysis.catalog import ARTIFACTS, run_artifact
+
+        heavy = {"ext-multi"}  # quick still estimates 1k dithering: ok but slow
+        for name in ARTIFACTS:
+            if name in heavy:
+                continue
+            res = run_artifact(name, quick=True)
+            assert res.text, name

@@ -1,0 +1,156 @@
+"""Tests for breakdown, persistence, SVG export and the verify harness."""
+
+import json
+
+import pytest
+
+from repro import Framework, HeteroParams, hetero_high
+from repro.analysis.breakdown import breakdown_table, cost_breakdown
+from repro.analysis.persist import (
+    figure_to_json,
+    load_figure,
+    result_summary,
+    save_figure,
+)
+from repro.analysis.verify import (
+    ClaimResult,
+    verification_report,
+    verify_reproduction,
+)
+from repro.problems import make_dithering, make_levenshtein
+from repro.sim.svg import gantt_svg
+
+
+@pytest.fixture(scope="module")
+def hetero_result():
+    fw = Framework(hetero_high())
+    return fw.estimate(
+        make_dithering(128, materialize=False), params=HeteroParams(20, 15)
+    )
+
+
+class TestCostBreakdown:
+    def test_fractions_sum_to_one(self, hetero_result):
+        bd = cost_breakdown(hetero_result)
+        assert sum(bd["critical_path"].values()) == pytest.approx(1.0)
+
+    def test_devices_reported(self, hetero_result):
+        bd = cost_breakdown(hetero_result)
+        assert "cpu" in bd["devices"] and "gpu" in bd["devices"]
+        for dev in bd["devices"].values():
+            assert 0 <= dev["utilization"] <= 1
+
+    def test_transfer_accounting(self, hetero_result):
+        bd = cost_breakdown(hetero_result)
+        assert bd["transfer_count"] == hetero_result.ledger.count()
+
+    def test_requires_timeline(self):
+        from repro.exec.base import SolveResult
+        from repro.types import Pattern
+
+        bare = SolveResult(
+            problem="x", executor="y", pattern=Pattern.HORIZONTAL,
+            simulated_time=1.0,
+        )
+        with pytest.raises(ValueError):
+            cost_breakdown(bare)
+
+    def test_breakdown_table_renders(self, hetero_result):
+        fw = Framework(hetero_high())
+        other = fw.estimate(make_dithering(128, materialize=False), executor="gpu")
+        text = breakdown_table([hetero_result, other])
+        assert "hetero" in text and "gpu" in text and "%" in text
+
+    def test_gpu_only_small_is_launch_dominated(self):
+        """The Sec. VI-A 'kernel setup time' story, quantified."""
+        fw = Framework(hetero_high())
+        res = fw.estimate(make_levenshtein(256, materialize=False), executor="gpu")
+        bd = cost_breakdown(res)
+        assert bd["critical_path"].get("compute", 0) > 0.5
+
+
+class TestPersistence:
+    def test_result_summary_json_safe(self, hetero_result):
+        s = result_summary(hetero_result)
+        text = json.dumps(s)  # must not raise
+        back = json.loads(text)
+        assert back["executor"] == "hetero"
+        assert back["pattern"] == "knight-move"
+        assert back["stats"]["t_switch"] == 20
+
+    def test_figure_roundtrip(self, tmp_path):
+        from repro.analysis.catalog import run_artifact
+
+        fig = run_artifact("table2")
+        path = save_figure(fig, tmp_path)
+        assert path.name == "table2.json"
+        back = load_figure(path)
+        assert back["artifact"] == "table2"
+
+    def test_figure_json_handles_tuples(self):
+        from repro.analysis.catalog import FigureResult
+
+        fig = FigureResult("x", "t", "body", {"pair": (1, 2)})
+        data = json.loads(figure_to_json(fig))
+        assert data["data"]["pair"] == [1, 2]
+
+
+class TestSVG:
+    def test_valid_svg_document(self, hetero_result):
+        svg = gantt_svg(hetero_result.timeline, title="dither 128")
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert "dither 128" in svg
+        assert svg.count("<rect") > 10
+
+    def test_lanes_for_all_resources(self, hetero_result):
+        svg = gantt_svg(hetero_result.timeline)
+        for res in hetero_result.timeline.resources:
+            assert f">{res}<" in svg
+
+    def test_truncation_cap(self, hetero_result):
+        svg = gantt_svg(hetero_result.timeline, max_tasks=10)
+        assert "first 10 tasks" in svg
+
+    def test_escapes_labels(self):
+        from repro.sim import Engine
+
+        e = Engine()
+        e.task("cpu", 1.0, label="<&>", kind="compute")
+        svg = gantt_svg(e.run(), title="a<b")
+        assert "<&>" not in svg
+        assert "&lt;&amp;&gt;" in svg
+
+    def test_empty_timeline(self):
+        from repro.sim import Engine
+
+        svg = gantt_svg(Engine().run())
+        assert svg.startswith("<svg")
+
+
+class TestVerifyHarness:
+    @pytest.fixture(scope="class")
+    def quick_results(self):
+        return verify_reproduction(quick=True)
+
+    def test_all_quick_claims_pass(self, quick_results):
+        failed = [r for r in quick_results if not r.passed and not r.skipped]
+        assert not failed, [f"{r.claim}: {r.detail}" for r in failed]
+
+    def test_claim_coverage(self, quick_results):
+        claims = {r.claim for r in quick_results}
+        assert {"table1", "table2", "oracle", "fig7", "fig8", "fig9",
+                "fig10", "fig12", "fig13", "ablations"} <= claims
+
+    def test_paper_scale_claims_skipped_in_quick(self, quick_results):
+        by_claim = {r.claim: r for r in quick_results}
+        assert by_claim["fig12"].skipped
+        assert by_claim["fig13"].skipped
+
+    def test_report_renders(self, quick_results):
+        text = verification_report(quick_results)
+        assert "PASS" in text and "SKIP" in text
+
+    def test_claimresult_shape(self):
+        r = ClaimResult("c", "d", True, "ok")
+        assert r.passed and not r.skipped

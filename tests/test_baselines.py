@@ -1,0 +1,103 @@
+"""Tests for repro.baselines: generic front-ends and the bit-parallel champion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Framework, hetero_high
+from repro.baselines import (
+    myers_edit_distance,
+    solve_cpu_only,
+    solve_gpu_only,
+    solve_hetero,
+    solve_sequential,
+)
+from repro.problems import make_levenshtein
+
+
+class TestGenericFrontEnds:
+    def test_all_agree(self):
+        p = make_levenshtein(20, 25, seed=0)
+        results = [
+            solve_sequential(p),
+            solve_cpu_only(p),
+            solve_gpu_only(p),
+            solve_hetero(p),
+        ]
+        base = results[0].table
+        for r in results[1:]:
+            assert np.array_equal(base, r.table)
+
+    def test_executor_names(self):
+        p = make_levenshtein(10)
+        assert solve_cpu_only(p).executor == "cpu"
+        assert solve_gpu_only(p).executor == "gpu"
+        assert solve_hetero(p).executor == "hetero"
+        assert solve_sequential(p).executor == "sequential"
+
+    def test_estimate_mode(self):
+        p = make_levenshtein(64, materialize=False)
+        res = solve_hetero(p, functional=False)
+        assert res.table is None and res.simulated_time > 0
+
+    def test_platform_passthrough(self):
+        from repro.machine.platform import hetero_low
+
+        p = make_levenshtein(32, materialize=False)
+        hi = solve_gpu_only(p, hetero_high(), functional=False)
+        lo = solve_gpu_only(p, hetero_low(), functional=False)
+        assert lo.simulated_time > hi.simulated_time
+
+
+class TestMyersBitParallel:
+    def test_empty_cases(self):
+        assert myers_edit_distance([], []) == 0
+        assert myers_edit_distance([1, 2], []) == 2
+        assert myers_edit_distance([], [1, 2, 3]) == 3
+
+    def test_identical(self):
+        assert myers_edit_distance([1, 2, 3], [1, 2, 3]) == 0
+
+    def test_known_example(self):
+        # kitten -> sitting = 3
+        k = [ord(c) for c in "kitten"]
+        s = [ord(c) for c in "sitting"]
+        assert myers_edit_distance(k, s) == 3
+
+    def test_single_substitution(self):
+        assert myers_edit_distance([1, 2, 3], [1, 9, 3]) == 1
+
+    def test_matches_framework_table(self):
+        p = make_levenshtein(60, 47, seed=3)
+        generic = int(Framework(hetero_high()).solve(p).table[-1, -1])
+        assert myers_edit_distance(p.payload["a"], p.payload["b"]) == generic
+
+    def test_long_patterns_beyond_word_width(self):
+        """Python bigints handle m >> 64; verify against the framework."""
+        p = make_levenshtein(300, 280, seed=4)
+        generic = int(Framework(hetero_high()).solve(p).table[-1, -1])
+        assert myers_edit_distance(p.payload["a"], p.payload["b"]) == generic
+
+    @given(
+        st.lists(st.integers(0, 3), min_size=0, max_size=30),
+        st.lists(st.integers(0, 3), min_size=0, max_size=30),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_property_matches_classic_dp(self, a, b):
+        m, n = len(a), len(b)
+        d = list(range(n + 1))
+        for i in range(1, m + 1):
+            prev, d[0] = d[0], i
+            for j in range(1, n + 1):
+                cur = d[j]
+                d[j] = min(d[j] + 1, d[j - 1] + 1, prev + (a[i - 1] != b[j - 1]))
+                prev = cur
+        assert myers_edit_distance(a, b) == d[n]
+
+    @given(
+        st.lists(st.integers(0, 3), min_size=1, max_size=25),
+        st.lists(st.integers(0, 3), min_size=1, max_size=25),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_symmetry(self, a, b):
+        assert myers_edit_distance(a, b) == myers_edit_distance(b, a)

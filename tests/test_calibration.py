@@ -1,0 +1,113 @@
+"""Tests for repro.machine.calibration: parameter recovery round trips."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PlatformError
+from repro.machine.calibration import (
+    calibrate_cpu,
+    calibrate_gpu,
+    calibrate_transfer,
+    fit_affine,
+    relative_error,
+)
+from repro.machine.platform import hetero_high, hetero_low
+from repro.types import TransferKind
+
+
+class TestFitAffine:
+    def test_exact_recovery(self):
+        x = [1, 2, 3, 4]
+        t = [3.0 + 2.0 * v for v in x]
+        fit = fit_affine(x, t)
+        assert fit.intercept == pytest.approx(3.0)
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.rmse == pytest.approx(0.0, abs=1e-12)
+
+    def test_noisy_recovery(self):
+        rng = np.random.default_rng(0)
+        x = np.linspace(100, 10000, 30)
+        t = 5e-6 + 2e-9 * x + rng.normal(0, 1e-8, size=30)
+        fit = fit_affine(x, t)
+        assert fit.intercept == pytest.approx(5e-6, rel=0.1)
+        assert fit.slope == pytest.approx(2e-9, rel=0.05)
+
+    def test_negative_params_clamped(self):
+        fit = fit_affine([1, 2, 3], [0.0, 0.0, 0.0])
+        assert fit.intercept == 0.0 and fit.slope == 0.0
+
+    def test_too_few_samples(self):
+        with pytest.raises(PlatformError):
+            fit_affine([1], [1.0])
+
+    def test_degenerate_x(self):
+        with pytest.raises(PlatformError):
+            fit_affine([5, 5, 5], [1.0, 2.0, 3.0])
+
+    def test_predict(self):
+        fit = fit_affine([0, 1], [1.0, 3.0])
+        assert fit.predict(2) == pytest.approx(5.0)
+
+
+class TestRoundTrips:
+    """Generate samples from a known model; calibration must recover it."""
+
+    def test_cpu_round_trip(self):
+        truth = hetero_high().cpu
+        cells = [1000, 5000, 20000, 100000]
+        seconds = [truth.parallel_time(n) for n in cells]
+        fitted = calibrate_cpu(cells, seconds, base=truth)
+        assert fitted.cell_ns == pytest.approx(truth.cell_ns, rel=1e-6)
+        assert fitted.fork_us == pytest.approx(truth.fork_us, rel=1e-6)
+        for n in (777, 123456):
+            assert fitted.parallel_time(n) == pytest.approx(truth.parallel_time(n))
+
+    def test_gpu_round_trip(self):
+        truth = hetero_low().gpu
+        cells = [1000, 10000, 50000, 200000]
+        seconds = [truth.kernel_time(n) for n in cells]
+        fitted = calibrate_gpu(cells, seconds, base=truth)
+        assert fitted.cell_ns == pytest.approx(truth.cell_ns, rel=1e-6)
+        assert fitted.launch_us == pytest.approx(truth.launch_us, rel=1e-6)
+
+    def test_gpu_rejects_unsaturated_samples(self):
+        truth = hetero_high().gpu
+        with pytest.raises(PlatformError):
+            calibrate_gpu([10, 20], [1e-5, 1e-5], base=truth)
+
+    def test_transfer_round_trip(self):
+        truth = hetero_high().transfer
+        sizes = [1024, 65536, 1 << 20, 1 << 24]
+        pageable = [truth.time(b, TransferKind.PAGEABLE) for b in sizes]
+        pinned = [truth.time(b, TransferKind.PINNED) for b in sizes]
+        fitted = calibrate_transfer((sizes, pageable), (sizes, pinned))
+        assert fitted.pageable_gbps == pytest.approx(truth.pageable_gbps, rel=1e-6)
+        assert fitted.pinned_latency_us == pytest.approx(
+            truth.pinned_latency_us, rel=1e-3
+        )
+
+    def test_cross_platform_fit_differs(self):
+        """Fitting high-platform samples onto the low base must move cell_ns."""
+        hi, lo = hetero_high(), hetero_low()
+        cells = [10000, 50000, 200000]
+        seconds = [hi.cpu.parallel_time(n) for n in cells]
+        fitted = calibrate_cpu(cells, seconds, base=lo.cpu)
+        # recovered slope reflects the high platform's throughput, scaled by
+        # the low platform's speedup factor
+        assert fitted.peak_cells_per_second == pytest.approx(
+            hi.cpu.peak_cells_per_second, rel=1e-6
+        )
+
+
+class TestRelativeError:
+    def test_basic(self):
+        assert relative_error(11.0, 10.0) == pytest.approx(0.1)
+
+    def test_rejects_nonpositive_measured(self):
+        with pytest.raises(PlatformError):
+            relative_error(1.0, 0.0)
+
+    def test_model_predicts_its_own_samples(self):
+        cpu = hetero_high().cpu
+        for n in (100, 10_000, 1_000_000):
+            assert relative_error(cpu.parallel_time(n), cpu.parallel_time(n)) == 0.0

@@ -1,0 +1,112 @@
+"""Tests for repro.core.cellfunc: contexts, wrappers, neighbour gathering."""
+
+import numpy as np
+import pytest
+
+from repro.core.cellfunc import CellFunction, EvalContext, gather_neighbors
+from repro.errors import CellFunctionError
+from repro.types import ContributingSet, Neighbor
+
+
+def _ctx(**kw):
+    base = dict(i=np.array([1, 2]), j=np.array([3, 4]))
+    base.update(kw)
+    return EvalContext(**base)
+
+
+class TestEvalContext:
+    def test_size(self):
+        assert _ctx().size == 2
+
+    def test_neighbor_accessor(self):
+        w = np.array([1.0, 2.0])
+        ctx = _ctx(w=w)
+        assert ctx.neighbor(Neighbor.W) is w
+        assert ctx.neighbor(Neighbor.NE) is None
+
+    def test_defaults_empty(self):
+        ctx = _ctx()
+        assert ctx.w is ctx.nw is ctx.n is ctx.ne is None
+        assert dict(ctx.payload) == {}
+        assert dict(ctx.aux) == {}
+
+
+class TestCellFunction:
+    def test_wraps_and_calls(self):
+        cf = CellFunction(lambda ctx: ctx.i + ctx.j, ContributingSet.of("N"))
+        out = cf(_ctx())
+        assert list(out) == [4, 6]
+
+    def test_name_defaults_to_function_name(self):
+        def my_update(ctx):
+            return ctx.i
+
+        cf = CellFunction(my_update, ContributingSet.of("N"))
+        assert cf.name == "my_update"
+
+    def test_rejects_non_callable(self):
+        with pytest.raises(CellFunctionError):
+            CellFunction(42, ContributingSet.of("N"))
+
+    def test_shape_validation(self):
+        cf = CellFunction(lambda ctx: np.zeros(3), ContributingSet.of("N"))
+        with pytest.raises(CellFunctionError, match="returned shape"):
+            cf(_ctx())
+
+    def test_validation_can_be_disabled(self):
+        cf = CellFunction(
+            lambda ctx: np.zeros(3), ContributingSet.of("N"), validate=False
+        )
+        assert cf(_ctx()).shape == (3,)
+
+
+class TestGatherNeighbors:
+    def setup_method(self):
+        self.table = np.arange(20, dtype=np.float64).reshape(4, 5)
+
+    def test_only_members_gathered(self):
+        cs = ContributingSet.of("NW", "NE")
+        out = gather_neighbors(self.table, cs, np.array([2]), np.array([2]))
+        assert out["w"] is None and out["n"] is None
+        assert out["nw"][0] == self.table[1, 1]
+        assert out["ne"][0] == self.table[1, 3]
+
+    def test_in_bounds_values(self):
+        cs = ContributingSet.from_mask(15)
+        i, j = np.array([2, 3]), np.array([2, 1])
+        out = gather_neighbors(self.table, cs, i, j)
+        assert (out["w"] == self.table[i, j - 1]).all()
+        assert (out["nw"] == self.table[i - 1, j - 1]).all()
+        assert (out["n"] == self.table[i - 1, j]).all()
+        assert (out["ne"] == self.table[i - 1, j + 1]).all()
+
+    def test_oob_fill_left_edge(self):
+        cs = ContributingSet.of("W", "NW")
+        out = gather_neighbors(self.table, cs, np.array([2]), np.array([0]), oob_value=-7)
+        assert out["w"][0] == -7
+        assert out["nw"][0] == -7
+
+    def test_oob_fill_top_edge(self):
+        cs = ContributingSet.of("N", "NE")
+        out = gather_neighbors(self.table, cs, np.array([0]), np.array([2]), oob_value=99)
+        assert out["n"][0] == 99
+        assert out["ne"][0] == 99
+
+    def test_oob_fill_right_edge_for_ne(self):
+        cs = ContributingSet.of("NE")
+        out = gather_neighbors(self.table, cs, np.array([2]), np.array([4]), oob_value=0)
+        assert out["ne"][0] == 0
+
+    def test_oob_inf_matches_dtype(self):
+        cs = ContributingSet.of("NE")
+        out = gather_neighbors(
+            self.table, cs, np.array([1]), np.array([4]), oob_value=np.inf
+        )
+        assert np.isinf(out["ne"][0])
+
+    def test_mixed_batch(self):
+        cs = ContributingSet.of("W")
+        i = np.array([1, 1, 1])
+        j = np.array([0, 1, 2])
+        out = gather_neighbors(self.table, cs, i, j, oob_value=-1)
+        assert list(out["w"]) == [-1, self.table[1, 0], self.table[1, 1]]

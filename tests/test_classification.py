@@ -1,0 +1,172 @@
+"""Tests for repro.core.classification: paper Table I, conflicts, Table II."""
+
+import pytest
+
+from repro.core.classification import (
+    EIGHT_NEIGHBORS,
+    classify,
+    conflicts,
+    horizontal_case,
+    representative_set,
+    table1_rows,
+    transfer_need,
+)
+from repro.errors import ClassificationError
+from repro.types import ContributingSet, Pattern
+
+# Paper Table I verbatim: mask (W, NW, N, NE) -> pattern.
+PAPER_TABLE1 = {
+    1: Pattern.MINVERTED_L,  # N N N Y
+    2: Pattern.HORIZONTAL,  # N N Y N
+    3: Pattern.HORIZONTAL,  # N N Y Y
+    4: Pattern.INVERTED_L,  # N Y N N
+    5: Pattern.HORIZONTAL,  # N Y N Y
+    6: Pattern.HORIZONTAL,  # N Y Y N
+    7: Pattern.HORIZONTAL,  # N Y Y Y
+    8: Pattern.VERTICAL,  # Y N N N
+    9: Pattern.KNIGHT_MOVE,  # Y N N Y
+    10: Pattern.ANTI_DIAGONAL,  # Y N Y N
+    11: Pattern.KNIGHT_MOVE,  # Y N Y Y
+    12: Pattern.VERTICAL,  # Y Y N N
+    13: Pattern.KNIGHT_MOVE,  # Y Y N Y
+    14: Pattern.ANTI_DIAGONAL,  # Y Y Y N
+    15: Pattern.KNIGHT_MOVE,  # Y Y Y Y
+}
+
+
+class TestTable1:
+    @pytest.mark.parametrize("mask,expected", sorted(PAPER_TABLE1.items()))
+    def test_each_row_matches_paper(self, mask, expected):
+        assert classify(ContributingSet.from_mask(mask)) is expected
+
+    def test_table1_rows_complete_and_ordered(self):
+        rows = table1_rows()
+        assert len(rows) == 15
+        assert [cs.mask for cs, _ in rows] == list(range(1, 16))
+        for cs, pat in rows:
+            assert pat is PAPER_TABLE1[cs.mask]
+
+    def test_pattern_counts_match_paper(self):
+        from collections import Counter
+
+        counts = Counter(pat for _, pat in table1_rows())
+        assert counts[Pattern.HORIZONTAL] == 5
+        assert counts[Pattern.KNIGHT_MOVE] == 4
+        assert counts[Pattern.ANTI_DIAGONAL] == 2
+        assert counts[Pattern.VERTICAL] == 2
+        assert counts[Pattern.INVERTED_L] == 1
+        assert counts[Pattern.MINVERTED_L] == 1
+
+
+class TestClassificationSymmetry:
+    def test_mirror_maps_patterns_to_mirrors(self):
+        """Mirroring a set must mirror its pattern (paper Sec. III)."""
+        mirror_of = {
+            Pattern.INVERTED_L: Pattern.MINVERTED_L,
+            Pattern.MINVERTED_L: Pattern.INVERTED_L,
+        }
+        for mask in range(1, 16):
+            cs = ContributingSet.from_mask(mask)
+            if cs.w:
+                continue  # W is not mirror-symmetric within the repr. set
+            pat = classify(cs)
+            assert classify(cs.mirrored()) is mirror_of.get(pat, pat)
+
+    def test_transpose_maps_vertical_to_horizontal(self):
+        for mask in (8, 12):  # {W}, {W, NW}
+            cs = ContributingSet.from_mask(mask)
+            assert classify(cs) is Pattern.VERTICAL
+            assert classify(cs.transposed()) is Pattern.HORIZONTAL
+
+
+class TestConflicts:
+    def test_opposite_neighbors_conflict(self):
+        assert conflicts((0, -1), (0, 1))
+        assert conflicts((-1, -1), (1, 1))
+        assert conflicts((-1, 0), (1, 0))
+        assert conflicts((-1, 1), (1, -1))
+
+    def test_non_opposite_do_not_conflict(self):
+        assert not conflicts((0, -1), (-1, 0))
+        assert not conflicts((-1, -1), (-1, 1))
+
+    def test_conflict_is_symmetric(self):
+        for a in EIGHT_NEIGHBORS:
+            for b in EIGHT_NEIGHBORS:
+                assert conflicts(a, b) == conflicts(b, a)
+
+    def test_non_neighbor_rejected(self):
+        with pytest.raises(ClassificationError):
+            conflicts((0, 0), (0, 1))
+        with pytest.raises(ClassificationError):
+            conflicts((0, -1), (2, 0))
+
+    def test_representative_set_pairwise_nonconflicting(self):
+        rs = representative_set()
+        assert len(rs) == 4
+        for a in rs:
+            for b in rs:
+                if a != b:
+                    assert not conflicts(a, b)
+
+    def test_representative_set_is_maximal(self):
+        """Adding any 5th neighbour creates a conflict (paper Sec. II)."""
+        rs = set(representative_set())
+        for extra in set(EIGHT_NEIGHBORS) - rs:
+            assert any(conflicts(extra, member) for member in rs)
+
+
+class TestTransferNeed:
+    """Paper Table II."""
+
+    def test_anti_diagonal_one_way(self):
+        cs = ContributingSet.of("W", "NW", "N")
+        assert transfer_need(Pattern.ANTI_DIAGONAL, cs) == "1-way"
+
+    def test_knight_move_two_way(self):
+        cs = ContributingSet.from_mask(15)
+        assert transfer_need(Pattern.KNIGHT_MOVE, cs) == "2-way"
+
+    def test_inverted_l_one_way(self):
+        cs = ContributingSet.of("NW")
+        assert transfer_need(Pattern.INVERTED_L, cs) == "1-way"
+        assert transfer_need(Pattern.MINVERTED_L, ContributingSet.of("NE")) == "1-way"
+
+    def test_horizontal_case1_at_most_one_way(self):
+        assert transfer_need(Pattern.HORIZONTAL, ContributingSet.of("N")) == "none"
+        assert transfer_need(Pattern.HORIZONTAL, ContributingSet.of("NW", "N")) == "1-way"
+        assert transfer_need(Pattern.HORIZONTAL, ContributingSet.of("N", "NE")) == "1-way"
+
+    def test_horizontal_case2_two_way(self):
+        assert (
+            transfer_need(Pattern.HORIZONTAL, ContributingSet.of("NW", "N", "NE"))
+            == "2-way"
+        )
+        assert (
+            transfer_need(Pattern.HORIZONTAL, ContributingSet.of("NW", "NE")) == "2-way"
+        )
+
+    def test_vertical_reduces_to_horizontal(self):
+        # {W} behaves like {N}: no transfer; {W, NW} like {N, NW}: 1-way.
+        assert transfer_need(Pattern.VERTICAL, ContributingSet.of("W")) == "none"
+        assert transfer_need(Pattern.VERTICAL, ContributingSet.of("W", "NW")) == "1-way"
+
+
+class TestHorizontalCase:
+    def test_case1_sets(self):
+        for names in (("N",), ("NW", "N"), ("N", "NE"), ("NW",), ("NE",)):
+            assert horizontal_case(ContributingSet.of(*names)) == 1
+
+    def test_case2_sets(self):
+        assert horizontal_case(ContributingSet.of("NW", "N", "NE")) == 2
+        assert horizontal_case(ContributingSet.of("NW", "NE")) == 2
+
+    def test_vertical_sets_accepted_via_transpose(self):
+        assert horizontal_case(ContributingSet.of("W")) == 1
+        assert horizontal_case(ContributingSet.of("W", "NW")) == 1
+
+    def test_non_horizontal_rejected(self):
+        with pytest.raises(ClassificationError):
+            horizontal_case(ContributingSet.of("W", "N"))  # anti-diagonal
+        with pytest.raises(ClassificationError):
+            horizontal_case(ContributingSet.from_mask(15))  # knight-move

@@ -1,0 +1,117 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_artifacts_and_problems(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig10" in out and "levenshtein" in out
+
+
+class TestFigure:
+    def test_table1(self, capsys):
+        assert main(["figure", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "anti-diagonal" in out and "knight-move" in out
+
+    def test_fig2(self, capsys):
+        assert main(["figure", "fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "(knight-move)" in out
+
+    def test_quick_fig8(self, capsys):
+        assert main(["figure", "fig8", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "iL" in out and "H1" in out
+
+    def test_unknown_artifact_exit_code(self, capsys):
+        assert main(["figure", "nope"]) == 2
+        assert "unknown artifact" in capsys.readouterr().err
+
+
+class TestSolve:
+    def test_solve_small(self, capsys):
+        assert main(["solve", "levenshtein", "--size", "48"]) == 0
+        out = capsys.readouterr().out
+        assert "anti-diagonal" in out
+        assert "simulated" in out
+        assert "corner" in out
+
+    def test_estimate_mode(self, capsys):
+        assert main(
+            ["solve", "checkerboard", "--size", "256", "--estimate"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "table" not in out.splitlines()[-1]
+
+    def test_executor_choice(self, capsys):
+        assert main(
+            ["solve", "dithering", "--size", "32", "--executor", "cpu"]
+        ) == 0
+        assert "cpu" in capsys.readouterr().out
+
+    def test_platform_choice(self, capsys):
+        assert main(
+            ["solve", "lcs", "--size", "32", "--platform", "low", "--estimate"]
+        ) == 0
+
+
+class TestTune:
+    def test_tune_output(self, capsys):
+        assert main(["tune", "lcs", "--size", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "tuned params" in out
+        assert "t_switch curve" in out
+
+
+class TestProfile:
+    def test_profile_output(self, capsys):
+        assert main(["profile", "anti-diagonal", "--rows", "4", "--cols", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "ramp" in out
+        assert "widths" in out
+
+    def test_bad_pattern_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "zigzag"])
+
+
+class TestGantt:
+    def test_gantt_writes_svg(self, tmp_path, capsys):
+        out = tmp_path / "plan.svg"
+        assert main(
+            ["gantt", "dithering", "--size", "64", "--t-switch", "10",
+             "--t-share", "12", "--out", str(out)]
+        ) == 0
+        text = out.read_text()
+        assert text.startswith("<svg") and "boundary-transfer" in text
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestBreakdown:
+    def test_breakdown_output(self, capsys):
+        assert main(["breakdown", "levenshtein", "--size", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "critical compute" in out
+        assert "hetero" in out
+
+
+class TestVerify:
+    def test_verify_quick(self, capsys):
+        assert main(["verify", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out and "failed" in out
+
+
+class TestParser:
+    def test_no_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_bad_problem_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["solve", "tsp"])

@@ -1,0 +1,192 @@
+"""Edge cases and failure injection across the stack.
+
+Degenerate shapes (1x1, single row/column, extreme aspect ratios), extreme
+split parameters, and deliberately broken inputs — the corners a downstream
+user will hit first.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ContributingSet,
+    ExecOptions,
+    Framework,
+    HeteroParams,
+    LDDPProblem,
+    Pattern,
+    hetero_high,
+)
+from repro.core.schedule import schedule_for
+from repro.errors import CellFunctionError, ExecutionError
+from repro.problems import make_levenshtein, make_synthetic
+
+
+def _solve_all(problem, params=None):
+    fw = Framework(hetero_high(), ExecOptions(validate_timeline=True))
+    base = fw.solve(problem, executor="sequential").table
+    for name in ("cpu", "gpu"):
+        assert np.array_equal(base, fw.solve(problem, executor=name).table)
+    kwargs = {"params": params} if params else {}
+    het = fw.solve(problem, executor="hetero", **kwargs).table
+    assert np.array_equal(base, het)
+    return base
+
+
+class TestDegenerateShapes:
+    @pytest.mark.parametrize("mask", [2, 4, 8, 10, 15])
+    def test_one_by_one(self, mask):
+        p = make_synthetic(ContributingSet.from_mask(mask), 1, 1)
+        table = _solve_all(p)
+        assert table.shape == (1, 1)
+        assert table[0, 0] == 1  # all neighbours out of table -> min 0, +1
+
+    @pytest.mark.parametrize("mask", [2, 4, 8, 10, 15])
+    def test_single_row(self, mask):
+        p = make_synthetic(ContributingSet.from_mask(mask), 1, 9)
+        _solve_all(p, HeteroParams(1, 2))
+
+    @pytest.mark.parametrize("mask", [2, 4, 8, 10, 15])
+    def test_single_column(self, mask):
+        p = make_synthetic(ContributingSet.from_mask(mask), 9, 1)
+        _solve_all(p, HeteroParams(1, 2))
+
+    def test_extreme_aspect_ratio(self):
+        p = make_synthetic(ContributingSet.of("W", "NW", "N"), 2, 64)
+        _solve_all(p, HeteroParams(3, 1))
+        p = make_synthetic(ContributingSet.of("W", "NW", "N"), 64, 2)
+        _solve_all(p, HeteroParams(3, 1))
+
+    def test_levenshtein_length_one(self):
+        p = make_levenshtein(1, 1)
+        table = _solve_all(p)
+        assert table.shape == (2, 2)
+
+    def test_minimal_computed_region(self):
+        """fixed_rows/fixed_cols leaving a single computed cell."""
+        p = make_levenshtein(1, 1)
+        assert p.computed_shape == (1, 1)
+        _solve_all(p, HeteroParams(5, 5))
+
+
+class TestExtremeParameters:
+    def test_t_switch_way_past_clamp(self):
+        p = make_levenshtein(16, 16)
+        _solve_all(p, HeteroParams(t_switch=10**6, t_share=0))
+
+    def test_t_share_way_past_width(self):
+        p = make_levenshtein(16, 16)
+        res = Framework(hetero_high()).solve(
+            p, params=HeteroParams(0, 10**6)
+        )
+        assert res.stats["gpu_cells"] == 0  # everything clamped to the CPU
+
+    def test_zero_zero_params_pure_gpu_split(self):
+        p = make_levenshtein(16, 16)
+        res = Framework(hetero_high()).solve(p, params=HeteroParams(0, 0))
+        assert res.stats["cpu_cells"] == 0
+        assert res.stats["gpu_cells"] == p.total_computed_cells
+
+
+class TestFailureInjection:
+    def test_cell_function_bad_shape_caught(self):
+        p = LDDPProblem(
+            name="bad",
+            shape=(4, 4),
+            contributing=ContributingSet.of("N"),
+            cell=lambda ctx: np.zeros(1),  # wrong batch size
+        )
+        with pytest.raises(CellFunctionError):
+            Framework(hetero_high()).solve(p, executor="cpu")
+
+    def test_cell_function_exception_propagates(self):
+        def boom(ctx):
+            raise ValueError("user bug")
+
+        p = LDDPProblem(
+            name="boom", shape=(4, 4),
+            contributing=ContributingSet.of("N"), cell=boom,
+        )
+        with pytest.raises(ValueError, match="user bug"):
+            Framework(hetero_high()).solve(p)
+
+    def test_init_exception_propagates(self):
+        def bad_init(table, payload):
+            raise RuntimeError("init bug")
+
+        p = LDDPProblem(
+            name="bad-init", shape=(4, 4),
+            contributing=ContributingSet.of("N"),
+            cell=lambda ctx: ctx.n, init=bad_init,
+        )
+        with pytest.raises(RuntimeError, match="init bug"):
+            Framework(hetero_high()).solve(p)
+
+    def test_estimate_never_touches_cell_function(self):
+        def boom(ctx):  # pragma: no cover - must not run
+            raise AssertionError("estimate must not evaluate cells")
+
+        p = LDDPProblem(
+            name="lazy", shape=(64, 64),
+            contributing=ContributingSet.of("NW", "N"), cell=boom,
+        )
+        res = Framework(hetero_high()).estimate(p)
+        assert res.simulated_time > 0
+
+    def test_nan_values_do_not_break_equality_checks(self):
+        """NaN-producing recurrences still compare equal across executors."""
+        def nanny(ctx):
+            out = ctx.n.astype(np.float64) + 1
+            out[ctx.j % 7 == 3] = np.nan
+            return out
+
+        p = LDDPProblem(
+            name="nan", shape=(12, 12),
+            contributing=ContributingSet.of("N"), cell=nanny,
+            dtype=np.float64,
+        )
+        fw = Framework(hetero_high())
+        a = fw.solve(p, executor="sequential").table
+        b = fw.solve(p, executor="hetero", params=HeteroParams(0, 5)).table
+        assert np.array_equal(a, b, equal_nan=True)
+
+
+class TestScheduleDegenerate:
+    @pytest.mark.parametrize("pattern", list(Pattern), ids=lambda p: p.value)
+    def test_1x1_single_iteration(self, pattern):
+        sched = schedule_for(pattern, 1, 1)
+        assert sched.num_iterations == 1
+        assert sched.width(0) == 1
+
+    def test_single_row_knight_equals_vertical_sweep(self):
+        sched = schedule_for(Pattern.KNIGHT_MOVE, 1, 8)
+        assert sched.num_iterations == 8
+        assert all(sched.width(t) == 1 for t in range(8))
+
+    def test_single_column_antidiagonal(self):
+        sched = schedule_for(Pattern.ANTI_DIAGONAL, 8, 1)
+        assert sched.num_iterations == 8
+
+    def test_inverted_l_tall_thin(self):
+        sched = schedule_for(Pattern.INVERTED_L, 9, 2)
+        assert sched.num_iterations == 2
+        assert sched.width(0) == 9 + 2 - 1
+
+
+class TestOptionsEdge:
+    def test_pattern_override_incompatible_raises(self):
+        fw = Framework(
+            hetero_high(), ExecOptions(pattern_override=Pattern.HORIZONTAL)
+        )
+        p = make_levenshtein(8)  # needs W: cannot run row-parallel
+        with pytest.raises(Exception):
+            fw.solve(p)
+
+    def test_safe_fallback_knight_runs_everything(self):
+        """Knight-move respects all four deps — a universal (slow) schedule."""
+        fw = Framework(
+            hetero_high(), ExecOptions(pattern_override=Pattern.KNIGHT_MOVE)
+        )
+        p = make_levenshtein(12, 17, seed=0)
+        base = Framework(hetero_high()).solve(p, executor="sequential").table
+        assert np.array_equal(base, fw.solve(p, executor="cpu").table)

@@ -1,0 +1,115 @@
+"""Smoke tests: every example script must run to completion.
+
+Each example is executed in-process (``runpy``) with stdout captured; the
+slowest two (multi-accelerator sweeps, seam carving) are exercised at reduced
+scope by calling their building blocks instead of the full script.
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def _run(name: str, capsys) -> str:
+    import runpy
+
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExampleScripts:
+    def test_quickstart(self, capsys):
+        out = _run("quickstart.py", capsys)
+        assert "pattern (Table I) : horizontal" in out
+        assert "table identical: True" in out
+
+    def test_sequence_alignment(self, capsys):
+        out = _run("sequence_alignment.py", capsys)
+        assert "Levenshtein distance" in out
+        assert "optimal t_switch" in out
+
+    def test_image_dithering(self, capsys):
+        out = _run("image_dithering.py", capsys)
+        assert "matches raster-order reference: True" in out
+        assert "2-way" in out
+
+    def test_checkerboard_paths(self, capsys):
+        out = _run("checkerboard_paths.py", capsys)
+        assert "optimal path cost" in out
+        assert "case 2" in out
+
+    def test_custom_pattern_tour(self, capsys):
+        out = _run("custom_pattern_tour.py", capsys)
+        assert out.count("knight-move") >= 4
+        assert "anti-diagonal" in out
+
+    def test_timeline_inspection(self, capsys, tmp_path, monkeypatch):
+        out = _run("timeline_inspection.py", capsys)
+        assert "cost composition" in out
+        svg = EXAMPLES / "hetero_timeline.svg"
+        assert svg.exists()
+        assert svg.read_text().startswith("<svg")
+
+    def test_calibrate_platform(self, capsys):
+        out = _run("calibrate_platform.py", capsys)
+        assert "recovered parameters" in out
+
+    def test_three_sequence_lcs(self, capsys):
+        out = _run("three_sequence_lcs.py", capsys)
+        assert "LCS(a, b, c)" in out
+        assert "plane wavefronts" in out
+
+    def test_poisson_solver(self, capsys):
+        out = _run("poisson_solver.py", capsys)
+        assert "anti-diagonal" in out
+        assert "residual history" in out
+
+    def test_affine_alignment(self, capsys):
+        out = _run("affine_alignment.py", capsys)
+        assert "gap runs in b: [12]" in out
+
+
+class TestSlowExamplesReduced:
+    """The heavy scripts, exercised via their core steps at small scale."""
+
+    def test_seam_carving_pipeline(self):
+        import runpy
+
+        mod = runpy.run_path(str(EXAMPLES / "seam_carving.py"))
+        img = mod["test_image"](32, 48)
+        e = mod["energy"](img)
+        from repro import Framework, hetero_high
+        from repro.solutions import checkerboard_path
+
+        fw = Framework(hetero_high())
+        work = img
+        for _ in range(4):
+            e = mod["energy"](work)
+            res = fw.solve(mod["seam_problem"](e))
+            seam = checkerboard_path(res.table, e)
+            work = mod["remove_seam"](work, seam)
+        assert work.shape == (32, 44)
+
+    def test_large_instance_streaming_reduced(self):
+        from repro.baselines import myers_edit_distance
+        from repro.exec.streaming import StreamingSolver
+        from repro.problems import make_levenshtein
+
+        n = 512
+        p = make_levenshtein(n, n, seed=123)
+        res = StreamingSolver().solve(p, track=[(n, n)])
+        assert int(res.tracked[(n, n)]) == myers_edit_distance(
+            p.payload["a"], p.payload["b"]
+        )
+        assert res.memory_fraction < 0.01
+
+    def test_multi_accelerator_building_blocks(self):
+        from repro.multi import MultiHeteroExecutor, hetero_tri
+        from repro.problems import make_dithering
+
+        ex = MultiHeteroExecutor(hetero_tri())
+        res = ex.estimate(make_dithering(512, materialize=False))
+        assert res.simulated_time > 0

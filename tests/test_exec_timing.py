@@ -1,0 +1,215 @@
+"""Timing-model behaviour: task graphs, transfers, ablation switches.
+
+These tests pin down the *simulated machine* semantics the figures rest on:
+launch-bound GPU kernels, hidden pipelined copies, pinned two-way exchanges,
+phase-boundary halo movement, estimate/solve equivalence.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ContributingSet, ExecOptions, Framework, HeteroParams, Pattern
+from repro.machine.platform import hetero_high
+from repro.problems import (
+    make_checkerboard,
+    make_dithering,
+    make_fig9_problem,
+    make_levenshtein,
+    make_synthetic,
+)
+from repro.types import TransferDirection
+
+
+@pytest.fixture
+def fw():
+    return Framework(hetero_high(), ExecOptions(validate_timeline=True))
+
+
+class TestEstimateSolveEquivalence:
+    @pytest.mark.parametrize("executor", ["sequential", "cpu", "gpu", "hetero"])
+    def test_same_simulated_time(self, fw, executor):
+        p = make_levenshtein(40, 52, seed=0)
+        t_solve = fw.solve(p, executor=executor).simulated_time
+        t_est = fw.estimate(p, executor=executor).simulated_time
+        assert t_est == pytest.approx(t_solve)
+
+    def test_estimate_has_no_table(self, fw):
+        res = fw.estimate(make_levenshtein(16), executor="hetero")
+        assert res.table is None
+        assert res.simulated_time > 0
+
+    def test_estimate_works_without_payload(self, fw):
+        p = make_levenshtein(64, materialize=False)
+        res = fw.estimate(p, executor="hetero")
+        assert res.simulated_time > 0
+
+
+class TestGPUBaselineModel:
+    def test_launch_bound_scaling(self, fw):
+        """Doubling iterations ~doubles GPU time when kernels are narrow."""
+        t1 = fw.estimate(make_fig9_problem(200, materialize=False), executor="gpu")
+        t2 = fw.estimate(make_fig9_problem(400, materialize=False), executor="gpu")
+        # 400 rows vs 200 rows: launch-dominated, so ratio close to 2
+        assert 1.8 < t2.simulated_time / t1.simulated_time < 2.6
+
+    def test_bulk_staging_recorded(self, fw):
+        res = fw.estimate(make_checkerboard(64, seed=0), executor="gpu")
+        dirs = res.ledger.directions_used()
+        assert TransferDirection.H2D in dirs and TransferDirection.D2H in dirs
+        assert res.stats["setup_bytes"] > 0
+        # result copy: full computed region
+        assert res.stats["result_bytes"] == 63 * 64 * 8
+
+    def test_gpu_tasks_serialized(self, fw):
+        res = fw.estimate(make_fig9_problem(32, materialize=False), executor="gpu")
+        kernels = res.timeline.on("gpu")
+        assert len(kernels) == 32
+        for a, b in zip(kernels, kernels[1:]):
+            assert b.start >= a.end
+
+
+class TestCPUBaselineModel:
+    def test_one_task_per_iteration(self, fw):
+        res = fw.estimate(make_levenshtein(24, 24), executor="cpu")
+        assert len(res.timeline.on("cpu")) == res.stats["iterations"]
+
+    def test_no_transfers(self, fw):
+        res = fw.estimate(make_levenshtein(24, 24), executor="cpu")
+        assert res.ledger.count() == 0
+
+    def test_sequential_single_task(self, fw):
+        res = fw.estimate(make_levenshtein(24, 24), executor="sequential")
+        assert len(res.timeline) == 1
+
+    def test_sequential_slower_than_parallel_at_scale(self, fw):
+        p = make_levenshtein(2048, materialize=False)
+        seq = fw.estimate(p, executor="sequential").simulated_time
+        par = fw.estimate(p, executor="cpu").simulated_time
+        assert seq > par
+
+    def test_parallel_can_lose_on_tiny_tables(self, fw):
+        """Per-iteration fork cost makes wavefront-parallel CPU slower than a
+        plain sequential sweep on small tables — the low-work phenomenon."""
+        p = make_levenshtein(128, materialize=False)
+        seq = fw.estimate(p, executor="sequential").simulated_time
+        par = fw.estimate(p, executor="cpu").simulated_time
+        assert seq < par
+
+
+class TestHeteroTransfers:
+    def test_antidiagonal_one_way_h2d(self, fw):
+        p = make_levenshtein(64, 64)
+        res = fw.estimate(p, executor="hetero", params=HeteroParams(10, 8))
+        per_iter = res.ledger.per_iteration()
+        assert per_iter, "split phase must move boundary cells"
+        assert res.ledger.way() == "1-way"
+        for recs in per_iter.values():
+            assert all(r.direction is TransferDirection.H2D for r in recs)
+            assert all(r.cells == 2 for r in recs)
+
+    def test_knight_two_way_pinned(self, fw):
+        p = make_dithering(48, 48)
+        res = fw.estimate(p, executor="hetero", params=HeteroParams(8, 6))
+        assert res.ledger.way() == "2-way"
+        some = next(iter(res.ledger.per_iteration().values()))
+        assert {r.direction for r in some} == {
+            TransferDirection.H2D,
+            TransferDirection.D2H,
+        }
+
+    def test_horizontal_case2_two_way(self, fw):
+        p = make_checkerboard(48, 48)
+        res = fw.estimate(p, executor="hetero", params=HeteroParams(0, 12))
+        assert res.ledger.way() == "2-way"
+        assert res.stats["transfer_way"] == "2-way"
+
+    def test_horizontal_case1_one_way(self, fw):
+        p = make_fig9_problem(48)
+        res = fw.estimate(p, executor="hetero", params=HeteroParams(0, 12))
+        assert res.ledger.way() == "1-way"
+
+    def test_pure_n_dependency_no_boundary_traffic(self, fw):
+        p = make_synthetic(ContributingSet.of("N"), 32, 32)
+        res = fw.estimate(p, executor="hetero", params=HeteroParams(0, 8))
+        assert res.ledger.per_iteration() == {}
+
+    def test_pure_cpu_plan_no_gpu_tasks(self, fw):
+        p = make_fig9_problem(32)
+        res = fw.estimate(p, executor="hetero", params=HeteroParams(0, 32))
+        assert res.timeline.on("gpu") == []
+        assert res.ledger.count() == 0
+
+    def test_pure_gpu_plan_no_cpu_tasks(self, fw):
+        p = make_fig9_problem(32)
+        res = fw.estimate(p, executor="hetero", params=HeteroParams(0, 0))
+        assert res.timeline.on("cpu") == []
+
+    def test_phase_halo_copies_present(self, fw):
+        p = make_levenshtein(64, 64)
+        res = fw.estimate(p, executor="hetero", params=HeteroParams(10, 8))
+        halos = res.timeline.where(kind="phase-transfer")
+        assert len(halos) == 2  # cpu-low -> split, split -> cpu-low
+
+
+class TestAblationSwitches:
+    def test_pipeline_off_is_slower(self):
+        """Sec. IV-C1: hiding one-way copies must help."""
+        p = make_fig9_problem(2048, materialize=False)
+        on = Framework(hetero_high(), ExecOptions(pipeline=True))
+        off = Framework(hetero_high(), ExecOptions(pipeline=False))
+        # a balanced split, so the boundary copy sits on the critical path
+        params = HeteroParams(0, 1771)
+        t_on = on.estimate(p, executor="hetero", params=params).simulated_time
+        t_off = off.estimate(p, executor="hetero", params=params).simulated_time
+        assert t_off > t_on
+
+    def test_uncoalesced_gpu_slower(self):
+        """Sec. IV-B: wavefront-major storage must help the GPU."""
+        p = make_levenshtein(2048, materialize=False)
+        on = Framework(hetero_high(), ExecOptions(use_wavefront_layout=True))
+        off = Framework(hetero_high(), ExecOptions(use_wavefront_layout=False))
+        t_on = on.estimate(p, executor="gpu").simulated_time
+        t_off = off.estimate(p, executor="gpu").simulated_time
+        assert t_off > t_on
+
+    def test_layout_irrelevant_for_horizontal(self):
+        """Rows are contiguous either way."""
+        p = make_fig9_problem(256, materialize=False)
+        on = Framework(hetero_high(), ExecOptions(use_wavefront_layout=True))
+        off = Framework(hetero_high(), ExecOptions(use_wavefront_layout=False))
+        assert on.estimate(p, executor="gpu").simulated_time == pytest.approx(
+            off.estimate(p, executor="gpu").simulated_time
+        )
+
+    def test_streamed_copies_on_copy_engine(self, fw):
+        p = make_fig9_problem(64)
+        res = fw.estimate(p, executor="hetero", params=HeteroParams(0, 16))
+        assert res.timeline.on("copy"), "pipelined copies use the copy engine"
+
+    def test_sync_copies_on_bus_when_pipeline_off(self):
+        fwoff = Framework(hetero_high(), ExecOptions(pipeline=False))
+        p = make_fig9_problem(64)
+        res = fwoff.estimate(p, executor="hetero", params=HeteroParams(0, 16))
+        assert res.timeline.on("copy") == []
+
+
+class TestTimelineStructure:
+    def test_hetero_overlap_exists(self, fw):
+        """CPU and GPU genuinely overlap in split phases."""
+        p = make_fig9_problem(512, materialize=False)
+        res = fw.estimate(p, executor="hetero", params=HeteroParams(0, 150))
+        cpu_busy = res.timeline.busy("cpu")
+        gpu_busy = res.timeline.busy("gpu")
+        assert cpu_busy + gpu_busy > res.timeline.makespan
+
+    def test_stats_utilizations_in_range(self, fw):
+        res = fw.estimate(make_levenshtein(64), executor="hetero")
+        assert 0 <= res.stats["cpu_utilization"] <= 1
+        assert 0 <= res.stats["gpu_utilization"] <= 1
+
+    def test_makespan_bounds_resource_busy(self, fw):
+        res = fw.estimate(
+            make_dithering(40, 40), executor="hetero", params=HeteroParams(5, 5)
+        )
+        for r in res.timeline.resources:
+            assert res.timeline.busy(r) <= res.timeline.makespan + 1e-12

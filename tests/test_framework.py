@@ -1,0 +1,97 @@
+"""Tests for the Framework facade."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ContributingSet,
+    ExecOptions,
+    Framework,
+    HeteroParams,
+    LDDPProblem,
+    Pattern,
+)
+from repro.errors import ExecutionError
+from repro.exec import CPUExecutor, GPUExecutor, HeteroExecutor, SequentialExecutor
+from repro.machine.platform import hetero_high, hetero_low
+from repro.problems import make_checkerboard, make_levenshtein
+
+
+class TestConstruction:
+    def test_default_platform_is_hetero_high(self):
+        assert Framework().platform.name == "Hetero-High"
+
+    def test_explicit_platform(self):
+        assert Framework(hetero_low()).platform.name == "Hetero-Low"
+
+    def test_classify_static(self):
+        p = make_levenshtein(8)
+        assert Framework.classify(p) is Pattern.ANTI_DIAGONAL
+
+
+class TestExecutorFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("sequential", SequentialExecutor),
+            ("cpu", CPUExecutor),
+            ("gpu", GPUExecutor),
+            ("hetero", HeteroExecutor),
+        ],
+    )
+    def test_by_name(self, name, cls):
+        assert isinstance(Framework().executor(name), cls)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ExecutionError, match="unknown executor"):
+            Framework().executor("tpu")
+
+    def test_options_propagated(self):
+        fw = Framework(options=ExecOptions(pipeline=False))
+        assert fw.executor("hetero").options.pipeline is False
+
+
+class TestDispatch:
+    def test_solve_default_hetero(self):
+        res = Framework().solve(make_levenshtein(12))
+        assert res.executor == "hetero"
+        assert res.table is not None
+
+    def test_estimate_no_table(self):
+        res = Framework().estimate(make_levenshtein(12))
+        assert res.table is None
+
+    def test_params_forwarded_to_hetero(self):
+        res = Framework().solve(
+            make_levenshtein(24), params=HeteroParams(t_switch=4, t_share=2)
+        )
+        assert res.stats["t_switch"] == 4
+        assert res.stats["t_share"] == 2
+
+    def test_params_rejected_for_other_executors(self):
+        with pytest.raises(ExecutionError, match="params"):
+            Framework().solve(
+                make_levenshtein(12), executor="cpu", params=HeteroParams(1, 1)
+            )
+
+
+class TestCompare:
+    def test_compare_returns_all(self):
+        res = Framework().compare(make_levenshtein(64, materialize=False))
+        assert set(res) == {"cpu", "gpu", "hetero"}
+        for r in res.values():
+            assert r.table is None  # estimate mode by default
+
+    def test_compare_functional(self):
+        res = Framework().compare(
+            make_levenshtein(16), executors=("cpu", "gpu"), functional=True
+        )
+        assert np.array_equal(res["cpu"].table, res["gpu"].table)
+
+
+class TestTune:
+    def test_tune_smoke(self):
+        res = Framework().tune(make_checkerboard(64, materialize=False), points=5)
+        assert res.params.t_switch == 0  # horizontal: no low-work region
+        assert res.best_time > 0
+        assert len(res.t_share_curve) >= 3

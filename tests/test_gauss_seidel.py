@@ -1,0 +1,88 @@
+"""Tests for the Gauss-Seidel sweep — a non-DP LDDP-Plus problem."""
+
+import numpy as np
+import pytest
+
+from repro import Framework, HeteroParams, Pattern, hetero_high
+from repro.problems import (
+    gs_solve,
+    make_gauss_seidel_sweep,
+    reference_gs_sweep,
+    residual,
+)
+
+
+def poisson_instance(n: int, seed: int = 0):
+    """Random RHS + boundary on an (n x n) grid, h = 1/(n-1)."""
+    rng = np.random.default_rng(seed)
+    h2f = rng.normal(size=(n, n)) / (n - 1) ** 2
+    boundary = np.zeros((n, n))
+    boundary[0, :] = np.linspace(0, 1, n)
+    boundary[-1, :] = 1.0
+    boundary[:, 0] = np.linspace(0, 1, n)
+    boundary[:, -1] = rng.uniform(0, 1, n)
+    return h2f, boundary
+
+
+class TestSweep:
+    def test_pattern_is_antidiagonal(self):
+        h2f, b = poisson_instance(8)
+        assert make_gauss_seidel_sweep(b, h2f).pattern is Pattern.ANTI_DIAGONAL
+
+    def test_matches_raster_reference(self):
+        h2f, b = poisson_instance(20, seed=1)
+        p = make_gauss_seidel_sweep(b, h2f)
+        table = Framework(hetero_high()).solve(p).table
+        assert np.allclose(table, reference_gs_sweep(b, h2f))
+
+    def test_all_executors_agree(self):
+        h2f, b = poisson_instance(16, seed=2)
+        p = make_gauss_seidel_sweep(b, h2f)
+        fw = Framework(hetero_high())
+        base = fw.solve(p, executor="sequential").table
+        for name in ("cpu", "gpu"):
+            assert np.array_equal(base, fw.solve(p, executor=name).table)
+        het = fw.solve(p, params=HeteroParams(3, 4)).table
+        assert np.array_equal(base, het)
+
+    def test_boundary_preserved(self):
+        h2f, b = poisson_instance(12, seed=3)
+        p = make_gauss_seidel_sweep(b, h2f)
+        table = Framework(hetero_high()).solve(p).table
+        assert np.array_equal(table[0, :], b[0, :])
+        assert np.array_equal(table[-1, :], b[-1, :])
+        assert np.array_equal(table[:, 0], b[:, 0])
+        assert np.array_equal(table[:, -1], b[:, -1])
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            make_gauss_seidel_sweep(np.zeros((4, 4)), np.zeros((5, 4)))
+        with pytest.raises(ValueError):
+            make_gauss_seidel_sweep(np.zeros((2, 5)), np.zeros((2, 5)))
+
+
+class TestSolver:
+    def test_residual_decreases_monotonically(self):
+        h2f, b = poisson_instance(24, seed=4)
+        fw = Framework(hetero_high())
+        _, history = gs_solve(fw, h2f, b, sweeps=15, executor="cpu")
+        # GS on the Poisson system is a contraction: residuals fall
+        assert history[-1] < history[0] * 0.5
+        drops = sum(1 for x, y in zip(history, history[1:]) if y <= x + 1e-12)
+        assert drops >= len(history) - 2
+
+    def test_converges_to_discrete_solution(self):
+        h2f, b = poisson_instance(12, seed=5)
+        fw = Framework(hetero_high())
+        u, history = gs_solve(fw, h2f, b, sweeps=400, executor="hetero")
+        assert residual(u, h2f) < 1e-8
+
+    def test_zero_rhs_harmonic_bounds(self):
+        """With f = 0, the solution obeys the discrete maximum principle."""
+        _, b = poisson_instance(16, seed=6)
+        h2f = np.zeros_like(b)
+        fw = Framework(hetero_high())
+        u, _ = gs_solve(fw, h2f, b, sweeps=300, executor="cpu")
+        interior = u[1:-1, 1:-1]
+        assert interior.max() <= b.max() + 1e-9
+        assert interior.min() >= b.min() - 1e-9

@@ -1,0 +1,93 @@
+"""Tests for linear-space alignment (Hirschberg)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Framework, hetero_high
+from repro.problems import make_needleman_wunsch
+from repro.solutions import align_global, align_global_linear_space
+from repro.solutions.alignment import GAP
+from repro.solutions.hirschberg import nw_score_last_row
+
+FW = Framework(hetero_high())
+
+
+def _score_of(aln, a, b, match=1, mismatch=-1, gap=-2):
+    total = 0
+    for i, j in zip(aln.a_idx, aln.b_idx):
+        if i == GAP or j == GAP:
+            total += gap
+        else:
+            total += match if a[i] == b[j] else mismatch
+    return total
+
+
+class TestLastRow:
+    def test_matches_full_table(self):
+        p = make_needleman_wunsch(15, 21, seed=0)
+        a, b = p.payload["a"], p.payload["b"]
+        table = FW.solve(p).table
+        row = nw_score_last_row(a, b, 1, -1, -2)
+        assert np.allclose(row, table[-1, :])
+
+    def test_empty_pattern(self):
+        row = nw_score_last_row(np.array([], dtype=np.int8),
+                                np.array([1, 2, 3], dtype=np.int8), 1, -1, -2)
+        assert list(row) == [0, -2, -4, -6]
+
+
+class TestHirschberg:
+    def test_score_optimal(self):
+        p = make_needleman_wunsch(30, 26, seed=1)
+        a, b = p.payload["a"], p.payload["b"]
+        table = FW.solve(p).table
+        aln = align_global_linear_space(a, b)
+        assert aln.score == table[-1, -1]
+
+    def test_alignment_is_consistent(self):
+        p = make_needleman_wunsch(20, 20, seed=2)
+        a, b = p.payload["a"], p.payload["b"]
+        aln = align_global_linear_space(a, b)
+        # covers both sequences in order
+        assert [i for i in aln.a_idx if i != GAP] == list(range(20))
+        assert [j for j in aln.b_idx if j != GAP] == list(range(20))
+        # claimed score equals recomputed column score
+        assert _score_of(aln, a, b) == aln.score
+
+    def test_identical_sequences(self):
+        a = np.array([0, 1, 2, 3, 0, 1], dtype=np.int8)
+        aln = align_global_linear_space(a, a)
+        assert aln.score == len(a)
+        assert aln.a_idx == aln.b_idx == tuple(range(len(a)))
+
+    def test_empty_sides(self):
+        a = np.array([1, 2], dtype=np.int8)
+        empty = np.array([], dtype=np.int8)
+        aln = align_global_linear_space(a, empty)
+        assert aln.b_idx == (GAP, GAP)
+        aln = align_global_linear_space(empty, a)
+        assert aln.a_idx == (GAP, GAP)
+
+    def test_large_instance_without_table(self):
+        """2000x2000 alignment: the full table would be 32 MB; Hirschberg
+        carries two rows."""
+        p = make_needleman_wunsch(2000, 2000, seed=3)
+        a, b = p.payload["a"], p.payload["b"]
+        aln = align_global_linear_space(a, b)
+        assert _score_of(aln, a, b) == aln.score
+        row = nw_score_last_row(a, b, 1, -1, -2)
+        assert aln.score == row[-1]
+
+    @given(
+        st.lists(st.integers(0, 3), min_size=0, max_size=14),
+        st.lists(st.integers(0, 3), min_size=0, max_size=14),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_score_matches_dp(self, a, b):
+        a = np.array(a, dtype=np.int8)
+        b = np.array(b, dtype=np.int8)
+        aln = align_global_linear_space(a, b)
+        row = nw_score_last_row(a, b, 1, -1, -2)
+        assert aln.score == row[-1]
+        assert _score_of(aln, a, b) == aln.score

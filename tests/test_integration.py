@@ -1,0 +1,162 @@
+"""End-to-end integration tests: full paper-experiment behaviour at reduced
+scale, exercising planning, tuning, execution and reporting together."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ContributingSet,
+    ExecOptions,
+    Framework,
+    HeteroParams,
+    LDDPProblem,
+    Pattern,
+    hetero_high,
+    hetero_low,
+)
+from repro.analysis.stats import best_executor, crossover_size
+from repro.problems import (
+    make_checkerboard,
+    make_dithering,
+    make_fig9_problem,
+    make_levenshtein,
+)
+
+
+class TestQuickstartFlow:
+    """The README quickstart, verbatim semantics."""
+
+    def test_custom_problem_end_to_end(self):
+        def f(ctx):
+            return np.minimum(ctx.nw, ctx.n) + 1
+
+        problem = LDDPProblem(
+            name="demo",
+            shape=(128, 128),
+            contributing=ContributingSet.of("NW", "N"),
+            cell=f,
+            fixed_rows=1,
+            dtype=np.int64,
+        )
+        fw = Framework(hetero_high())
+        assert fw.classify(problem) is Pattern.HORIZONTAL
+        result = fw.solve(problem)
+        assert result.table.shape == (128, 128)
+        # away from the left edge (where out-of-table zeros leak in through
+        # NW), row i holds exactly i: one +1 per row of min-of-parents
+        assert (result.table[5, 5:] == 5).all()
+        assert result.table[5, 0] == 1  # the leak itself, also deterministic
+        assert result.simulated_ms > 0
+
+
+class TestPaperStoryAtReducedScale:
+    """The qualitative claims of Sec. VI, on sizes small enough for CI."""
+
+    def test_fig10_story_hetero_beats_gpu_everywhere(self):
+        fw = Framework(hetero_high())
+        for n in (256, 1024):
+            p = make_levenshtein(n, materialize=False)
+            times = {
+                name: fw.estimate(p, executor=name).simulated_time
+                for name in ("gpu", "hetero")
+            }
+            assert times["hetero"] < times["gpu"]
+
+    def test_fig10_cpu_wins_small_loses_large(self):
+        fw = Framework(hetero_high())
+        small = fw.compare(make_levenshtein(512, materialize=False))
+        large = fw.compare(make_levenshtein(8192, materialize=False))
+        small_t = {k: v.simulated_time for k, v in small.items()}
+        large_t = {k: v.simulated_time for k, v in large.items()}
+        assert best_executor(small_t) == "cpu"
+        assert best_executor(large_t) == "hetero"
+        assert large_t["cpu"] > large_t["gpu"]
+
+    def test_fig12_dithering_crossovers(self):
+        fw = Framework(hetero_low())
+        sizes = [512, 4096, 8192]
+        cpu, gpu, het = [], [], []
+        for n in sizes:
+            r = fw.compare(make_dithering(n, materialize=False))
+            cpu.append(r["cpu"].simulated_time)
+            gpu.append(r["gpu"].simulated_time)
+            het.append(r["hetero"].simulated_time)
+        # small images: CPU beats GPU; large: GPU beats CPU; hetero wins large
+        assert cpu[0] < gpu[0]
+        assert gpu[-1] < cpu[-1]
+        assert het[-1] <= min(cpu[-1], gpu[-1])
+        assert crossover_size(sizes, gpu, cpu) is not None
+
+    def test_fig13_forced_split_overheads(self):
+        """Sec. VI-C: at small sizes the two-way overhead exceeds the gain."""
+        fw = Framework(hetero_high())
+        p = make_checkerboard(512, materialize=False)
+        gpu = fw.estimate(p, executor="gpu").simulated_time
+        forced = fw.estimate(
+            p, executor="hetero", params=HeteroParams(0, 128)
+        ).simulated_time
+        assert forced > gpu * 0.9  # overheads comparable to execution time
+
+    def test_fig13_hetero_beats_gpu_at_scale(self):
+        fw = Framework(hetero_high())
+        p = make_checkerboard(32768, materialize=False)
+        gpu = fw.estimate(p, executor="gpu").simulated_time
+        het = fw.estimate(p, executor="hetero").simulated_time
+        assert het < gpu
+
+
+class TestOptionsMatrix:
+    """Every ExecOptions combination must keep results correct."""
+
+    @pytest.mark.parametrize("layout", [True, False])
+    @pytest.mark.parametrize("pipeline", [True, False])
+    @pytest.mark.parametrize("il_as_h", [True, False])
+    def test_all_combinations_functionally_identical(self, layout, pipeline, il_as_h):
+        opts = ExecOptions(
+            use_wavefront_layout=layout,
+            pipeline=pipeline,
+            inverted_l_as_horizontal=il_as_h,
+            validate_timeline=True,
+        )
+        fw = Framework(hetero_high(), opts)
+        p = make_levenshtein(24, 31, seed=42)
+        base = Framework(hetero_high()).solve(p, executor="sequential").table
+        res = fw.solve(p, executor="hetero", params=HeteroParams(4, 3))
+        assert np.array_equal(res.table, base)
+
+
+class TestTuneThenSolve:
+    def test_tuned_params_apply(self):
+        fw = Framework(hetero_high())
+        p = make_fig9_problem(512, materialize=False)
+        tuned = fw.tune(p, points=7)
+        res = fw.estimate(p, params=tuned.params)
+        assert res.simulated_time == pytest.approx(tuned.best_time)
+
+    def test_tuned_no_worse_than_default(self):
+        fw = Framework(hetero_high())
+        p = make_levenshtein(1024, materialize=False)
+        tuned = fw.tune(p, points=9)
+        default = fw.estimate(p).simulated_time
+        assert tuned.best_time <= default * 1.05
+
+
+class TestScaleSanity:
+    def test_large_estimate_runs_fast_without_memory(self):
+        """A 16k x 16k estimate must not allocate the table."""
+        p = make_levenshtein(16384, materialize=False)
+        res = Framework(hetero_high()).estimate(p)
+        assert res.table is None
+        assert res.stats["iterations"] == 2 * 16384 - 1
+
+    def test_simulated_time_grows_with_size(self):
+        fw = Framework(hetero_high())
+        times = [
+            fw.estimate(
+                make_levenshtein(n, materialize=False), executor=ex
+            ).simulated_time
+            for ex in ("cpu", "gpu", "hetero")
+            for n in (512, 1024, 2048)
+        ]
+        for k in range(0, 9, 3):
+            assert times[k] < times[k + 1] < times[k + 2]

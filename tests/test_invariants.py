@@ -1,0 +1,124 @@
+"""Cross-cutting invariants tying the static analysis to runtime behaviour.
+
+These are the load-bearing consistency checks between independently
+implemented layers: Table II's *predicted* transfer needs vs the transfer
+ledgers the executors actually produce, plan totals vs evaluated cells,
+timing determinism, and strategy/schedule agreement — for every one of the
+15 contributing sets.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ContributingSet,
+    ExecOptions,
+    Framework,
+    HeteroParams,
+    hetero_high,
+)
+from repro.core.classification import classify, transfer_need
+from repro.patterns.registry import strategy_for
+from repro.problems import make_synthetic
+
+
+def _forced_split_result(mask: int, rows=24, cols=24):
+    """Solve with a guaranteed split so boundary traffic must appear."""
+    p = make_synthetic(ContributingSet.from_mask(mask), rows, cols)
+    fw = Framework(hetero_high(), ExecOptions(validate_timeline=True))
+    # t_share below every width, t_switch small: split iterations exist
+    return p, fw.solve(p, executor="hetero", params=HeteroParams(2, 5))
+
+
+class TestLedgerMatchesTable2:
+    @pytest.mark.parametrize("mask", range(1, 16))
+    def test_runtime_traffic_matches_static_prediction(self, mask):
+        """The executor's recorded boundary traffic must equal what
+        transfer_need() derives statically — for the pattern actually
+        executed (inverted-L families run as horizontal by default)."""
+        p, res = _forced_split_result(mask)
+        strategy = strategy_for(p)
+        executed_pattern = strategy.schedule.pattern
+        predicted = transfer_need(executed_pattern, p.contributing)
+        assert res.ledger.way() == predicted
+
+    @pytest.mark.parametrize("mask", [4, 1])
+    def test_native_l_patterns_one_way(self, mask):
+        p = make_synthetic(ContributingSet.from_mask(mask), 20, 20)
+        fw = Framework(hetero_high(), ExecOptions(inverted_l_as_horizontal=False))
+        res = fw.solve(p, executor="hetero", params=HeteroParams(2, 5))
+        assert res.ledger.way() == "1-way"
+
+
+class TestPlanAccounting:
+    @pytest.mark.parametrize("mask", range(1, 16))
+    def test_cell_totals_cover_region(self, mask):
+        p, res = _forced_split_result(mask)
+        assert (
+            res.stats["cpu_cells"] + res.stats["gpu_cells"]
+            == p.total_computed_cells
+        )
+
+    @pytest.mark.parametrize("mask", range(1, 16))
+    def test_plan_matches_schedule_widths(self, mask):
+        p = make_synthetic(ContributingSet.from_mask(mask), 15, 19)
+        strategy = strategy_for(p)
+        plan = strategy.plan(HeteroParams(3, 4))
+        plan.validate(strategy.schedule.widths())
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("executor", ["cpu", "gpu", "hetero"])
+    def test_simulated_time_is_deterministic(self, executor):
+        p = make_synthetic(ContributingSet.from_mask(14), 40, 40)
+        fw = Framework(hetero_high())
+        a = fw.estimate(p, executor=executor).simulated_time
+        b = fw.estimate(p, executor=executor).simulated_time
+        assert a == b
+
+    def test_solve_equals_estimate_time_all_masks(self):
+        fw = Framework(hetero_high())
+        for mask in range(1, 16):
+            p = make_synthetic(ContributingSet.from_mask(mask), 12, 14)
+            s = fw.solve(p, executor="hetero", params=HeteroParams(1, 3))
+            e = fw.estimate(p, executor="hetero", params=HeteroParams(1, 3))
+            assert s.simulated_time == pytest.approx(e.simulated_time)
+
+
+class TestStrategyScheduleAgreement:
+    @pytest.mark.parametrize("mask", range(1, 16))
+    def test_executed_pattern_compatible_with_set(self, mask):
+        from repro.core.problem import _compatible
+
+        cs = ContributingSet.from_mask(mask)
+        p = make_synthetic(cs, 10, 10)
+        strategy = strategy_for(p)
+        assert _compatible(cs, strategy.schedule.pattern)
+
+    @pytest.mark.parametrize("mask", range(1, 16))
+    def test_classified_pattern_has_native_strategy(self, mask):
+        cs = ContributingSet.from_mask(mask)
+        p = make_synthetic(cs, 10, 10)
+        native = strategy_for(p, inverted_l_as_horizontal=False)
+        assert native.schedule.pattern is classify(cs)
+
+
+class TestBudgetConservation:
+    """Simulated busy time must equal the sum of charged task durations."""
+
+    def test_busy_equals_task_durations(self):
+        p = make_synthetic(ContributingSet.from_mask(15), 30, 30)
+        fw = Framework(hetero_high())
+        res = fw.estimate(p, executor="hetero", params=HeteroParams(4, 7))
+        for resource in res.timeline.resources:
+            total = sum(r.duration for r in res.timeline.on(resource))
+            assert res.timeline.busy(resource) == pytest.approx(total)
+
+    def test_makespan_at_least_each_resource_span(self):
+        p = make_synthetic(ContributingSet.from_mask(10), 30, 30)
+        res = Framework(hetero_high()).estimate(
+            p, executor="hetero", params=HeteroParams(3, 6)
+        )
+        for resource in res.timeline.resources:
+            tasks = res.timeline.on(resource)
+            assert tasks[-1].end <= res.timeline.makespan + 1e-15

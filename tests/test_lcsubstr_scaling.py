@@ -1,0 +1,136 @@
+"""Tests for the longest-common-substring problem and scaling analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Framework, Pattern, hetero_high
+from repro.analysis.scaling import PowerLaw, find_knee, fit_power_law, local_exponents
+from repro.problems import (
+    extract_substring,
+    make_lcsubstr,
+    reference_lcsubstr,
+)
+
+FW = Framework(hetero_high())
+
+
+class TestLcsubstr:
+    def test_pattern_and_default_execution(self):
+        p = make_lcsubstr(16)
+        assert p.pattern is Pattern.INVERTED_L
+        res = FW.solve(p)
+        assert res.pattern is Pattern.HORIZONTAL  # executed as case-1
+
+    def test_matches_reference(self):
+        p = make_lcsubstr(40, 47, seed=1)
+        table = FW.solve(p).table
+        assert int(table.max()) == reference_lcsubstr(p.payload["a"], p.payload["b"])
+
+    def test_extract_substring_occurs_in_both(self):
+        p = make_lcsubstr(60, 60, seed=2)
+        table = FW.solve(p).table
+        sub = extract_substring(table, p.payload["a"])
+        assert len(sub) == int(table.max())
+
+        def contains(hay, needle):
+            n = len(needle)
+            return any(
+                np.array_equal(hay[k: k + n], needle)
+                for k in range(len(hay) - n + 1)
+            )
+
+        assert contains(p.payload["a"], sub)
+        assert contains(p.payload["b"], sub)
+
+    def test_planted_substring_found(self):
+        p = make_lcsubstr(50, 50, seed=3, alphabet=8)
+        motif = np.array([7, 6, 5, 4, 7, 6, 5, 4], dtype=np.int8)
+        p.payload["a"][10:18] = motif
+        p.payload["b"][30:38] = motif
+        table = FW.solve(p).table
+        assert int(table.max()) >= len(motif)
+
+    def test_disjoint_alphabets_zero(self):
+        p = make_lcsubstr(12, 12)
+        p.payload["a"][:] = 0
+        p.payload["b"][:] = 1
+        table = FW.solve(p).table
+        assert int(table.max()) == 0
+        assert len(extract_substring(table, p.payload["a"])) == 0
+
+    @given(
+        st.lists(st.integers(0, 2), min_size=1, max_size=14),
+        st.lists(st.integers(0, 2), min_size=1, max_size=14),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_reference(self, a, b):
+        p = make_lcsubstr(len(a), len(b))
+        p.payload["a"] = np.array(a, dtype=np.int8)
+        p.payload["b"] = np.array(b, dtype=np.int8)
+        table = FW.solve(p).table
+        assert int(table.max()) == reference_lcsubstr(a, b)
+
+
+class TestScalingAnalysis:
+    def test_exact_power_law_recovered(self):
+        sizes = [100, 200, 400, 800]
+        times = [3e-6 * s**2 for s in sizes]
+        fit = fit_power_law(sizes, times)
+        assert fit.exponent == pytest.approx(2.0)
+        assert fit.coeff == pytest.approx(3e-6, rel=1e-6)
+        assert fit.r2 == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = PowerLaw(exponent=2.0, coeff=1.0, r2=1.0)
+        assert fit.predict(5) == 25.0
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            fit_power_law([10], [1.0])
+        with pytest.raises(ValueError):
+            fit_power_law([10, 0], [1.0, 1.0])
+
+    def test_local_exponents(self):
+        sizes = [1, 2, 4, 8]
+        times = [1, 2, 4, 8]  # exponent 1 everywhere
+        assert np.allclose(local_exponents(sizes, times), 1.0)
+
+    def test_knee_detection(self):
+        sizes = [1, 2, 4, 8, 16, 32]
+        # slope 1 for three intervals, then slope 2
+        times = [1, 2, 4, 8, 32, 128]
+        assert find_knee(sizes, times) == 8
+
+    def test_no_knee_when_stable(self):
+        sizes = [1, 2, 4, 8]
+        times = [1.0, 4.0, 16.0, 64.0]
+        assert find_knee(sizes, times) is None
+
+    def test_cpu_series_scales_quadratically(self):
+        from repro.problems import make_fig9_problem
+
+        sizes = [1024, 2048, 4096, 8192]
+        times = [
+            FW.estimate(
+                make_fig9_problem(n, materialize=False), executor="cpu"
+            ).simulated_time
+            for n in sizes
+        ]
+        fit = fit_power_law(sizes, times)
+        assert 1.6 < fit.exponent < 2.1
+
+    def test_gpu_antidiagonal_knee_exists(self):
+        """Launch-bound (slope ~1) then compute-bound: the knee is real."""
+        from repro.problems import make_levenshtein
+
+        sizes = [256, 512, 1024, 2048, 4096, 8192, 16384, 32768]
+        times = [
+            FW.estimate(
+                make_levenshtein(n, materialize=False), executor="gpu"
+            ).simulated_time
+            for n in sizes
+        ]
+        exps = local_exponents(sizes, times)
+        assert exps[0] < 1.4  # launch-bound start
+        assert exps[-1] > 1.5  # bending toward quadratic

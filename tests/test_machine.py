@@ -1,0 +1,197 @@
+"""Tests for repro.machine: CPU/GPU/transfer cost models and platforms."""
+
+import math
+
+import pytest
+
+from repro.errors import PlatformError, TransferError
+from repro.machine import CPUModel, GPUModel, Platform, TransferModel
+from repro.machine.platform import hetero_high, hetero_low
+from repro.types import TransferKind
+
+
+def _cpu(**kw):
+    base = dict(name="c", cores=4, threads=8, freq_ghz=3.0, cell_ns=10.0)
+    base.update(kw)
+    return CPUModel(**base)
+
+
+def _gpu(**kw):
+    base = dict(name="g", smx_count=2, cores_per_smx=192, clock_ghz=1.0, cell_ns=100.0)
+    base.update(kw)
+    return GPUModel(**base)
+
+
+class TestCPUModel:
+    def test_zero_cells_costs_nothing(self):
+        assert _cpu().parallel_time(0) == 0.0
+        assert _cpu().sequential_time(0) == 0.0
+
+    def test_fork_charged_once(self):
+        c = _cpu(fork_us=5.0)
+        assert c.parallel_time(1) == pytest.approx(5e-6 + 10e-9)
+
+    def test_speedup_capped_by_cells(self):
+        c = _cpu()
+        assert c.speedup(1) == 1.0
+        assert c.speedup(2) == pytest.approx(1 + 0.85)
+        assert c.speedup(1000) == c.speedup(4)
+
+    def test_parallel_time_monotone_in_cells(self):
+        c = _cpu()
+        times = [c.parallel_time(n) for n in (1, 10, 100, 1000)]
+        assert times == sorted(times)
+
+    def test_work_scales_compute_only(self):
+        c = _cpu(fork_us=0.0)
+        assert c.parallel_time(100, work=2.0) == pytest.approx(
+            2 * c.parallel_time(100, work=1.0)
+        )
+
+    def test_strided_penalty_applied(self):
+        c = _cpu(fork_us=0.0, strided_penalty=2.0)
+        assert c.parallel_time(100, contiguous=False) == pytest.approx(
+            2 * c.parallel_time(100, contiguous=True)
+        )
+
+    def test_sequential_slower_than_parallel_at_scale(self):
+        c = _cpu()
+        assert c.sequential_time(10000) > c.parallel_time(10000)
+
+    def test_negative_cells_rejected(self):
+        with pytest.raises(PlatformError):
+            _cpu().parallel_time(-1)
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"cores": 0},
+            {"threads": 2, "cores": 4},
+            {"cell_ns": 0},
+            {"parallel_efficiency": 0},
+            {"parallel_efficiency": 1.5},
+            {"fork_us": -1},
+            {"strided_penalty": 0.5},
+        ],
+    )
+    def test_validation(self, kw):
+        with pytest.raises(PlatformError):
+            _cpu(**kw)
+
+    def test_marginal_consistent_with_peak(self):
+        c = _cpu()
+        assert c.marginal_cell_seconds() == pytest.approx(1 / c.peak_cells_per_second)
+
+
+class TestGPUModel:
+    def test_total_cores_and_lanes(self):
+        g = _gpu(occupancy=0.5)
+        assert g.total_cores == 384
+        assert g.lanes == 192
+
+    def test_launch_dominates_narrow_kernels(self):
+        g = _gpu(launch_us=10.0)
+        assert g.kernel_time(1) == pytest.approx(10e-6 + 100e-9)
+
+    def test_zero_cells_costs_nothing(self):
+        assert _gpu().kernel_time(0) == 0.0
+
+    def test_throughput_saturates(self):
+        g = _gpu(occupancy=1.0)
+        wide = g.kernel_time(384 * 100) - g.launch_us * 1e-6
+        assert wide == pytest.approx(100 * 100e-9, rel=1e-6)
+
+    def test_uncoalesced_penalty(self):
+        g = _gpu(launch_us=0.0, uncoalesced_penalty=3.0)
+        assert g.kernel_time(1000, coalesced=False) == pytest.approx(
+            3 * g.kernel_time(1000, coalesced=True)
+        )
+
+    def test_kernel_time_monotone(self):
+        g = _gpu()
+        times = [g.kernel_time(n) for n in (1, 10, 1000, 100000)]
+        assert times == sorted(times)
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"smx_count": 0},
+            {"cell_ns": -1},
+            {"occupancy": 0},
+            {"occupancy": 1.1},
+            {"launch_us": -1},
+            {"uncoalesced_penalty": 0.9},
+        ],
+    )
+    def test_validation(self, kw):
+        with pytest.raises(PlatformError):
+            _gpu(**kw)
+
+    def test_negative_cells_rejected(self):
+        with pytest.raises(PlatformError):
+            _gpu().kernel_time(-5)
+
+
+class TestTransferModel:
+    def test_zero_bytes_free(self):
+        assert TransferModel().time(0, TransferKind.PINNED) == 0.0
+
+    def test_pinned_cheaper_for_small_messages(self):
+        t = TransferModel()
+        assert t.time(64, TransferKind.PINNED) < t.time(64, TransferKind.PAGEABLE)
+
+    def test_streamed_priced_like_pinned(self):
+        t = TransferModel()
+        assert t.time(4096, TransferKind.STREAMED) == t.time(4096, TransferKind.PINNED)
+
+    def test_latency_plus_bandwidth(self):
+        t = TransferModel(pageable_latency_us=10, pageable_gbps=1.0)
+        assert t.time(10**9, TransferKind.PAGEABLE) == pytest.approx(1.0 + 10e-6)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(TransferError):
+            TransferModel().time(-1, TransferKind.PINNED)
+
+    def test_validation(self):
+        with pytest.raises(TransferError):
+            TransferModel(pageable_latency_us=-1)
+        with pytest.raises(TransferError):
+            TransferModel(pinned_gbps=0)
+
+
+class TestPlatforms:
+    def test_presets_match_paper_hardware(self):
+        hi = hetero_high()
+        assert hi.cpu.cores == 6 and hi.cpu.threads == 12
+        assert hi.gpu.smx_count == 13 and hi.gpu.total_cores == 2496
+        lo = hetero_low()
+        assert lo.cpu.cores == 4 and lo.cpu.threads == 8
+        assert lo.gpu.smx_count == 2 and lo.gpu.total_cores == 384
+
+    def test_high_outclasses_low(self):
+        hi, lo = hetero_high(), hetero_low()
+        assert hi.cpu.peak_cells_per_second > lo.cpu.peak_cells_per_second
+        assert hi.gpu.peak_cells_per_second > lo.gpu.peak_cells_per_second
+
+    def test_gpu_peak_exceeds_cpu_peak_on_both(self):
+        for plat in (hetero_high(), hetero_low()):
+            assert plat.gpu.peak_cells_per_second > plat.cpu.peak_cells_per_second
+
+    def test_gpu_launch_exceeds_cpu_fork(self):
+        """The premise of the low-work region (paper Sec. III-A)."""
+        for plat in (hetero_high(), hetero_low()):
+            assert plat.gpu.launch_us > plat.cpu.fork_us
+
+    def test_describe_mentions_names(self):
+        d = hetero_high().describe()
+        assert "i7-980" in d and "K20" in d
+
+    def test_with_replaces(self):
+        hi = hetero_high()
+        tweaked = hi.with_(cpu=_cpu(name="other"))
+        assert tweaked.cpu.name == "other"
+        assert tweaked.gpu == hi.gpu
+
+    def test_name_required(self):
+        with pytest.raises(PlatformError):
+            Platform(name="", cpu=_cpu(), gpu=_gpu(), transfer=TransferModel())

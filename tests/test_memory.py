@@ -1,0 +1,163 @@
+"""Tests for repro.memory: address maps, wavefront layouts, buffer ledgers."""
+
+import numpy as np
+import pytest
+
+from repro.core.schedule import schedule_for
+from repro.errors import LayoutError, TransferError
+from repro.memory import AddressMap, BufferPool, TransferLedger, WavefrontLayout
+from repro.types import Pattern, TransferDirection, TransferKind
+
+ALL_PATTERNS = list(Pattern)
+
+
+class TestAddressMap:
+    @pytest.mark.parametrize("pattern", ALL_PATTERNS, ids=lambda p: p.value)
+    def test_bijection(self, pattern):
+        sched = schedule_for(pattern, 7, 9)
+        amap = AddressMap(sched)
+        assert amap.size == 63
+        ii, jj = amap.full_index()
+        # every cell appears exactly once
+        flat_ids = ii * 9 + jj
+        assert len(np.unique(flat_ids)) == 63
+        # flat_of inverts full_index
+        assert (amap.flat_of(ii, jj) == np.arange(63)).all()
+
+    @pytest.mark.parametrize("pattern", ALL_PATTERNS, ids=lambda p: p.value)
+    def test_spans_are_contiguous_partition(self, pattern):
+        sched = schedule_for(pattern, 6, 5)
+        amap = AddressMap(sched)
+        stop_prev = 0
+        for t in range(sched.num_iterations):
+            a, b = amap.span(t)
+            assert a == stop_prev
+            assert b - a == sched.width(t)
+            stop_prev = b
+        assert stop_prev == amap.size
+
+    def test_span_out_of_range(self):
+        amap = AddressMap(schedule_for(Pattern.HORIZONTAL, 4, 4))
+        with pytest.raises(LayoutError):
+            amap.span(4)
+
+    def test_flat_offsets_respect_canonical_order(self):
+        sched = schedule_for(Pattern.ANTI_DIAGONAL, 5, 5)
+        amap = AddressMap(sched)
+        ci, cj = sched.cells(3)
+        flats = amap.flat_of(ci, cj)
+        assert (np.diff(flats) == 1).all()
+
+
+class TestWavefrontLayout:
+    @pytest.mark.parametrize("pattern", ALL_PATTERNS, ids=lambda p: p.value)
+    def test_roundtrip(self, pattern):
+        sched = schedule_for(pattern, 8, 6)
+        layout = WavefrontLayout(sched)
+        region = np.arange(48, dtype=np.float64).reshape(8, 6)
+        flat = layout.to_flat(region)
+        assert flat.shape == (48,)
+        back = layout.from_flat(flat)
+        assert (back == region).all()
+
+    def test_iteration_slice_is_view(self):
+        sched = schedule_for(Pattern.ANTI_DIAGONAL, 6, 6)
+        layout = WavefrontLayout(sched)
+        flat = layout.to_flat(np.zeros((6, 6)))
+        sl = layout.iteration_slice(flat, 2)
+        assert sl.base is flat
+        assert len(sl) == sched.width(2)
+
+    def test_slice_matches_2d_gather(self):
+        sched = schedule_for(Pattern.KNIGHT_MOVE, 7, 9)
+        layout = WavefrontLayout(sched)
+        rng = np.random.default_rng(0)
+        region = rng.normal(size=(7, 9))
+        flat = layout.to_flat(region)
+        for t in range(sched.num_iterations):
+            assert (
+                layout.iteration_slice(flat, t)
+                == layout.gather_iteration_2d(region, t)
+            ).all()
+
+    def test_shape_validation(self):
+        layout = WavefrontLayout(schedule_for(Pattern.HORIZONTAL, 4, 4))
+        with pytest.raises(LayoutError):
+            layout.to_flat(np.zeros((5, 4)))
+        with pytest.raises(LayoutError):
+            layout.from_flat(np.zeros(17))
+
+
+class TestBufferPool:
+    def test_alloc_free_cycle(self):
+        pool = BufferPool("device")
+        pool.alloc("table", 1024)
+        assert pool.live_bytes == 1024
+        pool.free("table")
+        assert pool.live_bytes == 0
+        assert pool.leaks() == {}
+
+    def test_peak_tracking(self):
+        pool = BufferPool("host")
+        pool.alloc("a", 100)
+        pool.alloc("b", 200)
+        pool.free("a")
+        pool.alloc("c", 50)
+        assert pool.peak_bytes == 300
+        assert pool.total_allocated == 350
+
+    def test_double_alloc_rejected(self):
+        pool = BufferPool("d")
+        pool.alloc("x", 1)
+        with pytest.raises(TransferError):
+            pool.alloc("x", 1)
+
+    def test_free_unknown_rejected(self):
+        with pytest.raises(TransferError):
+            BufferPool("d").free("nope")
+
+    def test_leaks_reported(self):
+        pool = BufferPool("d")
+        pool.alloc("x", 7)
+        assert pool.leaks() == {"x": 7}
+
+
+class TestTransferLedger:
+    def test_way_none_without_per_iteration_copies(self):
+        led = TransferLedger()
+        led.record(TransferDirection.H2D, TransferKind.PAGEABLE, 0, 4096, label="setup")
+        assert led.way() == "none"
+
+    def test_way_one(self):
+        led = TransferLedger()
+        led.record(TransferDirection.H2D, TransferKind.STREAMED, 1, 8, iteration=3)
+        assert led.way() == "1-way"
+
+    def test_way_two(self):
+        led = TransferLedger()
+        led.record(TransferDirection.H2D, TransferKind.PINNED, 2, 16, iteration=1)
+        led.record(TransferDirection.D2H, TransferKind.PINNED, 1, 8, iteration=1)
+        assert led.way() == "2-way"
+
+    def test_counts_and_bytes_by_direction(self):
+        led = TransferLedger()
+        led.record(TransferDirection.H2D, TransferKind.PINNED, 1, 10, iteration=0)
+        led.record(TransferDirection.D2H, TransferKind.PINNED, 1, 20, iteration=0)
+        led.record(TransferDirection.H2D, TransferKind.PAGEABLE, 0, 30)
+        assert led.count() == 3
+        assert led.count(TransferDirection.H2D) == 2
+        assert led.bytes_moved(TransferDirection.D2H) == 20
+        assert led.bytes_moved() == 60
+
+    def test_per_iteration_grouping(self):
+        led = TransferLedger()
+        led.record(TransferDirection.H2D, TransferKind.PINNED, 1, 8, iteration=5)
+        led.record(TransferDirection.D2H, TransferKind.PINNED, 1, 8, iteration=5)
+        led.record(TransferDirection.H2D, TransferKind.PAGEABLE, 0, 99)
+        groups = led.per_iteration()
+        assert set(groups) == {5}
+        assert len(groups[5]) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(TransferError):
+            TransferLedger().record(TransferDirection.H2D, TransferKind.PINNED, -1, 8)

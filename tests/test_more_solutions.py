@@ -1,0 +1,137 @@
+"""Tests for the affine-gap traceback, banded DTW and the wavefront-major
+functional executor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import ContributingSet, Framework, hetero_high
+from repro.exec.layout_exec import WavefrontMajorExecutor
+from repro.problems import make_dtw, make_gotoh, make_synthetic, reference_gotoh
+from repro.solutions.alignment import GAP
+from repro.solutions.gotoh_traceback import align_affine
+
+FW = Framework(hetero_high())
+
+
+def affine_column_score(aln, a, b, match=2.0, mismatch=-1.0,
+                        gap_open=-3.0, gap_extend=-1.0):
+    total, run = 0.0, None
+    for i, j in zip(aln.a_idx, aln.b_idx):
+        if i == GAP:
+            total += gap_extend if run == "iy" else gap_open
+            run = "iy"
+        elif j == GAP:
+            total += gap_extend if run == "ix" else gap_open
+            run = "ix"
+        else:
+            total += match if a[i] == b[j] else mismatch
+            run = None
+    return total
+
+
+class TestAffineTraceback:
+    def test_score_equals_reference(self):
+        p = make_gotoh(22, 27, seed=1)
+        a, b = p.payload["a"], p.payload["b"]
+        table = FW.solve(p).table
+        aln = align_affine(table, a, b)
+        assert aln.score == pytest.approx(reference_gotoh(a, b))
+
+    def test_columns_readd_to_score(self):
+        p = make_gotoh(25, 20, seed=2)
+        a, b = p.payload["a"], p.payload["b"]
+        aln = align_affine(FW.solve(p).table, a, b)
+        assert affine_column_score(aln, a, b) == pytest.approx(aln.score)
+
+    def test_covers_both_sequences(self):
+        p = make_gotoh(15, 18, seed=3)
+        a, b = p.payload["a"], p.payload["b"]
+        aln = align_affine(FW.solve(p).table, a, b)
+        assert [i for i in aln.a_idx if i != GAP] == list(range(15))
+        assert [j for j in aln.b_idx if j != GAP] == list(range(18))
+
+    def test_long_gap_is_one_run(self):
+        """Affine scoring must produce one contiguous gap, not fragments."""
+        p = make_gotoh(8, 2, match=2.0, mismatch=-5.0)
+        p.payload["a"] = np.array([0, 1, 2, 3, 0, 1, 2, 3], dtype=np.int8)
+        p.payload["b"] = np.array([0, 3], dtype=np.int8)
+        aln = align_affine(FW.solve(p).table, p.payload["a"], p.payload["b"])
+        gap_cols = [k for k, j in enumerate(aln.b_idx) if j == GAP]
+        assert gap_cols == list(range(gap_cols[0], gap_cols[0] + len(gap_cols)))
+
+    def test_shape_mismatch_rejected(self):
+        from repro.errors import ReproError
+
+        p = make_gotoh(5, 5)
+        with pytest.raises(ReproError):
+            align_affine(FW.solve(p).table, [1, 2], [3])
+
+    @given(
+        st.lists(st.integers(0, 3), min_size=1, max_size=9),
+        st.lists(st.integers(0, 3), min_size=1, max_size=9),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_optimal_and_consistent(self, a, b):
+        p = make_gotoh(len(a), len(b))
+        p.payload["a"] = np.array(a, dtype=np.int8)
+        p.payload["b"] = np.array(b, dtype=np.int8)
+        aln = align_affine(FW.solve(p).table, a, b)
+        assert aln.score == pytest.approx(reference_gotoh(a, b))
+        assert affine_column_score(aln, a, b) == pytest.approx(aln.score)
+
+
+class TestBandedDTW:
+    def test_band_never_improves(self):
+        free = FW.solve(make_dtw(25, 25, seed=4)).table[-1, -1]
+        banded = FW.solve(make_dtw(25, 25, seed=4, band=3)).table[-1, -1]
+        assert banded >= free
+
+    def test_wide_band_equals_free(self):
+        free = FW.solve(make_dtw(20, 20, seed=5)).table[-1, -1]
+        wide = FW.solve(make_dtw(20, 20, seed=5, band=40)).table[-1, -1]
+        assert wide == pytest.approx(free)
+
+    def test_band_zero_is_diagonal_lockstep(self):
+        p = make_dtw(15, 15, seed=6, band=0)
+        x, y = p.payload["x"], p.payload["y"]
+        d = FW.solve(p).table[-1, -1]
+        assert d == pytest.approx(float(np.abs(x - y).sum()))
+
+    def test_infeasible_band_rejected(self):
+        with pytest.raises(ValueError):
+            make_dtw(10, 20, band=3)
+
+    def test_banded_path_stays_in_corridor(self):
+        from repro.solutions import dtw_path
+
+        p = make_dtw(20, 20, seed=7, band=4)
+        table = FW.solve(p).table
+        for i, j in dtw_path(table):
+            assert abs((i + 1) - (j + 1)) <= 4
+
+
+class TestWavefrontMajorExecutor:
+    @pytest.mark.parametrize("mask", range(1, 16))
+    def test_all_masks_match_oracle(self, mask):
+        p = make_synthetic(ContributingSet.from_mask(mask), 11, 14)
+        base = FW.solve(p, executor="sequential").table
+        res = WavefrontMajorExecutor(hetero_high()).solve(p)
+        assert np.array_equal(base, res.table)
+
+    def test_registered_in_framework(self):
+        from repro.problems import make_levenshtein
+
+        p = make_levenshtein(20, 20, seed=8)
+        res = FW.solve(p, executor="cpu-wavefront-major")
+        base = FW.solve(p, executor="sequential").table
+        assert np.array_equal(base, res.table)
+        assert res.stats["flat_cells"] == 20 * 20
+
+    def test_estimate_mode(self):
+        from repro.problems import make_levenshtein
+
+        res = WavefrontMajorExecutor(hetero_high()).estimate(
+            make_levenshtein(64, materialize=False)
+        )
+        assert res.table is None and res.simulated_time > 0

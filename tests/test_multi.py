@@ -1,0 +1,246 @@
+"""Tests for the multi-accelerator extension (repro.multi)."""
+
+import numpy as np
+import pytest
+from dataclasses import replace
+
+from repro import ExecOptions, Framework, hetero_high
+from repro.errors import ExecutionError, PartitionError, PlatformError, TuningError
+from repro.multi import (
+    MultiHeteroExecutor,
+    MultiParams,
+    MultiPlatform,
+    hetero_tri,
+    multi_analytic_params,
+    multi_balanced_shares,
+)
+from repro.multi.partition import segment_bounds
+from repro.patterns.registry import strategy_for
+from repro.problems import make_dithering, make_fig9_problem, make_levenshtein
+
+
+class TestMultiPlatform:
+    def test_tri_preset(self):
+        plat = hetero_tri()
+        assert plat.num_devices == 3
+        assert plat.accelerators[0].name == "Nvidia Tesla K20"
+        assert plat.accelerators[1].name == "Intel Xeon Phi 5110P"
+
+    def test_device_names(self):
+        plat = hetero_tri()
+        assert plat.device_name(0) == "cpu"
+        assert plat.device_name(1) == "acc0"
+        assert plat.device_name(2) == "acc1"
+
+    def test_as_pair_matches_hetero_high(self):
+        pair = hetero_tri().as_pair(0)
+        assert pair.gpu == hetero_high().gpu
+        assert pair.cpu == hetero_high().cpu
+
+    def test_validation(self):
+        hi = hetero_high()
+        with pytest.raises(PlatformError):
+            MultiPlatform("x", hi.cpu, (), ())
+        with pytest.raises(PlatformError):
+            MultiPlatform("x", hi.cpu, (hi.gpu,), (hi.transfer, hi.transfer))
+        with pytest.raises(PlatformError):
+            MultiPlatform("x", hi.cpu, (hi.gpu,), (hi.transfer,), p2p_gbps=-1)
+
+    def test_peer_time_via_host_pays_both_links(self):
+        plat = hetero_tri()
+        b = 4096
+        via_host = plat.peer_time(0, 1, b)
+        from repro.types import TransferKind
+
+        assert via_host == pytest.approx(
+            plat.links[0].time(b, TransferKind.PINNED)
+            + plat.links[1].time(b, TransferKind.PINNED)
+        )
+
+    def test_peer_time_p2p_cheaper(self):
+        plat = replace(hetero_tri(), p2p_gbps=10.0)
+        base = hetero_tri()
+        assert plat.peer_time(0, 1, 1 << 16) < base.peer_time(0, 1, 1 << 16)
+
+    def test_peer_time_zero_bytes(self):
+        assert hetero_tri().peer_time(0, 1, 0) == 0.0
+
+
+class TestSegmentBounds:
+    def test_exact_fit(self):
+        assert segment_bounds(10, (3, 4, 100)) == [(0, 3), (3, 7), (7, 10)]
+
+    def test_last_device_absorbs_remainder(self):
+        assert segment_bounds(100, (10, 20, 5)) == [(0, 10), (10, 30), (30, 100)]
+
+    def test_narrow_wavefront_exhausts_early(self):
+        assert segment_bounds(4, (10, 20, 5)) == [(0, 4), (4, 4), (4, 4)]
+
+    def test_zero_width(self):
+        assert segment_bounds(0, (3, 3)) == [(0, 0), (0, 0)]
+
+    def test_negative_rejected(self):
+        with pytest.raises(PartitionError):
+            segment_bounds(-1, (1, 2))
+
+
+class TestMultiParams:
+    def test_validation(self):
+        with pytest.raises(PartitionError):
+            MultiParams(t_switch=-1, shares=(1, 2))
+        with pytest.raises(PartitionError):
+            MultiParams(t_switch=0, shares=(1,))
+        with pytest.raises(PartitionError):
+            MultiParams(t_switch=0, shares=(1, -2))
+
+
+class TestWaterfill:
+    def test_shares_cover_width(self):
+        for w in (100, 5000, 65536):
+            shares = multi_balanced_shares(hetero_tri(), w)
+            assert sum(shares) == w
+
+    def test_latency_heavy_device_gets_zero_when_narrow(self):
+        """The Phi's 15 us offload exceeds the balanced per-iteration time of
+        narrow wavefronts — the waterfill rightly gives it nothing."""
+        shares = multi_balanced_shares(hetero_tri(), 10000)
+        assert shares[2] == 0
+
+    def test_all_devices_used_when_very_wide(self):
+        shares = multi_balanced_shares(hetero_tri(), 131072)
+        assert all(s > 0 for s in shares)
+
+    def test_balanced_times_close(self):
+        plat = hetero_tri()
+        shares = multi_balanced_shares(plat, 131072)
+        times = [plat.cpu.parallel_time(shares[0])]
+        for k in (0, 1):
+            if shares[k + 1]:
+                times.append(plat.accelerators[k].kernel_time(shares[k + 1]))
+        assert max(times) <= min(times) * 1.2
+
+    def test_invalid_inputs(self):
+        with pytest.raises(TuningError):
+            multi_balanced_shares(hetero_tri(), 0)
+        with pytest.raises(TuningError):
+            multi_balanced_shares(hetero_tri(), 100, acc_works=(1.0,))
+
+
+class TestMultiProperty:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @given(
+        st.integers(min_value=1, max_value=15),
+        st.integers(min_value=3, max_value=14),
+        st.integers(min_value=3, max_value=14),
+        st.integers(min_value=0, max_value=10),
+        st.tuples(
+            st.integers(min_value=0, max_value=10),
+            st.integers(min_value=0, max_value=10),
+            st.integers(min_value=0, max_value=10),
+        ),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_any_shares_match_oracle(self, mask, rows, cols, ts, shares):
+        from repro.problems import make_synthetic
+        from repro.types import ContributingSet
+
+        p = make_synthetic(ContributingSet.from_mask(mask), rows, cols)
+        base = Framework(hetero_high()).solve(p, executor="sequential").table
+        ex = MultiHeteroExecutor(hetero_tri(), ExecOptions(validate_timeline=True))
+        res = ex.solve(p, params=MultiParams(t_switch=ts, shares=shares))
+        assert np.array_equal(base, res.table)
+
+
+class TestMultiExecutorCorrectness:
+    def test_matches_oracle_two_segments(self):
+        p = make_levenshtein(30, 41, seed=1)
+        base = Framework(hetero_high()).solve(p, executor="sequential").table
+        ex = MultiHeteroExecutor(hetero_tri(), ExecOptions(validate_timeline=True))
+        res = ex.solve(p, params=MultiParams(t_switch=6, shares=(5, 8, 0)))
+        assert np.array_equal(base, res.table)
+
+    def test_matches_oracle_three_segments(self):
+        p = make_levenshtein(30, 41, seed=1)
+        base = Framework(hetero_high()).solve(p, executor="sequential").table
+        ex = MultiHeteroExecutor(hetero_tri(), ExecOptions(validate_timeline=True))
+        res = ex.solve(p, params=MultiParams(t_switch=4, shares=(4, 7, 9)))
+        assert np.array_equal(base, res.table)
+
+    def test_matches_oracle_horizontal_case2(self):
+        from repro.problems import make_checkerboard
+
+        p = make_checkerboard(24, 30, seed=2)
+        base = Framework(hetero_high()).solve(p, executor="sequential").table
+        ex = MultiHeteroExecutor(hetero_tri(), ExecOptions(validate_timeline=True))
+        res = ex.solve(p, params=MultiParams(t_switch=0, shares=(7, 9, 5)))
+        assert np.allclose(base, res.table)
+
+    def test_matches_oracle_knight(self):
+        p = make_dithering(26, 31, seed=3)
+        base = Framework(hetero_high()).solve(p, executor="sequential").table
+        ex = MultiHeteroExecutor(hetero_tri(), ExecOptions(validate_timeline=True))
+        res = ex.solve(p, params=MultiParams(t_switch=5, shares=(3, 4, 4)))
+        assert np.allclose(base, res.table, atol=1e-4)
+
+    def test_default_params_from_analytic(self):
+        p = make_levenshtein(256, materialize=False)
+        ex = MultiHeteroExecutor(hetero_tri())
+        res = ex.estimate(p)
+        assert res.simulated_time > 0
+        assert len(res.stats["shares"]) == 3
+
+    def test_share_count_validated(self):
+        p = make_levenshtein(16)
+        ex = MultiHeteroExecutor(hetero_tri())
+        with pytest.raises(ExecutionError):
+            ex.solve(p, params=MultiParams(t_switch=0, shares=(1, 2)))
+
+
+class TestMultiTiming:
+    def test_tri_close_to_duo_when_third_device_idle(self):
+        """With the Phi waterfilled to zero, tri must track the two-device
+        framework closely (same machine, slightly different balance)."""
+        p = make_dithering(8192, materialize=False)
+        tri = MultiHeteroExecutor(hetero_tri()).estimate(p)
+        duo = Framework(hetero_high()).estimate(p).simulated_time
+        assert tri.stats["shares"][2] == 0
+        assert tri.simulated_time <= duo * 1.1
+
+    def test_third_device_used_at_extreme_width(self):
+        p = make_dithering(32768, materialize=False)
+        res = MultiHeteroExecutor(hetero_tri()).estimate(p)
+        assert res.stats["shares"][2] > 0
+        assert res.stats["acc_cells"][1] > 0
+
+    def test_negative_result_documented(self):
+        """The extension's honest finding: without P2P, a second accelerator's
+        throughput gain is largely eaten by the extra boundary traffic —
+        tri stays within ~10% of duo rather than pulling ahead."""
+        p = make_dithering(32768, materialize=False)
+        tri = MultiHeteroExecutor(hetero_tri()).estimate(p).simulated_time
+        duo = Framework(hetero_high()).estimate(p).simulated_time
+        assert tri <= duo * 1.10
+
+    def test_p2p_helps_three_way_splits(self):
+        p = make_dithering(32768, materialize=False)
+        base = MultiHeteroExecutor(hetero_tri()).estimate(p).simulated_time
+        with_p2p = MultiHeteroExecutor(
+            replace(hetero_tri(), p2p_gbps=10.0)
+        ).estimate(p).simulated_time
+        assert with_p2p < base
+
+    def test_timeline_resources(self):
+        p = make_levenshtein(64, 64)
+        ex = MultiHeteroExecutor(hetero_tri(), ExecOptions(validate_timeline=True))
+        res = ex.solve(p, params=MultiParams(t_switch=5, shares=(4, 6, 6)))
+        assert "acc0" in res.timeline.resources
+        assert "acc1" in res.timeline.resources
+
+    def test_analytic_params_shape(self):
+        p = make_fig9_problem(1024, materialize=False)
+        strat = strategy_for(p)
+        params = multi_analytic_params(p, hetero_tri(), strat)
+        assert params.t_switch == 0  # horizontal
+        assert len(params.shares) == 3

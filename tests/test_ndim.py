@@ -1,0 +1,207 @@
+"""Tests for repro.ndim: k-dimensional LDDP (the paper's general k >= 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import hetero_high, hetero_low
+from repro.errors import ExecutionError, ProblemSpecError, ScheduleError
+from repro.ndim import (
+    NdExecutor,
+    NdProblem,
+    NdSchedule,
+    make_lcs3,
+    make_nd_synthetic,
+    reference_lcs3,
+)
+
+EX = NdExecutor(hetero_high())
+
+
+class TestNdProblemValidation:
+    def _mk(self, **kw):
+        base = dict(
+            name="p",
+            shape=(4, 5, 6),
+            offsets=((-1, 0, 0),),
+            cell=lambda ctx: ctx.neighbors[0] + 1,
+        )
+        base.update(kw)
+        return NdProblem(**base)
+
+    def test_requires_two_dims(self):
+        with pytest.raises(ProblemSpecError):
+            self._mk(shape=(7,), offsets=((-1,),))
+
+    def test_rejects_zero_offset(self):
+        with pytest.raises(ProblemSpecError):
+            self._mk(offsets=((0, 0, 0),))
+
+    def test_rejects_wrong_dim_offset(self):
+        with pytest.raises(ProblemSpecError):
+            self._mk(offsets=((-1, 0),))
+
+    def test_rejects_non_decreasing_offset(self):
+        # (1, -1, 0) has weight-sum 0 under unit weights: no wavefront order
+        with pytest.raises(ProblemSpecError):
+            self._mk(offsets=((1, -1, 0),))
+
+    def test_weights_can_legalize_offsets(self):
+        # (1, -1, 0) is fine when axis 1 weighs more
+        p = self._mk(offsets=((1, -1, 0),), weights=(1, 2, 1))
+        assert p.weights == (1, 2, 1)
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ProblemSpecError):
+            self._mk(weights=(1, 0, 1))
+
+    def test_fixed_bounds(self):
+        with pytest.raises(ProblemSpecError):
+            self._mk(fixed=(4, 0, 0))
+
+    def test_computed_shape(self):
+        p = self._mk(fixed=(1, 2, 0))
+        assert p.computed_shape == (3, 3, 6)
+        assert p.total_computed_cells == 54
+
+
+class TestNdSchedule:
+    def test_partition(self):
+        sched = NdSchedule((3, 4, 5), (1, 1, 1))
+        assert sched.total_cells == 60
+        assert int(sched.widths().sum()) == 60
+        seen = set()
+        for t in range(sched.num_iterations):
+            for col in sched.cells(t).T:
+                seen.add(tuple(col))
+        assert len(seen) == 60
+
+    def test_wavefront_indices_correct(self):
+        sched = NdSchedule((3, 3), (2, 1))
+        for t in range(sched.num_iterations):
+            coords = sched.cells(t)
+            if coords.shape[1]:
+                assert (2 * coords[0] + coords[1] == t).all()
+
+    def test_plane_wavefront_count(self):
+        sched = NdSchedule((4, 4, 4), (1, 1, 1))
+        assert sched.num_iterations == 3 * 3 + 1
+
+    def test_three_d_ramp_profile(self):
+        w = NdSchedule((5, 5, 5), (1, 1, 1)).widths()
+        peak = int(np.argmax(w))
+        assert (np.diff(w[: peak + 1]) >= 0).all()
+        assert (np.diff(w[peak:]) <= 0).all()
+
+    def test_errors(self):
+        with pytest.raises(ScheduleError):
+            NdSchedule((3, 3), (1,))
+        with pytest.raises(ScheduleError):
+            NdSchedule((0, 3), (1, 1))
+        sched = NdSchedule((2, 2), (1, 1))
+        with pytest.raises(ScheduleError):
+            sched.cells(99)
+
+
+class TestLcs3:
+    def test_matches_reference(self):
+        p = make_lcs3(8, 9, 7, seed=2)
+        res = EX.solve(p, mode="hetero", t_switch=3, t_share=6)
+        ref = reference_lcs3(p.payload["a"], p.payload["b"], p.payload["c"])
+        assert int(res.table[-1, -1, -1]) == ref
+
+    def test_all_modes_agree(self):
+        p = make_lcs3(7, 7, 7, seed=3)
+        base = EX.solve(p, mode="sequential").table
+        for mode in ("cpu", "gpu"):
+            assert np.array_equal(base, EX.solve(p, mode=mode).table)
+        het = EX.solve(p, mode="hetero", t_switch=2, t_share=4).table
+        assert np.array_equal(base, het)
+
+    def test_identical_sequences(self):
+        p = make_lcs3(6, 6, 6, seed=4)
+        p.payload["b"] = p.payload["a"].copy()
+        p.payload["c"] = p.payload["a"].copy()
+        res = EX.solve(p, mode="cpu")
+        assert int(res.table[-1, -1, -1]) == 6
+
+    def test_lcs3_bounded_by_pairwise(self):
+        """LCS of three sequences cannot exceed LCS of any pair."""
+        from repro.problems.lcs import reference_lcs
+
+        p = make_lcs3(10, 10, 10, seed=5)
+        a, b, c = p.payload["a"], p.payload["b"], p.payload["c"]
+        l3 = int(EX.solve(p, mode="cpu").table[-1, -1, -1])
+        assert l3 <= reference_lcs(a, b)[-1, -1]
+        assert l3 <= reference_lcs(b, c)[-1, -1]
+        assert l3 <= reference_lcs(a, c)[-1, -1]
+
+    @given(
+        st.lists(st.integers(0, 2), min_size=1, max_size=6),
+        st.lists(st.integers(0, 2), min_size=1, max_size=6),
+        st.lists(st.integers(0, 2), min_size=1, max_size=6),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_property_matches_reference(self, a, b, c):
+        p = make_lcs3(len(a), len(b), len(c))
+        p.payload["a"] = np.array(a, dtype=np.int8)
+        p.payload["b"] = np.array(b, dtype=np.int8)
+        p.payload["c"] = np.array(c, dtype=np.int8)
+        res = EX.solve(p, mode="hetero", t_switch=1, t_share=2)
+        assert int(res.table[-1, -1, -1]) == reference_lcs3(a, b, c)
+
+
+class TestNdExecutorBehaviour:
+    def test_unknown_mode(self):
+        with pytest.raises(ExecutionError):
+            EX.solve(make_lcs3(3), mode="tpu")
+
+    def test_estimate_no_table(self):
+        res = EX.estimate(make_lcs3(24, materialize=False), mode="hetero",
+                          t_switch=5, t_share=50)
+        assert res.table is None
+        assert res.simulated_time > 0
+
+    def test_timeline_valid(self):
+        res = EX.estimate(make_lcs3(16, materialize=False), mode="hetero",
+                          t_switch=4, t_share=20)
+        res.timeline.validate()
+
+    def test_split_exchanges_two_way(self):
+        res = EX.estimate(make_lcs3(16, materialize=False), mode="hetero",
+                          t_switch=0, t_share=30)
+        assert res.ledger.way() == "2-way"
+
+    def test_cpu_mode_no_transfers(self):
+        res = EX.estimate(make_lcs3(12, materialize=False), mode="cpu")
+        assert res.ledger.count() == 0
+
+    def test_platform_scaling(self):
+        p = make_lcs3(32, materialize=False)
+        hi = NdExecutor(hetero_high()).estimate(p, mode="gpu").simulated_time
+        lo = NdExecutor(hetero_low()).estimate(p, mode="gpu").simulated_time
+        assert lo > hi
+
+    def test_four_dimensional_problem(self):
+        p = make_nd_synthetic(
+            (4, 5, 3, 4),
+            ((-1, 0, 0, 0), (0, -1, 0, 0), (0, 0, -1, 0), (0, 0, 0, -1)),
+        )
+        base = EX.solve(p, mode="sequential").table
+        het = EX.solve(p, mode="hetero", t_switch=1, t_share=7).table
+        assert np.array_equal(base, het)
+        # f = 1 + min over the four axis-parents of a zero boundary:
+        # value = 1 + min coordinate
+        idx = np.indices(p.shape)
+        assert (base == idx.min(axis=0) + 1).all()
+
+    def test_weighted_wavefronts_functional(self):
+        """A 'knight-like' 3-D dependency needs non-unit weights."""
+        p = make_nd_synthetic(
+            (5, 6, 7),
+            ((0, 0, -1), (-1, 0, 1), (0, -1, 0)),
+            weights=(2, 1, 1),  # (-1,0,1) has weighted delta -1
+        )
+        base = EX.solve(p, mode="sequential").table
+        het = EX.solve(p, mode="hetero", t_switch=2, t_share=5).table
+        assert np.array_equal(base, het)

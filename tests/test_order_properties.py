@@ -1,0 +1,129 @@
+"""Property tests pinning the canonical intra-wavefront orders.
+
+The heterogeneous split and the coalescing layout both assume these orders;
+a silent change would flip transfer directions or scramble flat storage, so
+they get their own property suite.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.schedule import schedule_for
+from repro.memory.address import AddressMap
+from repro.types import Pattern
+
+dims = st.integers(min_value=2, max_value=28)
+
+
+class TestCanonicalOrders:
+    @given(dims, dims)
+    @settings(max_examples=40, deadline=None)
+    def test_antidiagonal_rows_ascend(self, rows, cols):
+        sched = schedule_for(Pattern.ANTI_DIAGONAL, rows, cols)
+        for t in range(sched.num_iterations):
+            ci, _ = sched.cells(t)
+            if len(ci) > 1:
+                assert (np.diff(ci) == 1).all()
+
+    @given(dims, dims)
+    @settings(max_examples=40, deadline=None)
+    def test_knight_columns_ascend(self, rows, cols):
+        sched = schedule_for(Pattern.KNIGHT_MOVE, rows, cols)
+        for t in range(sched.num_iterations):
+            _, cj = sched.cells(t)
+            if len(cj) > 1:
+                assert (np.diff(cj) > 0).all()
+
+    @given(dims, dims)
+    @settings(max_examples=40, deadline=None)
+    def test_positions_are_dense_permutations(self, rows, cols):
+        for pattern in Pattern:
+            sched = schedule_for(pattern, rows, cols)
+            for t in range(sched.num_iterations):
+                ci, cj = sched.cells(t)
+                pos = sched.position_of(ci, cj)
+                assert sorted(pos.tolist()) == list(range(len(ci)))
+
+    @given(dims, dims)
+    @settings(max_examples=25, deadline=None)
+    def test_flat_offsets_strictly_increase_with_iteration(self, rows, cols):
+        for pattern in (Pattern.ANTI_DIAGONAL, Pattern.KNIGHT_MOVE,
+                        Pattern.INVERTED_L):
+            amap = AddressMap(schedule_for(pattern, rows, cols))
+            prev_stop = 0
+            for t in range(amap.schedule.num_iterations):
+                a, b = amap.span(t)
+                assert a == prev_stop and b >= a
+                prev_stop = b
+
+    @given(dims, dims)
+    @settings(max_examples=25, deadline=None)
+    def test_l_ring_parent_shift_holds_generally(self, rows, cols):
+        """The +1 ring-parent shift (the 1-way-transfer proof) must hold for
+        every shape, not just the hand-checked ones."""
+        sched = schedule_for(Pattern.INVERTED_L, rows, cols)
+        for t in range(1, sched.num_iterations):
+            ci, cj = sched.cells(t)
+            pos = sched.position_of(ci, cj)
+            ppos = sched.position_of(ci - 1, cj - 1)
+            assert (ppos == pos + 1).all()
+
+
+class TestSplitBoundaryDirections:
+    """With CPU = canonical prefix, each pattern's cross-cut dependencies
+    must point in exactly the directions Table II claims."""
+
+    @pytest.mark.parametrize(
+        "pattern,cs_names,offsets,expected_dirs",
+        [
+            # anti-diagonal, {W, NW, N}: everything flows CPU -> GPU (Fig. 3)
+            (
+                Pattern.ANTI_DIAGONAL,
+                ("W", "NW", "N"),
+                [(0, -1), (-1, -1), (-1, 0)],
+                {"to_gpu"},
+            ),
+            # knight-move, all four: both directions (Fig. 6)
+            (
+                Pattern.KNIGHT_MOVE,
+                ("W", "NW", "N", "NE"),
+                [(0, -1), (-1, -1), (-1, 0), (-1, 1)],
+                {"to_gpu", "to_cpu"},
+            ),
+        ],
+        ids=["anti-diagonal", "knight-move"],
+    )
+    def test_directions(self, pattern, cs_names, offsets, expected_dirs):
+        """With the strategies' strip splits, every cross-boundary dependency
+        of every cell, across the *entire* run (including the shrinking
+        half), points only in Table II's directions."""
+        from repro.core.partition import HeteroParams
+        from repro.patterns.registry import strategy_class_for
+        from repro.types import ContributingSet
+
+        rows = cols = 16
+        sched = schedule_for(pattern, rows, cols)
+        strategy = strategy_class_for(pattern)(
+            sched, ContributingSet.of(*cs_names)
+        )
+        share = 4
+        plan = strategy.plan(HeteroParams(t_switch=0, t_share=share))
+        cpu_count = {a.t: a.cpu_cells for a in plan.assignments}
+        seen = set()
+        for t in range(sched.num_iterations):
+            ci, cj = sched.cells(t)
+            for k, (i, j) in enumerate(zip(ci, cj)):
+                is_cpu = k < cpu_count[t]
+                for di, dj in offsets:
+                    si, sj = int(i) + di, int(j) + dj
+                    if not (0 <= si < rows and 0 <= sj < cols):
+                        continue
+                    ts = int(sched.iteration_of(np.array([si]), np.array([sj]))[0])
+                    pos = int(sched.position_of(np.array([si]), np.array([sj]))[0])
+                    src_cpu = pos < cpu_count[ts]
+                    if src_cpu and not is_cpu:
+                        seen.add("to_gpu")
+                    elif is_cpu and not src_cpu:
+                        seen.add("to_cpu")
+        assert seen == expected_dirs

@@ -1,0 +1,117 @@
+"""Tests for repro.core.partition: params, assignments, plans."""
+
+import pytest
+
+from repro.core.partition import (
+    HeteroParams,
+    IterationAssignment,
+    Phase,
+    PhasePlan,
+    TransferSpec,
+)
+from repro.errors import PartitionError
+from repro.types import Pattern, TransferDirection, TransferKind
+
+
+class TestHeteroParams:
+    def test_defaults(self):
+        p = HeteroParams()
+        assert p.t_switch == 0 and p.t_share == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(PartitionError):
+            HeteroParams(t_switch=-1)
+        with pytest.raises(PartitionError):
+            HeteroParams(t_share=-2)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            HeteroParams().t_switch = 3  # type: ignore[misc]
+
+
+class TestTransferSpec:
+    def test_requires_cells(self):
+        with pytest.raises(PartitionError):
+            TransferSpec(TransferDirection.H2D, 0, TransferKind.PINNED)
+
+    def test_ok(self):
+        ts = TransferSpec(TransferDirection.D2H, 2, TransferKind.STREAMED)
+        assert ts.cells == 2
+
+
+class TestIterationAssignment:
+    def test_width_and_split(self):
+        a = IterationAssignment(t=3, phase="split", cpu_cells=2, gpu_cells=5)
+        assert a.width == 7
+        assert a.is_split
+
+    def test_pure_cpu_not_split(self):
+        a = IterationAssignment(t=0, phase="cpu-low", cpu_cells=4, gpu_cells=0)
+        assert not a.is_split
+
+    def test_empty_iteration_is_legal_noop(self):
+        """Degenerate geometries (knight-move on one column) produce empty
+        wavefronts; they carry zero cells and are skipped by executors."""
+        a = IterationAssignment(t=0, phase="split", cpu_cells=0, gpu_cells=0)
+        assert a.is_empty and a.width == 0 and not a.is_split
+
+    def test_negative_rejected(self):
+        with pytest.raises(PartitionError):
+            IterationAssignment(t=0, phase="split", cpu_cells=-1, gpu_cells=2)
+
+
+def _plan(transfers_by_t=None):
+    transfers_by_t = transfers_by_t or {}
+    assignments = [
+        IterationAssignment(
+            t=t,
+            phase="split",
+            cpu_cells=1,
+            gpu_cells=2,
+            transfers=transfers_by_t.get(t, ()),
+        )
+        for t in range(4)
+    ]
+    return PhasePlan(
+        pattern=Pattern.HORIZONTAL,
+        params=HeteroParams(0, 1),
+        phases=[Phase("split", 0, 4)],
+        assignments=assignments,
+    )
+
+
+class TestPhasePlan:
+    def test_totals(self):
+        plan = _plan()
+        assert plan.num_iterations == 4
+        assert plan.cpu_cells_total() == 4
+        assert plan.gpu_cells_total() == 8
+
+    def test_transfer_way_none(self):
+        assert _plan().transfer_way() == "none"
+
+    def test_transfer_way_one(self):
+        plan = _plan({1: (TransferSpec(TransferDirection.H2D, 1, TransferKind.STREAMED),)})
+        assert plan.transfer_way() == "1-way"
+
+    def test_transfer_way_two(self):
+        plan = _plan(
+            {
+                1: (
+                    TransferSpec(TransferDirection.H2D, 1, TransferKind.PINNED),
+                    TransferSpec(TransferDirection.D2H, 1, TransferKind.PINNED),
+                )
+            }
+        )
+        assert plan.transfer_way() == "2-way"
+
+    def test_validate_against_widths(self):
+        plan = _plan()
+        plan.validate([3, 3, 3, 3])
+        with pytest.raises(PartitionError):
+            plan.validate([3, 3, 3])  # length mismatch
+        with pytest.raises(PartitionError):
+            plan.validate([3, 3, 4, 3])  # width mismatch
+
+    def test_phase_length(self):
+        assert Phase("split", 2, 7).length == 5

@@ -1,0 +1,86 @@
+"""Tests for the Xeon Phi extension platform (paper Sec. VII future work)."""
+
+import numpy as np
+import pytest
+
+from repro import Framework, hetero_high, hetero_phi
+from repro.problems import make_fig8_problem, make_levenshtein
+from repro.tuning import crossover_width
+
+
+class TestPhiPreset:
+    def test_geometry(self):
+        phi = hetero_phi().gpu
+        assert phi.smx_count == 60 and phi.cores_per_smx == 4
+        assert phi.lanes == 240
+
+    def test_offload_costlier_than_kernel_launch(self):
+        assert hetero_phi().gpu.launch_us > hetero_high().gpu.launch_us
+
+    def test_stride_tolerance(self):
+        """x86 caches absorb strides a GPU cannot coalesce."""
+        assert (
+            hetero_phi().gpu.uncoalesced_penalty
+            < hetero_high().gpu.uncoalesced_penalty
+        )
+
+    def test_throughput_between_cpu_and_k20(self):
+        hi, phi = hetero_high(), hetero_phi()
+        assert (
+            hi.cpu.peak_cells_per_second
+            < phi.gpu.peak_cells_per_second
+            < hi.gpu.peak_cells_per_second
+        )
+
+    def test_same_host_cpu_as_hetero_high(self):
+        assert hetero_phi().cpu == hetero_high().cpu
+
+
+class TestPhiBehaviour:
+    def test_results_identical_to_other_platforms(self):
+        p = make_levenshtein(24, 24, seed=0)
+        a = Framework(hetero_high()).solve(p).table
+        b = Framework(hetero_phi()).solve(p).table
+        assert np.array_equal(a, b)
+
+    def test_low_work_region_larger_on_phi(self):
+        """Higher offload latency + lower throughput push the CPU/accelerator
+        crossover to wider wavefronts than on the K20."""
+        assert crossover_width(hetero_phi()) > crossover_width(hetero_high())
+
+    def test_phi_accelerates_large_tables(self):
+        fw = Framework(hetero_phi())
+        p = make_levenshtein(16384, materialize=False)
+        cpu = fw.estimate(p, executor="cpu").simulated_time
+        het = fw.estimate(p, executor="hetero").simulated_time
+        assert het < cpu
+
+    def test_phi_slower_than_k20_at_scale(self):
+        p = make_levenshtein(16384, materialize=False)
+        k20 = Framework(hetero_high()).estimate(p, executor="gpu").simulated_time
+        phi = Framework(hetero_phi()).estimate(p, executor="gpu").simulated_time
+        assert phi > k20
+
+    def test_inverted_l_penalty_smaller_on_phi(self):
+        """The Fig. 8 gap shrinks on a stride-tolerant accelerator."""
+        from repro import ExecOptions, Pattern
+
+        p = make_fig8_problem(4096, materialize=False)
+        gaps = {}
+        for plat in (hetero_high(), hetero_phi()):
+            il = Framework(plat, ExecOptions(pattern_override=Pattern.INVERTED_L))
+            h1 = Framework(plat)
+            gaps[plat.name] = (
+                il.estimate(p, executor="gpu").simulated_time
+                / h1.estimate(p, executor="gpu").simulated_time
+            )
+        assert gaps["Hetero-Phi"] < gaps["Hetero-High"]
+
+
+class TestExtPhiArtifact:
+    def test_artifact_runs(self):
+        from repro.analysis.catalog import run_artifact
+
+        res = run_artifact("ext-phi", quick=True)
+        assert "Hetero-Phi" in res.text
+        assert "levenshtein/Hetero-Phi" in res.data

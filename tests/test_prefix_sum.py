@@ -1,0 +1,75 @@
+"""Tests for the prefix-sum problem — exact closed-form oracle available."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Framework, HeteroParams, Pattern, hetero_high
+from repro.exec.blocked import BlockedCPUExecutor
+from repro.problems import make_prefix_sum, reference_prefix_sum
+
+
+class TestPrefixSum:
+    def test_pattern(self):
+        assert make_prefix_sum(8).pattern is Pattern.ANTI_DIAGONAL
+
+    def test_matches_cumsum_oracle_exactly(self):
+        p = make_prefix_sum(40, 53, seed=1)
+        res = Framework(hetero_high()).solve(p)
+        assert np.array_equal(res.table, reference_prefix_sum(p.payload["x"]))
+
+    def test_all_executors_agree(self):
+        p = make_prefix_sum(24, 31, seed=2)
+        fw = Framework(hetero_high())
+        base = fw.solve(p, executor="sequential").table
+        for name in ("cpu", "gpu"):
+            assert np.array_equal(base, fw.solve(p, executor=name).table)
+        het = fw.solve(p, params=HeteroParams(5, 7)).table
+        assert np.array_equal(base, het)
+
+    def test_blocked_executor(self):
+        """{W, NW, N} is NE-free, so square tiles apply."""
+        p = make_prefix_sum(33, 27, seed=3)
+        res = BlockedCPUExecutor(hetero_high(), block_size=8).solve(p)
+        assert np.array_equal(res.table, reference_prefix_sum(p.payload["x"]))
+
+    def test_float_version_close(self):
+        p = make_prefix_sum(30, 30, seed=4, integer=False)
+        res = Framework(hetero_high()).solve(p)
+        assert np.allclose(res.table, reference_prefix_sum(p.payload["x"]))
+
+    def test_corner_is_total_sum(self):
+        p = make_prefix_sum(16, 16, seed=5)
+        res = Framework(hetero_high()).solve(p)
+        assert res.table[-1, -1] == p.payload["x"].sum()
+
+    def test_region_sum_query(self):
+        """The whole point of a summed-area table: O(1) rectangle sums."""
+        p = make_prefix_sum(20, 20, seed=6)
+        S = Framework(hetero_high()).solve(p).table
+        x = p.payload["x"]
+
+        def rect(r0, c0, r1, c1):  # inclusive corners
+            total = S[r1, c1]
+            if r0 > 0:
+                total = total - S[r0 - 1, c1]
+            if c0 > 0:
+                total = total - S[r1, c0 - 1]
+            if r0 > 0 and c0 > 0:
+                total = total + S[r0 - 1, c0 - 1]
+            return total
+
+        assert rect(3, 4, 10, 15) == x[3:11, 4:16].sum()
+        assert rect(0, 0, 19, 19) == x.sum()
+        assert rect(7, 7, 7, 7) == x[7, 7]
+
+    @given(
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_oracle(self, rows, cols, seed):
+        p = make_prefix_sum(rows, cols, seed=seed)
+        res = Framework(hetero_high()).solve(p)
+        assert np.array_equal(res.table, reference_prefix_sum(p.payload["x"]))

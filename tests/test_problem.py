@@ -1,0 +1,136 @@
+"""Tests for repro.core.problem: spec validation and derived geometry."""
+
+import numpy as np
+import pytest
+
+from repro.core.problem import LDDPProblem, _compatible
+from repro.errors import ProblemSpecError
+from repro.types import ContributingSet, Pattern
+
+
+def _mk(**kw):
+    base = dict(
+        name="p",
+        shape=(8, 10),
+        contributing=ContributingSet.of("NW", "N"),
+        cell=lambda ctx: ctx.n + 1,
+    )
+    base.update(kw)
+    return LDDPProblem(**base)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("shape", [(0, 5), (5, 0), (-1, 3)])
+    def test_bad_shape(self, shape):
+        with pytest.raises(ProblemSpecError):
+            _mk(shape=shape)
+
+    def test_fixed_rows_bounds(self):
+        with pytest.raises(ProblemSpecError):
+            _mk(fixed_rows=8)
+        with pytest.raises(ProblemSpecError):
+            _mk(fixed_rows=-1)
+
+    def test_fixed_cols_bounds(self):
+        with pytest.raises(ProblemSpecError):
+            _mk(fixed_cols=10)
+
+    def test_work_factors_positive(self):
+        with pytest.raises(ProblemSpecError):
+            _mk(cpu_work=0)
+        with pytest.raises(ProblemSpecError):
+            _mk(gpu_work=-1.0)
+
+    def test_cell_function_contributing_mismatch(self):
+        from repro.core.cellfunc import CellFunction
+
+        cf = CellFunction(lambda ctx: ctx.w, ContributingSet.of("W"))
+        with pytest.raises(ProblemSpecError):
+            _mk(cell=cf)  # problem says {NW, N}
+
+    def test_plain_callable_wrapped(self):
+        from repro.core.cellfunc import CellFunction
+
+        p = _mk()
+        assert isinstance(p.cell, CellFunction)
+
+
+class TestDerivedGeometry:
+    def test_pattern(self):
+        assert _mk().pattern is Pattern.HORIZONTAL
+        assert _mk(contributing=ContributingSet.of("W", "N")).pattern is Pattern.ANTI_DIAGONAL
+
+    def test_computed_shape(self):
+        p = _mk(fixed_rows=1, fixed_cols=2)
+        assert p.computed_shape == (7, 8)
+        assert p.total_computed_cells == 56
+
+    def test_schedule_matches_pattern(self):
+        p = _mk()
+        assert p.schedule().pattern is Pattern.HORIZONTAL
+        assert p.schedule().rows == 8
+
+    def test_schedule_override_compatible(self):
+        p = _mk(contributing=ContributingSet.of("NW"))
+        assert p.pattern is Pattern.INVERTED_L
+        # {NW} may legally run under horizontal (paper Sec. V-B)
+        assert p.schedule(Pattern.HORIZONTAL).pattern is Pattern.HORIZONTAL
+
+    @pytest.mark.parametrize(
+        "names,bad_pattern",
+        [
+            (("W", "N"), Pattern.HORIZONTAL),  # W breaks row wavefronts
+            (("NW", "N", "NE"), Pattern.VERTICAL),  # NE breaks column wavefronts
+            (("W", "NW", "N", "NE"), Pattern.ANTI_DIAGONAL),  # NE breaks diagonals
+            (("N",), Pattern.INVERTED_L),  # N can be in the same ring
+            (("NW", "N"), Pattern.MINVERTED_L),
+        ],
+    )
+    def test_schedule_override_incompatible(self, names, bad_pattern):
+        p = _mk(contributing=ContributingSet.of(*names))
+        with pytest.raises(ProblemSpecError):
+            p.schedule(bad_pattern)
+
+
+class TestCompatibilityMatrix:
+    def test_own_pattern_always_compatible(self):
+        from repro.core.classification import classify
+
+        for mask in range(1, 16):
+            cs = ContributingSet.from_mask(mask)
+            assert _compatible(cs, classify(cs))
+
+    def test_knight_move_executes_everything(self):
+        """2i+j wavefronts respect all four dependencies (the safe fallback)."""
+        for mask in range(1, 16):
+            assert _compatible(ContributingSet.from_mask(mask), Pattern.KNIGHT_MOVE)
+
+    def test_horizontal_executes_all_w_free_sets(self):
+        for mask in range(1, 8):  # masks without the W bit
+            assert _compatible(ContributingSet.from_mask(mask), Pattern.HORIZONTAL)
+
+    def test_anti_diagonal_rejects_ne(self):
+        assert not _compatible(ContributingSet.of("NE"), Pattern.ANTI_DIAGONAL)
+        assert _compatible(ContributingSet.of("W", "NW", "N"), Pattern.ANTI_DIAGONAL)
+
+
+class TestTableManagement:
+    def test_make_table_runs_init(self):
+        def init(table, payload):
+            table[0, :] = payload["row0"]
+
+        p = _mk(init=init, payload={"row0": 7}, dtype=np.int32)
+        t = p.make_table()
+        assert t.dtype == np.int32
+        assert (t[0] == 7).all()
+        assert (t[1:] == 0).all()
+
+    def test_make_table_without_init_is_zero(self):
+        assert (_mk().make_table() == 0).all()
+
+    def test_make_aux(self):
+        p = _mk(aux_specs={"out": np.dtype(np.uint8)})
+        aux = p.make_aux()
+        assert set(aux) == {"out"}
+        assert aux["out"].shape == (8, 10)
+        assert aux["out"].dtype == np.uint8

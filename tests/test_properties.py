@@ -1,0 +1,189 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import ContributingSet, Framework, HeteroParams, LDDPProblem, Pattern
+from repro.core.classification import classify
+from repro.core.schedule import schedule_for
+from repro.machine.platform import hetero_high
+from repro.memory import AddressMap, WavefrontLayout
+from repro.tuning.search import grid, is_roughly_unimodal
+
+masks = st.integers(min_value=1, max_value=15)
+dims = st.integers(min_value=1, max_value=24)
+patterns = st.sampled_from(list(Pattern))
+
+
+class TestClassificationProperties:
+    @given(masks)
+    def test_classification_total(self, mask):
+        assert classify(ContributingSet.from_mask(mask)) in Pattern
+
+    @given(masks)
+    def test_mirror_symmetry(self, mask):
+        """Mirroring W-free sets mirrors the pattern; W-ful sets keep their
+        execution family (mirror images of knight/anti-diag/vertical fall
+        outside the representative set, so only W-free sets are closed)."""
+        cs = ContributingSet.from_mask(mask)
+        if cs.w:
+            return
+        pat, mpat = classify(cs), classify(cs.mirrored())
+        pairs = {
+            (Pattern.INVERTED_L, Pattern.MINVERTED_L),
+            (Pattern.MINVERTED_L, Pattern.INVERTED_L),
+            (Pattern.HORIZONTAL, Pattern.HORIZONTAL),
+        }
+        assert (pat, mpat) in pairs
+
+    @given(masks)
+    def test_knight_iff_w_and_ne(self, mask):
+        cs = ContributingSet.from_mask(mask)
+        assert (classify(cs) is Pattern.KNIGHT_MOVE) == (cs.w and cs.ne)
+
+
+class TestScheduleProperties:
+    @given(patterns, dims, dims)
+    @settings(max_examples=60, deadline=None)
+    def test_partition(self, pattern, rows, cols):
+        sched = schedule_for(pattern, rows, cols)
+        seen = np.zeros((rows, cols), dtype=int)
+        for t in range(sched.num_iterations):
+            ci, cj = sched.cells(t)
+            seen[ci, cj] += 1
+        assert (seen == 1).all()
+
+    @given(patterns, dims, dims)
+    @settings(max_examples=60, deadline=None)
+    def test_address_map_bijective(self, pattern, rows, cols):
+        sched = schedule_for(pattern, rows, cols)
+        amap = AddressMap(sched)
+        ii, jj = amap.full_index()
+        assert (amap.flat_of(ii, jj) == np.arange(amap.size)).all()
+
+    @given(patterns, dims, dims, st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=60, deadline=None)
+    def test_layout_roundtrip(self, pattern, rows, cols, seed):
+        sched = schedule_for(pattern, rows, cols)
+        layout = WavefrontLayout(sched)
+        rng = np.random.default_rng(seed)
+        region = rng.integers(0, 1000, size=(rows, cols))
+        assert (layout.from_flat(layout.to_flat(region)) == region).all()
+
+
+class TestExecutorEquivalenceProperty:
+    @given(
+        masks,
+        st.integers(min_value=2, max_value=14),
+        st.integers(min_value=2, max_value=14),
+        st.integers(min_value=0, max_value=20),
+        st.integers(min_value=0, max_value=20),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_hetero_matches_sequential(self, mask, rows, cols, t_switch, t_share):
+        """For any contributing set, region shape and split parameters, the
+        heterogeneous executor computes the oracle's table."""
+        cs = ContributingSet.from_mask(mask)
+
+        def cell(ctx):
+            vals = [v for v in (ctx.w, ctx.nw, ctx.n, ctx.ne) if v is not None]
+            out = vals[0]
+            for v in vals[1:]:
+                out = np.minimum(out, v)
+            return out + 1
+
+        p = LDDPProblem(
+            name="prop", shape=(rows, cols), contributing=cs, cell=cell,
+            dtype=np.int64, oob_value=0,
+        )
+        fw = Framework(hetero_high())
+        oracle = fw.solve(p, executor="sequential").table
+        het = fw.solve(
+            p, executor="hetero", params=HeteroParams(t_switch, t_share)
+        ).table
+        assert np.array_equal(oracle, het)
+
+
+class TestLevenshteinMetricProperties:
+    @st.composite
+    def two_strings(draw):
+        a = draw(st.lists(st.integers(0, 3), min_size=1, max_size=12))
+        b = draw(st.lists(st.integers(0, 3), min_size=1, max_size=12))
+        return np.array(a, dtype=np.int8), np.array(b, dtype=np.int8)
+
+    @staticmethod
+    def _dist(a, b):
+        from repro.problems import make_levenshtein
+
+        p = make_levenshtein(len(a), len(b))
+        p.payload["a"], p.payload["b"] = a, b
+        return int(Framework(hetero_high()).solve(p).table[-1, -1])
+
+    @given(two_strings())
+    @settings(max_examples=20, deadline=None)
+    def test_symmetry(self, ab):
+        a, b = ab
+        assert self._dist(a, b) == self._dist(b, a)
+
+    @given(two_strings())
+    @settings(max_examples=20, deadline=None)
+    def test_bounds(self, ab):
+        a, b = ab
+        d = self._dist(a, b)
+        assert abs(len(a) - len(b)) <= d <= max(len(a), len(b))
+
+    @given(st.lists(st.integers(0, 3), min_size=1, max_size=12))
+    @settings(max_examples=15, deadline=None)
+    def test_identity(self, chars):
+        a = np.array(chars, dtype=np.int8)
+        assert self._dist(a, a) == 0
+
+
+class TestTimingModelProperties:
+    @given(st.integers(min_value=1, max_value=10**7))
+    @settings(max_examples=40, deadline=None)
+    def test_cpu_time_positive_and_monotone(self, cells):
+        cpu = hetero_high().cpu
+        t = cpu.parallel_time(cells)
+        assert t > 0
+        assert cpu.parallel_time(cells + 1) >= t
+
+    @given(st.integers(min_value=1, max_value=10**7))
+    @settings(max_examples=40, deadline=None)
+    def test_gpu_time_bounded_below_by_launch(self, cells):
+        gpu = hetero_high().gpu
+        assert gpu.kernel_time(cells) >= gpu.launch_us * 1e-6
+
+    @given(
+        st.integers(min_value=16, max_value=256),
+        st.integers(min_value=0, max_value=300),
+        st.integers(min_value=0, max_value=300),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_hetero_timeline_always_valid(self, n, t_switch, t_share):
+        """No parameter choice may produce an inconsistent schedule."""
+        from repro.problems import make_dithering
+
+        p = make_dithering(n, n, materialize=False)
+        fw = Framework(hetero_high())
+        res = fw.estimate(p, params=HeteroParams(t_switch, t_share))
+        res.timeline.validate()
+        assert res.simulated_time > 0
+
+
+class TestSearchProperties:
+    @given(
+        st.integers(min_value=0, max_value=1000),
+        st.integers(min_value=0, max_value=1000),
+        st.integers(min_value=1, max_value=50),
+    )
+    def test_grid_always_within_bounds(self, lo, span, points):
+        g = grid(lo, lo + span, points)
+        assert g[0] >= lo and g[-1] <= lo + span
+        assert g == sorted(set(g))
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=100), min_size=1, max_size=20))
+    def test_unimodal_accepts_sorted(self, ys):
+        curve = list(enumerate(sorted(ys)))
+        assert is_roughly_unimodal(curve)

@@ -1,0 +1,251 @@
+"""Tests for repro.core.schedule: wavefront geometry of all six patterns."""
+
+import numpy as np
+import pytest
+
+from repro.core.schedule import (
+    AntiDiagonalSchedule,
+    HorizontalSchedule,
+    InvertedLSchedule,
+    KnightMoveSchedule,
+    MInvertedLSchedule,
+    VerticalSchedule,
+    schedule_for,
+)
+from repro.errors import ScheduleError
+from repro.types import Pattern
+
+ALL_PATTERNS = list(Pattern)
+SHAPES = [(1, 1), (1, 7), (7, 1), (4, 4), (5, 9), (9, 5), (13, 13)]
+
+
+def every_schedule(shapes=SHAPES):
+    for pattern in ALL_PATTERNS:
+        for rows, cols in shapes:
+            yield schedule_for(pattern, rows, cols)
+
+
+class TestPartitionInvariant:
+    """Each cell belongs to exactly one iteration, at exactly one position."""
+
+    @pytest.mark.parametrize(
+        "pattern,rows,cols",
+        [(p, r, c) for p in ALL_PATTERNS for r, c in SHAPES],
+        ids=lambda v: getattr(v, "value", v),
+    )
+    def test_cells_partition_grid(self, pattern, rows, cols):
+        sched = schedule_for(pattern, rows, cols)
+        seen = np.zeros((rows, cols), dtype=int)
+        for t in range(sched.num_iterations):
+            ci, cj = sched.cells(t)
+            assert len(ci) == len(cj) == sched.width(t)
+            assert (ci >= 0).all() and (ci < rows).all()
+            assert (cj >= 0).all() and (cj < cols).all()
+            seen[ci, cj] += 1
+        assert (seen == 1).all()
+
+    @pytest.mark.parametrize(
+        "pattern,rows,cols",
+        [(p, r, c) for p in ALL_PATTERNS for r, c in SHAPES],
+        ids=lambda v: getattr(v, "value", v),
+    )
+    def test_widths_sum_to_total(self, pattern, rows, cols):
+        sched = schedule_for(pattern, rows, cols)
+        assert int(sched.widths().sum()) == rows * cols == sched.total_cells
+
+
+class TestIndexMapsConsistent:
+    """iteration_of/position_of must invert cells()."""
+
+    @pytest.mark.parametrize(
+        "pattern,rows,cols",
+        [(p, r, c) for p in ALL_PATTERNS for r, c in [(5, 9), (9, 5), (6, 6)]],
+        ids=lambda v: getattr(v, "value", v),
+    )
+    def test_roundtrip(self, pattern, rows, cols):
+        sched = schedule_for(pattern, rows, cols)
+        for t in range(sched.num_iterations):
+            ci, cj = sched.cells(t)
+            assert (sched.iteration_of(ci, cj) == t).all()
+            pos = sched.position_of(ci, cj)
+            assert (pos == np.arange(len(ci))).all()
+
+
+class TestIterationCounts:
+    def test_anti_diagonal(self):
+        assert AntiDiagonalSchedule(5, 9).num_iterations == 13
+        assert AntiDiagonalSchedule(1, 1).num_iterations == 1
+
+    def test_horizontal_vertical(self):
+        assert HorizontalSchedule(5, 9).num_iterations == 5
+        assert VerticalSchedule(5, 9).num_iterations == 9
+
+    def test_inverted_l_both(self):
+        assert InvertedLSchedule(5, 9).num_iterations == 5
+        assert MInvertedLSchedule(9, 5).num_iterations == 5
+
+    def test_knight_move(self):
+        assert KnightMoveSchedule(5, 9).num_iterations == 2 * 4 + 9
+
+    def test_same_iteration_count_il_vs_horizontal_square(self):
+        """Paper Sec. V-B: iL and horizontal need the same #iterations (square)."""
+        n = 8
+        assert (
+            InvertedLSchedule(n, n).num_iterations
+            == HorizontalSchedule(n, n).num_iterations
+        )
+
+
+class TestPaperFig2Numbering:
+    """Exact iteration numbers from the paper's Fig. 2 on a 5x6 grid."""
+
+    def grid(self, sched):
+        g = np.zeros((sched.rows, sched.cols), dtype=int)
+        for t in range(sched.num_iterations):
+            ci, cj = sched.cells(t)
+            g[ci, cj] = t + 1
+        return g
+
+    def test_anti_diagonal_corner_values(self):
+        g = self.grid(AntiDiagonalSchedule(5, 6))
+        assert g[0, 0] == 1 and g[0, 5] == 6 and g[4, 0] == 5 and g[4, 5] == 10
+
+    def test_horizontal_rows(self):
+        g = self.grid(HorizontalSchedule(5, 6))
+        for i in range(5):
+            assert (g[i] == i + 1).all()
+
+    def test_vertical_columns(self):
+        g = self.grid(VerticalSchedule(5, 6))
+        for j in range(6):
+            assert (g[:, j] == j + 1).all()
+
+    def test_inverted_l_rings(self):
+        g = self.grid(InvertedLSchedule(4, 6))
+        expected = np.array(
+            [
+                [1, 1, 1, 1, 1, 1],
+                [1, 2, 2, 2, 2, 2],
+                [1, 2, 3, 3, 3, 3],
+                [1, 2, 3, 4, 4, 4],
+            ]
+        )
+        assert (g == expected).all()
+
+    def test_minverted_l_rings(self):
+        g = self.grid(MInvertedLSchedule(4, 6))
+        expected = np.array(
+            [
+                [1, 1, 1, 1, 1, 1],
+                [2, 2, 2, 2, 2, 1],
+                [3, 3, 3, 3, 2, 1],
+                [4, 4, 4, 3, 2, 1],
+            ]
+        )
+        assert (g == expected).all()
+
+    def test_knight_move_formula(self):
+        g = self.grid(KnightMoveSchedule(5, 6))
+        for i in range(5):
+            for j in range(6):
+                assert g[i, j] == 2 * i + j + 1
+
+
+class TestCanonicalOrder:
+    def test_anti_diagonal_i_ascending(self):
+        ci, _ = AntiDiagonalSchedule(6, 6).cells(5)
+        assert (np.diff(ci) == 1).all()
+
+    def test_horizontal_j_ascending(self):
+        _, cj = HorizontalSchedule(4, 7).cells(2)
+        assert (np.diff(cj) == 1).all()
+
+    def test_knight_move_j_ascending(self):
+        _, cj = KnightMoveSchedule(6, 9).cells(8)
+        assert (np.diff(cj) > 0).all()
+
+    def test_inverted_l_column_arm_first(self):
+        ci, cj = InvertedLSchedule(5, 5).cells(1)
+        # column arm bottom-up: i = 4, 3, 2 at j=1, then row arm i=1
+        assert list(ci[:3]) == [4, 3, 2]
+        assert (cj[:3] == 1).all()
+        assert (ci[3:] == 1).all()
+        assert list(cj[3:]) == [1, 2, 3, 4]
+
+    def test_inverted_l_parent_shift_property(self):
+        """NW parent of ring-t position p sits at ring-(t-1) position p+1.
+
+        This is what makes the split boundary a single-cell 1-way exchange
+        (see InvertedLSchedule docstring).
+        """
+        sched = InvertedLSchedule(7, 9)
+        for t in range(1, sched.num_iterations):
+            ci, cj = sched.cells(t)
+            pi, pj = ci - 1, cj - 1  # NW parents
+            assert (sched.iteration_of(pi, pj) == t - 1).all()
+            pos = sched.position_of(ci, cj)
+            ppos = sched.position_of(pi, pj)
+            assert (ppos == pos + 1).all()
+
+    def test_minverted_l_parent_shift_property(self):
+        sched = MInvertedLSchedule(7, 9)
+        for t in range(1, sched.num_iterations):
+            ci, cj = sched.cells(t)
+            pi, pj = ci - 1, cj + 1  # NE parents
+            assert (sched.iteration_of(pi, pj) == t - 1).all()
+            pos = sched.position_of(ci, cj)
+            ppos = sched.position_of(pi, pj)
+            assert (ppos == pos + 1).all()
+
+
+class TestDependencyOrdering:
+    """Every contributing neighbour lies in a strictly earlier iteration."""
+
+    CASES = [
+        (Pattern.ANTI_DIAGONAL, [(0, -1), (-1, -1), (-1, 0)]),
+        (Pattern.HORIZONTAL, [(-1, -1), (-1, 0), (-1, 1)]),
+        (Pattern.VERTICAL, [(0, -1), (-1, -1)]),
+        (Pattern.INVERTED_L, [(-1, -1)]),
+        (Pattern.MINVERTED_L, [(-1, 1)]),
+        (Pattern.KNIGHT_MOVE, [(0, -1), (-1, -1), (-1, 0), (-1, 1)]),
+    ]
+
+    @pytest.mark.parametrize("pattern,offsets", CASES, ids=lambda v: str(v))
+    def test_neighbors_strictly_earlier(self, pattern, offsets):
+        sched = schedule_for(pattern, 8, 11)
+        for t in range(sched.num_iterations):
+            ci, cj = sched.cells(t)
+            for di, dj in offsets:
+                ni, nj = ci + di, cj + dj
+                ok = (ni >= 0) & (ni < 8) & (nj >= 0) & (nj < 11)
+                if ok.any():
+                    assert (sched.iteration_of(ni[ok], nj[ok]) < t).all()
+
+
+class TestErrors:
+    def test_empty_region_rejected(self):
+        with pytest.raises(ScheduleError):
+            HorizontalSchedule(0, 5)
+        with pytest.raises(ScheduleError):
+            AntiDiagonalSchedule(5, 0)
+
+    @pytest.mark.parametrize("pattern", ALL_PATTERNS, ids=lambda p: p.value)
+    def test_out_of_range_iteration(self, pattern):
+        sched = schedule_for(pattern, 4, 4)
+        with pytest.raises(ScheduleError):
+            sched.width(-1)
+        with pytest.raises(ScheduleError):
+            sched.cells(sched.num_iterations)
+
+
+class TestProfiles:
+    def test_max_width(self):
+        assert AntiDiagonalSchedule(5, 9).max_width == 5
+        assert HorizontalSchedule(5, 9).max_width == 9
+        assert KnightMoveSchedule(9, 9).max_width == 5
+
+    def test_widths_dtype_and_length(self):
+        sched = InvertedLSchedule(6, 8)
+        w = sched.widths()
+        assert w.dtype == np.int64
+        assert len(w) == sched.num_iterations

@@ -1,0 +1,199 @@
+"""Tests for repro.solutions: tracebacks over framework-filled tables."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Framework, hetero_high
+from repro.errors import ReproError
+from repro.problems import (
+    make_checkerboard,
+    make_dtw,
+    make_levenshtein,
+    make_needleman_wunsch,
+    make_smith_waterman,
+)
+from repro.solutions import (
+    EditKind,
+    align_global,
+    align_local,
+    apply_edit_script,
+    checkerboard_path,
+    dtw_path,
+    edit_script,
+)
+
+FW = Framework(hetero_high())
+
+
+def _lev(a, b):
+    p = make_levenshtein(len(a), len(b))
+    p.payload["a"] = np.asarray(a, dtype=np.int8)
+    p.payload["b"] = np.asarray(b, dtype=np.int8)
+    return p, FW.solve(p).table
+
+
+class TestEditScript:
+    def test_script_cost_equals_distance(self):
+        p = make_levenshtein(30, 26, seed=1)
+        table = FW.solve(p).table
+        ops = edit_script(table, p.payload["a"], p.payload["b"])
+        assert sum(op.costs for op in ops) == int(table[-1, -1])
+
+    def test_script_transforms_a_into_b(self):
+        p = make_levenshtein(25, 33, seed=2)
+        table = FW.solve(p).table
+        ops = edit_script(table, p.payload["a"], p.payload["b"])
+        out = apply_edit_script(p.payload["a"], p.payload["b"], ops)
+        assert out == [int(x) for x in p.payload["b"]]
+
+    def test_identical_strings_all_matches(self):
+        a = [1, 2, 3, 1]
+        _, table = _lev(a, a)
+        ops = edit_script(table, a, a)
+        assert all(op.kind is EditKind.MATCH for op in ops)
+
+    def test_empty_to_nonempty_all_inserts(self):
+        # the framework needs a non-empty computed region, but the traceback
+        # works on any valid Wagner-Fischer table, including the m = 0 edge
+        table = np.arange(4, dtype=np.int64).reshape(1, 4)
+        ops = edit_script(table, [], [1, 2, 3])
+        assert [op.kind for op in ops] == [EditKind.INSERT] * 3
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            edit_script(np.zeros((3, 3)), [1, 2, 3], [1])
+
+    @given(
+        st.lists(st.integers(0, 2), min_size=0, max_size=12),
+        st.lists(st.integers(0, 2), min_size=0, max_size=12),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_script_valid(self, a, b):
+        if not a and not b:
+            return
+        p, table = _lev(a or [0], b or [0])
+        aa = p.payload["a"]
+        bb = p.payload["b"]
+        ops = edit_script(table, aa, bb)
+        assert sum(op.costs for op in ops) == int(table[-1, -1])
+        assert apply_edit_script(aa, bb, ops) == [int(x) for x in bb]
+
+
+class TestGlobalAlignment:
+    def test_score_consistency(self):
+        p = make_needleman_wunsch(20, 24, seed=3)
+        table = FW.solve(p).table
+        aln = align_global(table, p.payload["a"], p.payload["b"])
+        assert aln.score == table[-1, -1]
+
+    def test_alignment_covers_both_sequences(self):
+        p = make_needleman_wunsch(15, 19, seed=4)
+        table = FW.solve(p).table
+        aln = align_global(table, p.payload["a"], p.payload["b"])
+        a_used = [i for i in aln.a_idx if i >= 0]
+        b_used = [j for j in aln.b_idx if j >= 0]
+        assert a_used == list(range(15))
+        assert b_used == list(range(19))
+
+    def test_rendered_columns_align(self):
+        p = make_needleman_wunsch(12, 12, seed=5)
+        table = FW.solve(p).table
+        aln = align_global(table, p.payload["a"], p.payload["b"])
+        top, bot = aln.render(p.payload["a"], p.payload["b"])
+        assert len(top) == len(bot) == len(aln)
+
+    def test_recomputed_score_matches(self):
+        """Summing column scores reproduces the table score."""
+        p = make_needleman_wunsch(18, 14, seed=6)
+        table = FW.solve(p).table
+        a, b = p.payload["a"], p.payload["b"]
+        aln = align_global(table, a, b)
+        total = 0
+        for i, j in zip(aln.a_idx, aln.b_idx):
+            if i < 0 or j < 0:
+                total += -2
+            else:
+                total += 1 if a[i] == b[j] else -1
+        assert total == aln.score
+
+
+class TestLocalAlignment:
+    def test_score_is_table_max(self):
+        p = make_smith_waterman(30, 30, seed=7)
+        table = FW.solve(p).table
+        aln = align_local(table, p.payload["a"], p.payload["b"])
+        assert aln.score == table.max()
+
+    def test_planted_motif_bounds_the_score(self):
+        """The optimum may extend beyond a planted motif, but never score
+        below it; and the backtracked columns must re-add to the score."""
+        p = make_smith_waterman(40, 40, seed=8)
+        motif = np.array([0, 1, 2, 3] * 3, dtype=np.int8)
+        p.payload["a"][4:16] = motif
+        p.payload["b"][22:34] = motif
+        a, b = p.payload["a"], p.payload["b"]
+        table = FW.solve(p).table
+        aln = align_local(table, a, b)
+        assert aln.score >= 2 * len(motif)
+        total = 0
+        for i, j in zip(aln.a_idx, aln.b_idx):
+            if i < 0 or j < 0:
+                total += -1  # gap
+            else:
+                total += 2 if a[i] == b[j] else -1
+        assert total == aln.score
+
+
+class TestCheckerboardPath:
+    def test_path_cost_matches_table(self):
+        p = make_checkerboard(20, 20, seed=9)
+        table = FW.solve(p).table
+        cost = p.payload["cost"]
+        path = checkerboard_path(table, cost)
+        assert sum(cost[i, j] for i, j in path) == pytest.approx(table[-1].min())
+
+    def test_path_steps_legal(self):
+        p = make_checkerboard(16, 16, seed=10)
+        table = FW.solve(p).table
+        path = checkerboard_path(table, p.payload["cost"])
+        assert len(path) == 16
+        for (i0, j0), (i1, j1) in zip(path, path[1:]):
+            assert i1 == i0 + 1 and abs(j1 - j0) <= 1
+
+    def test_explicit_end_column(self):
+        p = make_checkerboard(12, 12, seed=11)
+        table = FW.solve(p).table
+        path = checkerboard_path(table, p.payload["cost"], end_col=5)
+        assert path[-1] == (11, 5)
+
+    def test_bad_end_column(self):
+        p = make_checkerboard(8, 8)
+        table = FW.solve(p).table
+        with pytest.raises(ReproError):
+            checkerboard_path(table, p.payload["cost"], end_col=99)
+
+
+class TestDTWPath:
+    def test_endpoints_and_monotone(self):
+        p = make_dtw(20, 25, seed=12)
+        table = FW.solve(p).table
+        path = dtw_path(table)
+        assert path[0] == (0, 0)
+        assert path[-1] == (19, 24)
+        for (i0, j0), (i1, j1) in zip(path, path[1:]):
+            assert (i1 - i0, j1 - j0) in {(1, 1), (1, 0), (0, 1)}
+
+    def test_path_cost_matches_table(self):
+        p = make_dtw(15, 15, seed=13)
+        table = FW.solve(p).table
+        x, y = p.payload["x"], p.payload["y"]
+        path = dtw_path(table)
+        total = sum(abs(x[i] - y[j]) for i, j in path)
+        assert total == pytest.approx(table[-1, -1])
+
+    def test_identical_series_diagonal_path(self):
+        p = make_dtw(10, 10, seed=14)
+        p.payload["y"] = p.payload["x"].copy()
+        table = FW.solve(p).table
+        assert dtw_path(table) == [(k, k) for k in range(10)]

@@ -1,0 +1,200 @@
+"""Tests for repro.tuning: analytic model, sweep utilities, autotuner."""
+
+import math
+
+import pytest
+
+from repro import Framework, HeteroParams
+from repro.errors import TuningError
+from repro.machine.platform import hetero_high, hetero_low
+from repro.patterns.registry import strategy_for
+from repro.problems import (
+    make_checkerboard,
+    make_dithering,
+    make_fig9_problem,
+    make_lcs,
+    make_levenshtein,
+)
+from repro.tuning import (
+    analytic_params,
+    autotune,
+    balanced_share,
+    crossover_width,
+    is_roughly_unimodal,
+)
+from repro.tuning.search import argmin_curve, grid, sweep
+
+
+class TestCrossoverWidth:
+    def test_positive_and_finite_on_presets(self):
+        for plat in (hetero_high(), hetero_low()):
+            w = crossover_width(plat)
+            assert 0 < w < 1e6
+
+    def test_closed_form(self):
+        plat = hetero_high()
+        w = crossover_width(plat)
+        c_c = plat.cpu.marginal_cell_seconds()
+        c_g = plat.gpu.marginal_cell_seconds()
+        lhs = plat.cpu.fork_us * 1e-6 + w * c_c
+        rhs = plat.gpu.launch_us * 1e-6 + w * c_g
+        assert lhs == pytest.approx(rhs)
+
+    def test_infinite_when_cpu_never_loses(self):
+        plat = hetero_high()
+        # make the GPU's per-cell cost exceed the CPU's
+        assert crossover_width(plat, cpu_work=1.0, gpu_work=1000.0) == math.inf
+
+    def test_transfer_cost_raises_crossover(self):
+        plat = hetero_high()
+        assert crossover_width(plat, transfer_seconds=5e-6) > crossover_width(plat)
+
+
+class TestBalancedShare:
+    def test_clamped_to_width(self):
+        plat = hetero_high()
+        assert 0 <= balanced_share(plat, 100) <= 100
+
+    def test_equalizes_times(self):
+        plat = hetero_high()
+        w = 50_000
+        x = balanced_share(plat, w)
+        t_cpu = plat.cpu.parallel_time(x)
+        t_gpu = plat.gpu.kernel_time(w - x)
+        assert t_cpu == pytest.approx(t_gpu, rel=0.01)
+
+    def test_monotone_in_width(self):
+        plat = hetero_high()
+        xs = [balanced_share(plat, w) for w in (10_000, 20_000, 40_000)]
+        assert xs == sorted(xs)
+
+
+class TestAnalyticParams:
+    def test_horizontal_no_t_switch(self):
+        p = make_fig9_problem(512, materialize=False)
+        strat = strategy_for(p)
+        params = analytic_params(p, hetero_high(), strat)
+        assert params.t_switch == 0
+
+    def test_antidiagonal_symmetric_low_regions(self):
+        p = make_levenshtein(4096, materialize=False)
+        strat = strategy_for(p)
+        params = analytic_params(p, hetero_high(), strat)
+        total = strat.schedule.num_iterations
+        assert 0 < params.t_switch <= total // 2
+
+    def test_t_switch_covers_narrow_wavefronts(self):
+        """Every iteration the CPU keeps must be narrower than the crossover."""
+        p = make_levenshtein(4096, materialize=False)
+        strat = strategy_for(p)
+        params = analytic_params(p, hetero_high(), strat)
+        w_star = crossover_width(
+            hetero_high(),
+            p.cpu_work * strat.cpu_overhead,
+            p.gpu_work * strat.gpu_overhead,
+        )
+        for t in range(params.t_switch):
+            assert strat.schedule.width(t) <= w_star
+
+    def test_small_problem_degenerates_to_pure_cpu(self):
+        p = make_fig9_problem(64, materialize=False)
+        strat = strategy_for(p)
+        params = analytic_params(p, hetero_high(), strat)
+        assert params.t_share == 64  # whole row to the CPU
+
+    def test_knight_accounts_for_pinned_exchange(self):
+        """2-way patterns must place t_switch higher than 1-way ones."""
+        p = make_dithering(4096, materialize=False)
+        strat = strategy_for(p)
+        with_xfer = analytic_params(p, hetero_high(), strat)
+        w_star_no_xfer = crossover_width(
+            hetero_high(),
+            p.cpu_work * strat.cpu_overhead,
+            p.gpu_work * strat.gpu_overhead,
+        )
+        # the iteration at the phase boundary is wider than the no-transfer
+        # crossover would suggest
+        assert strat.schedule.width(with_xfer.t_switch - 1) > 0
+        w_at_switch = strat.schedule.width(with_xfer.t_switch)
+        assert w_at_switch >= w_star_no_xfer
+
+
+class TestSearchUtilities:
+    def test_sweep_evaluates_all(self):
+        curve = sweep([1, 2, 3], lambda v: v * 2.0)
+        assert curve == [(1, 2.0), (2, 4.0), (3, 6.0)]
+
+    def test_sweep_rejects_non_finite(self):
+        with pytest.raises(TuningError):
+            sweep([1], lambda v: float("inf"))
+
+    def test_sweep_rejects_empty(self):
+        with pytest.raises(TuningError):
+            sweep([], lambda v: 1.0)
+
+    def test_argmin(self):
+        assert argmin_curve([(0, 3.0), (5, 1.0), (9, 2.0)]) == (5, 1.0)
+
+    def test_argmin_empty(self):
+        with pytest.raises(TuningError):
+            argmin_curve([])
+
+    def test_unimodal_accepts_u_shape(self):
+        assert is_roughly_unimodal([(0, 5.0), (1, 3.0), (2, 1.0), (3, 2.0), (4, 4.0)])
+
+    def test_unimodal_accepts_monotone(self):
+        assert is_roughly_unimodal([(0, 5.0), (1, 4.0), (2, 3.0)])
+
+    def test_unimodal_rejects_w_shape(self):
+        assert not is_roughly_unimodal(
+            [(0, 5.0), (1, 1.0), (2, 4.0), (3, 0.5), (4, 5.0)]
+        )
+
+    def test_grid_bounds_and_count(self):
+        g = grid(0, 100, 5)
+        assert g[0] == 0 and g[-1] == 100
+        assert len(g) == 5
+        assert g == sorted(set(g))
+
+    def test_grid_degenerate(self):
+        assert grid(7, 7, 5) == [7]
+        with pytest.raises(TuningError):
+            grid(5, 2, 3)
+        with pytest.raises(TuningError):
+            grid(0, 5, 0)
+
+
+class TestAutotune:
+    def test_curve_is_u_shaped(self):
+        """The paper's Fig. 7 phenomenon on a smaller instance."""
+        result = autotune(make_lcs(1024, materialize=False), hetero_high(), points=9)
+        assert is_roughly_unimodal(result.t_switch_curve, tolerance=0.05)
+
+    def test_beats_or_matches_extremes(self):
+        p = make_levenshtein(1024, materialize=False)
+        fw = Framework(hetero_high())
+        result = autotune(p, hetero_high(), points=9)
+        ex = fw.executor("hetero")
+        t_all_gpu = ex.estimate(p, params=HeteroParams(0, 0)).simulated_time
+        sched = p.schedule()
+        t_all_cpu = ex.estimate(
+            p, params=HeteroParams(0, sched.max_width)
+        ).simulated_time
+        assert result.best_time <= t_all_gpu + 1e-12
+        assert result.best_time <= t_all_cpu + 1e-12
+
+    def test_near_analytic_guess(self):
+        p = make_levenshtein(1024, materialize=False)
+        strat = strategy_for(p)
+        guess = analytic_params(p, hetero_high(), strat)
+        tuned = autotune(p, hetero_high(), points=13)
+        fw = Framework(hetero_high())
+        ex = fw.executor("hetero")
+        t_guess = ex.estimate(p, params=guess).simulated_time
+        # empirical optimum should not be dramatically better than the model
+        assert tuned.best_time >= 0.7 * t_guess
+
+    def test_horizontal_skips_t_switch_sweep(self):
+        result = autotune(make_checkerboard(256, materialize=False), hetero_high(), points=5)
+        assert result.t_switch_curve == [(0, result.t_switch_curve[0][1])]
+        assert result.params.t_switch == 0

@@ -1,0 +1,139 @@
+"""Tests for repro.types: contributing sets, patterns, enums."""
+
+import pytest
+
+from repro.errors import ContributingSetError
+from repro.types import ContributingSet, Device, Neighbor, Pattern
+
+
+class TestContributingSetConstruction:
+    def test_empty_set_rejected(self):
+        with pytest.raises(ContributingSetError):
+            ContributingSet()
+
+    def test_of_by_name(self):
+        cs = ContributingSet.of("W", "NW")
+        assert cs.w and cs.nw and not cs.n and not cs.ne
+
+    def test_of_by_enum(self):
+        cs = ContributingSet.of(Neighbor.N, Neighbor.NE)
+        assert cs.n and cs.ne and not cs.w and not cs.nw
+
+    def test_of_case_insensitive(self):
+        assert ContributingSet.of("nw") == ContributingSet.of("NW")
+
+    def test_of_unknown_name_rejected(self):
+        with pytest.raises(ContributingSetError):
+            ContributingSet.of("SE")
+
+    def test_from_mask_bit_order(self):
+        # bit order (W, NW, N, NE) = (8, 4, 2, 1)
+        assert ContributingSet.from_mask(8) == ContributingSet.of("W")
+        assert ContributingSet.from_mask(4) == ContributingSet.of("NW")
+        assert ContributingSet.from_mask(2) == ContributingSet.of("N")
+        assert ContributingSet.from_mask(1) == ContributingSet.of("NE")
+
+    @pytest.mark.parametrize("mask", [0, 16, -1])
+    def test_from_mask_range_checked(self, mask):
+        with pytest.raises(ContributingSetError):
+            ContributingSet.from_mask(mask)
+
+    def test_all_sets_covers_15(self):
+        sets = ContributingSet.all_sets()
+        assert len(sets) == 15
+        assert len(set(sets)) == 15
+        assert [cs.mask for cs in sets] == list(range(1, 16))
+
+
+class TestContributingSetViews:
+    def test_mask_roundtrip(self):
+        for mask in range(1, 16):
+            assert ContributingSet.from_mask(mask).mask == mask
+
+    def test_members_fixed_order(self):
+        cs = ContributingSet.of("NE", "W", "N")
+        assert cs.members() == (Neighbor.W, Neighbor.N, Neighbor.NE)
+
+    def test_len_and_iter(self):
+        cs = ContributingSet.from_mask(15)
+        assert len(cs) == 4
+        assert list(cs) == [Neighbor.W, Neighbor.NW, Neighbor.N, Neighbor.NE]
+
+    def test_contains(self):
+        cs = ContributingSet.of("NW")
+        assert Neighbor.NW in cs
+        assert Neighbor.W not in cs
+
+    def test_str(self):
+        assert str(ContributingSet.of("W", "NE")) == "{W, NE}"
+
+    def test_hashable(self):
+        assert len({ContributingSet.of("W"), ContributingSet.of("W")}) == 1
+
+
+class TestSymmetries:
+    def test_mirror_swaps_nw_ne(self):
+        cs = ContributingSet.of("NW")
+        assert cs.mirrored() == ContributingSet.of("NE")
+
+    def test_mirror_involution(self):
+        for mask in range(1, 16):
+            cs = ContributingSet.from_mask(mask)
+            assert cs.mirrored().mirrored() == cs
+
+    def test_mirror_fixes_w_and_n(self):
+        cs = ContributingSet.of("W", "N")
+        assert cs.mirrored() == cs
+
+    def test_transpose_swaps_w_and_n(self):
+        assert ContributingSet.of("W").transposed() == ContributingSet.of("N")
+        assert ContributingSet.of("W", "NW").transposed() == ContributingSet.of("N", "NW")
+
+    def test_transpose_rejects_ne(self):
+        with pytest.raises(ContributingSetError):
+            ContributingSet.of("NE").transposed()
+
+    def test_transpose_involution_without_ne(self):
+        for mask in range(1, 16):
+            cs = ContributingSet.from_mask(mask)
+            if not cs.ne:
+                assert cs.transposed().transposed() == cs
+
+
+class TestNeighborOffsets:
+    def test_offsets(self):
+        assert Neighbor.W.offset == (0, -1)
+        assert Neighbor.NW.offset == (-1, -1)
+        assert Neighbor.N.offset == (-1, 0)
+        assert Neighbor.NE.offset == (-1, 1)
+
+    def test_all_offsets_previous_or_same_row(self):
+        for nb in Neighbor:
+            di, dj = nb.offset
+            assert di in (-1, 0)
+            assert (di, dj) != (0, 0)
+
+
+class TestPattern:
+    def test_canonical_reduction(self):
+        assert Pattern.VERTICAL.canonical is Pattern.HORIZONTAL
+        assert Pattern.MINVERTED_L.canonical is Pattern.INVERTED_L
+
+    def test_canonical_fixed_points(self):
+        for pat in (
+            Pattern.ANTI_DIAGONAL,
+            Pattern.HORIZONTAL,
+            Pattern.INVERTED_L,
+            Pattern.KNIGHT_MOVE,
+        ):
+            assert pat.canonical is pat
+            assert pat.is_canonical
+
+    def test_exactly_four_canonical_patterns(self):
+        assert sum(1 for p in Pattern if p.is_canonical) == 4
+
+
+class TestDevice:
+    def test_other(self):
+        assert Device.CPU.other is Device.GPU
+        assert Device.GPU.other is Device.CPU

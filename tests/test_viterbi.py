@@ -1,0 +1,81 @@
+"""Tests for Viterbi decoding of left-to-right HMMs (horizontal pattern)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Framework, HeteroParams, Pattern, hetero_high
+from repro.problems.viterbi import (
+    make_viterbi,
+    reference_viterbi,
+    viterbi_path,
+)
+
+FW = Framework(hetero_high())
+
+
+class TestViterbi:
+    def test_pattern_is_horizontal_case1(self):
+        from repro.core.classification import horizontal_case
+
+        p = make_viterbi(16)
+        assert p.pattern is Pattern.HORIZONTAL
+        assert horizontal_case(p.contributing) == 1
+
+    def test_matches_reference(self):
+        p = make_viterbi(35, states=10, seed=1)
+        res = FW.solve(p)
+        assert np.allclose(res.table, reference_viterbi(p.payload, 35))
+
+    def test_all_executors_agree(self):
+        p = make_viterbi(24, states=8, seed=2)
+        base = FW.solve(p, executor="sequential").table
+        for name in ("cpu", "gpu", "cpu-blocked", "cpu-wavefront-major"):
+            got = FW.solve(p, executor=name).table
+            assert np.array_equal(base, got), name
+        het = FW.solve(p, params=HeteroParams(0, 3)).table
+        assert np.array_equal(base, het)
+
+    def test_path_is_monotone_left_to_right(self):
+        p = make_viterbi(50, states=14, seed=3)
+        res = FW.solve(p)
+        path = viterbi_path(res.table, p.payload)
+        assert path[0] == 0  # must start in state 0
+        assert all(0 <= b - a <= 1 for a, b in zip(path, path[1:]))
+        assert len(path) == 50
+
+    def test_path_score_readds_to_table_best(self):
+        p = make_viterbi(30, states=9, seed=4)
+        res = FW.solve(p)
+        path = viterbi_path(res.table, p.payload)
+        emit = p.payload["log_emit"]
+        stay = p.payload["log_stay"]
+        adv = p.payload["log_adv"]
+        obs = p.payload["obs"]
+        total, prev = 0.0, 0
+        for t, j in enumerate(path, start=1):
+            total += (stay[j] if j == prev else adv[prev]) + emit[j, obs[t - 1]]
+            prev = j
+        assert total == pytest.approx(float(res.table[-1].max()))
+
+    def test_log_probabilities_non_positive(self):
+        p = make_viterbi(20, states=6, seed=5)
+        res = FW.solve(p)
+        best = float(res.table[-1].max())
+        assert best < 0.0  # log probability of a non-trivial sequence
+
+    def test_deterministic_hmm_decodes_exactly(self):
+        """Stay probability ~1 and a sharp emitter: path stays in state 0."""
+        p = make_viterbi(15, states=4, seed=6)
+        p.payload["log_stay"] = np.log(np.full(4, 0.999999))
+        p.payload["log_adv"] = np.log(np.full(4, 1e-6))
+        res = FW.solve(p)
+        path = viterbi_path(res.table, p.payload)
+        assert path == [0] * 15
+
+    @given(st.integers(min_value=4, max_value=30), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_property_matches_reference(self, T, seed):
+        p = make_viterbi(T, states=max(2, T // 3), seed=seed)
+        res = FW.solve(p)
+        assert np.allclose(res.table, reference_viterbi(p.payload, T))
