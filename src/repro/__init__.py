@@ -43,6 +43,14 @@ from .core.problem import LDDPProblem
 from .core.schedule import schedule_for
 from .exec.base import ExecOptions, SolveResult
 from .machine.platform import Platform, hetero_high, hetero_low, hetero_phi
+from .obs import (
+    MetricsRegistry,
+    NullTracer,
+    Tracer,
+    get_metrics,
+    get_tracer,
+    use_tracer,
+)
 from .tuning.autotune import TuneResult, autotune
 
 __all__ = [
@@ -75,4 +83,11 @@ __all__ = [
     # tuning
     "autotune",
     "TuneResult",
+    # observability
+    "Tracer",
+    "NullTracer",
+    "get_tracer",
+    "use_tracer",
+    "MetricsRegistry",
+    "get_metrics",
 ]

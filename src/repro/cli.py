@@ -6,8 +6,14 @@ Examples::
     repro-lddp figure table1
     repro-lddp figure fig10 --quick
     repro-lddp solve levenshtein --size 512 --platform high --executor hetero
+    repro-lddp solve lcs --size 256 --trace out.json --metrics
     repro-lddp tune lcs --size 2048
     repro-lddp profile knight-move --rows 8 --cols 10
+
+``--trace out.json`` records live instrumentation spans plus the simulated
+timeline as Chrome ``trace_event`` JSON — open it in ``chrome://tracing`` or
+https://ui.perfetto.dev (see docs/observability.md). ``--metrics`` dumps the
+process metrics registry after the run.
 """
 
 from __future__ import annotations
@@ -77,11 +83,19 @@ def _cmd_figure(args) -> int:
 
 
 def _cmd_solve(args) -> int:
+    from .obs import NullTracer, Tracer, get_metrics, use_tracer
+    from .obs.export import write_chrome_trace
+
+    if args.trace is not None and not args.trace:
+        print("error: --trace requires a non-empty path", file=sys.stderr)
+        return 2
     maker = _PROBLEMS[args.problem]
     problem = maker(args.size, materialize=not args.estimate)
     fw = Framework(_platform(args.platform))
     run = fw.estimate if args.estimate else fw.solve
-    res = run(problem, executor=args.executor)
+    tracer = Tracer() if args.trace else NullTracer()
+    with use_tracer(tracer):
+        res = run(problem, executor=args.executor)
     print(f"problem   : {res.problem}")
     print(f"pattern   : {res.pattern.value}")
     print(f"executor  : {res.executor}")
@@ -93,6 +107,19 @@ def _cmd_solve(args) -> int:
     if res.table is not None:
         print(f"table     : shape={res.table.shape} dtype={res.table.dtype} "
               f"corner={res.table[-1, -1]}")
+    if args.trace:
+        try:
+            n = write_chrome_trace(
+                args.trace, tracer.finished_spans(), res.timeline
+            )
+        except OSError as exc:
+            print(f"error: cannot write trace to {args.trace}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"trace     : wrote {args.trace} ({n} events)")
+    if args.metrics:
+        print("metrics   :")
+        print(get_metrics().render())
     return 0
 
 
@@ -193,6 +220,15 @@ def main(argv: list[str] | None = None) -> int:
         "--executor", choices=["sequential", "cpu", "cpu-blocked", "gpu", "hetero"], default="hetero"
     )
     p.add_argument("--estimate", action="store_true", help="timing model only")
+    p.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write live spans + simulated timeline as Chrome trace_event "
+             "JSON (open in chrome://tracing or Perfetto)",
+    )
+    p.add_argument(
+        "--metrics", action="store_true",
+        help="dump the metrics registry after the run",
+    )
     p.set_defaults(fn=_cmd_solve)
 
     p = sub.add_parser("tune", help="two-step empirical parameter search")

@@ -30,6 +30,7 @@ from ..core.cellfunc import EvalContext, gather_neighbors
 from ..core.problem import LDDPProblem
 from ..core.schedule import schedule_for
 from ..errors import ExecutionError
+from ..obs import get_metrics, get_tracer
 from ..patterns.registry import strategy_for
 from ..sim.engine import Engine
 from .base import Executor, SolveResult
@@ -135,31 +136,41 @@ class BlockedCPUExecutor(Executor):
         cpu = self.platform.cpu
         total_done = 0
         num_blocks = 0
-        for t in range(grid.num_iterations):
-            blocks = grid.blocks(t)
-            if not blocks:
-                continue
-            num_blocks += len(blocks)
-            if functional:
-                for blk in blocks:
-                    if skewed:
-                        total_done += evaluate_skewed_block(problem, table, aux, blk)
-                    else:
-                        total_done += evaluate_block(problem, pattern, table, aux, blk)
-            engine.task(
-                "cpu",
-                cpu.blocked_time([blk.cells for blk in blocks], work),
-                label=f"block-wave[{t}]",
-                kind="compute",
-                iteration=t,
-                blocks=len(blocks),
-            )
-        if functional and total_done != problem.total_computed_cells:
-            raise ExecutionError(
-                f"swept {total_done} cells, expected {problem.total_computed_cells}"
-            )
+        tracer = get_tracer()
+        with tracer.span(
+            "cpu-blocked.solve", cat="executor",
+            problem=problem.name, pattern=pattern.value, functional=functional,
+            block_size=self.block_size, tiling="skewed" if skewed else "square",
+        ):
+            for t in range(grid.num_iterations):
+                blocks = grid.blocks(t)
+                if not blocks:
+                    continue
+                num_blocks += len(blocks)
+                with tracer.span(
+                    "block-wave", cat="wavefront", t=t, blocks=len(blocks),
+                ):
+                    if functional:
+                        for blk in blocks:
+                            if skewed:
+                                total_done += evaluate_skewed_block(problem, table, aux, blk)
+                            else:
+                                total_done += evaluate_block(problem, pattern, table, aux, blk)
+                    engine.task(
+                        "cpu",
+                        cpu.blocked_time([blk.cells for blk in blocks], work),
+                        label=f"block-wave[{t}]",
+                        kind="compute",
+                        iteration=t,
+                        blocks=len(blocks),
+                    )
+            if functional and total_done != problem.total_computed_cells:
+                raise ExecutionError(
+                    f"swept {total_done} cells, expected {problem.total_computed_cells}"
+                )
 
-        timeline = engine.run()
+            timeline = engine.run()
+        get_metrics().counter("exec.cpu-blocked.blocks").inc(num_blocks)
         self._maybe_validate(timeline)
         return SolveResult(
             problem=problem.name,

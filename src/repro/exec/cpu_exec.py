@@ -8,6 +8,7 @@ vectorized batch.
 from __future__ import annotations
 
 from ..core.problem import LDDPProblem
+from ..obs import get_metrics, get_tracer
 from ..patterns.registry import strategy_for
 from ..sim.engine import Engine
 from .base import Executor, SolveResult, evaluate_span, wavefront_contiguous
@@ -19,6 +20,7 @@ class CPUExecutor(Executor):
     name = "cpu"
 
     def _run(self, problem: LDDPProblem, functional: bool) -> SolveResult:
+        tracer = get_tracer()
         strategy = strategy_for(
             problem,
             pattern_override=self.options.pattern_override,
@@ -37,20 +39,27 @@ class CPUExecutor(Executor):
 
         engine = Engine()
         cpu = self.platform.cpu
-        for t in range(schedule.num_iterations):
-            width = schedule.width(t)
-            if width == 0:
-                continue  # degenerate geometry: empty wavefront
-            if functional:
-                evaluate_span(problem, schedule, table, aux, t)
-            engine.task(
-                "cpu",
-                cpu.parallel_time(width, work, contiguous),
-                label=f"iter[{t}]",
-                kind="compute",
-                iteration=t,
-            )
-        timeline = engine.run()
+        with tracer.span(
+            "cpu.solve", cat="executor",
+            problem=problem.name, pattern=schedule.pattern.value,
+            functional=functional,
+        ):
+            for t in range(schedule.num_iterations):
+                width = schedule.width(t)
+                if width == 0:
+                    continue  # degenerate geometry: empty wavefront
+                with tracer.span("wavefront", cat="wavefront", t=t, width=width):
+                    if functional:
+                        evaluate_span(problem, schedule, table, aux, t)
+                    engine.task(
+                        "cpu",
+                        cpu.parallel_time(width, work, contiguous),
+                        label=f"iter[{t}]",
+                        kind="compute",
+                        iteration=t,
+                    )
+            timeline = engine.run()
+        get_metrics().counter("exec.cpu.cells").inc(problem.total_computed_cells)
         self._maybe_validate(timeline)
         return SolveResult(
             problem=problem.name,

@@ -9,6 +9,7 @@ setup time" whose amortization the paper calls out in Sec. VI-A.
 from __future__ import annotations
 
 from ..core.problem import LDDPProblem
+from ..obs import get_metrics, get_tracer
 from ..patterns.registry import strategy_for
 from ..sim.engine import Engine
 from ..types import TransferDirection, TransferKind
@@ -22,6 +23,7 @@ class GPUExecutor(Executor):
     name = "gpu"
 
     def _run(self, problem: LDDPProblem, functional: bool) -> SolveResult:
+        tracer = get_tracer()
         strategy = strategy_for(
             problem,
             pattern_override=self.options.pattern_override,
@@ -44,51 +46,68 @@ class GPUExecutor(Executor):
         itemsize = problem.dtype.itemsize
         total_cells = problem.total_computed_cells
 
-        # Bulk staging: problem payload + initialized table to the device.
-        in_bytes = self._payload_nbytes(problem) + (
-            problem.shape[0] * problem.shape[1] - total_cells
-        ) * itemsize
-        setup = engine.task(
-            "bus",
-            xfer.time(max(in_bytes, itemsize), TransferKind.PAGEABLE),
-            label="h2d-setup",
-            kind="setup",
-        )
-        ledger.record(
-            TransferDirection.H2D, TransferKind.PAGEABLE,
-            cells=0, nbytes=in_bytes, label="setup",
-        )
+        with tracer.span(
+            "gpu.solve", cat="executor",
+            problem=problem.name, pattern=schedule.pattern.value,
+            functional=functional,
+        ):
+            # Bulk staging: problem payload + initialized table to the device.
+            in_bytes = self._payload_nbytes(problem) + (
+                problem.shape[0] * problem.shape[1] - total_cells
+            ) * itemsize
+            with tracer.span(
+                "transfer", cat="transfer",
+                direction="h2d", kind="pageable", label="setup", nbytes=in_bytes,
+            ):
+                setup = engine.task(
+                    "bus",
+                    xfer.time(max(in_bytes, itemsize), TransferKind.PAGEABLE),
+                    label="h2d-setup",
+                    kind="setup",
+                )
+                ledger.record(
+                    TransferDirection.H2D, TransferKind.PAGEABLE,
+                    cells=0, nbytes=in_bytes, label="setup",
+                )
 
-        last = setup
-        for t in range(schedule.num_iterations):
-            width = schedule.width(t)
-            if width == 0:
-                continue  # degenerate geometry: empty wavefront
-            if functional:
-                evaluate_span(problem, schedule, table, aux, t)
-            last = engine.task(
-                "gpu",
-                gpu.kernel_time(width, work, coalesced),
-                deps=(last,),
-                label=f"kernel[{t}]",
-                kind="compute",
-                iteration=t,
-            )
+            last = setup
+            for t in range(schedule.num_iterations):
+                width = schedule.width(t)
+                if width == 0:
+                    continue  # degenerate geometry: empty wavefront
+                with tracer.span("kernel", cat="kernel", t=t, width=width):
+                    if functional:
+                        evaluate_span(problem, schedule, table, aux, t)
+                    last = engine.task(
+                        "gpu",
+                        gpu.kernel_time(width, work, coalesced),
+                        deps=(last,),
+                        label=f"kernel[{t}]",
+                        kind="compute",
+                        iteration=t,
+                    )
 
-        out_bytes = total_cells * itemsize
-        engine.task(
-            "bus",
-            xfer.time(out_bytes, TransferKind.PAGEABLE),
-            deps=(last,),
-            label="d2h-result",
-            kind="setup",
-        )
-        ledger.record(
-            TransferDirection.D2H, TransferKind.PAGEABLE,
-            cells=total_cells, nbytes=out_bytes, label="result",
-        )
+            out_bytes = total_cells * itemsize
+            with tracer.span(
+                "transfer", cat="transfer",
+                direction="d2h", kind="pageable", label="result", nbytes=out_bytes,
+            ):
+                engine.task(
+                    "bus",
+                    xfer.time(out_bytes, TransferKind.PAGEABLE),
+                    deps=(last,),
+                    label="d2h-result",
+                    kind="setup",
+                )
+                ledger.record(
+                    TransferDirection.D2H, TransferKind.PAGEABLE,
+                    cells=total_cells, nbytes=out_bytes, label="result",
+                )
 
-        timeline = engine.run()
+            timeline = engine.run()
+        metrics = get_metrics()
+        metrics.counter("exec.gpu.cells").inc(total_cells)
+        metrics.counter("exec.gpu.kernels").inc(schedule.num_iterations)
         self._maybe_validate(timeline)
         return SolveResult(
             problem=problem.name,

@@ -18,6 +18,7 @@ import numpy as np
 from ..core.cellfunc import EvalContext
 from ..core.problem import LDDPProblem
 from ..memory.layout import WavefrontLayout
+from ..obs import get_metrics, get_tracer
 from ..patterns.registry import strategy_for
 from ..sim.engine import Engine
 from .base import Executor, SolveResult
@@ -41,6 +42,12 @@ class WavefrontMajorExecutor(Executor):
         rows, cols = problem.shape
         fr, fc = problem.fixed_rows, problem.fixed_cols
 
+        tracer = get_tracer()
+        root = tracer.span(
+            "cpu-wavefront-major.solve", cat="executor",
+            problem=problem.name, pattern=schedule.pattern.value,
+            functional=functional, flat_cells=layout.size,
+        )
         table = aux = None
         flat = None
         if functional:
@@ -55,6 +62,9 @@ class WavefrontMajorExecutor(Executor):
                 ci, cj = schedule.cells(t)
                 if ci.shape[0] == 0:
                     continue
+                wf = tracer.span(
+                    "wavefront", cat="wavefront", t=t, width=int(ci.shape[0]),
+                )
                 gi = ci + fr
                 gj = cj + fc
                 kwargs: dict[str, np.ndarray | None] = {
@@ -84,9 +94,11 @@ class WavefrontMajorExecutor(Executor):
                 flat[a:b] = np.asarray(problem.cell(ctx)).astype(
                     problem.dtype, copy=False
                 )
+                wf.end()
             # unpack into the 2-D table for the caller
-            region = layout.from_flat(flat)
-            table[fr:, fc:] = region
+            with tracer.span("unpack", cat="layout", cells=layout.size):
+                region = layout.from_flat(flat)
+                table[fr:, fc:] = region
 
         engine = Engine()
         cpu = self.platform.cpu
@@ -102,6 +114,10 @@ class WavefrontMajorExecutor(Executor):
                     iteration=t,
                 )
         timeline = engine.run()
+        root.end()
+        get_metrics().counter("exec.cpu-wavefront-major.cells").inc(
+            problem.total_computed_cells
+        )
         self._maybe_validate(timeline)
         return SolveResult(
             problem=problem.name,

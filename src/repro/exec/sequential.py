@@ -9,6 +9,7 @@ single uninterrupted single-core task (no fork, no transfers).
 from __future__ import annotations
 
 from ..core.problem import LDDPProblem
+from ..obs import get_metrics, get_tracer
 from ..patterns.registry import strategy_for
 from ..sim.engine import Engine
 from .base import Executor, SolveResult, evaluate_span
@@ -20,6 +21,7 @@ class SequentialExecutor(Executor):
     name = "sequential"
 
     def _run(self, problem: LDDPProblem, functional: bool) -> SolveResult:
+        tracer = get_tracer()
         strategy = strategy_for(
             problem,
             pattern_override=self.options.pattern_override,
@@ -27,23 +29,32 @@ class SequentialExecutor(Executor):
         )
         schedule = strategy.schedule
         table = aux = None
-        if functional:
-            table = problem.make_table()
-            aux = problem.make_aux()
-            for t in range(schedule.num_iterations):
-                width = schedule.width(t)
-                for k in range(width):
-                    evaluate_span(problem, schedule, table, aux, t, k, k + 1)
+        with tracer.span(
+            "sequential.solve", cat="executor",
+            problem=problem.name, pattern=schedule.pattern.value,
+            functional=functional,
+        ):
+            if functional:
+                table = problem.make_table()
+                aux = problem.make_aux()
+                for t in range(schedule.num_iterations):
+                    width = schedule.width(t)
+                    with tracer.span("wavefront", cat="wavefront", t=t, width=width):
+                        for k in range(width):
+                            evaluate_span(problem, schedule, table, aux, t, k, k + 1)
 
-        engine = Engine()
-        cpu = self.platform.cpu
-        engine.task(
-            "cpu",
-            cpu.sequential_time(problem.total_computed_cells, problem.cpu_work),
-            label="sequential-sweep",
-            kind="compute",
+            engine = Engine()
+            cpu = self.platform.cpu
+            engine.task(
+                "cpu",
+                cpu.sequential_time(problem.total_computed_cells, problem.cpu_work),
+                label="sequential-sweep",
+                kind="compute",
+            )
+            timeline = engine.run()
+        get_metrics().counter("exec.sequential.cells").inc(
+            problem.total_computed_cells
         )
-        timeline = engine.run()
         self._maybe_validate(timeline)
         return SolveResult(
             problem=problem.name,

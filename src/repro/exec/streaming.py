@@ -32,6 +32,7 @@ import numpy as np
 from ..core.cellfunc import EvalContext
 from ..core.problem import LDDPProblem
 from ..errors import ExecutionError
+from ..obs import get_metrics, get_tracer
 from ..patterns.registry import strategy_for
 from ..types import Neighbor, Pattern
 
@@ -186,11 +187,19 @@ class StreamingSolver:
         buffers: dict[int, np.ndarray] = {}
         peak = 0
 
+        tracer = get_tracer()
+        root = tracer.span(
+            "streaming.solve", cat="executor",
+            problem=problem.name, pattern=pattern.value, window=window,
+        )
         ci = cj = values = None
         for t in range(sched.num_iterations):
             ci, cj = sched.cells(t)
             if ci.shape[0] == 0:
                 continue
+            wf = tracer.span(
+                "wavefront", cat="wavefront", t=t, width=int(ci.shape[0]),
+            )
             gi = ci + fr
             gj = cj + fc
             kwargs: dict[str, np.ndarray | None] = {
@@ -230,7 +239,12 @@ class StreamingSolver:
                 hits = np.isin(gi * cols + gj, track_keys)
                 for k in np.nonzero(hits)[0]:
                     tracked[(int(gi[k]), int(gj[k]))] = values[k]
+            wf.end()
 
+        root.end()
+        metrics = get_metrics()
+        metrics.counter("exec.streaming.cells").inc(problem.total_computed_cells)
+        metrics.gauge("exec.streaming.peak_cells").set(peak)
         return StreamingResult(
             problem=problem.name,
             pattern=pattern,

@@ -17,6 +17,7 @@ from ..core.problem import LDDPProblem
 from ..errors import ExecutionError
 from ..exec.base import Executor, SolveResult, evaluate_span, wavefront_contiguous
 from ..memory.buffers import TransferLedger
+from ..obs import get_metrics, get_tracer
 from ..patterns.registry import strategy_for
 from ..sim.engine import Engine
 from ..types import Pattern, TransferDirection, TransferKind
@@ -102,6 +103,12 @@ class MultiHeteroExecutor(Executor):
 
         engine = Engine()
         ledger = TransferLedger()
+        tracer = get_tracer()
+        root = tracer.span(
+            "multi-hetero.solve", cat="executor",
+            problem=problem.name, pattern=schedule.pattern.value,
+            functional=functional, devices=plat.num_devices,
+        )
 
         # -- setup: stage the payload to every accelerator with work ---------
         acc_cells_total = [0] * n_acc
@@ -126,24 +133,37 @@ class MultiHeteroExecutor(Executor):
         dev_extra: list[list[int]] = [[] for _ in range(plat.num_devices)]
         for k in range(n_acc):
             if acc_cells_total[k] > 0:
-                tid = engine.task(
-                    "bus",
-                    plat.links[k].time(max(in_bytes, itemsize), TransferKind.PAGEABLE),
-                    label=f"h2d-setup[acc{k}]",
-                    kind="setup",
-                )
-                dev_extra[k + 1].append(tid)
-                ledger.record(
-                    TransferDirection.H2D, TransferKind.PAGEABLE,
-                    cells=0, nbytes=in_bytes, label=f"setup-acc{k}",
-                )
+                with tracer.span(
+                    "transfer", cat="transfer", direction="h2d",
+                    kind="pageable", label="setup", device=f"acc{k}",
+                    nbytes=in_bytes,
+                ):
+                    tid = engine.task(
+                        "bus",
+                        plat.links[k].time(max(in_bytes, itemsize), TransferKind.PAGEABLE),
+                        label=f"h2d-setup[acc{k}]",
+                        kind="setup",
+                    )
+                    dev_extra[k + 1].append(tid)
+                    ledger.record(
+                        TransferDirection.H2D, TransferKind.PAGEABLE,
+                        cells=0, nbytes=in_bytes, label=f"setup-acc{k}",
+                    )
 
         dev_last: list[int | None] = [None] * plat.num_devices
         halo_pending: list[int | None] = [None] * plat.num_devices  # cells
         prev_phase: str | None = None
+        phase_span = None
 
         for a in skeleton.assignments:
             segs = segments_for(a)
+
+            if prev_phase is None or a.phase != prev_phase:
+                if phase_span is not None:
+                    phase_span.end()
+                phase_span = tracer.span(
+                    f"phase:{a.phase}", cat="phase", phase=a.phase, start=a.t,
+                )
 
             # -- phase transitions ------------------------------------------
             if prev_phase is not None and a.phase != prev_phase:
@@ -161,22 +181,30 @@ class MultiHeteroExecutor(Executor):
                             acc_halo += s[1] - s[0]
                         if acc_halo > 0 and dev_last[k + 1] is not None:
                             nbytes = acc_halo * itemsize
-                            tid = engine.task(
-                                "bus",
-                                plat.links[k].time(nbytes, TransferKind.PAGEABLE),
-                                deps=(dev_last[k + 1],),
-                                label=f"d2h-halo[acc{k}@{a.t}]",
-                                kind="phase-transfer",
-                            )
-                            dev_extra[0].append(tid)
-                            ledger.record(
-                                TransferDirection.D2H, TransferKind.PAGEABLE,
-                                cells=acc_halo, nbytes=nbytes, label="phase-halo",
-                            )
+                            with tracer.span(
+                                "transfer", cat="transfer", direction="d2h",
+                                kind="pageable", label="phase-halo", t=a.t,
+                                device=f"acc{k}", cells=acc_halo,
+                            ):
+                                tid = engine.task(
+                                    "bus",
+                                    plat.links[k].time(nbytes, TransferKind.PAGEABLE),
+                                    deps=(dev_last[k + 1],),
+                                    label=f"d2h-halo[acc{k}@{a.t}]",
+                                    kind="phase-transfer",
+                                )
+                                dev_extra[0].append(tid)
+                                ledger.record(
+                                    TransferDirection.D2H, TransferKind.PAGEABLE,
+                                    cells=acc_halo, nbytes=nbytes, label="phase-halo",
+                                )
                         halo_pending[k + 1] = None
             prev_phase = a.phase
 
             # -- compute tasks ------------------------------------------------
+            wf_span = tracer.span(
+                "wavefront", cat="wavefront", t=a.t, phase=a.phase, width=a.width,
+            )
             iter_tids: list[int | None] = [None] * plat.num_devices
             for d in range(plat.num_devices):
                 lo, hi = segs[d]
@@ -188,19 +216,24 @@ class MultiHeteroExecutor(Executor):
                     halo_pending[d] = None
                     if pend:
                         nbytes = pend * itemsize
-                        tid = engine.task(
-                            "bus",
-                            plat.links[d - 1].time(nbytes, TransferKind.PAGEABLE),
-                            deps=() if dev_last[0] is None else (dev_last[0],),
-                            label=f"h2d-halo[acc{d - 1}@{a.t}]",
-                            kind="phase-transfer",
-                        )
-                        dev_extra[d].append(tid)
-                        dev_extra[0].append(tid)  # host blocked
-                        ledger.record(
-                            TransferDirection.H2D, TransferKind.PAGEABLE,
-                            cells=pend, nbytes=nbytes, label="phase-halo",
-                        )
+                        with tracer.span(
+                            "transfer", cat="transfer", direction="h2d",
+                            kind="pageable", label="phase-halo", t=a.t,
+                            device=f"acc{d - 1}", cells=pend,
+                        ):
+                            tid = engine.task(
+                                "bus",
+                                plat.links[d - 1].time(nbytes, TransferKind.PAGEABLE),
+                                deps=() if dev_last[0] is None else (dev_last[0],),
+                                label=f"h2d-halo[acc{d - 1}@{a.t}]",
+                                kind="phase-transfer",
+                            )
+                            dev_extra[d].append(tid)
+                            dev_extra[0].append(tid)  # host blocked
+                            ledger.record(
+                                TransferDirection.H2D, TransferKind.PAGEABLE,
+                                cells=pend, nbytes=nbytes, label="phase-halo",
+                            )
                 if functional:
                     evaluate_span(problem, schedule, table, aux, a.t, lo, hi)
                 if d == 0:
@@ -209,15 +242,20 @@ class MultiHeteroExecutor(Executor):
                     duration = plat.accelerators[d - 1].kernel_time(
                         cells, acc_work, contiguous
                     )
-                tid = engine.task(
-                    plat.device_name(d),
-                    duration,
-                    deps=tuple(dev_extra[d]),
-                    label=f"{plat.device_name(d)}[{a.t}]",
-                    kind="compute",
-                    iteration=a.t,
-                    phase=a.phase,
-                )
+                with tracer.span(
+                    "kernel" if d > 0 else "cpu-batch",
+                    cat="kernel" if d > 0 else "compute",
+                    t=a.t, device=plat.device_name(d), cells=cells,
+                ):
+                    tid = engine.task(
+                        plat.device_name(d),
+                        duration,
+                        deps=tuple(dev_extra[d]),
+                        label=f"{plat.device_name(d)}[{a.t}]",
+                        kind="compute",
+                        iteration=a.t,
+                        phase=a.phase,
+                    )
                 dev_extra[d] = []
                 dev_last[d] = tid
                 iter_tids[d] = tid
@@ -234,24 +272,40 @@ class MultiHeteroExecutor(Executor):
                         engine, plat, ledger, dev_extra, iter_tids,
                         src, dst, spec, nbytes, a.t,
                     )
+            wf_span.end()
+
+        if phase_span is not None:
+            phase_span.end()
 
         # -- gather each accelerator's share of the result ---------------------
         for k in range(n_acc):
             if acc_cells_total[k] > 0:
                 nbytes = acc_cells_total[k] * itemsize
-                engine.task(
-                    "bus",
-                    plat.links[k].time(nbytes, TransferKind.PAGEABLE),
-                    deps=() if dev_last[k + 1] is None else (dev_last[k + 1],),
-                    label=f"d2h-result[acc{k}]",
-                    kind="setup",
-                )
-                ledger.record(
-                    TransferDirection.D2H, TransferKind.PAGEABLE,
-                    cells=acc_cells_total[k], nbytes=nbytes, label="result",
-                )
+                with tracer.span(
+                    "transfer", cat="transfer", direction="d2h",
+                    kind="pageable", label="result", device=f"acc{k}",
+                    cells=acc_cells_total[k],
+                ):
+                    engine.task(
+                        "bus",
+                        plat.links[k].time(nbytes, TransferKind.PAGEABLE),
+                        deps=() if dev_last[k + 1] is None else (dev_last[k + 1],),
+                        label=f"d2h-result[acc{k}]",
+                        kind="setup",
+                    )
+                    ledger.record(
+                        TransferDirection.D2H, TransferKind.PAGEABLE,
+                        cells=acc_cells_total[k], nbytes=nbytes, label="result",
+                    )
 
         timeline = engine.run()
+        root.end()
+        metrics = get_metrics()
+        metrics.counter("exec.multi-hetero.cells").inc(problem.total_computed_cells)
+        for rec in ledger.records:
+            metrics.counter(
+                f"exec.multi-hetero.transfers.{rec.direction.value}"
+            ).inc()
         self._maybe_validate(timeline)
         util = {
             plat.device_name(d): timeline.utilization(plat.device_name(d))
@@ -294,15 +348,21 @@ class MultiHeteroExecutor(Executor):
             duration = plat.peer_time(src - 1, dst - 1, nbytes)
             resource = "bus"  # staged through the host (or host-arbitrated P2P)
             streamed = False
-        tid = engine.task(
-            resource,
-            duration,
-            deps=(producer,),
-            label=f"{plat.device_name(src)}->{plat.device_name(dst)}[{t}]",
-            kind="boundary-transfer",
-            iteration=t,
-            direction=spec.direction.value,
-        )
+        with get_tracer().span(
+            "transfer", cat="transfer", direction=spec.direction.value,
+            label="boundary", t=t,
+            src=plat.device_name(src), dst=plat.device_name(dst),
+            cells=spec.cells,
+        ):
+            tid = engine.task(
+                resource,
+                duration,
+                deps=(producer,),
+                label=f"{plat.device_name(src)}->{plat.device_name(dst)}[{t}]",
+                kind="boundary-transfer",
+                iteration=t,
+                direction=spec.direction.value,
+            )
         dev_extra[dst].append(tid)
         if not streamed:
             dev_extra[src].append(tid)  # synchronous copies stall the source

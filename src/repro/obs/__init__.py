@@ -1,0 +1,69 @@
+"""Unified observability: spans, metrics, Chrome-trace export.
+
+The executors and the sim engine are instrumented with nested spans (solve →
+phase → wavefront → kernel/transfer) and coarse counters. By default the
+active tracer is a no-op; install a real one to record:
+
+    from repro.obs import Tracer, use_tracer, get_metrics
+    from repro.obs.export import write_chrome_trace
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        result = fw.solve(problem)
+    write_chrome_trace("out.json", tracer.finished_spans(), result.timeline)
+    print(get_metrics().render())
+
+Open ``out.json`` in ``chrome://tracing`` or https://ui.perfetto.dev; see
+``docs/observability.md`` for the span model and metric names.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    set_metrics,
+)
+from .span import (
+    NullTracer,
+    Span,
+    SpanNode,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+from .export import (
+    chrome_trace,
+    chrome_trace_json,
+    metrics_text,
+    span_events,
+    timeline_events,
+    write_chrome_trace,
+)
+
+__all__ = [
+    # spans
+    "Span",
+    "SpanNode",
+    "Tracer",
+    "NullTracer",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+    "set_metrics",
+    # export
+    "chrome_trace",
+    "chrome_trace_json",
+    "span_events",
+    "timeline_events",
+    "write_chrome_trace",
+    "metrics_text",
+]

@@ -1,0 +1,241 @@
+"""Process-wide metrics: counters, gauges, fixed-bucket histograms.
+
+Zero-dependency and deliberately small. Executors increment counters at
+solve/phase granularity (cells computed, transfers issued, engine tasks), and
+histograms record distributions such as wavefront widths. Percentiles come
+from fixed bucket upper bounds, which makes them *monotone in the quantile by
+construction* — the property test in ``tests/test_obs_properties.py`` holds
+for any observation sequence.
+
+Usage::
+
+    from repro.obs import get_metrics
+
+    m = get_metrics()
+    m.counter("hetero.cells.gpu").inc(4096)
+    m.histogram("hetero.wavefront.width").observe(512)
+    print(m.render())
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_left
+from typing import Any, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+    "set_metrics",
+]
+
+#: Default histogram bucket upper bounds: 1-2-5 decades covering counts of
+#: cells/bytes/iterations from 1 to 1e9, plus the implicit overflow bucket.
+DEFAULT_BUCKETS: tuple[float, ...] = tuple(
+    m * 10**e for e in range(10) for m in (1, 2, 5)
+)
+
+
+class Counter:
+    """A monotonically-increasing integer."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (inc {n})")
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"type": "counter", "value": self._value}
+
+
+class Gauge:
+    """A last-write-wins scalar."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"type": "gauge", "value": self._value}
+
+
+class Histogram:
+    """Fixed-bucket histogram with monotone percentile estimates.
+
+    ``buckets`` are strictly-increasing finite upper bounds; observations
+    above the last bound land in an implicit overflow bucket whose reported
+    percentile is the maximum observed value (still an upper bound, so
+    ``percentile`` stays monotone in ``q``).
+    """
+
+    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError(f"histogram {name!r} needs >= 1 bucket")
+        if any(not math.isfinite(b) for b in bounds):
+            raise ValueError(f"histogram {name!r} bucket bounds must be finite")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"histogram {name!r} bucket bounds must increase")
+        self.name = name
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # +1: overflow
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        if not math.isfinite(v):
+            raise ValueError(f"histogram {self.name!r} rejects non-finite {value!r}")
+        idx = bisect_left(self.bounds, v)
+        with self._lock:
+            self._counts[idx] += 1
+            self._count += 1
+            self._sum += v
+            self._min = min(self._min, v)
+            self._max = max(self._max, v)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def total(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Upper bound of the value at quantile ``q`` (0-100).
+
+        Returns the upper bound of the first bucket whose cumulative count
+        reaches ``q`` percent of the observations; 0 with no observations.
+        """
+        if not 0 <= q <= 100:
+            raise ValueError(f"quantile must be in [0, 100], got {q}")
+        if self._count == 0:
+            return 0.0
+        target = max(1, math.ceil(q / 100.0 * self._count))
+        cum = 0
+        for idx, n in enumerate(self._counts):
+            cum += n
+            if cum >= target:
+                return self.bounds[idx] if idx < len(self.bounds) else self._max
+        return self._max  # pragma: no cover - cum always reaches count
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "type": "histogram",
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min if self._count else 0.0,
+            "max": self._max if self._count else 0.0,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Name -> metric, with on-demand creation and a plain-text dump."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str, cls, *args):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = cls(name, *args)
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}, not {cls.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str, buckets: Sequence[float] | None = None) -> Histogram:
+        if buckets is None:
+            return self._get(name, Histogram)
+        return self._get(name, Histogram, buckets)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def names(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._metrics))
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """All metrics as plain JSON-serializable dicts."""
+        with self._lock:
+            metrics = dict(self._metrics)
+        return {name: metrics[name].snapshot() for name in sorted(metrics)}
+
+    def render(self) -> str:
+        """One metric per line — the ``--metrics`` CLI dump."""
+        lines = []
+        for name, snap in self.snapshot().items():
+            if snap["type"] == "histogram":
+                lines.append(
+                    f"{name:<40s} histogram count={snap['count']} "
+                    f"sum={snap['sum']:g} p50={snap['p50']:g} "
+                    f"p90={snap['p90']:g} p99={snap['p99']:g}"
+                )
+            else:
+                lines.append(f"{name:<40s} {snap['type']} value={snap['value']:g}")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+
+# -- process-wide registry ----------------------------------------------------
+
+_registry = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-wide registry the executors write to."""
+    return _registry
+
+
+def set_metrics(registry: MetricsRegistry | None) -> MetricsRegistry:
+    """Swap the process-wide registry (``None`` installs a fresh one)."""
+    global _registry
+    previous = _registry
+    _registry = registry if registry is not None else MetricsRegistry()
+    return previous

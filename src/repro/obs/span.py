@@ -1,0 +1,280 @@
+"""Spans and tracers: live instrumentation of the executors.
+
+A :class:`Span` is a named interval of *wall-clock* time (monotonic
+nanoseconds) with key/value attributes and a parent — the executors open one
+per solve, per phase, per wavefront batch, per kernel submission and per
+boundary transfer, which makes the framework's timing argument (where do the
+seconds go?) inspectable instead of inferred.
+
+Two tracer implementations share one interface:
+
+* :class:`Tracer` records finished spans (thread-safe, per-thread nesting
+  stacks) for export via :mod:`repro.obs.export`;
+* :class:`NullTracer` — the process default — turns every call into a no-op
+  on a couple of shared singletons, so instrumented hot paths cost almost
+  nothing when nobody is looking (guarded by ``tests/test_obs_overhead.py``).
+
+Usage::
+
+    from repro.obs import Tracer, use_tracer
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        fw.solve(problem)                      # executors pick it up
+    tracer.span_tree()                         # nested SpanNodes
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+__all__ = [
+    "Span",
+    "SpanNode",
+    "Tracer",
+    "NullTracer",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+]
+
+
+@dataclass
+class Span:
+    """One finished (or still-open) named interval.
+
+    Times are in nanoseconds from the tracer's monotonic clock;
+    ``end_ns is None`` while the span is open. ``parent`` is the ``sid`` of
+    the enclosing span on the same thread (``None`` for roots).
+    """
+
+    sid: int
+    name: str
+    cat: str
+    start_ns: int
+    end_ns: int | None = None
+    parent: int | None = None
+    tid: int = 0
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_ns(self) -> int:
+        return (self.end_ns if self.end_ns is not None else self.start_ns) - self.start_ns
+
+
+@dataclass
+class SpanNode:
+    """A span plus its children — the tree view of a finished trace."""
+
+    span: Span
+    children: list["SpanNode"] = field(default_factory=list)
+
+    def walk(self) -> Iterator["SpanNode"]:
+        yield self
+        for c in self.children:
+            yield from c.walk()
+
+
+class _ActiveSpan:
+    """Context-manager handle over one open span of a real :class:`Tracer`."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def set(self, **attrs: Any) -> "_ActiveSpan":
+        """Attach attributes mid-span."""
+        self._span.attrs.update(attrs)
+        return self
+
+    def end(self) -> None:
+        """Close the span now — for lifecycles a ``with`` block can't express
+        (e.g. phase spans that straddle loop iterations). Idempotent."""
+        if self._span.end_ns is None:
+            self._tracer._end(self._span)
+
+    def __enter__(self) -> "_ActiveSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.end()
+        return False
+
+
+class _NullSpan:
+    """Shared do-nothing handle; one instance serves every disabled span."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def end(self) -> None:
+        return None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op."""
+
+    enabled = False
+
+    def span(self, name: str, cat: str = "span", **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def instant(self, name: str, cat: str = "instant", **attrs: Any) -> None:
+        return None
+
+    def finished_spans(self) -> tuple[Span, ...]:
+        return ()
+
+    def span_tree(self) -> list[SpanNode]:
+        return []
+
+    def clear(self) -> None:
+        return None
+
+
+class Tracer:
+    """Records spans with monotonic timing and per-thread nesting.
+
+    ``clock`` is injectable (a zero-arg callable returning integer
+    nanoseconds) so tests can drive deterministic timelines; the default is
+    :func:`time.perf_counter_ns`.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], int] = time.perf_counter_ns) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._finished: list[Span] = []
+        self._next_sid = 0
+
+    # -- span lifecycle ------------------------------------------------------
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, cat: str = "span", **attrs: Any) -> _ActiveSpan:
+        """Open a nested span; use as a context manager."""
+        stack = self._stack()
+        with self._lock:
+            sid = self._next_sid
+            self._next_sid += 1
+        span = Span(
+            sid=sid,
+            name=name,
+            cat=cat,
+            start_ns=self._clock(),
+            parent=stack[-1].sid if stack else None,
+            tid=threading.get_ident(),
+            attrs=dict(attrs),
+        )
+        stack.append(span)
+        return _ActiveSpan(self, span)
+
+    def _end(self, span: Span) -> None:
+        span.end_ns = self._clock()
+        stack = self._stack()
+        # Tolerate out-of-order exits (generators, leaked handles): close
+        # everything the ending span encloses rather than corrupting the stack.
+        while stack:
+            top = stack.pop()
+            if top.end_ns is None:
+                top.end_ns = span.end_ns
+            with self._lock:
+                self._finished.append(top)
+            if top.sid == span.sid:
+                break
+
+    def instant(self, name: str, cat: str = "instant", **attrs: Any) -> None:
+        """Record a zero-duration marker at the current time."""
+        now = self._clock()
+        stack = self._stack()
+        with self._lock:
+            sid = self._next_sid
+            self._next_sid += 1
+            self._finished.append(
+                Span(
+                    sid=sid,
+                    name=name,
+                    cat=cat,
+                    start_ns=now,
+                    end_ns=now,
+                    parent=stack[-1].sid if stack else None,
+                    tid=threading.get_ident(),
+                    attrs=dict(attrs),
+                )
+            )
+
+    # -- results -------------------------------------------------------------
+
+    def finished_spans(self) -> tuple[Span, ...]:
+        """All closed spans, sorted by start time (then sid)."""
+        with self._lock:
+            spans = list(self._finished)
+        spans.sort(key=lambda s: (s.start_ns, s.sid))
+        return tuple(spans)
+
+    def span_tree(self) -> list[SpanNode]:
+        """Finished spans as a forest (children sorted by start time)."""
+        nodes = {s.sid: SpanNode(s) for s in self.finished_spans()}
+        roots: list[SpanNode] = []
+        for node in nodes.values():
+            parent = node.span.parent
+            if parent is not None and parent in nodes:
+                nodes[parent].children.append(node)
+            else:
+                roots.append(node)
+        return roots
+
+    def clear(self) -> None:
+        with self._lock:
+            self._finished.clear()
+
+
+# -- process-wide active tracer ----------------------------------------------
+
+_active: Tracer | NullTracer = NullTracer()
+
+
+def get_tracer() -> Tracer | NullTracer:
+    """The currently-installed tracer (the shared no-op by default)."""
+    return _active
+
+
+def set_tracer(tracer: Tracer | NullTracer | None) -> Tracer | NullTracer:
+    """Install ``tracer`` (``None`` restores the no-op); returns the previous."""
+    global _active
+    previous = _active
+    _active = tracer if tracer is not None else NullTracer()
+    return previous
+
+
+@contextlib.contextmanager
+def use_tracer(tracer: Tracer | NullTracer | None):
+    """Temporarily install ``tracer``; always restores the previous one."""
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)

@@ -14,6 +14,7 @@ exact for FIFO resources.
 from __future__ import annotations
 
 from ..errors import SimulationError
+from ..obs import get_metrics, get_tracer
 from .event import Task
 from .timeline import TaskRecord, Timeline
 
@@ -67,6 +68,14 @@ class Engine:
         """Resolve all tasks; idempotent (returns the cached timeline)."""
         if self._resolved is not None:
             return self._resolved
+        with get_tracer().span("engine.run", cat="sim", num_tasks=len(self._tasks)):
+            self._resolved = self._resolve()
+        metrics = get_metrics()
+        metrics.counter("sim.engine.runs").inc()
+        metrics.counter("sim.engine.tasks").inc(len(self._tasks))
+        return self._resolved
+
+    def _resolve(self) -> Timeline:
         available: dict[str, float] = {}
         last_on: dict[str, int] = {}
         records: list[TaskRecord] = []
@@ -98,5 +107,4 @@ class Engine:
                 )
             )
             last_on[t.resource] = tid
-        self._resolved = Timeline(records)
-        return self._resolved
+        return Timeline(records)

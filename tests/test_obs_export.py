@@ -1,0 +1,116 @@
+"""Unit tests for the Chrome-trace and metrics exporters."""
+
+from __future__ import annotations
+
+import itertools
+import json
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.obs import MetricsRegistry, Tracer, metrics_text
+from repro.obs.export import (
+    chrome_trace,
+    chrome_trace_json,
+    span_events,
+    timeline_events,
+    write_chrome_trace,
+)
+from repro.sim.timeline import TaskRecord, Timeline
+
+
+def make_tracer():
+    counter = itertools.count(0, 1000)
+    return Tracer(clock=lambda: next(counter))
+
+
+def small_timeline():
+    return Timeline(
+        [
+            TaskRecord(0, "cpu", "cpu[0]", 0.0, 1.0, meta={"kind": "compute"}),
+            TaskRecord(1, "gpu", "gpu[0]", 0.5, 2.0, deps=(0,), meta={"kind": "compute"}),
+            TaskRecord(2, "bus", "d2h", 2.0, 2.5, deps=(1,)),
+        ]
+    )
+
+
+class TestSpanEvents:
+    def test_empty(self):
+        assert span_events([]) == []
+
+    def test_events_rebased_to_zero(self):
+        t = make_tracer()
+        with t.span("outer"):
+            with t.span("inner", cat="kernel", cells=5):
+                pass
+        events = span_events(t.finished_spans())
+        xs = [e for e in events if e["ph"] == "X"]
+        assert min(e["ts"] for e in xs) == 0.0
+        inner = next(e for e in xs if e["name"] == "inner")
+        assert inner["cat"] == "kernel"
+        assert inner["args"]["cells"] == 5
+        assert inner["dur"] > 0
+
+    def test_metadata_events_present(self):
+        t = make_tracer()
+        with t.span("x"):
+            pass
+        events = span_events(t.finished_spans())
+        metas = [e for e in events if e["ph"] == "M"]
+        assert {m["name"] for m in metas} == {"process_name", "thread_name"}
+
+    def test_non_json_attrs_coerced(self):
+        t = make_tracer()
+        with t.span("x", obj=object(), seq=(1, 2), nested={"k": object()}):
+            pass
+        doc = chrome_trace_json(t.finished_spans())
+        parsed = json.loads(doc)  # must not raise
+        args = next(e for e in parsed["traceEvents"] if e["ph"] == "X")["args"]
+        assert args["seq"] == [1, 2]
+        assert isinstance(args["obj"], str)
+        assert isinstance(args["nested"]["k"], str)
+
+
+class TestTimelineEvents:
+    def test_one_track_per_resource(self):
+        events = timeline_events(small_timeline())
+        thread_names = {
+            e["args"]["name"] for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert thread_names == {"cpu", "gpu", "bus"}
+
+    def test_times_scaled_to_microseconds(self):
+        events = timeline_events(small_timeline())
+        gpu = next(e for e in events if e.get("name") == "gpu[0]")
+        assert gpu["ts"] == pytest.approx(0.5e6)
+        assert gpu["dur"] == pytest.approx(1.5e6)
+        assert gpu["args"]["deps"] == [0]
+
+    def test_non_finite_rejected(self):
+        bad = Timeline([TaskRecord(0, "cpu", "x", 0.0, float("nan"))])
+        with pytest.raises(SimulationError, match="non-finite"):
+            timeline_events(bad)
+
+
+class TestChromeTrace:
+    def test_combined_document(self, tmp_path):
+        t = make_tracer()
+        with t.span("solve"):
+            pass
+        doc = chrome_trace(t.finished_spans(), small_timeline())
+        assert doc["displayTimeUnit"] == "ms"
+        pids = {e["pid"] for e in doc["traceEvents"]}
+        assert pids == {1, 2}  # live spans and simulated timeline
+
+        path = tmp_path / "trace.json"
+        n = write_chrome_trace(str(path), t.finished_spans(), small_timeline())
+        parsed = json.loads(path.read_text())
+        assert len(parsed["traceEvents"]) == n
+
+
+class TestMetricsText:
+    def test_matches_render(self):
+        r = MetricsRegistry()
+        r.counter("a").inc(2)
+        assert metrics_text(r) == r.render()

@@ -1,0 +1,176 @@
+"""Golden-trace regression tests for the hetero executor's span tree.
+
+One small fixed instance per distinct pattern strategy, solved with pinned
+``HeteroParams(t_switch=4, t_share=3)`` on the ``hetero_high`` platform.
+The checked-in expectations encode the paper's structure:
+
+* **phase layout** — anti-diagonal and knight-move run the three-phase
+  ramp/plateau/ramp split (Figs. 3/6); horizontal splits from iteration 0
+  (Fig. 4); inverted-L splits first then hands the shrinking tail to the
+  CPU (Fig. 5);
+* **boundary-transfer directions** — Table II: anti-diagonal is one-way
+  CPU->GPU, inverted-L one-way GPU->CPU, horizontal case-2 and knight-move
+  exchange both ways every split iteration.
+
+If an executor change moves these counts, that is a *behavioral* change to
+the transfer plan and must be deliberate — update the table below with the
+paper section that justifies it.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+import pytest
+
+from repro import (
+    ContributingSet,
+    ExecOptions,
+    Framework,
+    HeteroParams,
+    Tracer,
+    hetero_high,
+    use_tracer,
+)
+from repro.obs.export import chrome_trace_json
+
+#: name -> (contributing neighbours, inverted_l_as_horizontal, expectations)
+GOLDEN = {
+    "anti-diagonal": (
+        ("W", "NW", "N"),
+        True,
+        {
+            "pattern": "anti-diagonal",
+            "phases": ["phase:cpu-low", "phase:split", "phase:cpu-low"],
+            "wavefronts": 26,
+            "boundary": {"h2d": 13},
+            "halo": {"h2d": 1, "d2h": 1},
+            "kernels": 18,
+        },
+    ),
+    "horizontal": (
+        ("NW", "N", "NE"),
+        True,
+        {
+            "pattern": "horizontal",
+            "phases": ["phase:split"],
+            "wavefronts": 12,
+            "boundary": {"h2d": 12, "d2h": 12},
+            "halo": {},
+            "kernels": 12,
+        },
+    ),
+    "inverted-L": (
+        ("NW",),
+        False,  # keep the genuine ring schedule (Sec. V-B would re-run as rows)
+        {
+            "pattern": "inverted-L",
+            "phases": ["phase:split", "phase:cpu-low"],
+            "wavefronts": 12,
+            "boundary": {"d2h": 8},
+            "halo": {"d2h": 1},
+            "kernels": 8,
+        },
+    ),
+    "knight-move": (
+        ("W", "NW", "N", "NE"),
+        True,
+        {
+            "pattern": "knight-move",
+            "phases": ["phase:cpu-low", "phase:split", "phase:cpu-low"],
+            "wavefronts": 37,
+            "boundary": {"h2d": 21, "d2h": 21},
+            "halo": {"h2d": 1, "d2h": 1},
+            "kernels": 29,
+        },
+    ),
+}
+
+ROWS, COLS = 12, 15
+PARAMS = HeteroParams(t_switch=4, t_share=3)
+
+
+def solve_traced(minsum_factory, neighbors, inverted_l_as_horizontal):
+    problem = minsum_factory(ContributingSet.of(*neighbors), ROWS, COLS)
+    fw = Framework(
+        hetero_high(),
+        ExecOptions(inverted_l_as_horizontal=inverted_l_as_horizontal),
+    )
+    tracer = Tracer()
+    with use_tracer(tracer):
+        result = fw.solve(problem, params=PARAMS)
+    return tracer, result
+
+
+def hetero_root(tracer):
+    roots = [r for r in tracer.span_tree() if r.span.name == "hetero.solve"]
+    assert len(roots) == 1, "exactly one hetero.solve root span per run"
+    return roots[0]
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+class TestGoldenTraces:
+    def test_span_tree_shape(self, name, minsum_factory):
+        neighbors, il_as_h, want = GOLDEN[name]
+        tracer, result = solve_traced(minsum_factory, neighbors, il_as_h)
+        root = hetero_root(tracer)
+        nodes = list(root.walk())
+
+        assert result.pattern.value == want["pattern"]
+
+        phases = [c.span.name for c in root.children if c.span.cat == "phase"]
+        assert phases == want["phases"]
+
+        wavefronts = [n for n in nodes if n.span.cat == "wavefront"]
+        assert len(wavefronts) == want["wavefronts"]
+        assert len(wavefronts) == result.stats["iterations"]
+
+        boundary = Counter(
+            n.span.attrs["direction"]
+            for n in nodes
+            if n.span.cat == "transfer" and n.span.attrs.get("label") == "boundary"
+        )
+        assert dict(boundary) == want["boundary"]
+
+        halo = Counter(
+            n.span.attrs["direction"]
+            for n in nodes
+            if n.span.cat == "transfer" and n.span.attrs.get("label") == "phase-halo"
+        )
+        assert dict(halo) == want["halo"]
+
+        kernels = sum(1 for n in nodes if n.span.cat == "kernel")
+        assert kernels == want["kernels"]
+
+    def test_wavefronts_nest_inside_phases(self, name, minsum_factory):
+        neighbors, il_as_h, want = GOLDEN[name]
+        tracer, _ = solve_traced(minsum_factory, neighbors, il_as_h)
+        root = hetero_root(tracer)
+        for phase in (c for c in root.children if c.span.cat == "phase"):
+            assert any(c.span.cat == "wavefront" for c in phase.children), (
+                f"{phase.span.name} has no wavefront children"
+            )
+            for child in phase.children:
+                assert child.span.start_ns >= phase.span.start_ns
+                assert child.span.end_ns <= phase.span.end_ns
+
+    def test_ledger_agrees_with_trace(self, name, minsum_factory):
+        """The span counts and the TransferLedger tell the same story."""
+        neighbors, il_as_h, want = GOLDEN[name]
+        _, result = solve_traced(minsum_factory, neighbors, il_as_h)
+        ledger_boundary = Counter(
+            rec.direction.value
+            for rec in result.ledger.records
+            if rec.iteration is not None
+        )
+        assert dict(ledger_boundary) == want["boundary"]
+
+    def test_chrome_export_parses(self, name, minsum_factory):
+        neighbors, il_as_h, want = GOLDEN[name]
+        tracer, result = solve_traced(minsum_factory, neighbors, il_as_h)
+        doc = json.loads(chrome_trace_json(tracer.finished_spans(), result.timeline))
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(xs) >= want["wavefronts"]
+        phase_events = [e for e in xs if e.get("cat") == "phase"]
+        assert len(phase_events) == len(want["phases"])

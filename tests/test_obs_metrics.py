@@ -1,0 +1,142 @@
+"""Unit tests for counters, gauges, histograms and the registry."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs import MetricsRegistry, get_metrics, set_metrics
+from repro.obs.metrics import Counter, Gauge, Histogram
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="cannot decrease"):
+            Counter("c").inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge("g")
+        g.set(3)
+        g.set(1.5)
+        assert g.value == 1.5
+
+
+class TestHistogram:
+    def test_counts_and_sum(self):
+        h = Histogram("h", buckets=(1, 10, 100))
+        for v in (0.5, 5, 50, 500):
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == 555.5
+        assert h.mean == pytest.approx(138.875)
+
+    def test_percentile_empty(self):
+        assert Histogram("h", buckets=(1,)).percentile(50) == 0.0
+
+    def test_percentile_bucket_upper_bounds(self):
+        h = Histogram("h", buckets=(1, 10, 100))
+        for v in (0.5, 0.6, 5, 50):
+            h.observe(v)
+        assert h.percentile(0) == 1      # first non-empty bucket's bound
+        assert h.percentile(50) == 1
+        assert h.percentile(75) == 10
+        assert h.percentile(100) == 100
+
+    def test_overflow_bucket_reports_observed_max(self):
+        h = Histogram("h", buckets=(1,))
+        h.observe(123456.0)
+        assert h.percentile(99) == 123456.0
+
+    def test_non_finite_rejected(self):
+        h = Histogram("h", buckets=(1,))
+        for bad in (math.nan, math.inf, -math.inf):
+            with pytest.raises(ValueError, match="non-finite"):
+                h.observe(bad)
+
+    def test_bad_buckets_rejected(self):
+        with pytest.raises(ValueError, match="increase"):
+            Histogram("h", buckets=(1, 1))
+        with pytest.raises(ValueError, match="finite"):
+            Histogram("h", buckets=(1, math.inf))
+        with pytest.raises(ValueError, match=">= 1 bucket"):
+            Histogram("h", buckets=())
+
+    def test_bad_quantile_rejected(self):
+        with pytest.raises(ValueError, match="quantile"):
+            Histogram("h", buckets=(1,)).percentile(101)
+
+    def test_snapshot_keys(self):
+        h = Histogram("h", buckets=(1, 10))
+        h.observe(5)
+        snap = h.snapshot()
+        assert snap["type"] == "histogram"
+        assert snap["count"] == 1 and snap["min"] == 5 and snap["max"] == 5
+
+
+class TestRegistry:
+    def test_same_name_same_object(self):
+        r = MetricsRegistry()
+        assert r.counter("a") is r.counter("a")
+
+    def test_type_conflict_raises(self):
+        r = MetricsRegistry()
+        r.counter("a")
+        with pytest.raises(TypeError, match="already registered"):
+            r.gauge("a")
+
+    def test_contains_and_names(self):
+        r = MetricsRegistry()
+        r.counter("b")
+        r.gauge("a")
+        assert "a" in r and "c" not in r
+        assert r.names() == ("a", "b")
+
+    def test_snapshot_and_render(self):
+        r = MetricsRegistry()
+        r.counter("jobs").inc(3)
+        r.gauge("load").set(0.5)
+        r.histogram("width", buckets=(1, 10)).observe(4)
+        snap = r.snapshot()
+        assert snap["jobs"] == {"type": "counter", "value": 3}
+        text = r.render()
+        assert "jobs" in text and "counter value=3" in text
+        assert "histogram count=1" in text
+
+    def test_reset(self):
+        r = MetricsRegistry()
+        r.counter("x").inc()
+        r.reset()
+        assert "x" not in r
+
+    def test_global_registry_swap(self):
+        fresh = MetricsRegistry()
+        prev = set_metrics(fresh)
+        try:
+            assert get_metrics() is fresh
+        finally:
+            set_metrics(prev)
+        assert get_metrics() is prev
+
+
+class TestExecutorsFeedMetrics:
+    def test_solve_populates_global_registry(self, fw, minsum_factory):
+        from repro import ContributingSet
+
+        prev = set_metrics(None)  # fresh registry for isolation
+        try:
+            fw.solve(minsum_factory(ContributingSet.of("NW", "N")), executor="hetero")
+            m = get_metrics()
+            assert "exec.hetero.cells.cpu" in m
+            assert "sim.engine.tasks" in m
+            assert m.counter("sim.engine.runs").value >= 1
+        finally:
+            set_metrics(prev)

@@ -1,0 +1,93 @@
+"""No-op tracer overhead guard.
+
+The whole point of defaulting to :class:`~repro.obs.NullTracer` is that
+instrumentation left in hot loops is close to free when disabled.  This
+test pins that property: a small sequential solve through the instrumented
+executor must stay under 2x the cost of an uninstrumented hand-rolled
+sweep of the same cells.
+
+The 2x bound is deliberately loose — the executor also builds the
+schedule, runs the one-task simulation engine, and bumps a counter, all of
+which the bare baseline skips — so a failure here means the no-op path
+regressed badly (e.g. someone made ``NullTracer.span`` allocate), not that
+the machine was busy.  Timing uses min-over-repeats, the standard trick to
+strip scheduler noise.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import ContributingSet
+from repro.obs import NullTracer, get_tracer
+from repro.exec.base import evaluate_span
+from repro.patterns.registry import strategy_for
+
+ROWS, COLS = 40, 40
+REPEATS = 5
+
+
+def bare_sweep(problem):
+    """The sequential executor's functional loop with zero instrumentation."""
+    strategy = strategy_for(problem)
+    schedule = strategy.schedule
+    table = problem.make_table()
+    aux = problem.make_aux()
+    for t in range(schedule.num_iterations):
+        for k in range(schedule.width(t)):
+            evaluate_span(problem, schedule, table, aux, t, k, k + 1)
+    return table
+
+
+def best_of(fn, repeats=REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_default_tracer_is_null():
+    assert isinstance(get_tracer(), NullTracer)
+
+
+def test_noop_instrumentation_under_2x(fw, minsum_factory):
+    problem = minsum_factory(ContributingSet.of("W", "NW", "N"), ROWS, COLS)
+    assert isinstance(get_tracer(), NullTracer), "test requires the no-op default"
+
+    # Warm both paths once (imports, numpy dispatch, schedule caches).
+    bare_sweep(problem)
+    fw.solve(problem, executor="sequential")
+
+    baseline = best_of(lambda: bare_sweep(problem))
+    instrumented = best_of(lambda: fw.solve(problem, executor="sequential"))
+
+    assert instrumented < 2.0 * baseline, (
+        f"no-op tracer overhead too high: instrumented solve took "
+        f"{instrumented * 1e3:.2f} ms vs bare sweep {baseline * 1e3:.2f} ms "
+        f"({instrumented / baseline:.2f}x, limit 2x)"
+    )
+
+
+def test_instrumented_matches_bare_result(fw, minsum_factory):
+    """Sanity: the instrumented path computes the same table as the bare one."""
+    import numpy as np
+
+    problem = minsum_factory(ContributingSet.of("W", "NW", "N"), 12, 15)
+    res = fw.solve(problem, executor="sequential")
+    np.testing.assert_array_equal(res.table, bare_sweep(problem))
+
+
+@pytest.mark.parametrize("n", [1000])
+def test_null_span_is_allocation_free_fast(n):
+    """A million no-op spans should be trivially cheap; pin a loose bound."""
+    tracer = NullTracer()
+    t0 = time.perf_counter()
+    for i in range(n):
+        with tracer.span("x", cat="y", k=i):
+            pass
+    per_span = (time.perf_counter() - t0) / n
+    assert per_span < 50e-6  # 50 µs/span would mean something is very wrong

@@ -1,0 +1,174 @@
+"""Property-based tests (hypothesis) for the observability layer.
+
+Three families, per the observability-hardening checklist:
+
+* span nesting is well-formed — every end >= start, children contained in
+  their parents — for *any* shape of nested span tree;
+* histogram percentiles are monotone in the quantile, and p100 dominates
+  every observation, for any observation sequence;
+* Chrome-trace export round-trips through ``json.loads`` with the
+  ``ph``/``ts``/``dur`` invariants intact.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.obs import Tracer
+from repro.obs.export import chrome_trace_json, timeline_events
+from repro.obs.metrics import DEFAULT_BUCKETS, Histogram
+from repro.sim.timeline import TaskRecord, Timeline
+
+# A span-tree "program": each node is a list of children.
+span_trees = st.recursive(
+    st.just([]),
+    lambda children: st.lists(children, max_size=4),
+    max_leaves=25,
+)
+
+
+def run_tree(tracer: Tracer, tree: list, name: str = "root") -> None:
+    with tracer.span(name, depth_children=len(tree)):
+        for i, sub in enumerate(tree):
+            run_tree(tracer, sub, name=f"{name}.{i}")
+
+
+def make_tracer() -> Tracer:
+    counter = itertools.count(0, 7)
+    return Tracer(clock=lambda: next(counter))
+
+
+class TestSpanNestingWellFormed:
+    @given(forest=st.lists(span_trees, min_size=1, max_size=4))
+    @settings(max_examples=60, deadline=None)
+    def test_every_tree_shape_nests_correctly(self, forest):
+        tracer = make_tracer()
+        for i, tree in enumerate(forest):
+            run_tree(tracer, tree, name=f"t{i}")
+        spans = tracer.finished_spans()
+        by_sid = {s.sid: s for s in spans}
+
+        total_nodes = 0
+        stack = list(forest)
+        while stack:
+            node = stack.pop()
+            total_nodes += 1
+            stack.extend(node)
+        assert len(spans) == total_nodes
+
+        for s in spans:
+            assert s.end_ns is not None
+            assert s.end_ns >= s.start_ns
+            if s.parent is not None:
+                parent = by_sid[s.parent]
+                assert parent.start_ns <= s.start_ns
+                assert s.end_ns <= parent.end_ns
+
+    @given(forest=st.lists(span_trees, min_size=1, max_size=3))
+    @settings(max_examples=30, deadline=None)
+    def test_span_tree_preserves_node_count(self, forest):
+        tracer = make_tracer()
+        for i, tree in enumerate(forest):
+            run_tree(tracer, tree, name=f"t{i}")
+        roots = tracer.span_tree()
+        assert len(roots) == len(forest)
+        walked = sum(len(list(r.walk())) for r in roots)
+        assert walked == len(tracer.finished_spans())
+
+
+class TestHistogramPercentilesMonotone:
+    @given(
+        values=st.lists(
+            st.floats(
+                min_value=0.0,
+                max_value=1e12,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+            min_size=1,
+            max_size=80,
+        ),
+        quantiles=st.lists(
+            st.floats(min_value=0, max_value=100), min_size=2, max_size=12
+        ),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_monotone_in_quantile(self, values, quantiles):
+        h = Histogram("h", buckets=DEFAULT_BUCKETS)
+        for v in values:
+            h.observe(v)
+        qs = sorted(quantiles)
+        ps = [h.percentile(q) for q in qs]
+        assert all(a <= b for a, b in zip(ps, ps[1:]))
+
+    @given(
+        values=st.lists(
+            st.floats(
+                min_value=0.0,
+                max_value=1e12,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+            min_size=1,
+            max_size=80,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_p100_dominates_every_observation(self, values):
+        h = Histogram("h", buckets=DEFAULT_BUCKETS)
+        for v in values:
+            h.observe(v)
+        assert h.percentile(100) >= max(values)
+        assert h.count == len(values)
+
+
+class TestChromeExportRoundTrip:
+    @given(forest=st.lists(span_trees, min_size=1, max_size=3))
+    @settings(max_examples=40, deadline=None)
+    def test_span_export_invariants(self, forest):
+        tracer = make_tracer()
+        for i, tree in enumerate(forest):
+            run_tree(tracer, tree, name=f"t{i}")
+        spans = tracer.finished_spans()
+        doc = json.loads(chrome_trace_json(spans))
+        events = doc["traceEvents"]
+        assert all(e["ph"] in ("X", "M") for e in events)
+        xs = [e for e in events if e["ph"] == "X"]
+        assert len(xs) == len(spans)
+        for e in xs:
+            assert e["ts"] >= 0
+            assert e["dur"] >= 0
+        # durations survive the round-trip exactly (ns -> us is a /1e3)
+        by_name = {e["name"]: e for e in xs}
+        for s in spans:
+            assert by_name[s.name]["dur"] == s.duration_ns / 1e3
+
+    @given(
+        starts=st.lists(
+            st.floats(min_value=0, max_value=1e3, allow_nan=False),
+            min_size=1,
+            max_size=20,
+        ),
+        durs=st.lists(
+            st.floats(min_value=0, max_value=1e3, allow_nan=False),
+            min_size=1,
+            max_size=20,
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_timeline_export_invariants(self, starts, durs):
+        records = [
+            TaskRecord(i, f"res{i % 3}", f"task{i}", s, s + d)
+            for i, (s, d) in enumerate(zip(starts, durs))
+        ]
+        timeline = Timeline(records)
+        events = json.loads(json.dumps(timeline_events(timeline)))
+        xs = [e for e in events if e["ph"] == "X"]
+        assert len(xs) == len(records)
+        for e, r in zip(xs, records):
+            assert e["ts"] >= 0 and e["dur"] >= 0
+            assert e["ts"] == r.start * 1e6
+            assert e["dur"] == (r.end - r.start) * 1e6

@@ -1,0 +1,148 @@
+"""Unit tests for the span/tracer layer (repro.obs.span)."""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+from repro.obs import NullTracer, Tracer, get_tracer, set_tracer, use_tracer
+
+
+def fake_clock():
+    """Deterministic nanosecond clock: 0, 1000, 2000, ..."""
+    counter = itertools.count(0, 1000)
+    return lambda: next(counter)
+
+
+class TestTracerBasics:
+    def test_span_records_start_end_and_attrs(self):
+        t = Tracer(clock=fake_clock())
+        with t.span("solve", cat="executor", problem="lcs") as h:
+            h.set(extra=42)
+        (s,) = t.finished_spans()
+        assert s.name == "solve"
+        assert s.cat == "executor"
+        assert s.attrs == {"problem": "lcs", "extra": 42}
+        assert s.end_ns is not None and s.end_ns > s.start_ns
+        assert s.parent is None
+
+    def test_nesting_sets_parent(self):
+        t = Tracer(clock=fake_clock())
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+            with t.span("inner2"):
+                pass
+        spans = {s.name: s for s in t.finished_spans()}
+        assert spans["inner"].parent == spans["outer"].sid
+        assert spans["inner2"].parent == spans["outer"].sid
+        assert spans["outer"].parent is None
+
+    def test_span_tree_shape(self):
+        t = Tracer(clock=fake_clock())
+        with t.span("root"):
+            with t.span("a"):
+                t.instant("mark", k=1)
+            with t.span("b"):
+                pass
+        (root,) = t.span_tree()
+        assert root.span.name == "root"
+        assert [c.span.name for c in root.children] == ["a", "b"]
+        assert [c.span.name for c in root.children[0].children] == ["mark"]
+        assert [n.span.name for n in root.walk()] == ["root", "a", "mark", "b"]
+
+    def test_instant_is_zero_duration(self):
+        t = Tracer(clock=fake_clock())
+        t.instant("tick", n=1)
+        (s,) = t.finished_spans()
+        assert s.duration_ns == 0
+        assert s.attrs == {"n": 1}
+
+    def test_manual_end_is_idempotent(self):
+        t = Tracer(clock=fake_clock())
+        h = t.span("manual")
+        h.end()
+        h.end()
+        assert len(t.finished_spans()) == 1
+
+    def test_parent_ending_closes_open_children(self):
+        t = Tracer(clock=fake_clock())
+        outer = t.span("outer")
+        t.span("leaked")  # never explicitly closed
+        outer.end()
+        spans = {s.name: s for s in t.finished_spans()}
+        assert spans["leaked"].end_ns is not None
+        assert spans["leaked"].end_ns <= spans["outer"].end_ns
+
+    def test_clear(self):
+        t = Tracer(clock=fake_clock())
+        with t.span("x"):
+            pass
+        t.clear()
+        assert t.finished_spans() == ()
+
+    def test_spans_sorted_by_start(self):
+        t = Tracer(clock=fake_clock())
+        with t.span("first"):
+            with t.span("second"):
+                pass
+        names = [s.name for s in t.finished_spans()]
+        assert names == ["first", "second"]
+
+    def test_threads_get_independent_stacks(self):
+        t = Tracer()
+        def work():
+            with t.span("worker-root"):
+                with t.span("worker-child"):
+                    pass
+        with t.span("main-root"):
+            th = threading.Thread(target=work)
+            th.start()
+            th.join()
+        spans = {s.name: s for s in t.finished_spans()}
+        # the worker's root must NOT be parented under the main thread's span
+        assert spans["worker-root"].parent is None
+        assert spans["worker-child"].parent == spans["worker-root"].sid
+
+
+class TestNullTracer:
+    def test_noop_interface(self):
+        n = NullTracer()
+        assert not n.enabled
+        with n.span("anything", cat="x", k=1) as h:
+            h.set(more=2)
+            h.end()
+        n.instant("tick")
+        assert n.finished_spans() == ()
+        assert n.span_tree() == []
+        n.clear()
+
+
+class TestActiveTracer:
+    def test_default_is_null(self):
+        assert isinstance(get_tracer(), NullTracer)
+
+    def test_use_tracer_installs_and_restores(self):
+        t = Tracer()
+        before = get_tracer()
+        with use_tracer(t):
+            assert get_tracer() is t
+        assert get_tracer() is before
+
+    def test_use_tracer_restores_on_error(self):
+        t = Tracer()
+        before = get_tracer()
+        try:
+            with use_tracer(t):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert get_tracer() is before
+
+    def test_set_tracer_none_restores_null(self):
+        prev = set_tracer(Tracer())
+        try:
+            set_tracer(None)
+            assert isinstance(get_tracer(), NullTracer)
+        finally:
+            set_tracer(prev)
