@@ -8,7 +8,8 @@ substitution rationale, and EXPERIMENTS.md for paper-vs-measured results.
 Quickstart::
 
     import numpy as np
-    from repro import ContributingSet, Framework, LDDPProblem, hetero_high
+    import repro
+    from repro import ContributingSet, LDDPProblem
 
     def f(ctx):                        # the recurrence, vectorized
         return np.minimum(ctx.nw, ctx.n) + 1
@@ -21,9 +22,17 @@ Quickstart::
         fixed_rows=1,
         dtype=np.int64,
     )
-    fw = Framework(hetero_high())
-    result = fw.solve(problem)         # hetero CPU+GPU execution
+    result = repro.solve(problem)      # one call: hetero CPU+GPU execution
     print(result.simulated_ms, result.table)
+
+``repro.solve`` builds a default :class:`Framework` per call; construct one
+explicitly (``Framework(hetero_low())``) to reuse a platform, or serve a
+stream of requests concurrently with a cached worker pool::
+
+    from repro.serve import SolveService
+
+    with SolveService(workers=4) as svc:
+        results = svc.map([problem] * 100)   # repeated solves hit the cache
 """
 
 from ._version import __version__
@@ -37,11 +46,17 @@ from .types import (
 )
 from .core.cellfunc import CellFunction, EvalContext
 from .core.classification import classify, table1_rows, transfer_need
-from .core.framework import Framework
+from .core.framework import Framework, estimate, solve
 from .core.partition import HeteroParams
 from .core.problem import LDDPProblem
 from .core.schedule import schedule_for
-from .exec.base import ExecOptions, SolveResult
+from .exec.base import (
+    ExecOptions,
+    SolveResult,
+    executor_names,
+    register_executor,
+    unregister_executor,
+)
 from .machine.platform import Platform, hetero_high, hetero_low, hetero_phi
 from .obs import (
     MetricsRegistry,
@@ -51,6 +66,7 @@ from .obs import (
     get_tracer,
     use_tracer,
 )
+from .serve import PendingSolve, ResultCache, SolveRequest, SolveService
 from .tuning.autotune import TuneResult, autotune
 
 __all__ = [
@@ -68,6 +84,8 @@ __all__ = [
     "transfer_need",
     # execution
     "Framework",
+    "solve",
+    "estimate",
     "ExecOptions",
     "SolveResult",
     "HeteroParams",
@@ -75,6 +93,14 @@ __all__ = [
     "Device",
     "TransferDirection",
     "TransferKind",
+    "register_executor",
+    "unregister_executor",
+    "executor_names",
+    # serving
+    "SolveService",
+    "SolveRequest",
+    "PendingSolve",
+    "ResultCache",
     # machine
     "Platform",
     "hetero_high",

@@ -7,6 +7,7 @@ Examples::
     repro-lddp figure fig10 --quick
     repro-lddp solve levenshtein --size 512 --platform high --executor hetero
     repro-lddp solve lcs --size 256 --trace out.json --metrics
+    repro-lddp serve --requests 64 --workers 4 --metrics
     repro-lddp tune lcs --size 2048
     repro-lddp profile knight-move --rows 8 --cols 10
 
@@ -123,6 +124,62 @@ def _cmd_solve(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import time
+
+    from .errors import ServiceOverloaded
+    from .obs import get_metrics
+    from .serve import SolveRequest, SolveService
+
+    mix = [_PROBLEMS[name] for name in args.problems]
+    cache_size = 0 if args.no_cache else args.cache_size
+    metrics = get_metrics()
+    t0 = time.perf_counter()
+    rejections = 0
+    with SolveService(
+        _platform(args.platform),
+        workers=args.workers,
+        queue_size=args.queue_size,
+        cache_size=cache_size,
+    ) as svc:
+        pending = []
+        for k in range(args.requests):
+            problem = mix[k % len(mix)](args.size)
+            request = SolveRequest(problem, executor=args.executor)
+            while True:
+                try:
+                    pending.append(svc.submit(request))
+                    break
+                except ServiceOverloaded:
+                    # Bounded queue said no: back off briefly and retry —
+                    # the admission-control loop a real client would run.
+                    rejections += 1
+                    time.sleep(0.005)
+        for p in pending:
+            p.result()
+    elapsed = time.perf_counter() - t0
+
+    hits = metrics.counter("serve.cache.hits").value
+    misses = metrics.counter("serve.cache.misses").value
+    latency = metrics.histogram("serve.latency_ms")
+    print(f"platform  : {svc.framework.platform.name}")
+    print(f"workload  : {args.requests} requests over "
+          f"{len(args.problems)} problems (size {args.size}), "
+          f"{args.workers} workers, queue {args.queue_size}")
+    print(f"throughput: {args.requests / elapsed:.1f} req/s "
+          f"({elapsed:.3f} s total)")
+    print(f"cache     : {hits} hits / {misses} misses"
+          + (" (disabled)" if cache_size == 0 else ""))
+    print(f"backoff   : {rejections} overload rejections absorbed")
+    print(f"latency   : p50={latency.percentile(50):g} ms "
+          f"p90={latency.percentile(90):g} ms "
+          f"p99={latency.percentile(99):g} ms")
+    if args.metrics:
+        print("metrics   :")
+        print(metrics.render())
+    return 0
+
+
 def _cmd_tune(args) -> int:
     maker = _PROBLEMS[args.problem]
     problem = maker(args.size, materialize=False)
@@ -217,7 +274,7 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--size", type=int, default=512)
     p.add_argument("--platform", choices=["high", "low", "phi"], default="high")
     p.add_argument(
-        "--executor", choices=["sequential", "cpu", "cpu-blocked", "gpu", "hetero"], default="hetero"
+        "--executor", choices=list(Framework.executors()), default="hetero"
     )
     p.add_argument("--estimate", action="store_true", help="timing model only")
     p.add_argument(
@@ -230,6 +287,29 @@ def main(argv: list[str] | None = None) -> int:
         help="dump the metrics registry after the run",
     )
     p.set_defaults(fn=_cmd_solve)
+
+    p = sub.add_parser(
+        "serve", help="run a request mix through the concurrent solve service"
+    )
+    p.add_argument("--requests", type=int, default=32,
+                   help="total requests to submit")
+    p.add_argument("--size", type=int, default=96)
+    p.add_argument("--platform", choices=["high", "low", "phi"], default="high")
+    p.add_argument("--executor", choices=list(Framework.executors()),
+                   default="hetero")
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--queue-size", type=int, default=64)
+    p.add_argument("--cache-size", type=int, default=128)
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the result cache (cold-path baseline)")
+    p.add_argument(
+        "--problems", nargs="+", choices=sorted(_PROBLEMS),
+        default=["levenshtein", "lcs", "dtw", "needleman-wunsch"],
+        help="problem mix cycled over the requests",
+    )
+    p.add_argument("--metrics", action="store_true",
+                   help="dump the metrics registry after the run")
+    p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser("tune", help="two-step empirical parameter search")
     p.add_argument("problem", choices=sorted(_PROBLEMS))

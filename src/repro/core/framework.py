@@ -9,19 +9,25 @@ chosen executor over the configured platform.
 >>> fw = Framework(hetero_high())
 >>> result = fw.solve(problem)            # heterogeneous by default
 >>> result.table, result.simulated_ms
+
+For the common one-shot case there is a module-level convenience that builds
+the framework for you:
+
+>>> import repro
+>>> result = repro.solve(problem)         # default platform, hetero executor
 """
 
 from __future__ import annotations
 
 from typing import Mapping
 
-from ..exec.base import ExecOptions, Executor, SolveResult
-from ..exec.blocked import BlockedCPUExecutor
-from ..exec.cpu_exec import CPUExecutor
-from ..exec.gpu_exec import GPUExecutor
-from ..exec.hetero import HeteroExecutor
-from ..exec.layout_exec import WavefrontMajorExecutor
-from ..exec.sequential import SequentialExecutor
+from ..exec.base import (
+    ExecOptions,
+    Executor,
+    SolveResult,
+    executor_class,
+    executor_names,
+)
 from ..errors import ExecutionError
 from ..machine.platform import Platform, hetero_high
 from ..types import Pattern
@@ -29,16 +35,7 @@ from .classification import classify
 from .partition import HeteroParams
 from .problem import LDDPProblem
 
-__all__ = ["Framework", "SolveResult"]
-
-_EXECUTORS: dict[str, type[Executor]] = {
-    "sequential": SequentialExecutor,
-    "cpu": CPUExecutor,
-    "cpu-blocked": BlockedCPUExecutor,
-    "cpu-wavefront-major": WavefrontMajorExecutor,
-    "gpu": GPUExecutor,
-    "hetero": HeteroExecutor,
-}
+__all__ = ["Framework", "SolveResult", "solve", "estimate"]
 
 
 class Framework:
@@ -59,15 +56,29 @@ class Framework:
         """Paper Table I: contributing set -> pattern."""
         return classify(problem.contributing)
 
-    def executor(self, name: str = "hetero") -> Executor:
-        """Instantiate an executor by name (sequential/cpu/gpu/hetero)."""
+    @staticmethod
+    def executors() -> tuple[str, ...]:
+        """All registered executor names (see ``repro.register_executor``)."""
+        return executor_names()
+
+    def executor(
+        self, name: str = "hetero", options: ExecOptions | None = None
+    ) -> Executor:
+        """Instantiate a registered executor by name.
+
+        Names come from the executor registry — :meth:`executors` lists them
+        (the built-ins are ``sequential``, ``cpu``, ``cpu-blocked``,
+        ``cpu-wavefront-major``, ``gpu`` and ``hetero``). ``options``
+        overrides the framework-level :class:`ExecOptions` for this one
+        instance.
+        """
         try:
-            cls = _EXECUTORS[name]
-        except KeyError:
+            cls = executor_class(name)
+        except ExecutionError:
             raise ExecutionError(
-                f"unknown executor {name!r}; choose from {sorted(_EXECUTORS)}"
+                f"unknown executor {name!r}; choose from {list(executor_names())}"
             ) from None
-        return cls(self.platform, self.options)
+        return cls(self.platform, options or self.options)
 
     # -- solving ----------------------------------------------------------------
 
@@ -76,18 +87,28 @@ class Framework:
         problem: LDDPProblem,
         executor: str = "hetero",
         params: HeteroParams | None = None,
+        *,
+        options: ExecOptions | None = None,
     ) -> SolveResult:
-        """Fill the table and model the timing on the chosen executor."""
-        return self._dispatch(problem, executor, params, functional=True)
+        """Fill the table and model the timing on the chosen executor.
+
+        ``options`` overrides the framework-level :class:`ExecOptions` for
+        this call only.
+        """
+        return self._dispatch(problem, executor, params, functional=True,
+                              options=options)
 
     def estimate(
         self,
         problem: LDDPProblem,
         executor: str = "hetero",
         params: HeteroParams | None = None,
+        *,
+        options: ExecOptions | None = None,
     ) -> SolveResult:
         """Timing model only — no table allocation (for large sweeps)."""
-        return self._dispatch(problem, executor, params, functional=False)
+        return self._dispatch(problem, executor, params, functional=False,
+                              options=options)
 
     def estimate_fast(
         self,
@@ -104,8 +125,10 @@ class Framework:
 
         return fast_hetero_makespan(problem, self.platform, params, self.options)
 
-    def _dispatch(self, problem, executor, params, functional):
-        ex = self.executor(executor)
+    def _dispatch(self, problem, executor, params, functional, options=None):
+        from ..exec.hetero import HeteroExecutor
+
+        ex = self.executor(executor, options=options)
         kwargs = {}
         if params is not None:
             if not isinstance(ex, HeteroExecutor):
@@ -132,3 +155,38 @@ class Framework:
         from ..tuning.autotune import autotune
 
         return autotune(problem, self.platform, self.options, **kwargs)
+
+
+# -- module-level one-call API -------------------------------------------------
+
+
+def solve(
+    problem: LDDPProblem,
+    *,
+    platform: Platform | None = None,
+    executor: str = "hetero",
+    options: ExecOptions | None = None,
+    params: HeteroParams | None = None,
+) -> SolveResult:
+    """One-call solve: build a :class:`Framework` and run ``problem`` on it.
+
+    Equivalent to ``Framework(platform, options).solve(problem, executor,
+    params)`` — the convenience entry point for scripts and notebooks. For
+    many solves over one platform, construct a :class:`Framework` (or a
+    :class:`repro.serve.SolveService`) and reuse it instead.
+    """
+    return Framework(platform, options).solve(problem, executor=executor,
+                                              params=params)
+
+
+def estimate(
+    problem: LDDPProblem,
+    *,
+    platform: Platform | None = None,
+    executor: str = "hetero",
+    options: ExecOptions | None = None,
+    params: HeteroParams | None = None,
+) -> SolveResult:
+    """One-call timing estimate — :func:`solve` without the table."""
+    return Framework(platform, options).estimate(problem, executor=executor,
+                                                 params=params)

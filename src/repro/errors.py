@@ -58,3 +58,29 @@ class TuningError(ReproError):
 
 class LayoutError(ReproError):
     """A memory-layout transform was asked something inconsistent."""
+
+
+class ServiceError(ReproError):
+    """Base class for :mod:`repro.serve` solve-service errors."""
+
+
+class ServiceOverloaded(ServiceError):
+    """The service's bounded request queue is full — retry later."""
+
+
+class ServiceTimeout(ServiceError):
+    """A request missed its deadline before a worker could finish it."""
+
+
+class ServiceClosed(ServiceError):
+    """The service has shut down and accepts no further requests."""
+
+
+class CacheKeyError(ServiceError):
+    """A request's problem payload cannot be content-hashed for caching.
+
+    Raised at :class:`~repro.serve.SolveRequest` construction when the
+    payload holds values without a well-defined content key (arbitrary
+    objects, sets, open handles...). Mark the request ``cacheable=False``
+    to bypass the cache instead.
+    """

@@ -13,7 +13,15 @@ they submit to the discrete-event engine:
   CPU/GPU split with per-iteration boundary exchanges.
 """
 
-from .base import ExecOptions, Executor, SolveResult
+from .base import (
+    ExecOptions,
+    Executor,
+    SolveResult,
+    executor_class,
+    executor_names,
+    register_executor,
+    unregister_executor,
+)
 from .sequential import SequentialExecutor
 from .cpu_exec import CPUExecutor
 from .gpu_exec import GPUExecutor
@@ -27,4 +35,8 @@ __all__ = [
     "CPUExecutor",
     "GPUExecutor",
     "HeteroExecutor",
+    "register_executor",
+    "unregister_executor",
+    "executor_class",
+    "executor_names",
 ]

@@ -23,6 +23,10 @@ __all__ = [
     "Executor",
     "evaluate_span",
     "wavefront_contiguous",
+    "register_executor",
+    "unregister_executor",
+    "executor_class",
+    "executor_names",
 ]
 
 
@@ -133,6 +137,83 @@ def evaluate_span(
     values = problem.cell(ctx)
     table[gi, gj] = values
     return hi - lo
+
+
+# -- executor registry --------------------------------------------------------
+#
+# Executor implementations register themselves under a short CLI-friendly name
+# at import time; `Framework.executor()` and the CLI `--executor` choices both
+# resolve through this one table, so adding an executor (in- or out-of-tree)
+# is a single `register_executor` call.
+
+_EXECUTOR_REGISTRY: dict[str, type["Executor"]] = {}
+_BUILTINS_LOADED = False
+
+
+def _load_builtin_executors() -> None:
+    """Import the in-tree executor modules so they self-register."""
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    _BUILTINS_LOADED = True
+    from . import (  # noqa: F401  (imported for their registration side effect)
+        blocked,
+        cpu_exec,
+        gpu_exec,
+        hetero,
+        layout_exec,
+        sequential,
+    )
+
+
+def register_executor(name: str, cls: type["Executor"], *, replace: bool = False):
+    """Register an :class:`Executor` subclass under ``name``.
+
+    Registered names show up in :meth:`Framework.executors`, resolve through
+    :meth:`Framework.executor`/``solve(executor=...)``, and become valid CLI
+    ``--executor`` choices. Re-registering an existing name with a different
+    class requires ``replace=True``. Returns ``cls`` so it can be used as a
+    decorator: ``@register_executor("mine", ...)`` is *not* supported — call
+    it after the class definition instead.
+    """
+    if not name or not isinstance(name, str):
+        raise ExecutionError(f"executor name must be a non-empty string, got {name!r}")
+    if not (isinstance(cls, type) and issubclass(cls, Executor)):
+        raise ExecutionError(
+            f"executor {name!r} must be an Executor subclass, got {cls!r}"
+        )
+    current = _EXECUTOR_REGISTRY.get(name)
+    if current is not None and current is not cls and not replace:
+        raise ExecutionError(
+            f"executor name {name!r} is already registered to "
+            f"{current.__name__}; pass replace=True to override"
+        )
+    _EXECUTOR_REGISTRY[name] = cls
+    return cls
+
+
+def unregister_executor(name: str) -> None:
+    """Remove a registered executor (built-ins included — use with care)."""
+    _load_builtin_executors()
+    _EXECUTOR_REGISTRY.pop(name, None)
+
+
+def executor_class(name: str) -> type["Executor"]:
+    """Resolve a registered executor name to its class."""
+    _load_builtin_executors()
+    try:
+        return _EXECUTOR_REGISTRY[name]
+    except KeyError:
+        raise ExecutionError(
+            f"unknown executor {name!r}; registered executors: "
+            f"{', '.join(sorted(_EXECUTOR_REGISTRY))}"
+        ) from None
+
+
+def executor_names() -> tuple[str, ...]:
+    """All registered executor names, sorted."""
+    _load_builtin_executors()
+    return tuple(sorted(_EXECUTOR_REGISTRY))
 
 
 class Executor(ABC):

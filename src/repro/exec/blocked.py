@@ -33,7 +33,7 @@ from ..errors import ExecutionError
 from ..obs import get_metrics, get_tracer
 from ..patterns.registry import strategy_for
 from ..sim.engine import Engine
-from .base import Executor, SolveResult
+from .base import Executor, SolveResult, register_executor
 
 __all__ = ["BlockedCPUExecutor", "evaluate_block", "evaluate_skewed_block"]
 
@@ -188,3 +188,6 @@ class BlockedCPUExecutor(Executor):
                 "strategy": strategy.name,
             },
         )
+
+
+register_executor("cpu-blocked", BlockedCPUExecutor)

@@ -11,7 +11,13 @@ from ..core.problem import LDDPProblem
 from ..obs import get_metrics, get_tracer
 from ..patterns.registry import strategy_for
 from ..sim.engine import Engine
-from .base import Executor, SolveResult, evaluate_span, wavefront_contiguous
+from .base import (
+    Executor,
+    SolveResult,
+    evaluate_span,
+    register_executor,
+    wavefront_contiguous,
+)
 
 __all__ = ["CPUExecutor"]
 
@@ -75,3 +81,6 @@ class CPUExecutor(Executor):
                 "strategy": strategy.name,
             },
         )
+
+
+register_executor("cpu", CPUExecutor)

@@ -14,7 +14,13 @@ from ..patterns.registry import strategy_for
 from ..sim.engine import Engine
 from ..types import TransferDirection, TransferKind
 from ..memory.buffers import TransferLedger
-from .base import Executor, SolveResult, evaluate_span, wavefront_contiguous
+from .base import (
+    Executor,
+    SolveResult,
+    evaluate_span,
+    register_executor,
+    wavefront_contiguous,
+)
 
 __all__ = ["GPUExecutor"]
 
@@ -126,3 +132,6 @@ class GPUExecutor(Executor):
                 "result_bytes": out_bytes,
             },
         )
+
+
+register_executor("gpu", GPUExecutor)

@@ -41,7 +41,13 @@ from ..patterns.base import PatternStrategy
 from ..patterns.registry import strategy_for
 from ..sim.engine import Engine
 from ..types import Pattern, TransferDirection, TransferKind
-from .base import Executor, SolveResult, evaluate_span, wavefront_contiguous
+from .base import (
+    Executor,
+    SolveResult,
+    evaluate_span,
+    register_executor,
+    wavefront_contiguous,
+)
 
 __all__ = ["HeteroExecutor"]
 
@@ -342,3 +348,6 @@ class HeteroExecutor(Executor):
                 "gpu_utilization": timeline.utilization("gpu"),
             },
         )
+
+
+register_executor("hetero", HeteroExecutor)

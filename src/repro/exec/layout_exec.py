@@ -21,7 +21,7 @@ from ..memory.layout import WavefrontLayout
 from ..obs import get_metrics, get_tracer
 from ..patterns.registry import strategy_for
 from ..sim.engine import Engine
-from .base import Executor, SolveResult
+from .base import Executor, SolveResult, register_executor
 
 __all__ = ["WavefrontMajorExecutor"]
 
@@ -133,3 +133,6 @@ class WavefrontMajorExecutor(Executor):
                 "flat_cells": layout.size,
             },
         )
+
+
+register_executor("cpu-wavefront-major", WavefrontMajorExecutor)

@@ -12,7 +12,7 @@ from ..core.problem import LDDPProblem
 from ..obs import get_metrics, get_tracer
 from ..patterns.registry import strategy_for
 from ..sim.engine import Engine
-from .base import Executor, SolveResult, evaluate_span
+from .base import Executor, SolveResult, evaluate_span, register_executor
 
 __all__ = ["SequentialExecutor"]
 
@@ -66,3 +66,6 @@ class SequentialExecutor(Executor):
             timeline=timeline,
             stats={"iterations": schedule.num_iterations},
         )
+
+
+register_executor("sequential", SequentialExecutor)

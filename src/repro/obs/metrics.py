@@ -19,8 +19,10 @@ Usage::
 
 from __future__ import annotations
 
+import contextlib
 import math
 import threading
+import time
 from bisect import bisect_left
 from typing import Any, Sequence
 
@@ -117,6 +119,19 @@ class Histogram:
             self._sum += v
             self._min = min(self._min, v)
             self._max = max(self._max, v)
+
+    @contextlib.contextmanager
+    def time(self, scale: float = 1e3):
+        """Observe the duration of a ``with`` block (milliseconds by default).
+
+        ``scale`` converts seconds to the recorded unit (1e3 -> ms, 1e6 ->
+        us, 1 -> s); pick it to match the histogram's bucket decades.
+        """
+        t0 = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.observe((time.perf_counter() - t0) * scale)
 
     @property
     def count(self) -> int:

@@ -1,0 +1,31 @@
+"""Concurrent solve service: queue + worker pool + content-keyed result cache.
+
+The production-traffic layer over :class:`~repro.core.framework.Framework`
+(see ``docs/serving.md``): requests go onto a bounded priority queue, a
+worker pool drains them, repeated problems resolve from an LRU cache of
+bit-identical results, and the whole path is observable through
+:mod:`repro.obs`.
+
+    from repro.serve import SolveRequest, SolveService
+
+    with SolveService(workers=4) as svc:
+        result = svc.solve(problem)                 # sync convenience
+        pending = svc.submit(SolveRequest(problem)) # async future
+        result = pending.result(timeout=1.0)
+
+Rejections and expiries surface as :class:`~repro.errors.ServiceOverloaded`,
+:class:`~repro.errors.ServiceTimeout` and :class:`~repro.errors.ServiceClosed`.
+"""
+
+from .cache import ResultCache
+from .request import SolveRequest, problem_signature, request_key
+from .service import PendingSolve, SolveService
+
+__all__ = [
+    "ResultCache",
+    "SolveRequest",
+    "PendingSolve",
+    "SolveService",
+    "problem_signature",
+    "request_key",
+]

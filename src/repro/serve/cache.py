@@ -1,0 +1,116 @@
+"""Content-keyed LRU cache of :class:`~repro.exec.base.SolveResult`s.
+
+The cache never hands out the stored object itself: results are *frozen* on
+insert (private, read-only copies of the table and aux arrays) and *thawed*
+on every hit (fresh writable copies). A caller scribbling over a returned
+``result.table`` therefore can never poison what the next caller receives —
+the bit-for-bit-equality guarantee of the service's cache-hit path rests on
+this.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import replace
+
+import numpy as np
+
+from ..exec.base import SolveResult
+
+__all__ = ["ResultCache"]
+
+
+def _frozen_copy(arr: np.ndarray) -> np.ndarray:
+    out = arr.copy()
+    out.flags.writeable = False
+    return out
+
+
+def _freeze(result: SolveResult) -> SolveResult:
+    """A private snapshot safe to share across cache hits."""
+    return replace(
+        result,
+        table=None if result.table is None else _frozen_copy(result.table),
+        aux={k: _frozen_copy(v) for k, v in result.aux.items()},
+        stats=dict(result.stats),
+    )
+
+
+def _thaw(result: SolveResult) -> SolveResult:
+    """A fresh writable copy for one caller."""
+    return replace(
+        result,
+        table=None if result.table is None else result.table.copy(),
+        aux={k: v.copy() for k, v in result.aux.items()},
+        stats=dict(result.stats),
+    )
+
+
+class ResultCache:
+    """Thread-safe LRU mapping request keys to frozen solve results."""
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[str, SolveResult] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: str) -> SolveResult | None:
+        """The cached result for ``key`` (a fresh copy), or ``None``."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+        return _thaw(entry)
+
+    def put(self, key: str, result: SolveResult) -> None:
+        """Insert (or refresh) ``key``, evicting least-recently-used entries."""
+        frozen = _freeze(result)
+        with self._lock:
+            self._entries[key] = frozen
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    @property
+    def hits(self) -> int:
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        return self._misses
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+            }

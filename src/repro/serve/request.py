@@ -1,0 +1,246 @@
+"""Solve requests and their content-keyed cache signatures.
+
+A :class:`SolveRequest` bundles everything one service call needs — the
+problem, the executor name, per-request :class:`~repro.exec.base.ExecOptions`,
+optional :class:`~repro.core.partition.HeteroParams`, a priority and a
+timeout — and computes a *content signature* at construction time.
+
+The signature is a SHA-256 over the problem's full observable content: name,
+geometry, contributing set, dtype, work factors, the cell function's compiled
+code (and any data its closure captures), and the payload *bytes*. Two
+requests share a cache entry iff nothing an executor can observe differs.
+
+Mutability is the enemy of content keys, so construction also defends against
+callers mutating payload arrays after submission:
+
+* payload values without a well-defined content key (arbitrary objects, sets,
+  open handles) are **rejected** with :class:`~repro.errors.CacheKeyError`
+  unless the request is marked ``cacheable=False``;
+* ndarray payload entries are **deep-copied and frozen** (``writeable=False``)
+  into a private problem snapshot, so the signature computed here always
+  describes exactly the bytes the worker will read — the caller's original
+  problem object is left untouched and stays mutable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable
+
+import numpy as np
+
+from ..core.partition import HeteroParams
+from ..core.problem import LDDPProblem
+from ..errors import CacheKeyError
+from ..exec.base import ExecOptions
+from ..machine.platform import Platform
+
+__all__ = ["SolveRequest", "problem_signature", "request_key"]
+
+
+# -- content hashing -----------------------------------------------------------
+
+
+def _update(h, tag: str, data: bytes = b"") -> None:
+    """Length-prefixed, tagged feed — immune to concatenation ambiguity."""
+    h.update(tag.encode())
+    h.update(b"\x1f")
+    h.update(str(len(data)).encode())
+    h.update(b"\x1f")
+    h.update(data)
+
+
+def _hash_value(h, value: Any, where: str) -> None:
+    """Feed one payload/closure value into the hash, or reject it."""
+    if value is None:
+        _update(h, "none")
+    elif isinstance(value, (bool, int, float, complex, np.generic)):
+        _update(h, type(value).__name__, repr(value).encode())
+    elif isinstance(value, str):
+        _update(h, "str", value.encode())
+    elif isinstance(value, bytes):
+        _update(h, "bytes", value)
+    elif isinstance(value, np.dtype):
+        _update(h, "dtype", str(value).encode())
+    elif isinstance(value, np.ndarray):
+        _update(h, "ndarray", f"{value.dtype}|{value.shape}".encode())
+        _update(h, "data", np.ascontiguousarray(value).tobytes())
+    elif isinstance(value, (tuple, list)):
+        _update(h, type(value).__name__, str(len(value)).encode())
+        for k, item in enumerate(value):
+            _hash_value(h, item, f"{where}[{k}]")
+    elif isinstance(value, dict):
+        keys = list(value)
+        if any(not isinstance(k, str) for k in keys):
+            raise CacheKeyError(
+                f"{where}: dict keys must be strings to be content-hashable"
+            )
+        _update(h, "dict", str(len(keys)).encode())
+        for k in sorted(keys):
+            _update(h, "key", k.encode())
+            _hash_value(h, value[k], f"{where}[{k!r}]")
+    else:
+        raise CacheKeyError(
+            f"{where}: value of type {type(value).__name__} has no "
+            "well-defined content key; use scalars, strings, bytes, "
+            "lists/tuples/dicts or numpy arrays — or mark the request "
+            "cacheable=False to bypass the result cache"
+        )
+
+
+def _hash_callable(h, fn: Callable, where: str) -> None:
+    """Feed a cell/init function's identity: code bytes + captured data."""
+    fn = getattr(fn, "fn", fn)  # unwrap CellFunction
+    _update(h, "fn", f"{getattr(fn, '__module__', '')}."
+                     f"{getattr(fn, '__qualname__', type(fn).__name__)}".encode())
+    code = getattr(fn, "__code__", None)
+    if code is None:
+        code = getattr(getattr(fn, "__call__", None), "__code__", None)
+    if code is not None:
+        _update(h, "co_code", code.co_code)
+        _update(h, "co_consts", repr(code.co_consts).encode())
+        _update(h, "co_names", repr(code.co_names).encode())
+    closure = getattr(fn, "__closure__", None)
+    if closure:
+        for k, cell in enumerate(closure):
+            try:
+                contents = cell.cell_contents
+            except ValueError:  # empty cell
+                _update(h, "cell-empty")
+                continue
+            try:
+                _hash_value(h, contents, f"{where}.closure[{k}]")
+            except CacheKeyError:
+                if callable(contents):
+                    _hash_callable(h, contents, f"{where}.closure[{k}]")
+                else:
+                    # Opaque captured state: key on its type — conservative
+                    # (may split cache entries) but never aliases distinct
+                    # problems, because the payload bytes are always hashed.
+                    _update(h, "opaque", type(contents).__name__.encode())
+
+
+def problem_signature(problem: LDDPProblem) -> str:
+    """SHA-256 hex digest of everything an executor can observe.
+
+    Raises :class:`~repro.errors.CacheKeyError` if the payload holds values
+    without a well-defined content key.
+    """
+    h = hashlib.sha256()
+    _update(h, "name", problem.name.encode())
+    _update(h, "shape", repr(problem.shape).encode())
+    _update(h, "contributing", repr(problem.contributing).encode())
+    _update(h, "fixed", f"{problem.fixed_rows}|{problem.fixed_cols}".encode())
+    _update(h, "dtype", str(problem.dtype).encode())
+    _update(h, "oob", repr(problem.oob_value).encode())
+    _update(h, "work", f"{problem.cpu_work!r}|{problem.gpu_work!r}".encode())
+    _update(h, "aux", repr(sorted(
+        (k, str(np.dtype(v))) for k, v in problem.aux_specs.items()
+    )).encode())
+    _hash_callable(h, problem.cell, "cell")
+    if problem.init is not None:
+        _hash_callable(h, problem.init, "init")
+    _hash_value(h, problem.payload, "payload")
+    return h.hexdigest()
+
+
+def request_key(
+    request: "SolveRequest", platform: Platform, options: ExecOptions
+) -> str:
+    """Full cache key: problem signature x platform x options x dispatch.
+
+    ``options`` is the *effective* options for the run (the request override
+    or the service default) so option ablations never collide.
+    """
+    h = hashlib.sha256()
+    _update(h, "problem", (request.signature or "").encode())
+    _update(h, "platform", repr(platform).encode())
+    _update(h, "options", repr(options).encode())
+    _update(h, "executor", request.executor.encode())
+    _update(h, "params", repr(request.params).encode())
+    _update(h, "functional", repr(request.functional).encode())
+    return h.hexdigest()
+
+
+# -- payload freezing ----------------------------------------------------------
+
+
+def _freeze_value(value: Any):
+    """Deep-copy mutable containers/arrays; returned ndarrays are read-only."""
+    if isinstance(value, np.ndarray):
+        frozen = value.copy()
+        frozen.flags.writeable = False
+        return frozen
+    if isinstance(value, list):
+        return [_freeze_value(v) for v in value]
+    if isinstance(value, tuple):
+        return tuple(_freeze_value(v) for v in value)
+    if isinstance(value, dict):
+        return {k: _freeze_value(v) for k, v in value.items()}
+    return value
+
+
+# -- the request itself --------------------------------------------------------
+
+
+@dataclass
+class SolveRequest:
+    """One unit of work for a :class:`~repro.serve.SolveService`.
+
+    Parameters
+    ----------
+    problem:
+        The :class:`LDDPProblem` to solve, or a zero/one-argument factory
+        (``factory()`` or ``factory(size)``) — pass ``size`` alongside.
+    executor:
+        Registered executor name (see ``Framework.executors()``).
+    options:
+        Per-request :class:`ExecOptions` override; ``None`` uses the
+        service's options.
+    params:
+        Explicit :class:`HeteroParams` for the heterogeneous executor.
+    priority:
+        Smaller runs sooner; ties drain FIFO.
+    timeout:
+        Seconds from submission until the request expires. Expired requests
+        fail with :class:`~repro.errors.ServiceTimeout` instead of running.
+    functional:
+        ``True`` -> ``solve`` (fill the table); ``False`` -> ``estimate``
+        (timing model only).
+    cacheable:
+        ``False`` skips signature computation and the result cache — the
+        escape hatch for payloads without a content key.
+    """
+
+    problem: LDDPProblem
+    executor: str = "hetero"
+    options: ExecOptions | None = None
+    params: HeteroParams | None = None
+    priority: int = 0
+    timeout: float | None = None
+    functional: bool = True
+    cacheable: bool = True
+    size: int | None = None
+    signature: str | None = field(default=None, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if callable(self.problem) and not isinstance(self.problem, LDDPProblem):
+            factory = self.problem
+            self.problem = factory(self.size) if self.size is not None else factory()
+        if not isinstance(self.problem, LDDPProblem):
+            raise TypeError(
+                f"problem must be an LDDPProblem or a factory, got "
+                f"{type(self.problem).__name__}"
+            )
+        if self.timeout is not None and self.timeout < 0:
+            raise ValueError(f"timeout must be >= 0, got {self.timeout}")
+        if self.cacheable:
+            # Snapshot the payload first (private read-only copy), then sign
+            # the snapshot: the signature therefore describes exactly the
+            # bytes the worker will read, whatever the caller later does to
+            # the original problem object.
+            frozen = _freeze_value(self.problem.payload)
+            if frozen is not self.problem.payload:
+                self.problem = replace(self.problem, payload=frozen)
+            self.signature = problem_signature(self.problem)

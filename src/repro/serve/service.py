@@ -1,0 +1,344 @@
+"""The concurrent solve service: bounded queue + worker pool + result cache.
+
+:class:`SolveService` turns the synchronous ``Framework.solve()`` call into a
+stream-of-requests server (the ROADMAP's production-traffic seam):
+
+* ``submit()`` enqueues a :class:`~repro.serve.request.SolveRequest` onto a
+  **bounded priority queue** (smaller ``priority`` first, FIFO within a
+  priority) and returns a :class:`PendingSolve` future immediately; a full
+  queue rejects with :class:`~repro.errors.ServiceOverloaded` — backpressure,
+  not unbounded buffering;
+* a pool of worker threads drains the queue, resolving each request through
+  the **content-keyed LRU result cache** or a fresh ``Framework`` run;
+* per-request **timeouts** expire stale work (a request past its deadline
+  fails with :class:`~repro.errors.ServiceTimeout` instead of occupying a
+  worker), and a failed run is **retried once** before the error surfaces.
+
+Everything is instrumented through :mod:`repro.obs`: a ``serve.queue.depth``
+gauge, ``serve.cache.hits``/``serve.cache.misses`` counters, latency
+histograms (``serve.queue_wait_ms``, ``serve.execute_ms``,
+``serve.latency_ms``) and one ``serve.request`` span per processed request.
+See ``docs/serving.md``.
+
+Usage::
+
+    from repro.serve import SolveRequest, SolveService
+
+    with SolveService(workers=4, queue_size=256, cache_size=128) as svc:
+        pending = [svc.submit(SolveRequest(p)) for p in problems]
+        results = [p.result() for p in pending]
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import Iterable
+
+from ..core.framework import Framework
+from ..core.problem import LDDPProblem
+from ..errors import ServiceClosed, ServiceOverloaded, ServiceTimeout
+from ..exec.base import ExecOptions, SolveResult
+from ..machine.platform import Platform
+from ..obs import get_metrics, get_tracer
+from .cache import ResultCache
+from .request import SolveRequest, request_key
+
+__all__ = ["PendingSolve", "SolveService"]
+
+
+class PendingSolve:
+    """Handle for one submitted request — a future with deadline semantics."""
+
+    def __init__(self, request: SolveRequest, deadline: float | None) -> None:
+        self.request = request
+        self.deadline = deadline
+        self.submitted_at = time.monotonic()
+        self.cache_hit: bool | None = None  # set by the worker
+        self._future: Future = Future()
+
+    def done(self) -> bool:
+        return self._future.done()
+
+    def cancel(self) -> bool:
+        """Cancel if still queued; running/finished requests are unaffected."""
+        return self._future.cancel()
+
+    def exception(self, timeout: float | None = None):
+        try:
+            self.result(timeout)
+        except (ServiceTimeout, FutureTimeoutError):
+            raise
+        except Exception as exc:  # noqa: BLE001 - mirror Future.exception
+            return exc
+        return None
+
+    def result(self, timeout: float | None = None) -> SolveResult:
+        """Wait for the result.
+
+        Raises :class:`ServiceTimeout` once the request's own deadline has
+        passed, :class:`concurrent.futures.TimeoutError` if the caller's
+        ``timeout`` elapses first, or the worker's exception on failure.
+        """
+        budget = timeout
+        if self.deadline is not None:
+            remaining = self.deadline - time.monotonic()
+            budget = remaining if budget is None else min(budget, remaining)
+        try:
+            return self._future.result(budget)
+        except FutureTimeoutError:
+            if (
+                self.deadline is not None
+                and time.monotonic() >= self.deadline
+                and not self._future.done()
+            ):
+                raise ServiceTimeout(
+                    f"request for {self.request.problem.name!r} exceeded its "
+                    f"{self.request.timeout!r} s timeout"
+                ) from None
+            raise
+
+
+class SolveService:
+    """Bounded worker-pool solve server with a content-keyed result cache.
+
+    Parameters
+    ----------
+    platform:
+        Machine model shared by every request (default ``hetero_high``).
+    workers:
+        Worker-thread count (the concurrency of in-flight solves).
+    queue_size:
+        Maximum *waiting* requests; beyond it ``submit`` raises
+        :class:`ServiceOverloaded`.
+    cache_size:
+        LRU capacity of the result cache; ``0`` disables caching entirely.
+    default_timeout:
+        Deadline (seconds from submission) applied to requests that do not
+        carry their own; ``None`` means no deadline.
+    retries:
+        How many times a *failed* execution is retried before the exception
+        reaches the caller (default: retry once).
+    options:
+        Service-wide :class:`ExecOptions`; individual requests may override.
+    """
+
+    def __init__(
+        self,
+        platform: Platform | None = None,
+        *,
+        workers: int = 4,
+        queue_size: int = 64,
+        cache_size: int = 128,
+        default_timeout: float | None = None,
+        retries: int = 1,
+        options: ExecOptions | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if queue_size < 1:
+            raise ValueError(f"queue_size must be >= 1, got {queue_size}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.framework = Framework(platform, options)
+        self.queue_size = queue_size
+        self.default_timeout = default_timeout
+        self.retries = retries
+        self.cache: ResultCache | None = (
+            ResultCache(cache_size) if cache_size > 0 else None
+        )
+        self._queue: list[tuple[int, int, PendingSolve]] = []
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._seq = 0
+        self._closed = False
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"solve-worker-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for t in self._workers:
+            t.start()
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(self, request: SolveRequest) -> PendingSolve:
+        """Enqueue a request; returns immediately with a future handle."""
+        metrics = get_metrics()
+        with self._not_empty:
+            if self._closed:
+                raise ServiceClosed("service is closed; no further requests")
+            if len(self._queue) >= self.queue_size:
+                metrics.counter("serve.requests.rejected").inc()
+                raise ServiceOverloaded(
+                    f"request queue is full ({self.queue_size} waiting); "
+                    "back off and retry"
+                )
+            timeout = (
+                request.timeout if request.timeout is not None
+                else self.default_timeout
+            )
+            deadline = None if timeout is None else time.monotonic() + timeout
+            pending = PendingSolve(request, deadline)
+            self._seq += 1
+            heapq.heappush(self._queue, (request.priority, self._seq, pending))
+            metrics.counter("serve.requests.submitted").inc()
+            metrics.gauge("serve.queue.depth").set(len(self._queue))
+            self._not_empty.notify()
+        return pending
+
+    def submit_problem(self, problem: LDDPProblem, **kwargs) -> PendingSolve:
+        """Shorthand: wrap ``problem`` in a :class:`SolveRequest` and submit."""
+        return self.submit(SolveRequest(problem, **kwargs))
+
+    def solve(self, problem: LDDPProblem, **kwargs) -> SolveResult:
+        """Synchronous convenience: submit and wait for the result."""
+        return self.submit_problem(problem, **kwargs).result()
+
+    def map(self, problems: Iterable[LDDPProblem], **kwargs) -> list[SolveResult]:
+        """Submit a batch and wait for all results, in input order."""
+        pending = [self.submit_problem(p, **kwargs) for p in problems]
+        return [p.result() for p in pending]
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting work; drain the queue (``wait``) or fail it fast."""
+        with self._not_empty:
+            self._closed = True
+            drained: list[PendingSolve] = []
+            if not wait:
+                drained = [pending for _, _, pending in self._queue]
+                self._queue.clear()
+                get_metrics().gauge("serve.queue.depth").set(0)
+            self._not_empty.notify_all()
+        for pending in drained:
+            pending._future.cancel()
+        for t in self._workers:
+            t.join()
+
+    def __enter__(self) -> "SolveService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close(wait=True)
+
+    # -- introspection ---------------------------------------------------------
+
+    def queue_depth(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    def stats(self) -> dict[str, object]:
+        """A snapshot for dashboards: queue, workers, cache."""
+        out: dict[str, object] = {
+            "queue_depth": self.queue_depth(),
+            "queue_size": self.queue_size,
+            "workers": len(self._workers),
+            "closed": self._closed,
+            "cache": None if self.cache is None else self.cache.stats(),
+        }
+        return out
+
+    # -- worker internals ------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._not_empty:
+                while not self._queue and not self._closed:
+                    self._not_empty.wait()
+                if not self._queue:
+                    return  # closed and drained
+                _, _, pending = heapq.heappop(self._queue)
+                get_metrics().gauge("serve.queue.depth").set(len(self._queue))
+            self._process(pending)
+
+    def _process(self, pending: PendingSolve) -> None:
+        metrics = get_metrics()
+        tracer = get_tracer()
+        request = pending.request
+        if not pending._future.set_running_or_notify_cancel():
+            metrics.counter("serve.requests.cancelled").inc()
+            return
+        wait_ms = (time.monotonic() - pending.submitted_at) * 1e3
+        metrics.histogram("serve.queue_wait_ms").observe(wait_ms)
+        with tracer.span(
+            "serve.request",
+            cat="serve",
+            problem=request.problem.name,
+            executor=request.executor,
+            priority=request.priority,
+        ) as span:
+            if (
+                pending.deadline is not None
+                and time.monotonic() >= pending.deadline
+            ):
+                metrics.counter("serve.requests.timeout").inc()
+                span.set(outcome="timeout")
+                pending._future.set_exception(
+                    ServiceTimeout(
+                        f"request for {request.problem.name!r} expired after "
+                        f"{request.timeout or self.default_timeout!r} s in "
+                        "the queue"
+                    )
+                )
+                return
+
+            key = None
+            if self.cache is not None and request.cacheable:
+                key = request_key(
+                    request,
+                    self.framework.platform,
+                    request.options or self.framework.options,
+                )
+                hit = self.cache.get(key)
+                if hit is not None:
+                    pending.cache_hit = True
+                    metrics.counter("serve.cache.hits").inc()
+                    metrics.histogram("serve.latency_ms").observe(
+                        (time.monotonic() - pending.submitted_at) * 1e3
+                    )
+                    metrics.counter("serve.requests.completed").inc()
+                    span.set(outcome="hit")
+                    pending._future.set_result(hit)
+                    return
+                metrics.counter("serve.cache.misses").inc()
+
+            pending.cache_hit = False
+            attempts = 0
+            while True:
+                try:
+                    with metrics.histogram("serve.execute_ms").time():
+                        result = self._execute(request)
+                    break
+                except Exception as exc:  # noqa: BLE001 - surfaced via future
+                    attempts += 1
+                    if attempts > self.retries:
+                        metrics.counter("serve.requests.failed").inc()
+                        span.set(outcome="failed", error=type(exc).__name__)
+                        pending._future.set_exception(exc)
+                        return
+                    metrics.counter("serve.retries").inc()
+                    span.set(retried=attempts)
+
+            if key is not None:
+                self.cache.put(key, result)
+            metrics.counter("serve.requests.completed").inc()
+            metrics.histogram("serve.latency_ms").observe(
+                (time.monotonic() - pending.submitted_at) * 1e3
+            )
+            span.set(outcome="miss" if key is not None else "uncached")
+            pending._future.set_result(result)
+
+    def _execute(self, request: SolveRequest) -> SolveResult:
+        run = self.framework.solve if request.functional else self.framework.estimate
+        return run(
+            request.problem,
+            executor=request.executor,
+            params=request.params,
+            options=request.options,
+        )

@@ -59,6 +59,41 @@ class TestSolve:
             ["solve", "lcs", "--size", "32", "--platform", "low", "--estimate"]
         ) == 0
 
+    def test_executor_choices_derive_from_registry(self, capsys):
+        # cpu-wavefront-major is registered but was missing from the old
+        # hard-coded CLI choices list
+        assert main(
+            ["solve", "lcs", "--size", "24", "--executor",
+             "cpu-wavefront-major"]
+        ) == 0
+        assert "cpu-wavefront-major" in capsys.readouterr().out
+
+
+class TestServe:
+    def test_serve_smoke(self, capsys):
+        assert main(
+            ["serve", "--requests", "8", "--size", "32", "--workers", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "req/s" in out
+        assert "cache" in out
+        assert "hits" in out
+
+    def test_serve_no_cache(self, capsys):
+        assert main(
+            ["serve", "--requests", "4", "--size", "24", "--workers", "2",
+             "--no-cache", "--problems", "lcs"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "disabled" in out
+
+    def test_serve_metrics_dump(self, capsys):
+        assert main(
+            ["serve", "--requests", "4", "--size", "24", "--metrics"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "serve.requests.submitted" in out
+
 
 class TestTune:
     def test_tune_output(self, capsys):

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+import repro
 from repro import (
     ContributingSet,
     ExecOptions,
@@ -10,6 +11,8 @@ from repro import (
     HeteroParams,
     LDDPProblem,
     Pattern,
+    register_executor,
+    unregister_executor,
 )
 from repro.errors import ExecutionError
 from repro.exec import CPUExecutor, GPUExecutor, HeteroExecutor, SequentialExecutor
@@ -49,6 +52,109 @@ class TestExecutorFactory:
     def test_options_propagated(self):
         fw = Framework(options=ExecOptions(pipeline=False))
         assert fw.executor("hetero").options.pipeline is False
+
+    def test_error_message_names_every_registered_executor(self):
+        with pytest.raises(ExecutionError) as err:
+            Framework().executor("tpu")
+        for name in ("sequential", "cpu", "cpu-blocked", "cpu-wavefront-major",
+                     "gpu", "hetero"):
+            assert name in str(err.value)
+
+
+class TestExecutorRegistry:
+    def test_executors_lists_all_builtins(self):
+        assert Framework.executors() == (
+            "cpu", "cpu-blocked", "cpu-wavefront-major", "gpu", "hetero",
+            "sequential",
+        )
+
+    def test_register_and_solve_by_name(self):
+        class EchoExecutor(SequentialExecutor):
+            name = "echo"
+
+        register_executor("echo", EchoExecutor)
+        try:
+            assert "echo" in Framework.executors()
+            res = Framework().solve(make_levenshtein(12), executor="echo")
+            baseline = Framework().solve(make_levenshtein(12))
+            assert np.array_equal(res.table, baseline.table)
+        finally:
+            unregister_executor("echo")
+        assert "echo" not in Framework.executors()
+
+    def test_duplicate_registration_rejected_without_replace(self):
+        class EchoExecutor(SequentialExecutor):
+            name = "echo"
+
+        class OtherExecutor(SequentialExecutor):
+            name = "echo"
+
+        register_executor("echo", EchoExecutor)
+        try:
+            with pytest.raises(ExecutionError, match="already registered"):
+                register_executor("echo", OtherExecutor)
+            register_executor("echo", OtherExecutor, replace=True)
+            assert isinstance(Framework().executor("echo"), OtherExecutor)
+        finally:
+            unregister_executor("echo")
+
+    def test_non_executor_class_rejected(self):
+        with pytest.raises(ExecutionError, match="Executor subclass"):
+            register_executor("bogus", dict)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ExecutionError, match="non-empty"):
+            register_executor("", SequentialExecutor)
+
+
+class TestPerCallOptions:
+    def test_executor_level_override(self):
+        fw = Framework(options=ExecOptions(pipeline=True))
+        ex = fw.executor("hetero", options=ExecOptions(pipeline=False))
+        assert ex.options.pipeline is False
+        assert fw.options.pipeline is True  # framework default untouched
+
+    def test_per_call_options_match_construction_options(self):
+        p = make_levenshtein(64, materialize=False)
+        override = ExecOptions(use_wavefront_layout=False)
+        per_call = Framework().estimate(p, executor="gpu", options=override)
+        constructed = Framework(options=override).estimate(p, executor="gpu")
+        default = Framework().estimate(p, executor="gpu")
+        assert per_call.simulated_time == constructed.simulated_time
+        assert per_call.simulated_time != default.simulated_time
+
+    def test_old_positional_call_shape_still_works(self):
+        res = Framework().solve(
+            make_levenshtein(24), "hetero", HeteroParams(t_switch=4, t_share=2)
+        )
+        assert res.stats["t_switch"] == 4
+
+
+class TestModuleLevelSolve:
+    def test_one_call_solve_matches_framework(self):
+        direct = Framework().solve(make_levenshtein(24))
+        one_call = repro.solve(make_levenshtein(24))
+        assert np.array_equal(one_call.table, direct.table)
+        assert one_call.simulated_time == direct.simulated_time
+
+    def test_one_call_estimate_platform_and_executor(self):
+        res = repro.estimate(
+            make_levenshtein(32, materialize=False),
+            platform=hetero_low(),
+            executor="cpu",
+        )
+        assert res.table is None
+        assert res.executor == "cpu"
+
+    def test_one_call_options(self):
+        default = repro.estimate(make_levenshtein(64, materialize=False),
+                                 executor="gpu")
+        ablated = repro.estimate(
+            make_levenshtein(64, materialize=False),
+            executor="gpu",
+            options=ExecOptions(use_wavefront_layout=False),
+        )
+        assert ablated.simulated_time != default.simulated_time
 
 
 class TestDispatch:

@@ -1,0 +1,437 @@
+"""Tests for the concurrent solve service (repro.serve)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import ContributingSet, Framework, LDDPProblem
+from repro.errors import (
+    CacheKeyError,
+    ServiceClosed,
+    ServiceOverloaded,
+    ServiceTimeout,
+)
+from repro.machine.platform import hetero_high
+from repro.obs import MetricsRegistry, get_metrics, set_metrics
+from repro.problems import make_dithering, make_lcs, make_levenshtein
+from repro.serve import ResultCache, SolveRequest, SolveService, problem_signature
+
+
+@pytest.fixture(autouse=True)
+def fresh_metrics():
+    """Isolate the process-wide registry per test."""
+    previous = set_metrics(MetricsRegistry())
+    try:
+        yield get_metrics()
+    finally:
+        set_metrics(previous)
+
+
+def make_costs_problem(costs: np.ndarray, name: str = "serve-costs") -> LDDPProblem:
+    """min(W, N) + costs[i, j] — the result depends on every payload byte."""
+
+    def init(table, payload):
+        table[0, :] = np.arange(table.shape[1])
+        table[:, 0] = np.arange(table.shape[0])
+
+    def cell(ctx):
+        return np.minimum(ctx.w, ctx.n) + ctx.payload["costs"][ctx.i, ctx.j]
+
+    return LDDPProblem(
+        name=name,
+        shape=costs.shape,
+        contributing=ContributingSet.of("W", "N"),
+        cell=cell,
+        init=init,
+        fixed_rows=1,
+        fixed_cols=1,
+        payload={"costs": costs},
+    )
+
+
+def make_event_problem(
+    event: threading.Event, name: str = "gate", marker=None, order=None
+) -> LDDPProblem:
+    """A problem whose init blocks on ``event`` (and records ``marker``)."""
+
+    def init(table, payload):
+        event.wait(timeout=10.0)
+        if order is not None:
+            order.append(marker)
+
+    def cell(ctx):
+        return ctx.w + 1
+
+    return LDDPProblem(
+        name=name,
+        shape=(4, 6),
+        contributing=ContributingSet.of("W"),
+        cell=cell,
+        init=init,
+    )
+
+
+def costs(shape=(10, 12), seed=0) -> np.ndarray:
+    return np.random.default_rng(seed).uniform(0.0, 4.0, size=shape)
+
+
+# -- determinism and caching ---------------------------------------------------
+
+
+class TestDeterminism:
+    def test_result_identical_to_direct_framework_solve(self):
+        c = costs()
+        direct = Framework(hetero_high()).solve(make_costs_problem(c.copy()))
+        with SolveService(hetero_high(), workers=2) as svc:
+            served = svc.solve(make_costs_problem(c.copy()))
+        assert np.array_equal(served.table, direct.table)
+        assert served.simulated_time == direct.simulated_time
+        assert served.executor == direct.executor
+
+    def test_cache_hit_bit_for_bit_equal(self):
+        c = costs()
+        direct = Framework(hetero_high()).solve(make_costs_problem(c.copy()))
+        with SolveService(hetero_high(), workers=1) as svc:
+            first = svc.solve(make_costs_problem(c.copy()))
+            second = svc.solve(make_costs_problem(c.copy()))
+        assert svc.cache.hits == 1 and svc.cache.misses == 1
+        for res in (first, second):
+            assert np.array_equal(res.table, direct.table)
+            assert res.simulated_time == direct.simulated_time
+
+    def test_aux_arrays_served_and_cached(self):
+        direct = Framework(hetero_high()).solve(make_dithering(16, seed=3))
+        with SolveService(hetero_high(), workers=1) as svc:
+            first = svc.solve(make_dithering(16, seed=3))
+            second = svc.solve(make_dithering(16, seed=3))
+        assert svc.cache.hits == 1
+        for res in (first, second):
+            assert np.array_equal(res.table, direct.table)
+            for key, arr in direct.aux.items():
+                assert np.array_equal(res.aux[key], arr)
+
+    def test_estimate_requests_cache_without_tables(self):
+        direct = Framework(hetero_high()).estimate(make_lcs(64, materialize=False))
+        with SolveService(hetero_high(), workers=1) as svc:
+            pends = [
+                svc.submit(
+                    SolveRequest(make_lcs(64, materialize=False), functional=False)
+                )
+                for _ in range(2)
+            ]
+            results = [p.result() for p in pends]
+        assert svc.cache.hits == 1
+        for res in results:
+            assert res.table is None
+            assert res.simulated_time == direct.simulated_time
+
+    def test_distinct_options_do_not_share_entries(self):
+        from repro import ExecOptions
+
+        p = make_lcs(48, materialize=False)
+        with SolveService(hetero_high(), workers=1) as svc:
+            a = svc.submit(
+                SolveRequest(p, executor="gpu", functional=False,
+                             options=ExecOptions(use_wavefront_layout=True))
+            ).result()
+            b = svc.submit(
+                SolveRequest(p, executor="gpu", functional=False,
+                             options=ExecOptions(use_wavefront_layout=False))
+            ).result()
+        assert svc.cache.hits == 0 and svc.cache.misses == 2
+        assert a.simulated_time != b.simulated_time
+
+
+# -- the payload-aliasing regression ------------------------------------------
+
+
+class TestPayloadAliasing:
+    def test_request_snapshots_payload_at_construction(self):
+        c = costs(seed=1)
+        original = c.copy()
+        problem = make_costs_problem(c)
+        request = SolveRequest(problem)
+        c += 100.0  # caller mutates *after* the request is built
+        direct = Framework(hetero_high()).solve(make_costs_problem(original))
+        with SolveService(hetero_high(), workers=1) as svc:
+            served = svc.submit(request).result()
+        assert np.array_equal(served.table, direct.table)
+        # the snapshot is private and frozen; the caller's problem untouched
+        assert request.problem.payload["costs"].flags.writeable is False
+        assert np.array_equal(problem.payload["costs"], original + 100.0)
+
+    def test_mutating_returned_table_cannot_poison_cache(self):
+        c = costs(seed=2)
+        direct = Framework(hetero_high()).solve(make_costs_problem(c.copy()))
+        with SolveService(hetero_high(), workers=1) as svc:
+            first = svc.solve(make_costs_problem(c.copy()))
+            first.table[:] = -1.0
+            second = svc.solve(make_costs_problem(c.copy()))
+        assert svc.cache.hits == 1
+        assert np.array_equal(second.table, direct.table)
+
+    def test_mutated_payload_is_a_different_cache_key(self):
+        c = costs(seed=3)
+        p1 = make_costs_problem(c.copy())
+        p2 = make_costs_problem(c.copy() + 1.0)
+        assert problem_signature(p1) != problem_signature(p2)
+        with SolveService(hetero_high(), workers=1) as svc:
+            r1 = svc.solve(p1)
+            r2 = svc.solve(p2)
+            r1_again = svc.solve(make_costs_problem(c.copy()))
+        assert svc.cache.misses == 2 and svc.cache.hits == 1
+        assert not np.array_equal(r1.table, r2.table)
+        assert np.array_equal(r1_again.table, r1.table)
+
+    def test_unhashable_payload_rejected_unless_uncacheable(self):
+        problem = make_costs_problem(costs())
+        problem.payload["handle"] = object()
+        with pytest.raises(CacheKeyError, match="cacheable=False"):
+            SolveRequest(problem)
+        request = SolveRequest(problem, cacheable=False)
+        assert request.signature is None
+        with SolveService(hetero_high(), workers=1) as svc:
+            res = svc.submit(request).result()
+        assert res.table is not None
+        assert svc.cache.hits == 0 and svc.cache.misses == 0
+
+
+# -- concurrency ---------------------------------------------------------------
+
+
+class TestConcurrency:
+    def test_concurrent_submitters_drain_correctly(self):
+        pool = [costs(seed=s) for s in range(3)]
+        fw = Framework(hetero_high())
+        expected = [fw.solve(make_costs_problem(c.copy())) for c in pool]
+        failures = []
+
+        with SolveService(hetero_high(), workers=4, queue_size=256) as svc:
+            def client(tid):
+                try:
+                    for k in range(6):
+                        idx = (tid + k) % len(pool)
+                        res = svc.solve(make_costs_problem(pool[idx].copy()))
+                        if not np.array_equal(res.table, expected[idx].table):
+                            failures.append((tid, k, idx))
+                except Exception as exc:  # noqa: BLE001
+                    failures.append((tid, repr(exc)))
+
+            threads = [
+                threading.Thread(target=client, args=(tid,)) for tid in range(8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+        assert not failures
+        m = get_metrics()
+        assert m.counter("serve.requests.completed").value == 48
+        assert (
+            m.counter("serve.cache.hits").value
+            + m.counter("serve.cache.misses").value
+            == 48
+        )
+
+    def test_priority_orders_queued_work(self):
+        gate = threading.Event()
+        order: list[str] = []
+        with SolveService(hetero_high(), workers=1, cache_size=0) as svc:
+            svc.submit_problem(
+                make_event_problem(gate, "gate", marker="gate", order=order),
+                cacheable=False,
+            )
+            while svc.queue_depth() > 0:  # wait for the worker to hold it
+                time.sleep(0.001)
+            done = threading.Event()
+            low = make_event_problem(done, "low", marker="low", order=order)
+            high = make_event_problem(done, "high", marker="high", order=order)
+            done.set()
+            svc.submit_problem(low, priority=5, cacheable=False)
+            svc.submit_problem(high, priority=0, cacheable=False)
+            gate.set()
+        assert order == ["gate", "high", "low"]
+
+
+# -- backpressure, timeouts, retries, lifecycle --------------------------------
+
+
+class TestAdmission:
+    def test_queue_full_rejects_with_service_overloaded(self):
+        gate = threading.Event()
+        with SolveService(hetero_high(), workers=1, queue_size=2) as svc:
+            blocker = svc.submit_problem(
+                make_event_problem(gate), cacheable=False
+            )
+            while svc.queue_depth() > 0:
+                time.sleep(0.001)
+            fillers = [
+                svc.submit_problem(make_costs_problem(costs(seed=s)))
+                for s in range(2)
+            ]
+            with pytest.raises(ServiceOverloaded, match="queue is full"):
+                svc.submit_problem(make_costs_problem(costs(seed=9)))
+            gate.set()
+            blocker.result()
+            for f in fillers:
+                f.result()
+        assert get_metrics().counter("serve.requests.rejected").value == 1
+
+    def test_expired_request_raises_service_timeout(self):
+        gate = threading.Event()
+        with SolveService(hetero_high(), workers=1) as svc:
+            svc.submit_problem(make_event_problem(gate), cacheable=False)
+            while svc.queue_depth() > 0:
+                time.sleep(0.001)
+            stale = svc.submit_problem(
+                make_costs_problem(costs()), timeout=0.05
+            )
+            with pytest.raises(ServiceTimeout):
+                stale.result()
+            gate.set()
+        # the worker also refuses to start it once the deadline has passed
+        assert get_metrics().counter("serve.requests.timeout").value == 1
+
+    def test_failed_run_is_retried_once_then_succeeds(self):
+        attempts = {"n": 0}
+
+        def init(table, payload):
+            attempts["n"] += 1
+            if attempts["n"] == 1:
+                raise RuntimeError("transient worker failure")
+
+        def cell(ctx):
+            return ctx.w + 1
+
+        problem = LDDPProblem(
+            name="flaky", shape=(4, 6),
+            contributing=ContributingSet.of("W"), cell=cell, init=init,
+        )
+        with SolveService(hetero_high(), workers=1) as svc:
+            res = svc.submit_problem(problem, cacheable=False).result()
+        assert res.table is not None
+        assert attempts["n"] == 2
+        m = get_metrics()
+        assert m.counter("serve.retries").value == 1
+        assert m.counter("serve.requests.failed").value == 0
+
+    def test_permanent_failure_surfaces_after_retry(self):
+        calls = {"n": 0}
+
+        def init(table, payload):
+            calls["n"] += 1
+            raise RuntimeError("hardware on fire")
+
+        def cell(ctx):
+            return ctx.w + 1
+
+        problem = LDDPProblem(
+            name="doomed", shape=(4, 6),
+            contributing=ContributingSet.of("W"), cell=cell, init=init,
+        )
+        with SolveService(hetero_high(), workers=1) as svc:
+            pending = svc.submit_problem(problem, cacheable=False)
+            with pytest.raises(RuntimeError, match="hardware on fire"):
+                pending.result()
+        assert calls["n"] == 2  # original attempt + one retry
+        m = get_metrics()
+        assert m.counter("serve.retries").value == 1
+        assert m.counter("serve.requests.failed").value == 1
+
+    def test_closed_service_rejects_submissions(self):
+        svc = SolveService(hetero_high(), workers=1)
+        svc.close()
+        with pytest.raises(ServiceClosed):
+            svc.submit_problem(make_costs_problem(costs()))
+
+    def test_close_drains_pending_work(self):
+        svc = SolveService(hetero_high(), workers=2)
+        pending = [
+            svc.submit_problem(make_costs_problem(costs(seed=s)))
+            for s in range(6)
+        ]
+        svc.close(wait=True)
+        for p in pending:
+            assert p.result().table is not None
+
+
+# -- observability (acceptance criterion) --------------------------------------
+
+
+class TestMetricsExported:
+    def test_queue_depth_cache_and_latency_metrics(self):
+        c = costs()
+        with SolveService(hetero_high(), workers=2) as svc:
+            for _ in range(4):
+                svc.solve(make_costs_problem(c.copy()))
+        m = get_metrics()
+        for name in (
+            "serve.queue.depth",
+            "serve.cache.hits",
+            "serve.cache.misses",
+            "serve.queue_wait_ms",
+            "serve.latency_ms",
+            "serve.execute_ms",
+            "serve.requests.submitted",
+            "serve.requests.completed",
+        ):
+            assert name in m, f"missing metric {name}"
+        assert m.counter("serve.requests.submitted").value == 4
+        assert m.counter("serve.requests.completed").value == 4
+        assert m.counter("serve.cache.hits").value == 3
+        assert m.counter("serve.cache.misses").value == 1
+        hist = m.histogram("serve.latency_ms")
+        assert hist.count == 4
+        assert hist.percentile(99) >= hist.percentile(50) > 0
+        assert m.gauge("serve.queue.depth").value == 0
+
+    def test_request_spans_recorded(self):
+        from repro.obs import Tracer, use_tracer
+
+        c = costs()
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with SolveService(hetero_high(), workers=1) as svc:
+                svc.solve(make_costs_problem(c.copy()))
+                svc.solve(make_costs_problem(c.copy()))
+        spans = [s for s in tracer.finished_spans() if s.name == "serve.request"]
+        assert len(spans) == 2
+        outcomes = sorted(s.attrs.get("outcome") for s in spans)
+        assert outcomes == ["hit", "miss"]
+
+
+# -- the cache in isolation ----------------------------------------------------
+
+
+class TestResultCache:
+    def test_lru_eviction(self):
+        from repro.exec.base import SolveResult
+        from repro.types import Pattern
+
+        cache = ResultCache(capacity=2)
+        for k in range(3):
+            cache.put(
+                f"k{k}",
+                SolveResult(problem=f"p{k}", executor="x",
+                            pattern=Pattern.HORIZONTAL, simulated_time=1.0,
+                            table=np.full((2, 2), k)),
+            )
+        assert len(cache) == 2 and cache.evictions == 1
+        assert cache.get("k0") is None  # evicted, counts a miss
+        assert cache.get("k2").table[0, 0] == 2
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            ResultCache(capacity=0)
+
+    def test_levenshtein_roundtrip_signature_stable(self):
+        a = problem_signature(make_levenshtein(32, seed=5))
+        b = problem_signature(make_levenshtein(32, seed=5))
+        c = problem_signature(make_levenshtein(32, seed=6))
+        assert a == b
+        assert a != c
