@@ -1,0 +1,122 @@
+"""Allocation profile of ``gather_neighbors`` (the generic path's gather).
+
+The interior case — every neighbour read in bounds, which is every wavefront
+of a problem with a fixed boundary — must allocate *only* the gather outputs
+plus the transient offset-index arrays inherent to any gather: the in-bounds
+test is two min/max scans, not a mask array, and there is no ``np.where``
+fill pair. The boundary case pays for masks and clipped indices; the old
+implementation paid that on *every* batch.
+
+Verified with ``tracemalloc`` (allocation bytes, not timing, so the result
+is machine-independent) plus a wall-clock comparison for reference. Results
+land in ``benchmarks/results/gather_neighbors.txt``.
+
+Run standalone::
+
+    python benchmarks/bench_gather_neighbors.py
+
+or through pytest alongside the other benchmarks.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+import tracemalloc
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.cellfunc import gather_neighbors
+from repro.types import ContributingSet
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+ROWS = COLS = 1024
+WIDTH = 1000
+CONTRIBUTING = ContributingSet.of("W", "NW", "N")
+#: int64 gather output per neighbour; everything beyond outputs is overhead.
+OUTPUT_BYTES = 3 * WIDTH * 8
+
+
+def _batches() -> tuple[tuple, tuple]:
+    """An all-in-bounds batch and one with out-of-bounds reads."""
+    table = np.arange(ROWS * COLS, dtype=np.int64).reshape(ROWS, COLS)
+    k = np.arange(WIDTH, dtype=np.int64)
+    interior = (table, 1 + k, COLS - 2 - k)      # neighbours all in bounds
+    boundary = (table, k, COLS - 1 - k)          # i-1 / j-1 go negative
+    return interior, boundary
+
+
+def _alloc_peak(table, i, j) -> int:
+    """Peak new-allocation bytes of one gather, via tracemalloc."""
+    gather_neighbors(table, CONTRIBUTING, i, j, oob_value=0)  # warm caches
+    tracemalloc.start()
+    tracemalloc.reset_peak()
+    out = gather_neighbors(table, CONTRIBUTING, i, j, oob_value=0)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    assert len(out) == 4
+    return peak
+
+
+def _timing(table, i, j, reps: int = 2000) -> float:
+    best = float("inf")
+    for _ in range(5):
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            gather_neighbors(table, CONTRIBUTING, i, j, oob_value=0)
+        best = min(best, (time.perf_counter() - t0) / reps)
+    return best
+
+
+def measure() -> dict:
+    interior, boundary = _batches()
+    return {
+        "width": WIDTH,
+        "output_bytes": OUTPUT_BYTES,
+        "interior_peak": _alloc_peak(*interior),
+        "boundary_peak": _alloc_peak(*boundary),
+        "interior_us": _timing(*interior) * 1e6,
+        "boundary_us": _timing(*boundary) * 1e6,
+    }
+
+
+def report(r: dict) -> str:
+    return "\n".join([
+        f"gather_neighbors, {len(CONTRIBUTING.members())} neighbours x "
+        f"{r['width']} lanes ({r['output_bytes']} output bytes)",
+        f"  interior batch: peak alloc {r['interior_peak']:7d} B   "
+        f"{r['interior_us']:6.1f} us",
+        f"  boundary batch: peak alloc {r['boundary_peak']:7d} B   "
+        f"{r['boundary_us']:6.1f} us",
+    ])
+
+
+def test_interior_allocates_only_outputs():
+    r = measure()
+    # Live at the peak: the gather outputs plus at most one neighbour's two
+    # transient offset-index arrays (2/3 of output size here). Anything near
+    # the boundary case's footprint means a mask/fill pair sneaked back in.
+    assert r["interior_peak"] < r["output_bytes"] * 2, (
+        f"interior gather allocated {r['interior_peak']} B peak for "
+        f"{r['output_bytes']} B of outputs — mask-path allocations are back"
+    )
+    assert r["boundary_peak"] > r["interior_peak"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    r = measure()
+    text = report(r)
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "gather_neighbors.txt").write_text(text + "\n")
+    if r["interior_peak"] >= r["output_bytes"] * 2:
+        print("FAIL: interior gather allocates beyond outputs + indices",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

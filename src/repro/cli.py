@@ -27,6 +27,7 @@ from .analysis.catalog import ARTIFACTS, run_artifact
 from .analysis.profiles import profile_summary
 from .core.framework import Framework
 from .core.schedule import schedule_for
+from .exec.base import ExecOptions
 from .machine.platform import Platform, hetero_high, hetero_low, hetero_phi
 from .problems import (
     make_checkerboard,
@@ -92,7 +93,10 @@ def _cmd_solve(args) -> int:
         return 2
     maker = _PROBLEMS[args.problem]
     problem = maker(args.size, materialize=not args.estimate)
-    fw = Framework(_platform(args.platform))
+    options = (
+        ExecOptions(kernel_fastpath=False) if args.no_kernel_fastpath else None
+    )
+    fw = Framework(_platform(args.platform), options)
     run = fw.estimate if args.estimate else fw.solve
     tracer = Tracer() if args.trace else NullTracer()
     with use_tracer(tracer):
@@ -285,6 +289,11 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument(
         "--metrics", action="store_true",
         help="dump the metrics registry after the run",
+    )
+    p.add_argument(
+        "--no-kernel-fastpath", action="store_true",
+        help="disable the compiled kernel-plan fast path — every span runs "
+             "the generic masked gather/scatter (A/B baseline)",
     )
     p.set_defaults(fn=_cmd_solve)
 

@@ -130,18 +130,30 @@ def gather_neighbors(
     value arrays (or ``None`` for non-members). Reads that fall outside the
     table are filled with ``oob_value`` — this implements boundary handling
     like the checkerboard recurrence's ``f = inf if j < 1 or j > n``.
+
+    The interior case (every read in bounds, detected by min/max scans that
+    allocate nothing) is a single fancy gather: the gather output is the only
+    array allocated. Out-of-bounds batches clip the indices, gather once, and
+    overwrite the clipped lanes with ``oob_value`` in one masked constant
+    write — no second fill array, no per-lane ``np.where``.
     """
     rows, cols = table.shape
     out: dict[str, np.ndarray | None] = {"w": None, "nw": None, "n": None, "ne": None}
     for nb in contributing:
         di, dj = nb.offset
-        ni = i + di
-        nj = j + dj
-        inb = (ni >= 0) & (ni < rows) & (nj >= 0) & (nj < cols)
-        if inb.all():
+        ni = i + di if di else i
+        nj = j + dj if dj else j
+        if ni.size == 0 or (
+            int(ni.min()) >= 0 and int(ni.max()) < rows
+            and int(nj.min()) >= 0 and int(nj.max()) < cols
+        ):
             vals = table[ni, nj]
         else:
-            vals = np.full(i.shape, oob_value, dtype=table.dtype)
-            vals[inb] = table[ni[inb], nj[inb]]
+            oob = ni < 0
+            oob |= ni >= rows
+            oob |= nj < 0
+            oob |= nj >= cols
+            vals = table[np.clip(ni, 0, rows - 1), np.clip(nj, 0, cols - 1)]
+            vals[oob] = oob_value
         out[nb.value.lower()] = vals
     return out

@@ -62,6 +62,8 @@ class WavefrontSchedule(ABC):
             raise ScheduleError(f"region must be non-empty, got {rows}x{cols}")
         self.rows = int(rows)
         self.cols = int(cols)
+        self._widths: np.ndarray | None = None
+        self._max_width: int | None = None
 
     # -- geometry ----------------------------------------------------------
 
@@ -100,12 +102,29 @@ class WavefrontSchedule(ABC):
         return self.rows * self.cols
 
     def widths(self) -> np.ndarray:
-        """Parallelism profile: array of ``width(t)`` for all iterations."""
-        return np.array([self.width(t) for t in range(self.num_iterations)], dtype=np.int64)
+        """Parallelism profile: array of ``width(t)`` for all iterations.
+
+        Memoized per instance (geometry is immutable); the returned array is
+        shared and read-only.
+        """
+        w = self._widths
+        if w is None:
+            w = np.array(
+                [self.width(t) for t in range(self.num_iterations)],
+                dtype=np.int64,
+            )
+            w.flags.writeable = False
+            self._widths = w
+        return w
 
     @property
     def max_width(self) -> int:
-        return int(self.widths().max())
+        m = self._max_width
+        if m is None:
+            ws = self.widths()
+            m = int(ws.max()) if ws.size else 0
+            self._max_width = m
+        return m
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

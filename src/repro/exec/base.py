@@ -8,12 +8,13 @@ from typing import Any
 
 import numpy as np
 
-from ..core.cellfunc import EvalContext, gather_neighbors
 from ..core.problem import LDDPProblem
 from ..core.schedule import WavefrontSchedule
 from ..errors import ExecutionError
+from ..kernels import generic_span, plan_for
 from ..machine.platform import Platform
 from ..memory.buffers import TransferLedger
+from ..obs import get_metrics
 from ..sim.timeline import Timeline
 from ..types import Pattern
 
@@ -52,6 +53,11 @@ class ExecOptions:
         Run the timeline's structural invariant checks after every solve.
     block_size:
         Tile edge for the block-tiled CPU executor (``cpu-blocked``).
+    kernel_fastpath:
+        Dispatch ``evaluate_span`` through the compiled kernel-plan cache
+        (:mod:`repro.kernels`). Off: every span runs the generic masked
+        gather/scatter path — the A/B knob behind the CLI's
+        ``--no-kernel-fastpath``.
     """
 
     use_wavefront_layout: bool = True
@@ -60,6 +66,7 @@ class ExecOptions:
     inverted_l_as_horizontal: bool = True
     validate_timeline: bool = False
     block_size: int = 64
+    kernel_fastpath: bool = True
 
 
 @dataclass
@@ -104,6 +111,46 @@ def wavefront_contiguous(pattern: Pattern, use_wavefront_layout: bool) -> bool:
     return use_wavefront_layout
 
 
+# One-entry memo for the hot dispatch state of evaluate_span: a solve calls
+# it once per wavefront with the same (problem, schedule, origin) and metrics
+# registry, so identity checks replace the plan-cache lookup and the two
+# counter-name lookups on every call after the first. Rebuilding on a miss is
+# cheap and the tuple swap is atomic, so racing threads at worst recompute.
+_SPAN_STATE: tuple | None = None
+_GENERIC_COUNTER: tuple | None = None  # (metrics registry, counter)
+
+
+def _span_state(problem, schedule, origin):
+    global _SPAN_STATE
+    metrics = get_metrics()
+    s = _SPAN_STATE
+    if (
+        s is not None
+        and s[0] is problem and s[1] is schedule
+        and s[2] == origin and s[3] is metrics
+    ):
+        return s
+    plan = plan_for(problem, schedule, origin)
+    s = (
+        problem, schedule, origin, metrics, plan,
+        metrics.counter("kernels.span.fast"),
+        metrics.counter("kernels.span.generic"),
+        schedule.widths(),
+    )
+    _SPAN_STATE = s
+    return s
+
+
+def _generic_counter():
+    global _GENERIC_COUNTER
+    metrics = get_metrics()
+    s = _GENERIC_COUNTER
+    if s is None or s[0] is not metrics:
+        s = (metrics, metrics.counter("kernels.span.generic"))
+        _GENERIC_COUNTER = s
+    return s[1]
+
+
 def evaluate_span(
     problem: LDDPProblem,
     schedule: WavefrontSchedule,
@@ -112,31 +159,48 @@ def evaluate_span(
     t: int,
     lo: int = 0,
     hi: int | None = None,
+    *,
+    origin: tuple[int, int] = (0, 0),
+    fastpath: bool = True,
 ) -> int:
     """Functionally compute positions ``[lo, hi)`` of wavefront ``t``.
 
     Returns the number of cells written. All executors funnel through this
     one function, which is why their tables agree bit-for-bit.
+
+    This is a thin dispatcher: with ``fastpath`` (the default) the span runs
+    through the compiled plan cache of :mod:`repro.kernels` — precomputed
+    strided views for slice-able patterns, cached index arrays otherwise —
+    and falls back to the generic masked gather/scatter whenever no plan
+    applies. ``origin`` offsets the schedule's region within the *computed*
+    region (used by tiled executors; the fixed boundary is added on top).
+    Fast and generic spans are counted as ``kernels.span.fast`` /
+    ``kernels.span.generic`` in :mod:`repro.obs`.
     """
-    ci, cj = schedule.cells(t)
+    state = _span_state(problem, schedule, origin) if fastpath else None
+    if state is not None and 0 <= t < state[7].shape[0]:
+        width = int(state[7][t])  # memoized widths: skips per-call bounds
+    else:
+        width = schedule.width(t)
     if hi is None:
-        hi = ci.shape[0]
-    if not 0 <= lo <= hi <= ci.shape[0]:
+        hi = width
+    if not 0 <= lo <= hi <= width:
         raise ExecutionError(
-            f"span [{lo}, {hi}) outside iteration {t} of width {ci.shape[0]}"
+            f"span [{lo}, {hi}) outside iteration {t} of width {width}"
         )
     if lo == hi:
         return 0
-    gi = ci[lo:hi] + problem.fixed_rows
-    gj = cj[lo:hi] + problem.fixed_cols
-    nb = gather_neighbors(table, problem.contributing, gi, gj, problem.oob_value)
-    ctx = EvalContext(
-        i=gi, j=gj, w=nb["w"], nw=nb["nw"], n=nb["n"], ne=nb["ne"],
-        payload=problem.payload, aux=aux,
+    if state is not None:
+        plan = state[4]
+        if plan is not None:
+            done, fast = plan.execute(problem, table, aux, t, lo, hi)
+            (state[5] if fast else state[6]).inc()
+            return done
+    _generic_counter().inc()
+    return generic_span(
+        problem, schedule, table, aux, t, lo, hi,
+        problem.fixed_rows + origin[0], problem.fixed_cols + origin[1],
     )
-    values = problem.cell(ctx)
-    table[gi, gj] = values
-    return hi - lo
 
 
 # -- executor registry --------------------------------------------------------

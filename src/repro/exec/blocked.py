@@ -33,7 +33,7 @@ from ..errors import ExecutionError
 from ..obs import get_metrics, get_tracer
 from ..patterns.registry import strategy_for
 from ..sim.engine import Engine
-from .base import Executor, SolveResult, register_executor
+from .base import Executor, SolveResult, evaluate_span, register_executor
 
 __all__ = ["BlockedCPUExecutor", "evaluate_block", "evaluate_skewed_block"]
 
@@ -53,23 +53,26 @@ def evaluate_block(
     table: np.ndarray,
     aux: dict[str, np.ndarray],
     block: Block,
+    fastpath: bool = True,
 ) -> int:
     """Sweep one square block's cells in (cell-level) wavefront order.
 
     Intra-block dependencies are respected by the local schedule; deps that
     leave the block land in already-finished blocks (see
-    :mod:`repro.core.blocking`).
+    :mod:`repro.core.blocking`). Each block wavefront routes through
+    :func:`~repro.exec.base.evaluate_span` with the block's origin, so tiles
+    share the compiled kernel plans of :mod:`repro.kernels` (one plan per
+    distinct block geometry x origin).
     """
     local = schedule_for(pattern, block.rows, block.cols)
     done = 0
     for t in range(local.num_iterations):
-        ci, cj = local.cells(t)
-        if ci.shape[0] == 0:
+        if local.width(t) == 0:
             continue
-        gi = ci + problem.fixed_rows + block.r0
-        gj = cj + problem.fixed_cols + block.c0
-        _evaluate_batch(problem, table, aux, gi, gj)
-        done += gi.shape[0]
+        done += evaluate_span(
+            problem, local, table, aux, t,
+            origin=(block.r0, block.c0), fastpath=fastpath,
+        )
     return done
 
 
@@ -155,7 +158,10 @@ class BlockedCPUExecutor(Executor):
                             if skewed:
                                 total_done += evaluate_skewed_block(problem, table, aux, blk)
                             else:
-                                total_done += evaluate_block(problem, pattern, table, aux, blk)
+                                total_done += evaluate_block(
+                                    problem, pattern, table, aux, blk,
+                                    fastpath=self.options.kernel_fastpath,
+                                )
                     engine.task(
                         "cpu",
                         cpu.blocked_time([blk.cells for blk in blocks], work),

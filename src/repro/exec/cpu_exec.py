@@ -56,7 +56,10 @@ class CPUExecutor(Executor):
                     continue  # degenerate geometry: empty wavefront
                 with tracer.span("wavefront", cat="wavefront", t=t, width=width):
                     if functional:
-                        evaluate_span(problem, schedule, table, aux, t)
+                        evaluate_span(
+                            problem, schedule, table, aux, t,
+                            fastpath=self.options.kernel_fastpath,
+                        )
                     engine.task(
                         "cpu",
                         cpu.parallel_time(width, work, contiguous),

@@ -83,7 +83,10 @@ class GPUExecutor(Executor):
                     continue  # degenerate geometry: empty wavefront
                 with tracer.span("kernel", cat="kernel", t=t, width=width):
                     if functional:
-                        evaluate_span(problem, schedule, table, aux, t)
+                        evaluate_span(
+                            problem, schedule, table, aux, t,
+                            fastpath=self.options.kernel_fastpath,
+                        )
                     last = engine.task(
                         "gpu",
                         gpu.kernel_time(width, work, coalesced),

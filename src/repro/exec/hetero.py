@@ -213,10 +213,14 @@ class HeteroExecutor(Executor):
                 # ---- functional evaluation ---------------------------------------
                 if functional:
                     if a.cpu_cells:
-                        evaluate_span(problem, schedule, table, aux, a.t, 0, a.cpu_cells)
+                        evaluate_span(
+                            problem, schedule, table, aux, a.t, 0, a.cpu_cells,
+                            fastpath=self.options.kernel_fastpath,
+                        )
                     if a.gpu_cells:
                         evaluate_span(
-                            problem, schedule, table, aux, a.t, a.cpu_cells, a.width
+                            problem, schedule, table, aux, a.t, a.cpu_cells, a.width,
+                            fastpath=self.options.kernel_fastpath,
                         )
 
                 # ---- compute tasks ------------------------------------------------

@@ -17,6 +17,7 @@ import numpy as np
 
 from ..core.cellfunc import EvalContext
 from ..core.problem import LDDPProblem
+from ..kernels import plan_for
 from ..memory.layout import WavefrontLayout
 from ..obs import get_metrics, get_tracer
 from ..patterns.registry import strategy_for
@@ -58,35 +59,67 @@ class WavefrontMajorExecutor(Executor):
             aux = problem.make_aux()
             flat = np.zeros(layout.size, dtype=problem.dtype)
 
+            # Compiled plan: caches per-wavefront global indices, the
+            # fixed-vs-computed source split and the wavefront-major flat
+            # offsets, so steady-state wavefronts skip every mask and
+            # flat_of computation (counted as kernels.span.fast).
+            plan = (
+                plan_for(problem, schedule)
+                if self.options.kernel_fastpath else None
+            )
+            metrics = get_metrics()
+            fast_spans = metrics.counter("kernels.span.fast")
+            generic_spans = metrics.counter("kernels.span.generic")
+
             for t in range(schedule.num_iterations):
-                ci, cj = schedule.cells(t)
-                if ci.shape[0] == 0:
+                if schedule.width(t) == 0:
                     continue
-                wf = tracer.span(
-                    "wavefront", cat="wavefront", t=t, width=int(ci.shape[0]),
-                )
-                gi = ci + fr
-                gj = cj + fc
                 kwargs: dict[str, np.ndarray | None] = {
                     "w": None, "nw": None, "n": None, "ne": None
                 }
-                for nb in problem.contributing:
-                    di, dj = nb.offset
-                    ni, nj = gi + di, gj + dj
-                    vals = np.full(
-                        gi.shape, problem.oob_value, dtype=problem.dtype
+                if plan is not None:
+                    gi, gj, geo = plan.layout_geometry(t, layout.address)
+                    wf = tracer.span(
+                        "wavefront", cat="wavefront", t=t,
+                        width=int(gi.shape[0]),
                     )
-                    oob = (ni < 0) | (ni >= rows) | (nj < 0) | (nj >= cols)
-                    fixed = ~oob & ((ni < fr) | (nj < fc))
-                    flat_src = ~oob & ~fixed
-                    if fixed.any():
-                        vals[fixed] = table[ni[fixed], nj[fixed]]
-                    if flat_src.any():
-                        offs = layout.address.flat_of(
-                            ni[flat_src] - fr, nj[flat_src] - fc
+                    fast_spans.inc()
+                    for nb in problem.contributing:
+                        g = geo[nb.value.lower()]
+                        vals = np.full(
+                            gi.shape, problem.oob_value, dtype=problem.dtype
                         )
-                        vals[flat_src] = flat[offs]
-                    kwargs[nb.value.lower()] = vals
+                        if g.fixed_i.size:
+                            vals[g.fixed] = table[g.fixed_i, g.fixed_j]
+                        if g.win_flat.size:
+                            vals[g.win] = flat[g.win_flat]
+                        kwargs[nb.value.lower()] = vals
+                else:
+                    ci, cj = schedule.cells(t)
+                    wf = tracer.span(
+                        "wavefront", cat="wavefront", t=t,
+                        width=int(ci.shape[0]),
+                    )
+                    generic_spans.inc()
+                    gi = ci + fr
+                    gj = cj + fc
+                    for nb in problem.contributing:
+                        di, dj = nb.offset
+                        ni, nj = gi + di, gj + dj
+                        vals = np.full(
+                            gi.shape, problem.oob_value, dtype=problem.dtype
+                        )
+                        oob = (ni < 0) | (ni >= rows) | (nj < 0) | (nj >= cols)
+                        fixed = ~oob & ((ni < fr) | (nj < fc))
+                        flat_src = ~oob & ~fixed
+                        if fixed.any():
+                            vals[fixed] = table[ni[fixed], nj[fixed]]
+                        if flat_src.any():
+                            offs = layout.address.flat_of(
+                                ni[flat_src] - fr, nj[flat_src] - fc
+                            )
+                            vals[flat_src] = flat[offs]
+                        kwargs[nb.value.lower()] = vals
                 ctx = EvalContext(
                     i=gi, j=gj, payload=problem.payload, aux=aux, **kwargs
                 )

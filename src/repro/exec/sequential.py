@@ -41,7 +41,10 @@ class SequentialExecutor(Executor):
                     width = schedule.width(t)
                     with tracer.span("wavefront", cat="wavefront", t=t, width=width):
                         for k in range(width):
-                            evaluate_span(problem, schedule, table, aux, t, k, k + 1)
+                            evaluate_span(
+                                problem, schedule, table, aux, t, k, k + 1,
+                                fastpath=self.options.kernel_fastpath,
+                            )
 
             engine = Engine()
             cpu = self.platform.cpu

@@ -32,6 +32,7 @@ import numpy as np
 from ..core.cellfunc import EvalContext
 from ..core.problem import LDDPProblem
 from ..errors import ExecutionError
+from ..kernels import plan_for
 from ..obs import get_metrics, get_tracer
 from ..patterns.registry import strategy_for
 from ..types import Neighbor, Pattern
@@ -152,6 +153,7 @@ class StreamingSolver:
         track: list[tuple[int, int]] | None = None,
         pattern_override: Pattern | None = None,
         inverted_l_as_horizontal: bool = True,
+        kernel_fastpath: bool = True,
     ) -> StreamingResult:
         strategy = strategy_for(
             problem,
@@ -187,41 +189,70 @@ class StreamingSolver:
         buffers: dict[int, np.ndarray] = {}
         peak = 0
 
+        # Compiled plan: caches per-wavefront global indices, the
+        # top/left/in-window source splits and the canonical in-window
+        # positions, so steady-state wavefronts skip every mask and
+        # position_of computation (counted as kernels.span.fast).
+        plan = plan_for(problem, sched) if kernel_fastpath else None
+        metrics = get_metrics()
+        fast_spans = metrics.counter("kernels.span.fast")
+        generic_spans = metrics.counter("kernels.span.generic")
+
         tracer = get_tracer()
         root = tracer.span(
             "streaming.solve", cat="executor",
             problem=problem.name, pattern=pattern.value, window=window,
         )
-        ci = cj = values = None
+        gi = gj = values = None
         for t in range(sched.num_iterations):
-            ci, cj = sched.cells(t)
-            if ci.shape[0] == 0:
+            if sched.width(t) == 0:
                 continue
-            wf = tracer.span(
-                "wavefront", cat="wavefront", t=t, width=int(ci.shape[0]),
-            )
-            gi = ci + fr
-            gj = cj + fc
             kwargs: dict[str, np.ndarray | None] = {
                 "w": None, "nw": None, "n": None, "ne": None
             }
-            for nb in problem.contributing:
-                di, dj = nb.offset
-                ni, nj = gi + di, gj + dj
-                vals = np.full(gi.shape, problem.oob_value, dtype=problem.dtype)
-                oob = (ni < 0) | (ni >= rows) | (nj < 0) | (nj >= cols)
-                in_top = ~oob & (ni < fr)
-                in_left = ~oob & (ni >= fr) & (nj < fc)
-                in_window = ~oob & (ni >= fr) & (nj >= fc)
-                if in_top.any():
-                    vals[in_top] = top[ni[in_top], nj[in_top]]
-                if in_left.any():
-                    vals[in_left] = left[ni[in_left], nj[in_left]]
-                if in_window.any():
-                    src_t = t - deltas[nb]
-                    pos = sched.position_of(ni[in_window] - fr, nj[in_window] - fc)
-                    vals[in_window] = buffers[src_t][pos]
-                kwargs[nb.value.lower()] = vals
+            if plan is not None:
+                gi, gj, geo = plan.window_geometry(t)
+                wf = tracer.span(
+                    "wavefront", cat="wavefront", t=t, width=int(gi.shape[0]),
+                )
+                fast_spans.inc()
+                for nb in problem.contributing:
+                    g = geo[nb.value.lower()]
+                    vals = np.full(
+                        gi.shape, problem.oob_value, dtype=problem.dtype
+                    )
+                    if g.top_i.size:
+                        vals[g.top] = top[g.top_i, g.top_j]
+                    if g.left_i.size:
+                        vals[g.left] = left[g.left_i, g.left_j]
+                    if g.win_pos.size:
+                        vals[g.win] = buffers[t - deltas[nb]][g.win_pos]
+                    kwargs[nb.value.lower()] = vals
+            else:
+                ci, cj = sched.cells(t)
+                wf = tracer.span(
+                    "wavefront", cat="wavefront", t=t, width=int(ci.shape[0]),
+                )
+                generic_spans.inc()
+                gi = ci + fr
+                gj = cj + fc
+                for nb in problem.contributing:
+                    di, dj = nb.offset
+                    ni, nj = gi + di, gj + dj
+                    vals = np.full(gi.shape, problem.oob_value, dtype=problem.dtype)
+                    oob = (ni < 0) | (ni >= rows) | (nj < 0) | (nj >= cols)
+                    in_top = ~oob & (ni < fr)
+                    in_left = ~oob & (ni >= fr) & (nj < fc)
+                    in_window = ~oob & (ni >= fr) & (nj >= fc)
+                    if in_top.any():
+                        vals[in_top] = top[ni[in_top], nj[in_top]]
+                    if in_left.any():
+                        vals[in_left] = left[ni[in_left], nj[in_left]]
+                    if in_window.any():
+                        src_t = t - deltas[nb]
+                        pos = sched.position_of(ni[in_window] - fr, nj[in_window] - fc)
+                        vals[in_window] = buffers[src_t][pos]
+                    kwargs[nb.value.lower()] = vals
             ctx = EvalContext(
                 i=gi, j=gj, payload=problem.payload, aux=aux, **kwargs
             )
@@ -242,14 +273,13 @@ class StreamingSolver:
             wf.end()
 
         root.end()
-        metrics = get_metrics()
         metrics.counter("exec.streaming.cells").inc(problem.total_computed_cells)
         metrics.gauge("exec.streaming.peak_cells").set(peak)
         return StreamingResult(
             problem=problem.name,
             pattern=pattern,
             last_values=values,
-            last_cells=(ci + fr, cj + fc),
+            last_cells=(gi.copy(), gj.copy()),
             tracked=tracked,
             reduced=reduced,
             peak_cells=peak,

@@ -1,0 +1,24 @@
+"""Compiled kernel plans: the functional core's slice-based fast path.
+
+``evaluate_span`` (:mod:`repro.exec.base`) dispatches every wavefront span
+through this subsystem: a :class:`KernelPlan` — compiled once per (pattern,
+contributing set, region shape, origin, dtype, oob value) and cached in a
+content-keyed LRU — replaces the generic gather/scatter with precomputed
+strided views, interior/boundary splits and a reusable scratch arena. See
+``docs/performance.md`` for the design and the measured speedups
+(``BENCH_kernels.json``).
+"""
+
+from .cache import PlanCache, clear_plan_cache, get_plan_cache, plan_for
+from .key import PlanKey
+from .plan import KernelPlan, generic_span
+
+__all__ = [
+    "KernelPlan",
+    "PlanKey",
+    "PlanCache",
+    "plan_for",
+    "get_plan_cache",
+    "clear_plan_cache",
+    "generic_span",
+]

@@ -1,0 +1,57 @@
+"""Plan keys: what a compiled kernel plan depends on, and nothing else.
+
+A :class:`KernelPlan` is valid for every problem that shares
+
+* the schedule geometry (class + computed-region shape),
+* the contributing set,
+* the full table shape and the plan's origin inside it,
+* the table dtype and the out-of-bounds fill value.
+
+Payloads, cell functions and aux specs are deliberately *absent*: the plan
+only precomputes index structure, so two different problems (say Levenshtein
+and LCS on equal-length strings) share one plan. The cache in
+:mod:`repro.kernels.cache` keys on the raw tuple for per-call speed; the
+:meth:`PlanKey.signature` SHA-256 (built on :mod:`repro.signature`, the same
+machinery the serve cache uses) is the stable content key exported through
+observability and useful for cross-process comparison.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import asdict, dataclass
+from typing import Any
+
+from ..signature import hash_value, update_hash
+
+__all__ = ["PlanKey"]
+
+
+@dataclass(frozen=True)
+class PlanKey:
+    """Identity of one compiled kernel plan."""
+
+    schedule_type: str
+    pattern: str
+    region: tuple[int, int]        # computed region the schedule covers
+    table_shape: tuple[int, int]   # full table including fixed boundary
+    origin: tuple[int, int]        # global offset of the region in the table
+    contributing_mask: int
+    dtype: str
+    oob_value: Any
+
+    def signature(self) -> str:
+        """SHA-256 content signature of the plan identity."""
+        h = hashlib.sha256()
+        update_hash(h, "kernel-plan")
+        fields = asdict(self)
+        fields["region"] = list(self.region)
+        fields["table_shape"] = list(self.table_shape)
+        fields["origin"] = list(self.origin)
+        try:
+            hash_value(h, fields, "plan-key")
+        except Exception:
+            # oob_value without a content key (exotic scalar): fall back to
+            # repr — the raw-tuple cache key already separates such plans.
+            update_hash(h, "oob-repr", repr(self.oob_value).encode())
+        return h.hexdigest()

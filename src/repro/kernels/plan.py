@@ -1,0 +1,511 @@
+"""Compiled kernel plans: slice-based fast paths for the functional core.
+
+Every functional solve funnels through ``evaluate_span``
+(:mod:`repro.exec.base`). The generic path pays, per wavefront: two index
+array allocations, one masked fancy-index gather per contributing neighbour,
+and a fancy-index scatter. None of that depends on the table *values* — only
+on geometry — so a :class:`KernelPlan` computes it once per
+(schedule, contributing set, table shape, origin, dtype, oob) and reuses it
+for every wavefront of every solve that shares the key.
+
+Per wavefront ``t`` the plan derives a :class:`_SpanSpec` numerically from
+``schedule.cells(t)`` and tiers it into one of three modes:
+
+``slice``
+    The wavefront's cells form an arithmetic sequence in row-major flat
+    offsets (true for horizontal, vertical, anti-diagonal and knight-move
+    wavefronts on a C-contiguous table: steps ``1``, ``C``, ``C-1`` and
+    ``-(C-2)``). Every neighbour read and the write then become *basic*
+    strided views of ``table.reshape(-1)`` — no index arrays, no gather, no
+    scatter, no allocation. When the compile-time masks prove every lane
+    in bounds, the views are handed to the cell function directly. When
+    head/tail boundary lanes exist (no fixed boundary on that side), each
+    neighbour is staged in a contiguous scratch buffer instead: interior
+    lanes by one strided copy, out-of-bounds lanes by constant fill, and
+    in-bounds boundary lanes by a tiny precompiled gather — the wavefront
+    still takes a *single* cell-function call either way.
+
+``index``
+    Non-arithmetic wavefronts (the L-shaped rings) fall back to *cached*
+    global index arrays plus per-neighbour in-bounds masks and compressed
+    gather indices, with out-of-bounds fills written into a reusable
+    per-thread scratch arena — steady-state wavefronts allocate only the
+    gather outputs.
+
+``generic``
+    Degenerate geometry (empty interior): delegate to the generic path.
+
+Correctness guards: a plan refuses to run on a table whose shape, dtype or
+C-contiguity does not match its key (``reshape(-1)`` would copy, silently
+dropping writes) and falls back to the generic path instead. Cell functions
+are elementwise-pure by contract, so splitting a wavefront into
+boundary/interior sub-batches cannot change any value — tables stay
+bit-for-bit identical to the sequential oracle (asserted by hypothesis
+property tests across all six patterns).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from ..core.cellfunc import EvalContext, gather_neighbors
+from ..core.schedule import WavefrontSchedule
+from ..types import ContributingSet
+from .key import PlanKey
+
+__all__ = ["KernelPlan", "generic_span"]
+
+
+def generic_span(problem, schedule, table, aux, t, lo, hi, orow, ocol) -> int:
+    """The generic masked path: gather -> cell function -> scatter.
+
+    ``orow``/``ocol`` give the global table offset of the schedule's region
+    (the fixed boundary, plus a block origin for tiled executors).
+    """
+    ci, cj = schedule.cells(t)
+    gi = ci[lo:hi] + orow
+    gj = cj[lo:hi] + ocol
+    nb = gather_neighbors(table, problem.contributing, gi, gj, problem.oob_value)
+    ctx = EvalContext(
+        i=gi, j=gj, w=nb["w"], nw=nb["nw"], n=nb["n"], ne=nb["ne"],
+        payload=problem.payload, aux=aux,
+    )
+    values = problem.cell(ctx)
+    table[gi, gj] = values
+    return hi - lo
+
+
+def _flat_slice(start: int, step: int, n: int) -> slice:
+    """Basic slice selecting ``start + step * arange(n)`` from a flat array."""
+    if step > 0:
+        return slice(start, start + step * n, step)
+    stop = start + step * n
+    return slice(start, stop if stop >= 0 else None, step)
+
+
+class _SpanSpec:
+    """Everything precomputed for one wavefront of one plan."""
+
+    __slots__ = (
+        "mode", "width", "pre", "suf", "step",
+        "w0", "wslice", "nbr", "iview", "jview",
+        "gi", "gj", "nbr_index",
+    )
+
+
+class _NbWindow:
+    """Per-neighbour streaming-window geometry (see ``window_geometry``)."""
+
+    __slots__ = ("top", "top_i", "top_j", "left", "left_i", "left_j",
+                 "win", "win_pos")
+
+
+class _NbLayout:
+    """Per-neighbour wavefront-major geometry (see ``layout_geometry``)."""
+
+    __slots__ = ("fixed", "fixed_i", "fixed_j", "win", "win_flat")
+
+
+def _frozen(arr: np.ndarray) -> np.ndarray:
+    arr = np.ascontiguousarray(arr)
+    arr.flags.writeable = False
+    return arr
+
+
+class KernelPlan:
+    """Precomputed index structure for one plan key (see :class:`PlanKey`).
+
+    Plans are built lazily per wavefront and shared across problems and
+    threads; the only mutable per-call state is the scratch arena, which is
+    thread-local.
+    """
+
+    def __init__(
+        self,
+        key: PlanKey,
+        schedule: WavefrontSchedule,
+        contributing: ContributingSet,
+        table_shape: tuple[int, int],
+        origin: tuple[int, int],
+        dtype: np.dtype,
+        oob_value,
+    ) -> None:
+        self.key = key
+        self.schedule = schedule
+        self.contributing = contributing
+        self.members = contributing.members()
+        self.table_shape = tuple(int(x) for x in table_shape)
+        self.orow, self.ocol = int(origin[0]), int(origin[1])
+        self.dtype = np.dtype(dtype)
+        self.oob_value = oob_value
+        self._specs: dict[int, _SpanSpec] = {}
+        self._cells: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._window: dict[int, dict[str, _NbWindow]] = {}
+        self._layout: dict[int, dict[str, _NbLayout]] = {}
+        self._compile_lock = threading.Lock()
+        self._tls = threading.local()
+
+    # -- identity ----------------------------------------------------------
+
+    def signature(self) -> str:
+        """Stable SHA-256 content signature of the plan key."""
+        return self.key.signature()
+
+    def span_modes(self) -> dict[str, int]:
+        """Histogram of compiled span modes (slice/index/generic) so far."""
+        out = {"slice": 0, "index": 0, "generic": 0}
+        for spec in list(self._specs.values()):
+            out[spec.mode] += 1
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"KernelPlan({self.key.pattern}, region={self.key.region}, "
+            f"origin={self.key.origin}, dtype={self.key.dtype}, "
+            f"spans={len(self._specs)})"
+        )
+
+    # -- compilation -------------------------------------------------------
+
+    def _global_cells(self, t: int) -> tuple[np.ndarray, np.ndarray]:
+        got = self._cells.get(t)
+        if got is None:
+            li, lj = self.schedule.cells(t)
+            got = (_frozen(li + self.orow), _frozen(lj + self.ocol))
+            self._cells[t] = got
+        return got
+
+    def _spec(self, t: int) -> _SpanSpec:
+        spec = self._specs.get(t)
+        if spec is None:
+            with self._compile_lock:
+                spec = self._specs.get(t)
+                if spec is None:
+                    spec = self._compile_span(t)
+                    self._specs[t] = spec
+        return spec
+
+    def _compile_span(self, t: int) -> _SpanSpec:
+        R, C = self.table_shape
+        gi, gj = self._global_cells(t)
+        w = int(gi.shape[0])
+        spec = _SpanSpec()
+        spec.width = w
+        if w == 0:
+            spec.mode = "generic"
+            return spec
+
+        ok = np.ones(w, dtype=bool)
+        nbs = []
+        for nb in self.members:
+            di, dj = nb.offset
+            ni = gi + di
+            nj = gj + dj
+            m = (ni >= 0) & (ni < R) & (nj >= 0) & (nj < C)
+            nbs.append((nb, ni, nj, m))
+            ok &= m
+
+        # Arithmetic test: cells form constant-stride runs in i, j and in
+        # row-major flat offset. True for all but the two L-ring patterns.
+        off = gi * C + gj
+        if w == 1:
+            step, istep, jstep, arith = 1, 0, 0, True
+        else:
+            doff = np.diff(off)
+            step = int(doff[0])
+            arith = step != 0 and bool((doff == step).all())
+            dgi = np.diff(gi)
+            istep = int(dgi[0])
+            arith = arith and bool((dgi == istep).all())
+            dgj = np.diff(gj)
+            jstep = int(dgj[0])
+            arith = arith and bool((dgj == jstep).all())
+            arith = arith and abs(istep) <= 2 and abs(jstep) <= 2
+
+        if arith:
+            if bool(ok.all()):
+                pre = suf = 0
+            else:
+                inb = np.flatnonzero(ok)
+                if inb.size == 0:
+                    spec.mode = "generic"
+                    return spec
+                pre = int(inb[0])
+                suf = w - 1 - int(inb[-1])
+                if not bool(ok[pre: w - suf].all()):
+                    # out-of-bounds lanes interleaved with interior ones:
+                    # no clean interior run (cannot happen for the shipped
+                    # schedules, but the plan proves it rather than assume)
+                    spec.mode = "generic"
+                    return spec
+            nint = w - pre - suf
+            spec.mode = "slice"
+            spec.pre = pre
+            spec.suf = suf
+            spec.step = step
+            w0 = int(off[0])
+            spec.w0 = w0
+            spec.wslice = _flat_slice(w0, step, w)
+            # ctx.i / ctx.j reuse the cached contiguous global index arrays
+            # (frozen in _global_cells) — contiguous int64 keeps payload
+            # gathers and index arithmetic in cell functions on the fast
+            # ufunc paths, at no extra memory over the compile-time cache.
+            spec.iview, spec.jview = gi, gj
+            lanes = (
+                np.concatenate([np.arange(pre), np.arange(w - suf, w)])
+                if pre or suf else None
+            )
+            nbr = []
+            for nb, ni, nj, m in nbs:
+                dflat = nb.offset[0] * C + nb.offset[1]
+                isl = _flat_slice(w0 + pre * step + dflat, step, nint)
+                if lanes is None:
+                    nbr.append((nb.value.lower(), dflat, isl,
+                                None, None, None, None))
+                else:
+                    mb = m[lanes]
+                    bpos = lanes[mb]
+                    nbr.append((
+                        nb.value.lower(), dflat, isl,
+                        _frozen(lanes[~mb]), _frozen(bpos),
+                        _frozen(ni[bpos]), _frozen(nj[bpos]),
+                    ))
+            spec.nbr = tuple(nbr)
+            return spec
+
+        # Non-arithmetic (L-rings): cache index arrays + masks instead.
+        spec.mode = "index"
+        spec.gi, spec.gj = gi, gj
+        nbr = []
+        for nb, ni, nj, m in nbs:
+            name = nb.value.lower()
+            if bool(m.all()):
+                nbr.append((name, _frozen(ni), _frozen(nj), None, None, None))
+            else:
+                nbr.append((
+                    name, _frozen(ni), _frozen(nj), _frozen(m),
+                    _frozen(ni[m]), _frozen(nj[m]),
+                ))
+        spec.nbr_index = tuple(nbr)
+        return spec
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(self, problem, table, aux, t, lo, hi) -> tuple[int, bool]:
+        """Compute span ``[lo, hi)`` of wavefront ``t``.
+
+        Returns ``(cells_written, used_fast_path)``. Falls back to the
+        generic path (``used_fast_path=False``) whenever the table does not
+        match the plan's key or the wavefront has no usable structure.
+        """
+        flags = table.flags
+        if (
+            table.shape != self.table_shape
+            or table.dtype != self.dtype
+            or not flags.c_contiguous
+            or not flags.writeable
+        ):
+            return (
+                generic_span(problem, self.schedule, table, aux, t, lo, hi,
+                             self.orow, self.ocol),
+                False,
+            )
+        spec = self._spec(t)
+        if spec.mode == "generic":
+            return (
+                generic_span(problem, self.schedule, table, aux, t, lo, hi,
+                             self.orow, self.ocol),
+                False,
+            )
+        if spec.mode == "index":
+            return self._execute_index(spec, problem, table, aux, lo, hi), True
+        return self._execute_slice(spec, problem, table, aux, t, lo, hi), True
+
+    def _execute_slice(self, spec, problem, table, aux, t, lo, hi) -> int:
+        w = spec.width
+        flat = table.reshape(-1)
+        if lo == 0 and hi == w:
+            kwargs = {"w": None, "nw": None, "n": None, "ne": None}
+            if spec.pre == 0 and spec.suf == 0:
+                # neighbour views alias the live table; cell functions are
+                # read-only over ctx inputs by contract (see cellfunc.py)
+                for name, _, isl, _, _, _, _ in spec.nbr:
+                    kwargs[name] = flat[isl]
+            else:
+                # boundary lanes exist: stage each neighbour in a contiguous
+                # scratch buffer so the wavefront still takes one cell call
+                arena = self._arena()
+                ihi = w - spec.suf
+                for name, _, isl, opos, bpos, ni_c, nj_c in spec.nbr:
+                    buf = arena.get(name)
+                    if buf is None or buf.shape[0] < w:
+                        buf = np.empty(self.schedule.max_width,
+                                       dtype=self.dtype)
+                        arena[name] = buf
+                    vals = buf[:w]
+                    if ihi > spec.pre:
+                        np.copyto(vals[spec.pre:ihi], flat[isl])
+                    if opos.size:
+                        vals[opos] = self.oob_value
+                    if bpos.size:
+                        vals[bpos] = table[ni_c, nj_c]
+                    kwargs[name] = vals
+            ctx = EvalContext(i=spec.iview, j=spec.jview,
+                              payload=problem.payload, aux=aux, **kwargs)
+            flat[spec.wslice] = problem.cell(ctx)
+            return w
+        # Sub-span (hetero split / per-cell oracle): boundary lanes through
+        # the generic path, the interior overlap through re-derived views.
+        done = 0
+        ilo = spec.pre
+        ihi = w - spec.suf
+        if lo < min(hi, ilo):
+            done += generic_span(problem, self.schedule, table, aux, t,
+                                 lo, min(hi, ilo), self.orow, self.ocol)
+        mlo = max(lo, ilo)
+        mhi = min(hi, ihi)
+        if mlo < mhi:
+            n = mhi - mlo
+            start = spec.w0 + mlo * spec.step
+            wsl = _flat_slice(start, spec.step, n)
+            kwargs = {"w": None, "nw": None, "n": None, "ne": None}
+            for name, dflat, _, _, _, _, _ in spec.nbr:
+                view = flat[_flat_slice(start + dflat, spec.step, n)]
+                view.flags.writeable = False
+                kwargs[name] = view
+            iview = spec.iview[mlo:mhi]
+            jview = spec.jview[mlo:mhi]
+            ctx = EvalContext(i=iview, j=jview, payload=problem.payload,
+                              aux=aux, **kwargs)
+            flat[wsl] = problem.cell(ctx)
+            done += n
+        if max(lo, ihi) < hi:
+            done += generic_span(problem, self.schedule, table, aux, t,
+                                 max(lo, ihi), hi, self.orow, self.ocol)
+        return done
+
+    def _arena(self) -> dict:
+        bufs = getattr(self._tls, "bufs", None)
+        if bufs is None:
+            bufs = self._tls.bufs = {}
+        return bufs
+
+    def _execute_index(self, spec, problem, table, aux, lo, hi) -> int:
+        full = lo == 0 and hi == spec.width
+        gi = spec.gi if full else spec.gi[lo:hi]
+        gj = spec.gj if full else spec.gj[lo:hi]
+        n = hi - lo
+        kwargs = {"w": None, "nw": None, "n": None, "ne": None}
+        arena = None
+        for name, ni, nj, mask, ni_c, nj_c in spec.nbr_index:
+            if mask is None:
+                kwargs[name] = table[ni[lo:hi], nj[lo:hi]]
+                continue
+            if arena is None:
+                arena = self._arena()
+            buf = arena.get(name)
+            if buf is None or buf.shape[0] < spec.width:
+                buf = np.empty(self.schedule.max_width, dtype=self.dtype)
+                arena[name] = buf
+            vals = buf[:n]
+            vals[...] = self.oob_value
+            if full:
+                vals[mask] = table[ni_c, nj_c]
+            else:
+                m = mask[lo:hi]
+                vals[m] = table[ni[lo:hi][m], nj[lo:hi][m]]
+            kwargs[name] = vals
+        ctx = EvalContext(i=gi, j=gj, payload=problem.payload, aux=aux,
+                          **kwargs)
+        table[gi, gj] = problem.cell(ctx)
+        return n
+
+    # -- cached geometry for the streaming / layout executors ---------------
+
+    def window_geometry(self, t: int):
+        """Cached rolling-window read geometry for the streaming solver.
+
+        Returns ``(gi, gj, {neighbour-name: _NbWindow})`` where each entry
+        splits the neighbour reads into fixed-top / fixed-left / in-window
+        sources, with the in-window canonical positions precomputed. Only
+        meaningful for plans whose origin is the fixed boundary itself.
+        """
+        geo = self._window.get(t)
+        if geo is None:
+            with self._compile_lock:
+                geo = self._window.get(t)
+                if geo is None:
+                    geo = self._compile_window(t)
+                    self._window[t] = geo
+        gi, gj = self._global_cells(t)
+        return gi, gj, geo
+
+    def _compile_window(self, t: int) -> dict[str, _NbWindow]:
+        R, C = self.table_shape
+        fr, fc = self.orow, self.ocol
+        gi, gj = self._global_cells(t)
+        out: dict[str, _NbWindow] = {}
+        for nb in self.members:
+            di, dj = nb.offset
+            ni = gi + di
+            nj = gj + dj
+            oob = (ni < 0) | (ni >= R) | (nj < 0) | (nj >= C)
+            g = _NbWindow()
+            in_top = ~oob & (ni < fr)
+            in_left = ~oob & (ni >= fr) & (nj < fc)
+            in_win = ~oob & (ni >= fr) & (nj >= fc)
+            g.top = _frozen(in_top)
+            g.top_i = _frozen(ni[in_top])
+            g.top_j = _frozen(nj[in_top])
+            g.left = _frozen(in_left)
+            g.left_i = _frozen(ni[in_left])
+            g.left_j = _frozen(nj[in_left])
+            g.win = _frozen(in_win)
+            g.win_pos = _frozen(np.asarray(self.schedule.position_of(
+                ni[in_win] - fr, nj[in_win] - fc
+            ), dtype=np.int64))
+            out[nb.value.lower()] = g
+        return out
+
+    def layout_geometry(self, t: int, address):
+        """Cached read geometry for the wavefront-major executor.
+
+        Returns ``(gi, gj, {neighbour-name: _NbLayout})``: per neighbour, the
+        fixed-boundary reads (2-D table) and the wavefront-major flat offsets
+        of the computed-region reads, resolved through ``address``
+        (an :class:`~repro.memory.address.AddressMap` of this schedule).
+        """
+        geo = self._layout.get(t)
+        if geo is None:
+            with self._compile_lock:
+                geo = self._layout.get(t)
+                if geo is None:
+                    geo = self._compile_layout(t, address)
+                    self._layout[t] = geo
+        gi, gj = self._global_cells(t)
+        return gi, gj, geo
+
+    def _compile_layout(self, t: int, address) -> dict[str, _NbLayout]:
+        R, C = self.table_shape
+        fr, fc = self.orow, self.ocol
+        gi, gj = self._global_cells(t)
+        out: dict[str, _NbLayout] = {}
+        for nb in self.members:
+            di, dj = nb.offset
+            ni = gi + di
+            nj = gj + dj
+            oob = (ni < 0) | (ni >= R) | (nj < 0) | (nj >= C)
+            fixed = ~oob & ((ni < fr) | (nj < fc))
+            win = ~oob & ~fixed
+            g = _NbLayout()
+            g.fixed = _frozen(fixed)
+            g.fixed_i = _frozen(ni[fixed])
+            g.fixed_j = _frozen(nj[fixed])
+            g.win = _frozen(win)
+            g.win_flat = _frozen(np.asarray(
+                address.flat_of(ni[win] - fr, nj[win] - fc), dtype=np.int64
+            ))
+            out[nb.value.lower()] = g
+        return out

@@ -235,7 +235,10 @@ class MultiHeteroExecutor(Executor):
                                 cells=pend, nbytes=nbytes, label="phase-halo",
                             )
                 if functional:
-                    evaluate_span(problem, schedule, table, aux, a.t, lo, hi)
+                    evaluate_span(
+                        problem, schedule, table, aux, a.t, lo, hi,
+                        fastpath=self.options.kernel_fastpath,
+                    )
                 if d == 0:
                     duration = plat.cpu.parallel_time(cells, cpu_work, contiguous)
                 else:

@@ -9,6 +9,9 @@ benchmark flips the flag to reproduce that experiment).
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict, namedtuple
+
 from ..core.classification import classify
 from ..core.problem import LDDPProblem
 from ..errors import ClassificationError
@@ -21,7 +24,12 @@ from .knight_move import KnightMoveStrategy
 from .minverted_l import MInvertedLStrategy
 from .vertical import VerticalStrategy
 
-__all__ = ["strategy_for", "strategy_class_for"]
+__all__ = [
+    "strategy_for",
+    "strategy_class_for",
+    "strategy_cache_info",
+    "clear_strategy_cache",
+]
 
 _CLASSES: dict[Pattern, type[PatternStrategy]] = {
     Pattern.ANTI_DIAGONAL: AntiDiagonalStrategy,
@@ -40,12 +48,51 @@ def strategy_class_for(pattern: Pattern) -> type[PatternStrategy]:
         raise ClassificationError(f"no strategy for {pattern!r}") from None
 
 
+# -- strategy cache ------------------------------------------------------------
+#
+# Every executor re-derives the strategy for its problem on every solve; the
+# classification + schedule construction is pure geometry, so cache it. The
+# key is the problem's *identity* plus everything the result depends on:
+# contributing mask and computed shape (so a recycled id() after garbage
+# collection can only ever collide with an identically-shaped problem, for
+# which the cached strategy is still correct) and the two override flags.
+
+_CACHE_LOCK = threading.Lock()
+_STRATEGY_CACHE: "OrderedDict[tuple, PatternStrategy]" = OrderedDict()
+_STRATEGY_CACHE_CAP = 128
+_cache_hits = 0
+_cache_misses = 0
+
+StrategyCacheInfo = namedtuple("StrategyCacheInfo", "hits misses size capacity")
+
+
+def strategy_cache_info() -> StrategyCacheInfo:
+    """Hit/miss/size counters of the strategy cache (for tests/diagnostics)."""
+    with _CACHE_LOCK:
+        return StrategyCacheInfo(
+            _cache_hits, _cache_misses, len(_STRATEGY_CACHE), _STRATEGY_CACHE_CAP
+        )
+
+
+def clear_strategy_cache() -> None:
+    """Drop all cached strategies and reset the counters."""
+    global _cache_hits, _cache_misses
+    with _CACHE_LOCK:
+        _STRATEGY_CACHE.clear()
+        _cache_hits = 0
+        _cache_misses = 0
+
+
 def strategy_for(
     problem: LDDPProblem,
     pattern_override: Pattern | None = None,
     inverted_l_as_horizontal: bool = True,
 ) -> PatternStrategy:
     """Build the execution strategy (and its schedule) for a problem.
+
+    Results are cached per (problem identity, override options) — repeated
+    solves of one problem reuse the same strategy and schedule objects (both
+    are immutable geometry).
 
     Parameters
     ----------
@@ -58,9 +105,28 @@ def strategy_for(
         inverted-L / mInverted-L execute under the horizontal pattern:
         same iteration count, uniform widths, coalescing-friendly rows.
     """
+    global _cache_hits, _cache_misses
+    key = (
+        id(problem), problem.contributing.mask, problem.computed_shape,
+        pattern_override, inverted_l_as_horizontal,
+    )
+    with _CACHE_LOCK:
+        strategy = _STRATEGY_CACHE.get(key)
+        if strategy is not None:
+            _STRATEGY_CACHE.move_to_end(key)
+            _cache_hits += 1
+            return strategy
+        _cache_misses += 1
+
     pattern = pattern_override or classify(problem.contributing)
     if pattern_override is None and inverted_l_as_horizontal:
         if pattern in (Pattern.INVERTED_L, Pattern.MINVERTED_L):
             pattern = Pattern.HORIZONTAL
     schedule = problem.schedule(pattern)
-    return strategy_class_for(pattern)(schedule, problem.contributing)
+    strategy = strategy_class_for(pattern)(schedule, problem.contributing)
+
+    with _CACHE_LOCK:
+        _STRATEGY_CACHE[key] = strategy
+        while len(_STRATEGY_CACHE) > _STRATEGY_CACHE_CAP:
+            _STRATEGY_CACHE.popitem(last=False)
+    return strategy

@@ -24,9 +24,9 @@ def levenshtein_cell(ctx: EvalContext) -> np.ndarray:
     """Vectorized Wagner-Fischer update over one batch of cells."""
     a = ctx.payload["a"]
     b = ctx.payload["b"]
-    match = a[ctx.i - 1] == b[ctx.j - 1]
-    substitute = ctx.nw + np.where(match, 0, 1)
-    return np.minimum(np.minimum(ctx.n + 1, ctx.w + 1), substitute)
+    # mismatch bool adds 0/1 directly; min(n, w) + 1 == min(n+1, w+1)
+    substitute = ctx.nw + (a[ctx.i - 1] != b[ctx.j - 1])
+    return np.minimum(np.minimum(ctx.n, ctx.w) + 1, substitute)
 
 
 def _init(table: np.ndarray, payload) -> None:

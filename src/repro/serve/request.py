@@ -26,99 +26,19 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field, replace
-from typing import Any, Callable
+from typing import Any
 
 import numpy as np
 
 from ..core.partition import HeteroParams
 from ..core.problem import LDDPProblem
-from ..errors import CacheKeyError
 from ..exec.base import ExecOptions
 from ..machine.platform import Platform
+from ..signature import hash_callable as _hash_callable
+from ..signature import hash_value as _hash_value
+from ..signature import update_hash as _update
 
 __all__ = ["SolveRequest", "problem_signature", "request_key"]
-
-
-# -- content hashing -----------------------------------------------------------
-
-
-def _update(h, tag: str, data: bytes = b"") -> None:
-    """Length-prefixed, tagged feed — immune to concatenation ambiguity."""
-    h.update(tag.encode())
-    h.update(b"\x1f")
-    h.update(str(len(data)).encode())
-    h.update(b"\x1f")
-    h.update(data)
-
-
-def _hash_value(h, value: Any, where: str) -> None:
-    """Feed one payload/closure value into the hash, or reject it."""
-    if value is None:
-        _update(h, "none")
-    elif isinstance(value, (bool, int, float, complex, np.generic)):
-        _update(h, type(value).__name__, repr(value).encode())
-    elif isinstance(value, str):
-        _update(h, "str", value.encode())
-    elif isinstance(value, bytes):
-        _update(h, "bytes", value)
-    elif isinstance(value, np.dtype):
-        _update(h, "dtype", str(value).encode())
-    elif isinstance(value, np.ndarray):
-        _update(h, "ndarray", f"{value.dtype}|{value.shape}".encode())
-        _update(h, "data", np.ascontiguousarray(value).tobytes())
-    elif isinstance(value, (tuple, list)):
-        _update(h, type(value).__name__, str(len(value)).encode())
-        for k, item in enumerate(value):
-            _hash_value(h, item, f"{where}[{k}]")
-    elif isinstance(value, dict):
-        keys = list(value)
-        if any(not isinstance(k, str) for k in keys):
-            raise CacheKeyError(
-                f"{where}: dict keys must be strings to be content-hashable"
-            )
-        _update(h, "dict", str(len(keys)).encode())
-        for k in sorted(keys):
-            _update(h, "key", k.encode())
-            _hash_value(h, value[k], f"{where}[{k!r}]")
-    else:
-        raise CacheKeyError(
-            f"{where}: value of type {type(value).__name__} has no "
-            "well-defined content key; use scalars, strings, bytes, "
-            "lists/tuples/dicts or numpy arrays — or mark the request "
-            "cacheable=False to bypass the result cache"
-        )
-
-
-def _hash_callable(h, fn: Callable, where: str) -> None:
-    """Feed a cell/init function's identity: code bytes + captured data."""
-    fn = getattr(fn, "fn", fn)  # unwrap CellFunction
-    _update(h, "fn", f"{getattr(fn, '__module__', '')}."
-                     f"{getattr(fn, '__qualname__', type(fn).__name__)}".encode())
-    code = getattr(fn, "__code__", None)
-    if code is None:
-        code = getattr(getattr(fn, "__call__", None), "__code__", None)
-    if code is not None:
-        _update(h, "co_code", code.co_code)
-        _update(h, "co_consts", repr(code.co_consts).encode())
-        _update(h, "co_names", repr(code.co_names).encode())
-    closure = getattr(fn, "__closure__", None)
-    if closure:
-        for k, cell in enumerate(closure):
-            try:
-                contents = cell.cell_contents
-            except ValueError:  # empty cell
-                _update(h, "cell-empty")
-                continue
-            try:
-                _hash_value(h, contents, f"{where}.closure[{k}]")
-            except CacheKeyError:
-                if callable(contents):
-                    _hash_callable(h, contents, f"{where}.closure[{k}]")
-                else:
-                    # Opaque captured state: key on its type — conservative
-                    # (may split cache entries) but never aliases distinct
-                    # problems, because the payload bytes are always hashed.
-                    _update(h, "opaque", type(contents).__name__.encode())
 
 
 def problem_signature(problem: LDDPProblem) -> str:

@@ -1,0 +1,104 @@
+"""Content hashing shared by the serve cache and the kernel-plan cache.
+
+A *content signature* is a SHA-256 over the observable content of a value —
+scalars by repr, strings/bytes raw, arrays as dtype/shape plus raw bytes,
+containers recursively, callables by compiled code plus captured closure
+data. Two values share a signature iff nothing a consumer can observe
+differs, which is exactly the property both caches need:
+
+* :mod:`repro.serve.request` keys solve results on the full problem content;
+* :mod:`repro.kernels` keys compiled plans on the geometry/dtype subset a
+  plan depends on.
+
+All feeds go through :func:`update_hash`, which writes length-prefixed,
+tagged records so concatenation can never alias two distinct inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from .errors import CacheKeyError
+
+__all__ = ["update_hash", "hash_value", "hash_callable"]
+
+
+def update_hash(h, tag: str, data: bytes = b"") -> None:
+    """Length-prefixed, tagged feed — immune to concatenation ambiguity."""
+    h.update(tag.encode())
+    h.update(b"\x1f")
+    h.update(str(len(data)).encode())
+    h.update(b"\x1f")
+    h.update(data)
+
+
+def hash_value(h, value: Any, where: str) -> None:
+    """Feed one payload/closure value into the hash, or reject it."""
+    if value is None:
+        update_hash(h, "none")
+    elif isinstance(value, (bool, int, float, complex, np.generic)):
+        update_hash(h, type(value).__name__, repr(value).encode())
+    elif isinstance(value, str):
+        update_hash(h, "str", value.encode())
+    elif isinstance(value, bytes):
+        update_hash(h, "bytes", value)
+    elif isinstance(value, np.dtype):
+        update_hash(h, "dtype", str(value).encode())
+    elif isinstance(value, np.ndarray):
+        update_hash(h, "ndarray", f"{value.dtype}|{value.shape}".encode())
+        update_hash(h, "data", np.ascontiguousarray(value).tobytes())
+    elif isinstance(value, (tuple, list)):
+        update_hash(h, type(value).__name__, str(len(value)).encode())
+        for k, item in enumerate(value):
+            hash_value(h, item, f"{where}[{k}]")
+    elif isinstance(value, dict):
+        keys = list(value)
+        if any(not isinstance(k, str) for k in keys):
+            raise CacheKeyError(
+                f"{where}: dict keys must be strings to be content-hashable"
+            )
+        update_hash(h, "dict", str(len(keys)).encode())
+        for k in sorted(keys):
+            update_hash(h, "key", k.encode())
+            hash_value(h, value[k], f"{where}[{k!r}]")
+    else:
+        raise CacheKeyError(
+            f"{where}: value of type {type(value).__name__} has no "
+            "well-defined content key; use scalars, strings, bytes, "
+            "lists/tuples/dicts or numpy arrays — or mark the request "
+            "cacheable=False to bypass the result cache"
+        )
+
+
+def hash_callable(h, fn: Callable, where: str) -> None:
+    """Feed a cell/init function's identity: code bytes + captured data."""
+    fn = getattr(fn, "fn", fn)  # unwrap CellFunction
+    update_hash(h, "fn", f"{getattr(fn, '__module__', '')}."
+                         f"{getattr(fn, '__qualname__', type(fn).__name__)}".encode())
+    code = getattr(fn, "__code__", None)
+    if code is None:
+        code = getattr(getattr(fn, "__call__", None), "__code__", None)
+    if code is not None:
+        update_hash(h, "co_code", code.co_code)
+        update_hash(h, "co_consts", repr(code.co_consts).encode())
+        update_hash(h, "co_names", repr(code.co_names).encode())
+    closure = getattr(fn, "__closure__", None)
+    if closure:
+        for k, cell in enumerate(closure):
+            try:
+                contents = cell.cell_contents
+            except ValueError:  # empty cell
+                update_hash(h, "cell-empty")
+                continue
+            try:
+                hash_value(h, contents, f"{where}.closure[{k}]")
+            except CacheKeyError:
+                if callable(contents):
+                    hash_callable(h, contents, f"{where}.closure[{k}]")
+                else:
+                    # Opaque captured state: key on its type — conservative
+                    # (may split cache entries) but never aliases distinct
+                    # problems, because the payload bytes are always hashed.
+                    update_hash(h, "opaque", type(contents).__name__.encode())

@@ -1,0 +1,228 @@
+"""Compiled kernel plans: cache behaviour, executor engagement, observability.
+
+Bit-equality of the fast path against the generic path is covered
+exhaustively (all patterns, degenerate shapes, random sub-spans) by the
+property tests in ``test_kernels_properties.py``; this module tests the
+plumbing around the plans: the plan cache, the ``kernels.*`` metrics, the
+``kernel_fastpath`` option, and the satellite caches (strategy LRU,
+memoized schedule widths).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ExecOptions, Framework
+from repro.exec.base import evaluate_span
+from repro.kernels import (
+    KernelPlan,
+    clear_plan_cache,
+    generic_span,
+    get_plan_cache,
+    plan_for,
+)
+from repro.obs import get_metrics
+from repro.obs.metrics import MetricsRegistry, set_metrics
+from repro.patterns.registry import (
+    clear_strategy_cache,
+    strategy_cache_info,
+    strategy_for,
+)
+from repro.problems import make_checkerboard, make_levenshtein, make_synthetic
+from repro.types import ContributingSet
+
+SIZE = 48
+
+#: Everything registered; keep in sync with exec/* registrations.
+ALL_EXECUTORS = (
+    "sequential", "cpu", "cpu-blocked", "gpu", "hetero", "cpu-wavefront-major",
+)
+
+
+@pytest.fixture
+def fresh_metrics():
+    registry = MetricsRegistry()
+    old = set_metrics(registry)
+    try:
+        yield registry
+    finally:
+        set_metrics(old)
+
+
+def _sweep(problem, fastpath=True):
+    schedule = strategy_for(problem).schedule
+    table = problem.make_table()
+    aux = problem.make_aux()
+    for t in range(schedule.num_iterations):
+        if schedule.width(t):
+            evaluate_span(problem, schedule, table, aux, t, fastpath=fastpath)
+    return table
+
+
+# -- plan cache ----------------------------------------------------------------
+
+
+def test_plan_cache_hit_on_repeated_solves():
+    clear_plan_cache()
+    problem = make_levenshtein(SIZE)
+    schedule = strategy_for(problem).schedule
+    plan1 = plan_for(problem, schedule)
+    plan2 = plan_for(problem, schedule)
+    assert plan1 is plan2
+    cache = get_plan_cache()
+    assert cache.misses == 1
+    assert cache.hits >= 1
+    assert len(cache) == 1
+
+
+def test_plan_cache_distinguishes_dtype_and_origin():
+    clear_plan_cache()
+    p32 = make_levenshtein(SIZE, dtype=np.int32)
+    p64 = make_levenshtein(SIZE, dtype=np.int64)
+    s32 = strategy_for(p32).schedule
+    assert plan_for(p32, s32) is not plan_for(p64, strategy_for(p64).schedule)
+    assert len(get_plan_cache()) == 2
+
+
+def test_plan_signature_is_stable_and_distinct():
+    problem = make_levenshtein(SIZE)
+    schedule = strategy_for(problem).schedule
+    plan = plan_for(problem, schedule)
+    sig = plan.signature()
+    assert isinstance(sig, str) and len(sig) == 64
+    assert sig == plan.signature()
+    other = make_levenshtein(SIZE + 1)
+    other_plan = plan_for(other, strategy_for(other).schedule)
+    assert other_plan.signature() != sig
+
+
+def test_plan_cache_counts_in_metrics(fresh_metrics):
+    clear_plan_cache()
+    problem = make_levenshtein(SIZE)
+    schedule = strategy_for(problem).schedule
+    plan_for(problem, schedule)
+    plan_for(problem, schedule)
+    assert fresh_metrics.counter("kernels.plan.misses").value == 1
+    assert fresh_metrics.counter("kernels.plan.compiled").value == 1
+    assert fresh_metrics.counter("kernels.plan.hits").value == 1
+
+
+def test_plan_refuses_mismatched_table():
+    problem = make_levenshtein(SIZE)
+    schedule = strategy_for(problem).schedule
+    plan = plan_for(problem, schedule)
+    assert isinstance(plan, KernelPlan)
+    aux = problem.make_aux()
+    wrong_dtype = problem.make_table().astype(np.int64)
+    done, fast = plan.execute(problem, wrong_dtype, aux, 0, 0, 1)
+    assert done == 1 and not fast
+    fortran = np.asfortranarray(problem.make_table())
+    done, fast = plan.execute(problem, fortran, aux, 0, 0, 1)
+    assert done == 1 and not fast
+
+
+def test_slice_spans_compiled_for_fixed_boundary_problem():
+    problem = make_levenshtein(SIZE)
+    schedule = strategy_for(problem).schedule
+    plan = plan_for(problem, schedule)
+    _sweep(problem)
+    modes = plan.span_modes()
+    assert modes["slice"] == schedule.num_iterations
+    assert modes["generic"] == 0
+
+
+# -- dispatcher + executors ----------------------------------------------------
+
+
+def test_every_executor_engages_fast_path(fresh_metrics, high):
+    oracle = _sweep(make_levenshtein(SIZE), fastpath=False)
+    for name in ALL_EXECUTORS:
+        registry = MetricsRegistry()
+        set_metrics(registry)
+        fw = Framework(high, ExecOptions(block_size=16))
+        res = fw.solve(make_levenshtein(SIZE), executor=name)
+        fast = registry.counter("kernels.span.fast").value
+        assert fast > 0, f"{name} never used the fast path"
+        assert np.array_equal(res.table, oracle), name
+
+
+def test_fastpath_off_uses_generic_only(fresh_metrics, high):
+    fw = Framework(high, ExecOptions(kernel_fastpath=False))
+    res = fw.solve(make_levenshtein(SIZE), executor="cpu")
+    assert fresh_metrics.counter("kernels.span.fast").value == 0
+    assert fresh_metrics.counter("kernels.span.generic").value > 0
+    assert np.array_equal(res.table, _sweep(make_levenshtein(SIZE), False))
+
+
+def test_evaluate_span_counts_spans(fresh_metrics):
+    problem = make_levenshtein(SIZE)
+    _sweep(problem)
+    assert (
+        fresh_metrics.counter("kernels.span.fast").value
+        == strategy_for(problem).schedule.num_iterations
+    )
+    _sweep(problem, fastpath=False)
+    assert fresh_metrics.counter("kernels.span.generic").value > 0
+
+
+def test_generic_span_matches_evaluate_span():
+    problem = make_checkerboard(20)
+    schedule = strategy_for(problem).schedule
+    fast = _sweep(problem)
+    table = problem.make_table()
+    aux = problem.make_aux()
+    for t in range(schedule.num_iterations):
+        w = schedule.width(t)
+        if w:
+            generic_span(problem, schedule, table, aux, t, 0, w,
+                         problem.fixed_rows, problem.fixed_cols)
+    assert np.array_equal(fast, table)
+
+
+def test_evaluate_span_rejects_bad_span():
+    from repro.errors import ExecutionError
+
+    problem = make_levenshtein(8)
+    schedule = strategy_for(problem).schedule
+    table, aux = problem.make_table(), problem.make_aux()
+    with pytest.raises(ExecutionError, match="outside iteration"):
+        evaluate_span(problem, schedule, table, aux, 0, 0, 99)
+
+
+# -- satellite caches ----------------------------------------------------------
+
+
+def test_strategy_cache_hits_on_repeated_solves(high):
+    clear_strategy_cache()
+    problem = make_levenshtein(SIZE)
+    fw = Framework(high)
+    fw.solve(problem, executor="cpu")
+    misses_after_first = strategy_cache_info().misses
+    fw.solve(problem, executor="cpu")
+    fw.solve(problem, executor="sequential")
+    info = strategy_cache_info()
+    assert info.misses == misses_after_first, "repeat solves should hit"
+    assert info.hits >= 2
+    clear_strategy_cache()
+    assert strategy_cache_info().size == 0
+
+
+def test_strategy_cache_distinguishes_overrides():
+    clear_strategy_cache()
+    problem = make_synthetic(ContributingSet.of("W"), 10, 12)
+    s1 = strategy_for(problem)
+    s2 = strategy_for(problem, inverted_l_as_horizontal=False)
+    assert strategy_for(problem) is s1
+    assert strategy_for(problem, inverted_l_as_horizontal=False) is s2
+    assert strategy_cache_info().size == 2
+
+
+def test_schedule_widths_memoized():
+    schedule = strategy_for(make_levenshtein(SIZE)).schedule
+    ws1 = schedule.widths()
+    ws2 = schedule.widths()
+    assert ws1 is ws2
+    assert not ws1.flags.writeable
+    assert schedule.max_width == int(ws1.max())
+    assert schedule.max_width == schedule.max_width  # second read: cached

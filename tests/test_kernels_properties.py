@@ -1,0 +1,145 @@
+"""Property tests: the kernel fast path is bit-identical to the generic path.
+
+Hypothesis drives (contributing set, shape, pattern override, span splits)
+through paired sweeps — one dispatched through compiled plans, one forced
+down the generic masked path — and requires exact table equality. Shapes
+include the degenerate 1xN / Nx1 regions and fixed-boundary variants; every
+compatible ``pattern_override`` gets exercised, which covers all six
+wavefront patterns (and all three span-spec modes: slice, index, generic).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.problem import _compatible
+from repro.exec.base import evaluate_span
+from repro.patterns.registry import strategy_for
+from repro.problems import (
+    make_checkerboard,
+    make_dithering,
+    make_dtw,
+    make_levenshtein,
+    make_prefix_sum,
+    make_smith_waterman,
+    make_synthetic,
+)
+from repro.types import ContributingSet, Pattern
+
+SETTINGS = settings(max_examples=40, deadline=None)
+
+
+def _paired_sweep(problem, schedule, splits=None):
+    """Run fast and generic sweeps; return both (table, aux) pairs."""
+    ft, fa = problem.make_table(), problem.make_aux()
+    gt, ga = problem.make_table(), problem.make_aux()
+    for t in range(schedule.num_iterations):
+        w = schedule.width(t)
+        if not w:
+            continue
+        cuts = [0, w]
+        if splits is not None and w > 1:
+            cuts = sorted({0, w, *(s % w for s in splits)})
+        for lo, hi in zip(cuts, cuts[1:]):
+            evaluate_span(problem, schedule, ft, fa, t, lo, hi)
+            evaluate_span(problem, schedule, gt, ga, t, lo, hi,
+                          fastpath=False)
+    return (ft, fa), (gt, ga)
+
+
+def _assert_bit_identical(problem, schedule, splits=None):
+    (ft, fa), (gt, ga) = _paired_sweep(problem, schedule, splits)
+    np.testing.assert_array_equal(ft, gt)
+    assert set(fa) == set(ga)
+    for key in ga:
+        np.testing.assert_array_equal(fa[key], ga[key])
+
+
+@SETTINGS
+@given(
+    mask=st.integers(min_value=1, max_value=15),
+    rows=st.integers(min_value=1, max_value=9),
+    cols=st.integers(min_value=1, max_value=9),
+)
+def test_synthetic_all_masks_and_shapes(mask, rows, cols):
+    problem = make_synthetic(ContributingSet.from_mask(mask), rows, cols)
+    _assert_bit_identical(problem, strategy_for(problem).schedule)
+
+
+@SETTINGS
+@given(
+    mask=st.integers(min_value=1, max_value=15),
+    pattern=st.sampled_from(list(Pattern)),
+    rows=st.integers(min_value=1, max_value=8),
+    cols=st.integers(min_value=1, max_value=8),
+)
+def test_forced_pattern_override(mask, pattern, rows, cols):
+    contributing = ContributingSet.from_mask(mask)
+    if not _compatible(contributing, pattern):
+        return  # override would (rightly) be rejected by strategy_for
+    problem = make_synthetic(contributing, rows, cols)
+    schedule = strategy_for(problem, pattern_override=pattern).schedule
+    _assert_bit_identical(problem, schedule)
+
+
+@SETTINGS
+@given(
+    mask=st.integers(min_value=1, max_value=15),
+    rows=st.integers(min_value=2, max_value=9),
+    cols=st.integers(min_value=2, max_value=9),
+    splits=st.lists(st.integers(min_value=1, max_value=1000),
+                    min_size=1, max_size=3),
+)
+def test_random_subspan_splits(mask, rows, cols, splits):
+    """Hetero-style lo/hi splits hit the plan's sub-span paths."""
+    problem = make_synthetic(ContributingSet.from_mask(mask), rows, cols)
+    _assert_bit_identical(problem, strategy_for(problem).schedule, splits)
+
+
+@SETTINGS
+@given(
+    mask=st.integers(min_value=1, max_value=15),
+    rows=st.integers(min_value=1, max_value=6),
+    cols=st.integers(min_value=1, max_value=6),
+    fixed_rows=st.integers(min_value=0, max_value=2),
+    fixed_cols=st.integers(min_value=0, max_value=2),
+)
+def test_fixed_boundary_variants(mask, rows, cols, fixed_rows, fixed_cols):
+    """Fixed rows/cols shift the computed region (incl. fixed-row-only)."""
+    base = make_synthetic(
+        ContributingSet.from_mask(mask), rows + fixed_rows, cols + fixed_cols
+    )
+    problem = dataclasses.replace(
+        base, fixed_rows=fixed_rows, fixed_cols=fixed_cols
+    )
+    _assert_bit_identical(problem, strategy_for(problem).schedule)
+
+
+@pytest.mark.parametrize("maker,size", [
+    (make_levenshtein, 19),
+    (make_dtw, 17),
+    (make_smith_waterman, 16),
+    (make_prefix_sum, 15),
+    (make_checkerboard, 14),
+])
+def test_shipped_problems(maker, size):
+    problem = maker(size)
+    _assert_bit_identical(problem, strategy_for(problem).schedule,
+                          splits=[3, 7])
+
+
+def test_shipped_problem_with_aux_outputs():
+    problem = make_dithering(12, 17)
+    _assert_bit_identical(problem, strategy_for(problem).schedule,
+                          splits=[2, 5])
+
+
+@pytest.mark.parametrize("m,n", [(1, 23), (23, 1), (1, 1)])
+def test_degenerate_levenshtein(m, n):
+    problem = make_levenshtein(m, n)
+    _assert_bit_identical(problem, strategy_for(problem).schedule)
