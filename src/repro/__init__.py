@@ -36,6 +36,15 @@ stream of requests concurrently with a cached worker pool::
 """
 
 from ._version import __version__
+from .cancel import CancelToken, raise_if_cancelled
+from .faults import (
+    FaultPlan,
+    FaultRule,
+    active_faults,
+    clear_faults,
+    inject_faults,
+    install_faults,
+)
 from .types import (
     ContributingSet,
     Device,
@@ -101,6 +110,15 @@ __all__ = [
     "SolveRequest",
     "PendingSolve",
     "ResultCache",
+    # resilience
+    "CancelToken",
+    "raise_if_cancelled",
+    "FaultPlan",
+    "FaultRule",
+    "inject_faults",
+    "install_faults",
+    "clear_faults",
+    "active_faults",
     # machine
     "Platform",
     "hetero_high",

@@ -1,0 +1,87 @@
+"""Cooperative cancellation: deadlines and cancel tokens.
+
+The executors are long loops over wavefronts; nothing inside a loop blocks,
+so the natural way to stop a run early is *cooperative*: the caller hands the
+run an absolute deadline and/or a :class:`CancelToken`, and every executor
+checks both at each wavefront boundary (the paper's per-pattern phase
+structure gives exactly these safe interruption points — between wavefronts
+the table is in a consistent prefix state and no device hand-off is in
+flight).
+
+Two signals, two exceptions:
+
+* a passed **deadline** raises :class:`~repro.errors.ServiceTimeout` — the
+  same type the solve service uses for queue expiry, so callers handle "too
+  late" uniformly wherever it is detected;
+* a fired **token** raises :class:`~repro.errors.SolveCancelled` — an
+  explicit "stop caring about this result" from another thread.
+
+Both travel inside :class:`~repro.exec.base.ExecOptions` (``deadline``,
+``cancel_token``) and are excluded from its cache-key ``repr`` — they are
+run-scoped control, not semantic knobs, and two requests that differ only in
+deadline must still share a cache entry.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from .errors import ServiceTimeout, SolveCancelled
+
+__all__ = ["CancelToken", "raise_if_cancelled", "remaining_time"]
+
+
+class CancelToken:
+    """A thread-safe one-way cancellation flag.
+
+    Create one, pass it into a solve (``ExecOptions(cancel_token=tok)`` or
+    ``Framework.solve(..., cancel_token=tok)``), and call :meth:`cancel`
+    from any thread; the run aborts with
+    :class:`~repro.errors.SolveCancelled` at its next wavefront boundary.
+    Tokens cannot be reset — make a new one per run.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        """Request cancellation (idempotent, callable from any thread)."""
+        self._event.set()
+
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until cancelled (or ``timeout``); returns the flag state."""
+        return self._event.wait(timeout)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CancelToken(cancelled={self.cancelled()})"
+
+
+def raise_if_cancelled(
+    deadline: float | None,
+    token: CancelToken | None = None,
+    what: str = "solve",
+) -> None:
+    """The cooperative checkpoint: raise if the run should stop now.
+
+    ``deadline`` is absolute ``time.monotonic()`` seconds. Raises
+    :class:`SolveCancelled` for a fired token (checked first: an explicit
+    cancel beats a stale clock) and :class:`ServiceTimeout` for a passed
+    deadline; returns normally otherwise.
+    """
+    if token is not None and token.cancelled():
+        raise SolveCancelled(f"{what} cancelled by its cancel token")
+    if deadline is not None and time.monotonic() >= deadline:
+        raise ServiceTimeout(f"{what} exceeded its deadline mid-execution")
+
+
+def remaining_time(deadline: float | None) -> float | None:
+    """Seconds left until ``deadline`` (negative if passed; None if none)."""
+    if deadline is None:
+        return None
+    return deadline - time.monotonic()

@@ -15,6 +15,13 @@ Examples::
 timeline as Chrome ``trace_event`` JSON — open it in ``chrome://tracing`` or
 https://ui.perfetto.dev (see docs/observability.md). ``--metrics`` dumps the
 process metrics registry after the run.
+
+``--inject-fault SITE:SPEC`` (repeatable, on ``solve`` and ``serve``) arms
+the chaos layer of :mod:`repro.faults` for the run — e.g.
+``--inject-fault "machine.gpu:nth=1"`` kills the first GPU cost-model call
+(exercising CPU-only degradation) and ``--inject-fault
+"exec.span:rate=0.05,latency=0.002"`` makes 5% of spans fail after a 2 ms
+stall. See docs/resilience.md for the site table.
 """
 
 from __future__ import annotations
@@ -63,6 +70,22 @@ def _platform(name: str) -> Platform:
     return {"high": hetero_high(), "low": hetero_low(), "phi": hetero_phi()}[name]
 
 
+def _fault_context(args):
+    """Context manager arming any ``--inject-fault`` specs (no-op without).
+
+    Parses eagerly so a malformed spec raises ``ValueError`` here, before
+    any work starts — callers turn that into exit code 2.
+    """
+    import contextlib
+
+    specs = getattr(args, "inject_fault", None)
+    if not specs:
+        return contextlib.nullcontext()
+    from .faults import FaultPlan, inject_faults
+
+    return inject_faults(FaultPlan.parse(specs))
+
+
 def _cmd_list(args) -> int:
     print("artifacts:")
     for name in ARTIFACTS:
@@ -99,13 +122,19 @@ def _cmd_solve(args) -> int:
     fw = Framework(_platform(args.platform), options)
     run = fw.estimate if args.estimate else fw.solve
     tracer = Tracer() if args.trace else NullTracer()
-    with use_tracer(tracer):
+    try:
+        fault_ctx = _fault_context(args)
+    except ValueError as exc:
+        print(f"error: bad --inject-fault spec: {exc}", file=sys.stderr)
+        return 2
+    with fault_ctx, use_tracer(tracer):
         res = run(problem, executor=args.executor)
     print(f"problem   : {res.problem}")
     print(f"pattern   : {res.pattern.value}")
     print(f"executor  : {res.executor}")
     print(f"simulated : {res.simulated_ms:.3f} ms")
-    for key in ("t_switch", "t_share", "cpu_utilization", "gpu_utilization"):
+    for key in ("t_switch", "t_share", "cpu_utilization", "gpu_utilization",
+                "degraded", "degraded_reason"):
         if key in res.stats:
             val = res.stats[key]
             print(f"{key:10s}: {val:.3f}" if isinstance(val, float) else f"{key:10s}: {val}")
@@ -131,7 +160,7 @@ def _cmd_solve(args) -> int:
 def _cmd_serve(args) -> int:
     import time
 
-    from .errors import ServiceOverloaded
+    from .errors import ReproError, ServiceOverloaded
     from .obs import get_metrics
     from .serve import SolveRequest, SolveService
 
@@ -140,7 +169,14 @@ def _cmd_serve(args) -> int:
     metrics = get_metrics()
     t0 = time.perf_counter()
     rejections = 0
-    with SolveService(
+    completed = 0
+    failures: dict[str, int] = {}
+    try:
+        fault_ctx = _fault_context(args)
+    except ValueError as exc:
+        print(f"error: bad --inject-fault spec: {exc}", file=sys.stderr)
+        return 2
+    with fault_ctx, SolveService(
         _platform(args.platform),
         workers=args.workers,
         queue_size=args.queue_size,
@@ -160,11 +196,20 @@ def _cmd_serve(args) -> int:
                     rejections += 1
                     time.sleep(0.005)
         for p in pending:
-            p.result()
+            # Chaos contract: every request either completes or fails with
+            # a *typed* error; anything else escaping here is a real bug.
+            try:
+                p.result()
+                completed += 1
+            except ReproError as exc:
+                failures[type(exc).__name__] = (
+                    failures.get(type(exc).__name__, 0) + 1
+                )
     elapsed = time.perf_counter() - t0
 
     hits = metrics.counter("serve.cache.hits").value
     misses = metrics.counter("serve.cache.misses").value
+    degraded = metrics.counter("serve.degraded").value
     latency = metrics.histogram("serve.latency_ms")
     print(f"platform  : {svc.framework.platform.name}")
     print(f"workload  : {args.requests} requests over "
@@ -175,9 +220,20 @@ def _cmd_serve(args) -> int:
     print(f"cache     : {hits} hits / {misses} misses"
           + (" (disabled)" if cache_size == 0 else ""))
     print(f"backoff   : {rejections} overload rejections absorbed")
-    print(f"latency   : p50={latency.percentile(50):g} ms "
-          f"p90={latency.percentile(90):g} ms "
-          f"p99={latency.percentile(99):g} ms")
+    outcome_line = f"outcomes  : {completed} completed, " \
+                   f"{sum(failures.values())} failed"
+    if failures:
+        detail = ", ".join(
+            f"{name} x{count}" for name, count in sorted(failures.items())
+        )
+        outcome_line += f" ({detail})"
+    if degraded:
+        outcome_line += f", {degraded} degraded to cpu-only"
+    print(outcome_line)
+    if completed:
+        print(f"latency   : p50={latency.percentile(50):g} ms "
+              f"p90={latency.percentile(90):g} ms "
+              f"p99={latency.percentile(99):g} ms")
     if args.metrics:
         print("metrics   :")
         print(metrics.render())
@@ -295,6 +351,11 @@ def main(argv: list[str] | None = None) -> int:
         help="disable the compiled kernel-plan fast path — every span runs "
              "the generic masked gather/scatter (A/B baseline)",
     )
+    p.add_argument(
+        "--inject-fault", action="append", metavar="SITE:SPEC", default=None,
+        help="arm a chaos fault for the run, e.g. 'machine.gpu:nth=1' or "
+             "'exec.span:rate=0.05,latency=0.002' (repeatable)",
+    )
     p.set_defaults(fn=_cmd_solve)
 
     p = sub.add_parser(
@@ -318,6 +379,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     p.add_argument("--metrics", action="store_true",
                    help="dump the metrics registry after the run")
+    p.add_argument(
+        "--inject-fault", action="append", metavar="SITE:SPEC", default=None,
+        help="arm a chaos fault for the whole workload (repeatable); every "
+             "request must still complete or fail with a typed error",
+    )
     p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser("tune", help="two-step empirical parameter search")

@@ -19,8 +19,11 @@ the framework for you:
 
 from __future__ import annotations
 
+import time
+from dataclasses import replace
 from typing import Mapping
 
+from ..cancel import CancelToken
 from ..exec.base import (
     ExecOptions,
     Executor,
@@ -89,14 +92,21 @@ class Framework:
         params: HeteroParams | None = None,
         *,
         options: ExecOptions | None = None,
+        timeout: float | None = None,
+        cancel_token: CancelToken | None = None,
     ) -> SolveResult:
         """Fill the table and model the timing on the chosen executor.
 
         ``options`` overrides the framework-level :class:`ExecOptions` for
-        this call only.
+        this call only. ``timeout`` (seconds from now) and ``cancel_token``
+        are conveniences that set the options' ``deadline`` /
+        ``cancel_token``: the run aborts cooperatively at the next wavefront
+        boundary with :class:`~repro.errors.ServiceTimeout` /
+        :class:`~repro.errors.SolveCancelled`.
         """
         return self._dispatch(problem, executor, params, functional=True,
-                              options=options)
+                              options=options, timeout=timeout,
+                              cancel_token=cancel_token)
 
     def estimate(
         self,
@@ -105,10 +115,13 @@ class Framework:
         params: HeteroParams | None = None,
         *,
         options: ExecOptions | None = None,
+        timeout: float | None = None,
+        cancel_token: CancelToken | None = None,
     ) -> SolveResult:
         """Timing model only — no table allocation (for large sweeps)."""
         return self._dispatch(problem, executor, params, functional=False,
-                              options=options)
+                              options=options, timeout=timeout,
+                              cancel_token=cancel_token)
 
     def estimate_fast(
         self,
@@ -125,9 +138,23 @@ class Framework:
 
         return fast_hetero_makespan(problem, self.platform, params, self.options)
 
-    def _dispatch(self, problem, executor, params, functional, options=None):
+    def _dispatch(self, problem, executor, params, functional, options=None,
+                  timeout=None, cancel_token=None):
         from ..exec.hetero import HeteroExecutor
 
+        if timeout is not None or cancel_token is not None:
+            base = options or self.options
+            options = replace(
+                base,
+                deadline=(
+                    time.monotonic() + timeout
+                    if timeout is not None else base.deadline
+                ),
+                cancel_token=(
+                    cancel_token if cancel_token is not None
+                    else base.cancel_token
+                ),
+            )
         ex = self.executor(executor, options=options)
         kwargs = {}
         if params is not None:

@@ -60,6 +60,20 @@ class LayoutError(ReproError):
     """A memory-layout transform was asked something inconsistent."""
 
 
+class SolveCancelled(ReproError):
+    """A run was cooperatively cancelled via its :class:`~repro.cancel.CancelToken`."""
+
+
+class InjectedFault(ReproError):
+    """A failure deliberately injected by :mod:`repro.faults` (chaos testing).
+
+    Sites that support graceful degradation (the kernel-plan fast path, the
+    GPU machine model under hetero/multi execution) swallow this and fall
+    back; everywhere else it surfaces like any executor error — typed,
+    retryable, never a raw crash.
+    """
+
+
 class ServiceError(ReproError):
     """Base class for :mod:`repro.serve` solve-service errors."""
 
@@ -69,7 +83,13 @@ class ServiceOverloaded(ServiceError):
 
 
 class ServiceTimeout(ServiceError):
-    """A request missed its deadline before a worker could finish it."""
+    """A deadline passed: in the queue, mid-execution, or while waiting.
+
+    Raised by the solve service for queue expiry, by the executors'
+    cooperative wavefront-boundary checks (deadline propagation via
+    ``ExecOptions.deadline``), and by ``PendingSolve.result`` when the
+    caller's wait outlives the request's deadline.
+    """
 
 
 class ServiceClosed(ServiceError):

@@ -8,13 +8,15 @@ from typing import Any
 
 import numpy as np
 
+from ..cancel import CancelToken, raise_if_cancelled
 from ..core.problem import LDDPProblem
 from ..core.schedule import WavefrontSchedule
-from ..errors import ExecutionError
+from ..errors import ExecutionError, ServiceTimeout, SolveCancelled
+from ..faults import check_fault
 from ..kernels import generic_span, plan_for
 from ..machine.platform import Platform
 from ..memory.buffers import TransferLedger
-from ..obs import get_metrics
+from ..obs import get_metrics, get_tracer
 from ..sim.timeline import Timeline
 from ..types import Pattern
 
@@ -23,6 +25,7 @@ __all__ = [
     "SolveResult",
     "Executor",
     "evaluate_span",
+    "check_control",
     "wavefront_contiguous",
     "register_executor",
     "unregister_executor",
@@ -58,6 +61,22 @@ class ExecOptions:
         (:mod:`repro.kernels`). Off: every span runs the generic masked
         gather/scatter path — the A/B knob behind the CLI's
         ``--no-kernel-fastpath``.
+    degrade_to_cpu:
+        When the GPU machine model fails mid-run (a
+        :class:`~repro.errors.PlatformError` or injected fault), the
+        hetero/multi executors re-run the problem CPU-only instead of
+        raising (``serve.degraded`` metric, ``degraded`` stats entry). Off:
+        the failure surfaces.
+    deadline:
+        Absolute ``time.monotonic()`` deadline. Every executor checks it at
+        wavefront boundaries and aborts with
+        :class:`~repro.errors.ServiceTimeout` once it has passed —
+        cooperative cancellation, at most one wavefront late. Excluded from
+        the cache-key ``repr`` (run-scoped control, not a semantic knob).
+    cancel_token:
+        A :class:`~repro.cancel.CancelToken` checked alongside ``deadline``;
+        fired tokens abort with :class:`~repro.errors.SolveCancelled`. Also
+        excluded from the cache key.
     """
 
     use_wavefront_layout: bool = True
@@ -67,6 +86,11 @@ class ExecOptions:
     validate_timeline: bool = False
     block_size: int = 64
     kernel_fastpath: bool = True
+    degrade_to_cpu: bool = True
+    deadline: float | None = field(default=None, repr=False, compare=False)
+    cancel_token: CancelToken | None = field(
+        default=None, repr=False, compare=False
+    )
 
 
 @dataclass
@@ -91,6 +115,20 @@ class SolveResult:
     @property
     def simulated_ms(self) -> float:
         return self.simulated_time * 1e3
+
+
+def check_control(options: ExecOptions | None, what: str = "solve") -> None:
+    """Cooperative checkpoint for executor loops (one per wavefront).
+
+    Raises :class:`~repro.errors.SolveCancelled` /
+    :class:`~repro.errors.ServiceTimeout` per the options' ``cancel_token``
+    and ``deadline``; a no-op (two attribute reads) when neither is set, so
+    it is safe to call in hot loops.
+    """
+    if options is None:
+        return
+    if options.deadline is not None or options.cancel_token is not None:
+        raise_if_cancelled(options.deadline, options.cancel_token, what)
 
 
 def wavefront_contiguous(pattern: Pattern, use_wavefront_layout: bool) -> bool:
@@ -162,6 +200,7 @@ def evaluate_span(
     *,
     origin: tuple[int, int] = (0, 0),
     fastpath: bool = True,
+    options: ExecOptions | None = None,
 ) -> int:
     """Functionally compute positions ``[lo, hi)`` of wavefront ``t``.
 
@@ -176,7 +215,23 @@ def evaluate_span(
     region (used by tiled executors; the fixed boundary is added on top).
     Fast and generic spans are counted as ``kernels.span.fast`` /
     ``kernels.span.generic`` in :mod:`repro.obs`.
+
+    ``options`` threads the run's cross-cutting control through the
+    dispatcher: ``kernel_fastpath`` gates the plan cache exactly like
+    ``fastpath``, and a passed ``deadline`` / fired ``cancel_token`` aborts
+    here — the per-wavefront cooperative cancellation point every executor
+    inherits. The dispatcher is also the ``exec.span`` fault-injection site,
+    and a fast-path plan that *fails* (rather than declines) degrades to the
+    generic path instead of raising (``kernels.plan.degraded``).
     """
+    if options is not None:
+        if options.deadline is not None or options.cancel_token is not None:
+            raise_if_cancelled(
+                options.deadline, options.cancel_token,
+                f"solve of {problem.name!r}",
+            )
+        fastpath = fastpath and options.kernel_fastpath
+    check_fault("exec.span")
     state = _span_state(problem, schedule, origin) if fastpath else None
     if state is not None and 0 <= t < state[7].shape[0]:
         width = int(state[7][t])  # memoized widths: skips per-call bounds
@@ -193,9 +248,18 @@ def evaluate_span(
     if state is not None:
         plan = state[4]
         if plan is not None:
-            done, fast = plan.execute(problem, table, aux, t, lo, hi)
-            (state[5] if fast else state[6]).inc()
-            return done
+            try:
+                done, fast = plan.execute(problem, table, aux, t, lo, hi)
+            except (ServiceTimeout, SolveCancelled):
+                raise
+            except Exception:
+                # A *failing* plan (injected fault, guard bug) must not take
+                # the request down: recompute the span generically. User
+                # cell-function errors re-raise from the generic path.
+                get_metrics().counter("kernels.plan.degraded").inc()
+            else:
+                (state[5] if fast else state[6]).inc()
+                return done
     _generic_counter().inc()
     return generic_span(
         problem, schedule, table, aux, t, lo, hi,
@@ -314,3 +378,33 @@ class Executor(ABC):
     def _maybe_validate(self, timeline: Timeline) -> None:
         if self.options.validate_timeline:
             timeline.validate()
+
+    def _degrade_to_cpu(
+        self, problem: LDDPProblem, functional: bool, exc: BaseException
+    ) -> SolveResult:
+        """Re-run ``problem`` CPU-only after a device/transfer failure.
+
+        The CPU executor shares :func:`evaluate_span`, so a degraded run's
+        table is bit-identical to the heterogeneous one — only the timing
+        model changes. Counted as ``serve.degraded`` (plus a per-executor
+        ``exec.<name>.degraded``) and annotated with a ``<name>.degraded``
+        span; the result keeps the original executor name with
+        ``stats["degraded"] = "cpu-only"`` recording the fallback.
+        """
+        from .cpu_exec import CPUExecutor  # local: avoid a module cycle
+
+        reason = f"{type(exc).__name__}: {exc}"
+        metrics = get_metrics()
+        metrics.counter("serve.degraded").inc()
+        metrics.counter(f"exec.{self.name}.degraded").inc()
+        with get_tracer().span(
+            f"{self.name}.degraded", cat="degrade",
+            problem=problem.name, reason=reason,
+        ):
+            result = CPUExecutor(self.platform, self.options)._run(
+                problem, functional
+            )
+        result.executor = self.name
+        result.stats["degraded"] = "cpu-only"
+        result.stats["degraded_reason"] = reason
+        return result

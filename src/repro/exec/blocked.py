@@ -33,7 +33,14 @@ from ..errors import ExecutionError
 from ..obs import get_metrics, get_tracer
 from ..patterns.registry import strategy_for
 from ..sim.engine import Engine
-from .base import Executor, SolveResult, evaluate_span, register_executor
+from .base import (
+    ExecOptions,
+    Executor,
+    SolveResult,
+    check_control,
+    evaluate_span,
+    register_executor,
+)
 
 __all__ = ["BlockedCPUExecutor", "evaluate_block", "evaluate_skewed_block"]
 
@@ -54,6 +61,7 @@ def evaluate_block(
     aux: dict[str, np.ndarray],
     block: Block,
     fastpath: bool = True,
+    options: ExecOptions | None = None,
 ) -> int:
     """Sweep one square block's cells in (cell-level) wavefront order.
 
@@ -62,7 +70,8 @@ def evaluate_block(
     :mod:`repro.core.blocking`). Each block wavefront routes through
     :func:`~repro.exec.base.evaluate_span` with the block's origin, so tiles
     share the compiled kernel plans of :mod:`repro.kernels` (one plan per
-    distinct block geometry x origin).
+    distinct block geometry x origin). ``options`` threads deadline/cancel
+    control through the span evaluator (checked per local wavefront).
     """
     local = schedule_for(pattern, block.rows, block.cols)
     done = 0
@@ -71,7 +80,7 @@ def evaluate_block(
             continue
         done += evaluate_span(
             problem, local, table, aux, t,
-            origin=(block.r0, block.c0), fastpath=fastpath,
+            origin=(block.r0, block.c0), fastpath=fastpath, options=options,
         )
     return done
 
@@ -146,6 +155,7 @@ class BlockedCPUExecutor(Executor):
             block_size=self.block_size, tiling="skewed" if skewed else "square",
         ):
             for t in range(grid.num_iterations):
+                check_control(self.options, f"solve of {problem.name!r}")
                 blocks = grid.blocks(t)
                 if not blocks:
                     continue
@@ -161,6 +171,7 @@ class BlockedCPUExecutor(Executor):
                                 total_done += evaluate_block(
                                     problem, pattern, table, aux, blk,
                                     fastpath=self.options.kernel_fastpath,
+                                    options=self.options,
                                 )
                     engine.task(
                         "cpu",

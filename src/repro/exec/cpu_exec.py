@@ -14,6 +14,7 @@ from ..sim.engine import Engine
 from .base import (
     Executor,
     SolveResult,
+    check_control,
     evaluate_span,
     register_executor,
     wavefront_contiguous,
@@ -51,6 +52,7 @@ class CPUExecutor(Executor):
             functional=functional,
         ):
             for t in range(schedule.num_iterations):
+                check_control(self.options, f"solve of {problem.name!r}")
                 width = schedule.width(t)
                 if width == 0:
                     continue  # degenerate geometry: empty wavefront
@@ -58,7 +60,7 @@ class CPUExecutor(Executor):
                     if functional:
                         evaluate_span(
                             problem, schedule, table, aux, t,
-                            fastpath=self.options.kernel_fastpath,
+                            options=self.options,
                         )
                     engine.task(
                         "cpu",

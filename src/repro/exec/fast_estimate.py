@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from ..core.partition import HeteroParams
 from ..core.problem import LDDPProblem
-from ..exec.base import ExecOptions, wavefront_contiguous
+from ..exec.base import ExecOptions, check_control, wavefront_contiguous
 from ..exec.hetero import _HALO_DEPTH
 from ..machine.platform import Platform
 from ..patterns.registry import strategy_for
@@ -122,6 +122,8 @@ def fast_hetero_makespan(
 
     for ph in phases:
         for t in range(ph.start, ph.stop):
+            if not t & 1023:  # cooperative checkpoint, amortized over the scan
+                check_control(options, f"estimate of {problem.name!r}")
             w = int(widths[t])
             c_cells = cpu_cells_at(t, ph.name)
             g_cells = w - c_cells

@@ -17,6 +17,7 @@ from ..memory.buffers import TransferLedger
 from .base import (
     Executor,
     SolveResult,
+    check_control,
     evaluate_span,
     register_executor,
     wavefront_contiguous,
@@ -78,6 +79,7 @@ class GPUExecutor(Executor):
 
             last = setup
             for t in range(schedule.num_iterations):
+                check_control(self.options, f"solve of {problem.name!r}")
                 width = schedule.width(t)
                 if width == 0:
                     continue  # degenerate geometry: empty wavefront
@@ -85,7 +87,7 @@ class GPUExecutor(Executor):
                     if functional:
                         evaluate_span(
                             problem, schedule, table, aux, t,
-                            fastpath=self.options.kernel_fastpath,
+                            options=self.options,
                         )
                     last = engine.task(
                         "gpu",

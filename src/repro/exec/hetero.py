@@ -28,13 +28,19 @@ Observability: the run is wrapped in a ``hetero.solve`` span with one
 ``phase:*`` child per phase-plan segment, one ``wavefront`` span per
 iteration, and ``kernel`` / ``transfer`` spans per submission — see
 ``docs/observability.md``.
+
+Resilience: when the GPU or transfer model fails mid-run (a
+:class:`~repro.errors.PlatformError` or an injected fault) and
+``options.degrade_to_cpu`` is set, the run restarts CPU-only via
+:meth:`~repro.exec.base.Executor._degrade_to_cpu` — same table, CPU-only
+timing. Deadline/cancel control is checked once per assignment.
 """
 
 from __future__ import annotations
 
 from ..core.partition import HeteroParams, PhasePlan
 from ..core.problem import LDDPProblem
-from ..errors import ExecutionError
+from ..errors import ExecutionError, InjectedFault, PlatformError
 from ..memory.buffers import TransferLedger
 from ..obs import get_metrics, get_tracer
 from ..patterns.base import PatternStrategy
@@ -44,6 +50,7 @@ from ..types import Pattern, TransferDirection, TransferKind
 from .base import (
     Executor,
     SolveResult,
+    check_control,
     evaluate_span,
     register_executor,
     wavefront_contiguous,
@@ -71,6 +78,19 @@ class HeteroExecutor(Executor):
         functional: bool,
         params: HeteroParams | None = None,
     ) -> SolveResult:
+        try:
+            return self._run_hetero(problem, functional, params)
+        except (PlatformError, InjectedFault) as exc:
+            if not self.options.degrade_to_cpu:
+                raise
+            return self._degrade_to_cpu(problem, functional, exc)
+
+    def _run_hetero(
+        self,
+        problem: LDDPProblem,
+        functional: bool,
+        params: HeteroParams | None = None,
+    ) -> SolveResult:
         tracer = get_tracer()
         strategy = strategy_for(
             problem,
@@ -83,6 +103,7 @@ class HeteroExecutor(Executor):
             params = analytic_params(problem, self.platform, strategy)
         plan = strategy.plan(params)
         schedule = strategy.schedule
+        what = f"solve of {problem.name!r}"
 
         contiguous = wavefront_contiguous(
             schedule.pattern, self.options.use_wavefront_layout
@@ -109,216 +130,222 @@ class HeteroExecutor(Executor):
             t_switch=plan.params.t_switch, t_share=plan.params.t_share,
         )
         root.__enter__()
-        setup_tid: int | None = None
-        if gpu_participates:
-            in_bytes = self._payload_nbytes(problem) + (
-                problem.shape[0] * problem.shape[1] - problem.total_computed_cells
-            ) * itemsize
-            with tracer.span(
-                "transfer", cat="transfer",
-                direction="h2d", kind="pageable", label="setup", nbytes=in_bytes,
-            ):
-                setup_tid = engine.task(
-                    "bus",
-                    xfer.time(max(in_bytes, itemsize), TransferKind.PAGEABLE),
-                    label="h2d-setup",
-                    kind="setup",
-                )
-                ledger.record(
-                    TransferDirection.H2D, TransferKind.PAGEABLE,
-                    cells=0, nbytes=in_bytes, label="setup",
-                )
-
-        cpu_extra: list[int] = []  # deps for the *next* CPU task
-        gpu_extra: list[int] = [setup_tid] if setup_tid is not None else []
-        last_cpu: int | None = None
-        last_gpu: int | None = None
-        prev_phase: str | None = None
-        phase_span = None
-        # Deferred cpu-low -> split halo: emitted just before the phase's
-        # first actual GPU task, so an all-CPU "split" phase moves nothing.
-        pending_h2d_halo: tuple[int, int] | None = None  # (iteration, cells)
-
-        for a in plan.assignments:
-            if prev_phase is None or a.phase != prev_phase:
-                if phase_span is not None:
-                    phase_span.end()
-                phase_span = tracer.span(
-                    f"phase:{a.phase}", cat="phase", phase=a.phase, start=a.t,
-                )
-
-            # ---- phase-boundary bulk halo copies ------------------------------
-            if prev_phase is not None and a.phase != prev_phase:
-                lo = max(0, a.t - halo)
-                if a.phase == "split" and prev_phase == "cpu-low":
-                    halo_cells = sum(schedule.width(u) for u in range(lo, a.t))
-                    pending_h2d_halo = (a.t, halo_cells)
-                elif a.phase == "cpu-low" and prev_phase == "split":
-                    gpu_halo_cells = sum(
-                        pa.gpu_cells for pa in plan.assignments[lo: a.t]
+        try:
+            setup_tid: int | None = None
+            if gpu_participates:
+                in_bytes = self._payload_nbytes(problem) + (
+                    problem.shape[0] * problem.shape[1] - problem.total_computed_cells
+                ) * itemsize
+                with tracer.span(
+                    "transfer", cat="transfer",
+                    direction="h2d", kind="pageable", label="setup", nbytes=in_bytes,
+                ):
+                    setup_tid = engine.task(
+                        "bus",
+                        xfer.time(max(in_bytes, itemsize), TransferKind.PAGEABLE),
+                        label="h2d-setup",
+                        kind="setup",
                     )
-                    if gpu_halo_cells > 0:
-                        halo_bytes = gpu_halo_cells * itemsize
+                    ledger.record(
+                        TransferDirection.H2D, TransferKind.PAGEABLE,
+                        cells=0, nbytes=in_bytes, label="setup",
+                    )
+
+            cpu_extra: list[int] = []  # deps for the *next* CPU task
+            gpu_extra: list[int] = [setup_tid] if setup_tid is not None else []
+            last_cpu: int | None = None
+            last_gpu: int | None = None
+            prev_phase: str | None = None
+            phase_span = None
+            # Deferred cpu-low -> split halo: emitted just before the phase's
+            # first actual GPU task, so an all-CPU "split" phase moves nothing.
+            pending_h2d_halo: tuple[int, int] | None = None  # (iteration, cells)
+
+            for a in plan.assignments:
+                check_control(self.options, what)
+                if prev_phase is None or a.phase != prev_phase:
+                    if phase_span is not None:
+                        phase_span.end()
+                    phase_span = tracer.span(
+                        f"phase:{a.phase}", cat="phase", phase=a.phase, start=a.t,
+                    )
+
+                # ---- phase-boundary bulk halo copies ------------------------------
+                if prev_phase is not None and a.phase != prev_phase:
+                    lo = max(0, a.t - halo)
+                    if a.phase == "split" and prev_phase == "cpu-low":
+                        halo_cells = sum(schedule.width(u) for u in range(lo, a.t))
+                        pending_h2d_halo = (a.t, halo_cells)
+                    elif a.phase == "cpu-low" and prev_phase == "split":
+                        gpu_halo_cells = sum(
+                            pa.gpu_cells for pa in plan.assignments[lo: a.t]
+                        )
+                        if gpu_halo_cells > 0:
+                            halo_bytes = gpu_halo_cells * itemsize
+                            with tracer.span(
+                                "transfer", cat="transfer", direction="d2h",
+                                kind="pageable", label="phase-halo", t=a.t,
+                                cells=gpu_halo_cells,
+                            ):
+                                tid = engine.task(
+                                    "bus",
+                                    xfer.time(halo_bytes, TransferKind.PAGEABLE),
+                                    deps=() if last_gpu is None else (last_gpu,),
+                                    label=f"d2h-halo[{a.t}]",
+                                    kind="phase-transfer",
+                                )
+                                cpu_extra.append(tid)
+                                ledger.record(
+                                    TransferDirection.D2H, TransferKind.PAGEABLE,
+                                    cells=gpu_halo_cells, nbytes=halo_bytes,
+                                    label="phase-halo",
+                                )
+                        pending_h2d_halo = None
+                prev_phase = a.phase
+
+                if pending_h2d_halo is not None and a.gpu_cells:
+                    at, halo_cells = pending_h2d_halo
+                    pending_h2d_halo = None
+                    if halo_cells > 0:
+                        halo_bytes = halo_cells * itemsize
                         with tracer.span(
-                            "transfer", cat="transfer", direction="d2h",
-                            kind="pageable", label="phase-halo", t=a.t,
-                            cells=gpu_halo_cells,
+                            "transfer", cat="transfer", direction="h2d",
+                            kind="pageable", label="phase-halo", t=at,
+                            cells=halo_cells,
                         ):
                             tid = engine.task(
                                 "bus",
                                 xfer.time(halo_bytes, TransferKind.PAGEABLE),
-                                deps=() if last_gpu is None else (last_gpu,),
-                                label=f"d2h-halo[{a.t}]",
+                                deps=() if last_cpu is None else (last_cpu,),
+                                label=f"h2d-halo[{at}]",
                                 kind="phase-transfer",
                             )
-                            cpu_extra.append(tid)
+                            gpu_extra.append(tid)
+                            cpu_extra.append(tid)  # pageable copy blocks the host
                             ledger.record(
-                                TransferDirection.D2H, TransferKind.PAGEABLE,
-                                cells=gpu_halo_cells, nbytes=halo_bytes,
+                                TransferDirection.H2D, TransferKind.PAGEABLE,
+                                cells=halo_cells, nbytes=halo_bytes,
                                 label="phase-halo",
                             )
-                    pending_h2d_halo = None
-            prev_phase = a.phase
 
-            if pending_h2d_halo is not None and a.gpu_cells:
-                at, halo_cells = pending_h2d_halo
-                pending_h2d_halo = None
-                if halo_cells > 0:
-                    halo_bytes = halo_cells * itemsize
-                    with tracer.span(
-                        "transfer", cat="transfer", direction="h2d",
-                        kind="pageable", label="phase-halo", t=at,
-                        cells=halo_cells,
-                    ):
-                        tid = engine.task(
-                            "bus",
-                            xfer.time(halo_bytes, TransferKind.PAGEABLE),
-                            deps=() if last_cpu is None else (last_cpu,),
-                            label=f"h2d-halo[{at}]",
-                            kind="phase-transfer",
-                        )
-                        gpu_extra.append(tid)
-                        cpu_extra.append(tid)  # pageable copy blocks the host
-                        ledger.record(
-                            TransferDirection.H2D, TransferKind.PAGEABLE,
-                            cells=halo_cells, nbytes=halo_bytes,
-                            label="phase-halo",
-                        )
+                wf_span = tracer.span(
+                    "wavefront", cat="wavefront", t=a.t, phase=a.phase,
+                    cpu_cells=a.cpu_cells, gpu_cells=a.gpu_cells,
+                )
+                with wf_span:
+                    # ---- functional evaluation ---------------------------------------
+                    if functional:
+                        if a.cpu_cells:
+                            evaluate_span(
+                                problem, schedule, table, aux, a.t, 0, a.cpu_cells,
+                                options=self.options,
+                            )
+                        if a.gpu_cells:
+                            evaluate_span(
+                                problem, schedule, table, aux, a.t, a.cpu_cells, a.width,
+                                options=self.options,
+                            )
 
-            wf_span = tracer.span(
-                "wavefront", cat="wavefront", t=a.t, phase=a.phase,
-                cpu_cells=a.cpu_cells, gpu_cells=a.gpu_cells,
-            )
-            with wf_span:
-                # ---- functional evaluation ---------------------------------------
-                if functional:
+                    # ---- compute tasks ------------------------------------------------
+                    cpu_tid = gpu_tid = None
                     if a.cpu_cells:
-                        evaluate_span(
-                            problem, schedule, table, aux, a.t, 0, a.cpu_cells,
-                            fastpath=self.options.kernel_fastpath,
-                        )
-                    if a.gpu_cells:
-                        evaluate_span(
-                            problem, schedule, table, aux, a.t, a.cpu_cells, a.width,
-                            fastpath=self.options.kernel_fastpath,
-                        )
-
-                # ---- compute tasks ------------------------------------------------
-                cpu_tid = gpu_tid = None
-                if a.cpu_cells:
-                    cpu_tid = engine.task(
-                        "cpu",
-                        cpu.parallel_time(a.cpu_cells, cpu_work, contiguous),
-                        deps=tuple(cpu_extra),
-                        label=f"cpu[{a.t}]",
-                        kind="compute",
-                        iteration=a.t,
-                        phase=a.phase,
-                    )
-                    cpu_extra = []
-                    last_cpu = cpu_tid
-                if a.gpu_cells:
-                    with tracer.span("kernel", cat="kernel", t=a.t, cells=a.gpu_cells):
-                        gpu_tid = engine.task(
-                            "gpu",
-                            gpu.kernel_time(a.gpu_cells, gpu_work, contiguous),
-                            deps=tuple(gpu_extra),
-                            label=f"gpu[{a.t}]",
+                        cpu_tid = engine.task(
+                            "cpu",
+                            cpu.parallel_time(a.cpu_cells, cpu_work, contiguous),
+                            deps=tuple(cpu_extra),
+                            label=f"cpu[{a.t}]",
                             kind="compute",
                             iteration=a.t,
                             phase=a.phase,
                         )
-                    gpu_extra = []
-                    last_gpu = gpu_tid
+                        cpu_extra = []
+                        last_cpu = cpu_tid
+                    if a.gpu_cells:
+                        with tracer.span("kernel", cat="kernel", t=a.t, cells=a.gpu_cells):
+                            gpu_tid = engine.task(
+                                "gpu",
+                                gpu.kernel_time(a.gpu_cells, gpu_work, contiguous),
+                                deps=tuple(gpu_extra),
+                                label=f"gpu[{a.t}]",
+                                kind="compute",
+                                iteration=a.t,
+                                phase=a.phase,
+                            )
+                        gpu_extra = []
+                        last_gpu = gpu_tid
 
-                # ---- boundary transfers ------------------------------------------
-                for spec in a.transfers:
-                    nbytes = spec.cells * itemsize
-                    producer = cpu_tid if spec.direction is TransferDirection.H2D else gpu_tid
-                    if producer is None:
-                        raise ExecutionError(
-                            f"iteration {a.t}: transfer {spec} has no producer task"
+                    # ---- boundary transfers ------------------------------------------
+                    for spec in a.transfers:
+                        nbytes = spec.cells * itemsize
+                        producer = cpu_tid if spec.direction is TransferDirection.H2D else gpu_tid
+                        if producer is None:
+                            raise ExecutionError(
+                                f"iteration {a.t}: transfer {spec} has no producer task"
+                            )
+                        streamed = (
+                            spec.kind is TransferKind.STREAMED and self.options.pipeline
                         )
-                    streamed = (
-                        spec.kind is TransferKind.STREAMED and self.options.pipeline
-                    )
-                    kind = spec.kind if streamed else (
-                        TransferKind.PINNED
-                        if spec.kind in (TransferKind.PINNED, TransferKind.STREAMED)
-                        else TransferKind.PAGEABLE
-                    )
-                    resource = "copy" if streamed else "bus"
-                    with tracer.span(
-                        "transfer", cat="transfer",
-                        direction=spec.direction.value, kind=kind.value,
-                        label="boundary", t=a.t, cells=spec.cells,
-                    ):
-                        tid = engine.task(
-                            resource,
-                            xfer.time(nbytes, kind),
-                            deps=(producer,),
-                            label=f"{spec.direction.value}[{a.t}]",
-                            kind="boundary-transfer",
-                            iteration=a.t,
-                            direction=spec.direction.value,
+                        kind = spec.kind if streamed else (
+                            TransferKind.PINNED
+                            if spec.kind in (TransferKind.PINNED, TransferKind.STREAMED)
+                            else TransferKind.PAGEABLE
                         )
-                        if spec.direction is TransferDirection.H2D:
-                            gpu_extra.append(tid)
-                            if not streamed:
-                                cpu_extra.append(tid)  # host blocked by the copy
-                        else:
-                            cpu_extra.append(tid)
-                            if not streamed:
+                        resource = "copy" if streamed else "bus"
+                        with tracer.span(
+                            "transfer", cat="transfer",
+                            direction=spec.direction.value, kind=kind.value,
+                            label="boundary", t=a.t, cells=spec.cells,
+                        ):
+                            tid = engine.task(
+                                resource,
+                                xfer.time(nbytes, kind),
+                                deps=(producer,),
+                                label=f"{spec.direction.value}[{a.t}]",
+                                kind="boundary-transfer",
+                                iteration=a.t,
+                                direction=spec.direction.value,
+                            )
+                            if spec.direction is TransferDirection.H2D:
                                 gpu_extra.append(tid)
-                        ledger.record(
-                            spec.direction, kind, cells=spec.cells, nbytes=nbytes,
-                            iteration=a.t,
-                        )
+                                if not streamed:
+                                    cpu_extra.append(tid)  # host blocked by the copy
+                            else:
+                                cpu_extra.append(tid)
+                                if not streamed:
+                                    gpu_extra.append(tid)
+                            ledger.record(
+                                spec.direction, kind, cells=spec.cells, nbytes=nbytes,
+                                iteration=a.t,
+                            )
 
-        if phase_span is not None:
-            phase_span.end()
+            if phase_span is not None:
+                phase_span.end()
+                phase_span = None
 
-        # ---- gather the GPU-resident part of the result -----------------------
-        if gpu_participates:
-            out_bytes = plan.gpu_cells_total() * itemsize
-            with tracer.span(
-                "transfer", cat="transfer",
-                direction="d2h", kind="pageable", label="result", nbytes=out_bytes,
-            ):
-                engine.task(
-                    "bus",
-                    xfer.time(out_bytes, TransferKind.PAGEABLE),
-                    deps=() if last_gpu is None else (last_gpu,),
-                    label="d2h-result",
-                    kind="setup",
-                )
-                ledger.record(
-                    TransferDirection.D2H, TransferKind.PAGEABLE,
-                    cells=plan.gpu_cells_total(), nbytes=out_bytes, label="result",
-                )
+            # ---- gather the GPU-resident part of the result -----------------------
+            if gpu_participates:
+                out_bytes = plan.gpu_cells_total() * itemsize
+                with tracer.span(
+                    "transfer", cat="transfer",
+                    direction="d2h", kind="pageable", label="result", nbytes=out_bytes,
+                ):
+                    engine.task(
+                        "bus",
+                        xfer.time(out_bytes, TransferKind.PAGEABLE),
+                        deps=() if last_gpu is None else (last_gpu,),
+                        label="d2h-result",
+                        kind="setup",
+                    )
+                    ledger.record(
+                        TransferDirection.D2H, TransferKind.PAGEABLE,
+                        cells=plan.gpu_cells_total(), nbytes=out_bytes, label="result",
+                    )
 
-        timeline = engine.run()
-        root.__exit__(None, None, None)
+            timeline = engine.run()
+        finally:
+            # Out-of-order exit closes any phase/wavefront span a fault or
+            # cancellation left open mid-iteration.
+            root.__exit__(None, None, None)
 
         metrics = get_metrics()
         metrics.counter("exec.hetero.cells.cpu").inc(plan.cpu_cells_total())

@@ -22,7 +22,7 @@ from ..memory.layout import WavefrontLayout
 from ..obs import get_metrics, get_tracer
 from ..patterns.registry import strategy_for
 from ..sim.engine import Engine
-from .base import Executor, SolveResult, register_executor
+from .base import Executor, SolveResult, check_control, register_executor
 
 __all__ = ["WavefrontMajorExecutor"]
 
@@ -42,6 +42,7 @@ class WavefrontMajorExecutor(Executor):
         layout = WavefrontLayout(schedule)
         rows, cols = problem.shape
         fr, fc = problem.fixed_rows, problem.fixed_cols
+        what = f"solve of {problem.name!r}"
 
         tracer = get_tracer()
         root = tracer.span(
@@ -51,103 +52,110 @@ class WavefrontMajorExecutor(Executor):
         )
         table = aux = None
         flat = None
-        if functional:
-            # boundary values still live in 2-D (they are not wavefront
-            # cells); computed cells live only in the flat array until the
-            # final unpack
-            table = problem.make_table()
-            aux = problem.make_aux()
-            flat = np.zeros(layout.size, dtype=problem.dtype)
+        try:
+            if functional:
+                # boundary values still live in 2-D (they are not wavefront
+                # cells); computed cells live only in the flat array until the
+                # final unpack
+                table = problem.make_table()
+                aux = problem.make_aux()
+                flat = np.zeros(layout.size, dtype=problem.dtype)
 
-            # Compiled plan: caches per-wavefront global indices, the
-            # fixed-vs-computed source split and the wavefront-major flat
-            # offsets, so steady-state wavefronts skip every mask and
-            # flat_of computation (counted as kernels.span.fast).
-            plan = (
-                plan_for(problem, schedule)
-                if self.options.kernel_fastpath else None
-            )
-            metrics = get_metrics()
-            fast_spans = metrics.counter("kernels.span.fast")
-            generic_spans = metrics.counter("kernels.span.generic")
+                # Compiled plan: caches per-wavefront global indices, the
+                # fixed-vs-computed source split and the wavefront-major flat
+                # offsets, so steady-state wavefronts skip every mask and
+                # flat_of computation (counted as kernels.span.fast).
+                plan = (
+                    plan_for(problem, schedule)
+                    if self.options.kernel_fastpath else None
+                )
+                metrics = get_metrics()
+                fast_spans = metrics.counter("kernels.span.fast")
+                generic_spans = metrics.counter("kernels.span.generic")
 
-            for t in range(schedule.num_iterations):
-                if schedule.width(t) == 0:
-                    continue
-                kwargs: dict[str, np.ndarray | None] = {
-                    "w": None, "nw": None, "n": None, "ne": None
-                }
-                if plan is not None:
-                    gi, gj, geo = plan.layout_geometry(t, layout.address)
-                    wf = tracer.span(
-                        "wavefront", cat="wavefront", t=t,
-                        width=int(gi.shape[0]),
-                    )
-                    fast_spans.inc()
-                    for nb in problem.contributing:
-                        g = geo[nb.value.lower()]
-                        vals = np.full(
-                            gi.shape, problem.oob_value, dtype=problem.dtype
+                for t in range(schedule.num_iterations):
+                    check_control(self.options, what)
+                    if schedule.width(t) == 0:
+                        continue
+                    kwargs: dict[str, np.ndarray | None] = {
+                        "w": None, "nw": None, "n": None, "ne": None
+                    }
+                    if plan is not None:
+                        gi, gj, geo = plan.layout_geometry(t, layout.address)
+                        wf = tracer.span(
+                            "wavefront", cat="wavefront", t=t,
+                            width=int(gi.shape[0]),
                         )
-                        if g.fixed_i.size:
-                            vals[g.fixed] = table[g.fixed_i, g.fixed_j]
-                        if g.win_flat.size:
-                            vals[g.win] = flat[g.win_flat]
-                        kwargs[nb.value.lower()] = vals
-                else:
-                    ci, cj = schedule.cells(t)
-                    wf = tracer.span(
-                        "wavefront", cat="wavefront", t=t,
-                        width=int(ci.shape[0]),
-                    )
-                    generic_spans.inc()
-                    gi = ci + fr
-                    gj = cj + fc
-                    for nb in problem.contributing:
-                        di, dj = nb.offset
-                        ni, nj = gi + di, gj + dj
-                        vals = np.full(
-                            gi.shape, problem.oob_value, dtype=problem.dtype
-                        )
-                        oob = (ni < 0) | (ni >= rows) | (nj < 0) | (nj >= cols)
-                        fixed = ~oob & ((ni < fr) | (nj < fc))
-                        flat_src = ~oob & ~fixed
-                        if fixed.any():
-                            vals[fixed] = table[ni[fixed], nj[fixed]]
-                        if flat_src.any():
-                            offs = layout.address.flat_of(
-                                ni[flat_src] - fr, nj[flat_src] - fc
+                        fast_spans.inc()
+                        for nb in problem.contributing:
+                            g = geo[nb.value.lower()]
+                            vals = np.full(
+                                gi.shape, problem.oob_value, dtype=problem.dtype
                             )
-                            vals[flat_src] = flat[offs]
-                        kwargs[nb.value.lower()] = vals
-                ctx = EvalContext(
-                    i=gi, j=gj, payload=problem.payload, aux=aux, **kwargs
-                )
-                a, b = layout.address.span(t)
-                flat[a:b] = np.asarray(problem.cell(ctx)).astype(
-                    problem.dtype, copy=False
-                )
-                wf.end()
-            # unpack into the 2-D table for the caller
-            with tracer.span("unpack", cat="layout", cells=layout.size):
-                region = layout.from_flat(flat)
-                table[fr:, fc:] = region
+                            if g.fixed_i.size:
+                                vals[g.fixed] = table[g.fixed_i, g.fixed_j]
+                            if g.win_flat.size:
+                                vals[g.win] = flat[g.win_flat]
+                            kwargs[nb.value.lower()] = vals
+                    else:
+                        ci, cj = schedule.cells(t)
+                        wf = tracer.span(
+                            "wavefront", cat="wavefront", t=t,
+                            width=int(ci.shape[0]),
+                        )
+                        generic_spans.inc()
+                        gi = ci + fr
+                        gj = cj + fc
+                        for nb in problem.contributing:
+                            di, dj = nb.offset
+                            ni, nj = gi + di, gj + dj
+                            vals = np.full(
+                                gi.shape, problem.oob_value, dtype=problem.dtype
+                            )
+                            oob = (ni < 0) | (ni >= rows) | (nj < 0) | (nj >= cols)
+                            fixed = ~oob & ((ni < fr) | (nj < fc))
+                            flat_src = ~oob & ~fixed
+                            if fixed.any():
+                                vals[fixed] = table[ni[fixed], nj[fixed]]
+                            if flat_src.any():
+                                offs = layout.address.flat_of(
+                                    ni[flat_src] - fr, nj[flat_src] - fc
+                                )
+                                vals[flat_src] = flat[offs]
+                            kwargs[nb.value.lower()] = vals
+                    ctx = EvalContext(
+                        i=gi, j=gj, payload=problem.payload, aux=aux, **kwargs
+                    )
+                    a, b = layout.address.span(t)
+                    flat[a:b] = np.asarray(problem.cell(ctx)).astype(
+                        problem.dtype, copy=False
+                    )
+                    wf.end()
+                # unpack into the 2-D table for the caller
+                with tracer.span("unpack", cat="layout", cells=layout.size):
+                    region = layout.from_flat(flat)
+                    table[fr:, fc:] = region
 
-        engine = Engine()
-        cpu = self.platform.cpu
-        work = problem.cpu_work * strategy.cpu_overhead
-        for t in range(schedule.num_iterations):
-            width = schedule.width(t)
-            if width:
-                engine.task(
-                    "cpu",
-                    cpu.parallel_time(width, work, contiguous=True),
-                    label=f"iter[{t}]",
-                    kind="compute",
-                    iteration=t,
-                )
-        timeline = engine.run()
-        root.end()
+            engine = Engine()
+            cpu = self.platform.cpu
+            work = problem.cpu_work * strategy.cpu_overhead
+            for t in range(schedule.num_iterations):
+                if not functional:
+                    check_control(self.options, what)
+                width = schedule.width(t)
+                if width:
+                    engine.task(
+                        "cpu",
+                        cpu.parallel_time(width, work, contiguous=True),
+                        label=f"iter[{t}]",
+                        kind="compute",
+                        iteration=t,
+                    )
+            timeline = engine.run()
+        finally:
+            # Ending the root out-of-order also closes any wavefront span
+            # left open by a cancellation/fault raised mid-iteration.
+            root.end()
         get_metrics().counter("exec.cpu-wavefront-major.cells").inc(
             problem.total_computed_cells
         )

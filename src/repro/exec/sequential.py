@@ -12,7 +12,13 @@ from ..core.problem import LDDPProblem
 from ..obs import get_metrics, get_tracer
 from ..patterns.registry import strategy_for
 from ..sim.engine import Engine
-from .base import Executor, SolveResult, evaluate_span, register_executor
+from .base import (
+    Executor,
+    SolveResult,
+    check_control,
+    evaluate_span,
+    register_executor,
+)
 
 __all__ = ["SequentialExecutor"]
 
@@ -38,12 +44,13 @@ class SequentialExecutor(Executor):
                 table = problem.make_table()
                 aux = problem.make_aux()
                 for t in range(schedule.num_iterations):
+                    check_control(self.options, f"solve of {problem.name!r}")
                     width = schedule.width(t)
                     with tracer.span("wavefront", cat="wavefront", t=t, width=width):
                         for k in range(width):
                             evaluate_span(
                                 problem, schedule, table, aux, t, k, k + 1,
-                                fastpath=self.options.kernel_fastpath,
+                                options=self.options,
                             )
 
             engine = Engine()

@@ -29,9 +29,10 @@ from typing import Any, Callable
 
 import numpy as np
 
+from ..cancel import CancelToken, raise_if_cancelled
 from ..core.cellfunc import EvalContext
 from ..core.problem import LDDPProblem
-from ..errors import ExecutionError
+from ..errors import ExecutionError, ServiceTimeout, SolveCancelled
 from ..kernels import plan_for
 from ..obs import get_metrics, get_tracer
 from ..patterns.registry import strategy_for
@@ -154,7 +155,15 @@ class StreamingSolver:
         pattern_override: Pattern | None = None,
         inverted_l_as_horizontal: bool = True,
         kernel_fastpath: bool = True,
+        deadline: float | None = None,
+        cancel_token: CancelToken | None = None,
     ) -> StreamingResult:
+        """Stream the recurrence; see the module docstring for the contract.
+
+        ``deadline`` (absolute ``time.monotonic()``) and ``cancel_token``
+        are checked once per wavefront, mirroring the executors'
+        cooperative-cancellation points.
+        """
         strategy = strategy_for(
             problem,
             pattern_override=pattern_override,
@@ -205,6 +214,14 @@ class StreamingSolver:
         )
         gi = gj = values = None
         for t in range(sched.num_iterations):
+            if deadline is not None or cancel_token is not None:
+                try:
+                    raise_if_cancelled(
+                        deadline, cancel_token, f"solve of {problem.name!r}"
+                    )
+                except (ServiceTimeout, SolveCancelled):
+                    root.end()  # close the span on the abort path
+                    raise
             if sched.width(t) == 0:
                 continue
             kwargs: dict[str, np.ndarray | None] = {

@@ -4,6 +4,10 @@ Lookups key on the raw plan-identity tuple (cheap per call: no hashing of
 table bytes, no SHA); :meth:`KernelPlan.signature` provides the stable
 content signature when one is needed. Hit/miss/compile/evict counts are
 reported through :mod:`repro.obs` under ``kernels.plan.*``.
+
+The cache is an accelerator, never a requirement: a plan that fails to
+compile (or an injected ``kernels.plan`` fault) yields ``None`` — the caller
+degrades to the generic span path — counted as ``kernels.plan.degraded``.
 """
 
 from __future__ import annotations
@@ -13,6 +17,8 @@ from collections import OrderedDict
 
 from ..core.problem import LDDPProblem
 from ..core.schedule import WavefrontSchedule
+from ..errors import InjectedFault
+from ..faults import check_fault
 from ..obs import get_metrics
 from .key import PlanKey
 from .plan import KernelPlan
@@ -85,6 +91,13 @@ class PlanCache:
             return None
 
         metrics = get_metrics()
+        try:
+            check_fault("kernels.plan")
+        except InjectedFault:
+            # The plan cache is an accelerator, never a requirement: a
+            # fault here means "no plan available" -> generic path.
+            metrics.counter("kernels.plan.degraded").inc()
+            return None
         with self._lock:
             plan = self._plans.get(raw)
             if plan is not None:
@@ -95,20 +108,26 @@ class PlanCache:
             self.misses += 1
 
         metrics.counter("kernels.plan.misses").inc()
-        key = PlanKey(
-            schedule_type=type(schedule).__name__,
-            pattern=schedule.pattern.value,
-            region=(schedule.rows, schedule.cols),
-            table_shape=(rows, cols),
-            origin=(orow, ocol),
-            contributing_mask=problem.contributing.mask,
-            dtype=str(problem.dtype),
-            oob_value=problem.oob_value,
-        )
-        plan = KernelPlan(
-            key, schedule, problem.contributing,
-            (rows, cols), (orow, ocol), problem.dtype, problem.oob_value,
-        )
+        try:
+            key = PlanKey(
+                schedule_type=type(schedule).__name__,
+                pattern=schedule.pattern.value,
+                region=(schedule.rows, schedule.cols),
+                table_shape=(rows, cols),
+                origin=(orow, ocol),
+                contributing_mask=problem.contributing.mask,
+                dtype=str(problem.dtype),
+                oob_value=problem.oob_value,
+            )
+            plan = KernelPlan(
+                key, schedule, problem.contributing,
+                (rows, cols), (orow, ocol), problem.dtype, problem.oob_value,
+            )
+        except Exception:
+            # Compilation failure degrades to the generic span path rather
+            # than failing the solve (the plan is only an optimization).
+            metrics.counter("kernels.plan.degraded").inc()
+            return None
         metrics.counter("kernels.plan.compiled").inc()
         with self._lock:
             existing = self._plans.get(raw)

@@ -52,6 +52,7 @@ import numpy as np
 
 from ..core.cellfunc import EvalContext, gather_neighbors
 from ..core.schedule import WavefrontSchedule
+from ..faults import check_fault
 from ..types import ContributingSet
 from .key import PlanKey
 
@@ -299,7 +300,12 @@ class KernelPlan:
         Returns ``(cells_written, used_fast_path)``. Falls back to the
         generic path (``used_fast_path=False``) whenever the table does not
         match the plan's key or the wavefront has no usable structure.
+
+        ``kernels.span`` is a fault-injection site: an injected failure here
+        is caught by ``evaluate_span``'s dispatcher, which degrades the span
+        to the generic path (``kernels.plan.degraded``).
         """
+        check_fault("kernels.span")
         flags = table.flags
         if (
             table.shape != self.table_shape

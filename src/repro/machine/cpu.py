@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import PlatformError
+from ..faults import check_fault
 
 __all__ = ["CPUModel"]
 
@@ -80,8 +81,10 @@ class CPUModel:
 
         ``work`` scales the per-cell cost (problem-specific arithmetic
         intensity relative to the unit cell); ``contiguous=False`` applies the
-        strided-access penalty.
+        strided-access penalty. ``machine.cpu`` is a fault-injection site
+        (no fallback device exists, so a fault here surfaces as an error).
         """
+        check_fault("machine.cpu")
         if cells < 0:
             raise PlatformError("cells cannot be negative")
         if cells == 0:

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import PlatformError
+from ..faults import check_fault
 
 __all__ = ["GPUModel"]
 
@@ -74,7 +75,13 @@ class GPUModel:
     # -- costs (seconds) ----------------------------------------------------
 
     def kernel_time(self, cells: int, work: float = 1.0, coalesced: bool = True) -> float:
-        """Seconds for one kernel over ``cells`` cells (thread-per-cell)."""
+        """Seconds for one kernel over ``cells`` cells (thread-per-cell).
+
+        ``machine.gpu`` is a fault-injection site: an injected failure here
+        models a dying device — the hetero/multi executors catch it and
+        degrade to CPU-only execution (see ``docs/resilience.md``).
+        """
+        check_fault("machine.gpu")
         if cells < 0:
             raise PlatformError("cells cannot be negative")
         if cells == 0:

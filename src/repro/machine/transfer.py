@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import TransferError
+from ..faults import check_fault
 from ..types import TransferKind
 
 __all__ = ["TransferModel"]
@@ -49,7 +50,13 @@ class TransferModel:
             raise TransferError("bandwidths must be positive")
 
     def time(self, nbytes: int, kind: TransferKind) -> float:
-        """Seconds to move ``nbytes`` with the given staging kind."""
+        """Seconds to move ``nbytes`` with the given staging kind.
+
+        ``machine.transfer`` is a fault-injection site (a flaky PCIe link);
+        the hetero/multi executors treat it like a device failure and degrade
+        to CPU-only execution.
+        """
+        check_fault("machine.transfer")
         if nbytes < 0:
             raise TransferError(f"nbytes cannot be negative, got {nbytes}")
         if nbytes == 0:

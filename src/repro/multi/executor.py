@@ -9,13 +9,24 @@ each cut between adjacent non-empty segments:
 * a cut between two accelerators moves its boundary cells peer-to-peer —
   directly when the platform supports it, else staged through host memory
   (both links, host blocked).
+
+Resilience mirrors the two-device executor: an accelerator or link model
+failure (:class:`~repro.errors.PlatformError` or injected fault) degrades
+the run to CPU-only when ``options.degrade_to_cpu`` is set, and deadline /
+cancel control is checked once per assignment.
 """
 
 from __future__ import annotations
 
 from ..core.problem import LDDPProblem
-from ..errors import ExecutionError
-from ..exec.base import Executor, SolveResult, evaluate_span, wavefront_contiguous
+from ..errors import ExecutionError, InjectedFault, PlatformError
+from ..exec.base import (
+    Executor,
+    SolveResult,
+    check_control,
+    evaluate_span,
+    wavefront_contiguous,
+)
 from ..memory.buffers import TransferLedger
 from ..obs import get_metrics, get_tracer
 from ..patterns.registry import strategy_for
@@ -68,6 +79,20 @@ class MultiHeteroExecutor(Executor):
         functional: bool,
         params: MultiParams | None = None,
     ) -> SolveResult:
+        try:
+            return self._run_multi(problem, functional, params)
+        except (PlatformError, InjectedFault) as exc:
+            if not self.options.degrade_to_cpu:
+                raise
+            # MultiPlatform exposes .cpu, which is all CPUExecutor touches.
+            return self._degrade_to_cpu(problem, functional, exc)
+
+    def _run_multi(
+        self,
+        problem: LDDPProblem,
+        functional: bool,
+        params: MultiParams | None = None,
+    ) -> SolveResult:
         plat = self.platform
         strategy = strategy_for(
             problem,
@@ -82,6 +107,7 @@ class MultiHeteroExecutor(Executor):
                 f"{plat.num_devices} devices"
             )
         schedule = strategy.schedule
+        what = f"solve of {problem.name!r}"
         # reuse the pattern's phase layout via a two-device plan skeleton
         from ..core.partition import HeteroParams
 
@@ -110,199 +136,205 @@ class MultiHeteroExecutor(Executor):
             functional=functional, devices=plat.num_devices,
         )
 
-        # -- setup: stage the payload to every accelerator with work ---------
-        acc_cells_total = [0] * n_acc
-        seg_cache: dict[int, list[tuple[int, int]]] = {}
+        try:
+            # -- setup: stage the payload to every accelerator with work -----
+            acc_cells_total = [0] * n_acc
+            seg_cache: dict[int, list[tuple[int, int]]] = {}
 
-        def segments_for(a) -> list[tuple[int, int]]:
-            if a.phase == "cpu-low":
-                return [(0, a.width)] + [(a.width, a.width)] * n_acc
-            if a.width not in seg_cache:
-                seg_cache[a.width] = segment_bounds(a.width, params.shares)
-            return seg_cache[a.width]
+            def segments_for(a) -> list[tuple[int, int]]:
+                if a.phase == "cpu-low":
+                    return [(0, a.width)] + [(a.width, a.width)] * n_acc
+                if a.width not in seg_cache:
+                    seg_cache[a.width] = segment_bounds(a.width, params.shares)
+                return seg_cache[a.width]
 
-        for a in skeleton.assignments:
-            segs = segments_for(a)
+            for a in skeleton.assignments:
+                segs = segments_for(a)
+                for k in range(n_acc):
+                    lo, hi = segs[k + 1]
+                    acc_cells_total[k] += hi - lo
+
+            in_bytes = self._payload_nbytes(problem) + (
+                problem.shape[0] * problem.shape[1] - problem.total_computed_cells
+            ) * itemsize
+            dev_extra: list[list[int]] = [[] for _ in range(plat.num_devices)]
             for k in range(n_acc):
-                lo, hi = segs[k + 1]
-                acc_cells_total[k] += hi - lo
+                if acc_cells_total[k] > 0:
+                    with tracer.span(
+                        "transfer", cat="transfer", direction="h2d",
+                        kind="pageable", label="setup", device=f"acc{k}",
+                        nbytes=in_bytes,
+                    ):
+                        tid = engine.task(
+                            "bus",
+                            plat.links[k].time(max(in_bytes, itemsize), TransferKind.PAGEABLE),
+                            label=f"h2d-setup[acc{k}]",
+                            kind="setup",
+                        )
+                        dev_extra[k + 1].append(tid)
+                        ledger.record(
+                            TransferDirection.H2D, TransferKind.PAGEABLE,
+                            cells=0, nbytes=in_bytes, label=f"setup-acc{k}",
+                        )
 
-        in_bytes = self._payload_nbytes(problem) + (
-            problem.shape[0] * problem.shape[1] - problem.total_computed_cells
-        ) * itemsize
-        dev_extra: list[list[int]] = [[] for _ in range(plat.num_devices)]
-        for k in range(n_acc):
-            if acc_cells_total[k] > 0:
-                with tracer.span(
-                    "transfer", cat="transfer", direction="h2d",
-                    kind="pageable", label="setup", device=f"acc{k}",
-                    nbytes=in_bytes,
-                ):
-                    tid = engine.task(
-                        "bus",
-                        plat.links[k].time(max(in_bytes, itemsize), TransferKind.PAGEABLE),
-                        label=f"h2d-setup[acc{k}]",
-                        kind="setup",
+            dev_last: list[int | None] = [None] * plat.num_devices
+            halo_pending: list[int | None] = [None] * plat.num_devices  # cells
+            prev_phase: str | None = None
+            phase_span = None
+
+            for a in skeleton.assignments:
+                check_control(self.options, what)
+                segs = segments_for(a)
+
+                if prev_phase is None or a.phase != prev_phase:
+                    if phase_span is not None:
+                        phase_span.end()
+                    phase_span = tracer.span(
+                        f"phase:{a.phase}", cat="phase", phase=a.phase, start=a.t,
                     )
-                    dev_extra[k + 1].append(tid)
-                    ledger.record(
-                        TransferDirection.H2D, TransferKind.PAGEABLE,
-                        cells=0, nbytes=in_bytes, label=f"setup-acc{k}",
-                    )
 
-        dev_last: list[int | None] = [None] * plat.num_devices
-        halo_pending: list[int | None] = [None] * plat.num_devices  # cells
-        prev_phase: str | None = None
-        phase_span = None
+                # -- phase transitions --------------------------------------
+                if prev_phase is not None and a.phase != prev_phase:
+                    lo_t = max(0, a.t - halo)
+                    if a.phase == "split":
+                        halo_cells = sum(schedule.width(u) for u in range(lo_t, a.t))
+                        for k in range(n_acc):
+                            halo_pending[k + 1] = halo_cells
+                    else:  # split -> cpu-low: gather each accelerator's halo
+                        for k in range(n_acc):
+                            acc_halo = 0
+                            for u in range(lo_t, a.t):
+                                w_u = schedule.width(u)
+                                s = segment_bounds(w_u, params.shares)[k + 1]
+                                acc_halo += s[1] - s[0]
+                            if acc_halo > 0 and dev_last[k + 1] is not None:
+                                nbytes = acc_halo * itemsize
+                                with tracer.span(
+                                    "transfer", cat="transfer", direction="d2h",
+                                    kind="pageable", label="phase-halo", t=a.t,
+                                    device=f"acc{k}", cells=acc_halo,
+                                ):
+                                    tid = engine.task(
+                                        "bus",
+                                        plat.links[k].time(nbytes, TransferKind.PAGEABLE),
+                                        deps=(dev_last[k + 1],),
+                                        label=f"d2h-halo[acc{k}@{a.t}]",
+                                        kind="phase-transfer",
+                                    )
+                                    dev_extra[0].append(tid)
+                                    ledger.record(
+                                        TransferDirection.D2H, TransferKind.PAGEABLE,
+                                        cells=acc_halo, nbytes=nbytes, label="phase-halo",
+                                    )
+                            halo_pending[k + 1] = None
+                prev_phase = a.phase
 
-        for a in skeleton.assignments:
-            segs = segments_for(a)
-
-            if prev_phase is None or a.phase != prev_phase:
-                if phase_span is not None:
-                    phase_span.end()
-                phase_span = tracer.span(
-                    f"phase:{a.phase}", cat="phase", phase=a.phase, start=a.t,
+                # -- compute tasks ------------------------------------------
+                wf_span = tracer.span(
+                    "wavefront", cat="wavefront", t=a.t, phase=a.phase, width=a.width,
                 )
-
-            # -- phase transitions ------------------------------------------
-            if prev_phase is not None and a.phase != prev_phase:
-                lo_t = max(0, a.t - halo)
-                if a.phase == "split":
-                    halo_cells = sum(schedule.width(u) for u in range(lo_t, a.t))
-                    for k in range(n_acc):
-                        halo_pending[k + 1] = halo_cells
-                else:  # split -> cpu-low: gather each accelerator's halo
-                    for k in range(n_acc):
-                        acc_halo = 0
-                        for u in range(lo_t, a.t):
-                            w_u = schedule.width(u)
-                            s = segment_bounds(w_u, params.shares)[k + 1]
-                            acc_halo += s[1] - s[0]
-                        if acc_halo > 0 and dev_last[k + 1] is not None:
-                            nbytes = acc_halo * itemsize
+                iter_tids: list[int | None] = [None] * plat.num_devices
+                for d in range(plat.num_devices):
+                    lo, hi = segs[d]
+                    cells = hi - lo
+                    if cells <= 0:
+                        continue
+                    if d > 0 and halo_pending[d] is not None:
+                        pend = halo_pending[d]
+                        halo_pending[d] = None
+                        if pend:
+                            nbytes = pend * itemsize
                             with tracer.span(
-                                "transfer", cat="transfer", direction="d2h",
+                                "transfer", cat="transfer", direction="h2d",
                                 kind="pageable", label="phase-halo", t=a.t,
-                                device=f"acc{k}", cells=acc_halo,
+                                device=f"acc{d - 1}", cells=pend,
                             ):
                                 tid = engine.task(
                                     "bus",
-                                    plat.links[k].time(nbytes, TransferKind.PAGEABLE),
-                                    deps=(dev_last[k + 1],),
-                                    label=f"d2h-halo[acc{k}@{a.t}]",
+                                    plat.links[d - 1].time(nbytes, TransferKind.PAGEABLE),
+                                    deps=() if dev_last[0] is None else (dev_last[0],),
+                                    label=f"h2d-halo[acc{d - 1}@{a.t}]",
                                     kind="phase-transfer",
                                 )
-                                dev_extra[0].append(tid)
+                                dev_extra[d].append(tid)
+                                dev_extra[0].append(tid)  # host blocked
                                 ledger.record(
-                                    TransferDirection.D2H, TransferKind.PAGEABLE,
-                                    cells=acc_halo, nbytes=nbytes, label="phase-halo",
+                                    TransferDirection.H2D, TransferKind.PAGEABLE,
+                                    cells=pend, nbytes=nbytes, label="phase-halo",
                                 )
-                        halo_pending[k + 1] = None
-            prev_phase = a.phase
+                    if functional:
+                        evaluate_span(
+                            problem, schedule, table, aux, a.t, lo, hi,
+                            options=self.options,
+                        )
+                    if d == 0:
+                        duration = plat.cpu.parallel_time(cells, cpu_work, contiguous)
+                    else:
+                        duration = plat.accelerators[d - 1].kernel_time(
+                            cells, acc_work, contiguous
+                        )
+                    with tracer.span(
+                        "kernel" if d > 0 else "cpu-batch",
+                        cat="kernel" if d > 0 else "compute",
+                        t=a.t, device=plat.device_name(d), cells=cells,
+                    ):
+                        tid = engine.task(
+                            plat.device_name(d),
+                            duration,
+                            deps=tuple(dev_extra[d]),
+                            label=f"{plat.device_name(d)}[{a.t}]",
+                            kind="compute",
+                            iteration=a.t,
+                            phase=a.phase,
+                        )
+                    dev_extra[d] = []
+                    dev_last[d] = tid
+                    iter_tids[d] = tid
 
-            # -- compute tasks ------------------------------------------------
-            wf_span = tracer.span(
-                "wavefront", cat="wavefront", t=a.t, phase=a.phase, width=a.width,
-            )
-            iter_tids: list[int | None] = [None] * plat.num_devices
-            for d in range(plat.num_devices):
-                lo, hi = segs[d]
-                cells = hi - lo
-                if cells <= 0:
-                    continue
-                if d > 0 and halo_pending[d] is not None:
-                    pend = halo_pending[d]
-                    halo_pending[d] = None
-                    if pend:
-                        nbytes = pend * itemsize
-                        with tracer.span(
-                            "transfer", cat="transfer", direction="h2d",
-                            kind="pageable", label="phase-halo", t=a.t,
-                            device=f"acc{d - 1}", cells=pend,
-                        ):
-                            tid = engine.task(
-                                "bus",
-                                plat.links[d - 1].time(nbytes, TransferKind.PAGEABLE),
-                                deps=() if dev_last[0] is None else (dev_last[0],),
-                                label=f"h2d-halo[acc{d - 1}@{a.t}]",
-                                kind="phase-transfer",
-                            )
-                            dev_extra[d].append(tid)
-                            dev_extra[0].append(tid)  # host blocked
-                            ledger.record(
-                                TransferDirection.H2D, TransferKind.PAGEABLE,
-                                cells=pend, nbytes=nbytes, label="phase-halo",
-                            )
-                if functional:
-                    evaluate_span(
-                        problem, schedule, table, aux, a.t, lo, hi,
-                        fastpath=self.options.kernel_fastpath,
-                    )
-                if d == 0:
-                    duration = plat.cpu.parallel_time(cells, cpu_work, contiguous)
-                else:
-                    duration = plat.accelerators[d - 1].kernel_time(
-                        cells, acc_work, contiguous
-                    )
-                with tracer.span(
-                    "kernel" if d > 0 else "cpu-batch",
-                    cat="kernel" if d > 0 else "compute",
-                    t=a.t, device=plat.device_name(d), cells=cells,
-                ):
-                    tid = engine.task(
-                        plat.device_name(d),
-                        duration,
-                        deps=tuple(dev_extra[d]),
-                        label=f"{plat.device_name(d)}[{a.t}]",
-                        kind="compute",
-                        iteration=a.t,
-                        phase=a.phase,
-                    )
-                dev_extra[d] = []
-                dev_last[d] = tid
-                iter_tids[d] = tid
+                # -- boundary copies between adjacent non-empty segments ----
+                active = [d for d in range(plat.num_devices) if iter_tids[d] is not None]
+                for left, right in zip(active, active[1:]):
+                    for spec in strategy.split_transfers(a.t):
+                        nbytes = spec.cells * itemsize
+                        toward_right = spec.direction is TransferDirection.H2D
+                        src = left if toward_right else right
+                        dst = right if toward_right else left
+                        self._boundary_copy(
+                            engine, plat, ledger, dev_extra, iter_tids,
+                            src, dst, spec, nbytes, a.t,
+                        )
+                wf_span.end()
 
-            # -- boundary copies between adjacent non-empty segments ----------
-            active = [d for d in range(plat.num_devices) if iter_tids[d] is not None]
-            for left, right in zip(active, active[1:]):
-                for spec in strategy.split_transfers(a.t):
-                    nbytes = spec.cells * itemsize
-                    toward_right = spec.direction is TransferDirection.H2D
-                    src = left if toward_right else right
-                    dst = right if toward_right else left
-                    self._boundary_copy(
-                        engine, plat, ledger, dev_extra, iter_tids,
-                        src, dst, spec, nbytes, a.t,
-                    )
-            wf_span.end()
+            if phase_span is not None:
+                phase_span.end()
+                phase_span = None
 
-        if phase_span is not None:
-            phase_span.end()
+            # -- gather each accelerator's share of the result ---------------
+            for k in range(n_acc):
+                if acc_cells_total[k] > 0:
+                    nbytes = acc_cells_total[k] * itemsize
+                    with tracer.span(
+                        "transfer", cat="transfer", direction="d2h",
+                        kind="pageable", label="result", device=f"acc{k}",
+                        cells=acc_cells_total[k],
+                    ):
+                        engine.task(
+                            "bus",
+                            plat.links[k].time(nbytes, TransferKind.PAGEABLE),
+                            deps=() if dev_last[k + 1] is None else (dev_last[k + 1],),
+                            label=f"d2h-result[acc{k}]",
+                            kind="setup",
+                        )
+                        ledger.record(
+                            TransferDirection.D2H, TransferKind.PAGEABLE,
+                            cells=acc_cells_total[k], nbytes=nbytes, label="result",
+                        )
 
-        # -- gather each accelerator's share of the result ---------------------
-        for k in range(n_acc):
-            if acc_cells_total[k] > 0:
-                nbytes = acc_cells_total[k] * itemsize
-                with tracer.span(
-                    "transfer", cat="transfer", direction="d2h",
-                    kind="pageable", label="result", device=f"acc{k}",
-                    cells=acc_cells_total[k],
-                ):
-                    engine.task(
-                        "bus",
-                        plat.links[k].time(nbytes, TransferKind.PAGEABLE),
-                        deps=() if dev_last[k + 1] is None else (dev_last[k + 1],),
-                        label=f"d2h-result[acc{k}]",
-                        kind="setup",
-                    )
-                    ledger.record(
-                        TransferDirection.D2H, TransferKind.PAGEABLE,
-                        cells=acc_cells_total[k], nbytes=nbytes, label="result",
-                    )
-
-        timeline = engine.run()
-        root.end()
+            timeline = engine.run()
+        finally:
+            # Out-of-order exit closes any phase/wavefront span a fault or
+            # cancellation left open mid-iteration.
+            root.end()
         metrics = get_metrics()
         metrics.counter("exec.multi-hetero.cells").inc(problem.total_computed_cells)
         for rec in ledger.records:

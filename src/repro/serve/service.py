@@ -10,15 +10,22 @@ stream-of-requests server (the ROADMAP's production-traffic seam):
   not unbounded buffering;
 * a pool of worker threads drains the queue, resolving each request through
   the **content-keyed LRU result cache** or a fresh ``Framework`` run;
-* per-request **timeouts** expire stale work (a request past its deadline
-  fails with :class:`~repro.errors.ServiceTimeout` instead of occupying a
-  worker), and a failed run is **retried once** before the error surfaces.
+* per-request **deadlines** are enforced end to end: a request past its
+  deadline while still queued fails with
+  :class:`~repro.errors.ServiceTimeout` without occupying a worker, and the
+  deadline (plus a per-request :class:`~repro.cancel.CancelToken`) travels
+  into the executor, which aborts cooperatively at the next wavefront
+  boundary — an expired request frees its worker within one wavefront;
+* a failed execution is **retried with exponential backoff and jitter**,
+  re-checking the remaining deadline before each attempt (never sleeping
+  into a guaranteed timeout).
 
 Everything is instrumented through :mod:`repro.obs`: a ``serve.queue.depth``
 gauge, ``serve.cache.hits``/``serve.cache.misses`` counters, latency
 histograms (``serve.queue_wait_ms``, ``serve.execute_ms``,
 ``serve.latency_ms``) and one ``serve.request`` span per processed request.
-See ``docs/serving.md``.
+``serve.execute`` is a fault-injection site (see :mod:`repro.faults` and
+``docs/resilience.md``). See ``docs/serving.md`` for failure semantics.
 
 Usage::
 
@@ -32,16 +39,25 @@ Usage::
 from __future__ import annotations
 
 import heapq
+import random
 import threading
 import time
 from concurrent.futures import Future
 from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import replace
 from typing import Iterable
 
+from ..cancel import CancelToken
 from ..core.framework import Framework
 from ..core.problem import LDDPProblem
-from ..errors import ServiceClosed, ServiceOverloaded, ServiceTimeout
+from ..errors import (
+    ServiceClosed,
+    ServiceOverloaded,
+    ServiceTimeout,
+    SolveCancelled,
+)
 from ..exec.base import ExecOptions, SolveResult
+from ..faults import check_fault
 from ..machine.platform import Platform
 from ..obs import get_metrics, get_tracer
 from .cache import ResultCache
@@ -58,6 +74,14 @@ class PendingSolve:
         self.deadline = deadline
         self.submitted_at = time.monotonic()
         self.cache_hit: bool | None = None  # set by the worker
+        # One token per request: reuse a caller-supplied one so firing either
+        # side aborts the same run.
+        opts = request.options
+        self.cancel_token: CancelToken = (
+            opts.cancel_token
+            if opts is not None and opts.cancel_token is not None
+            else CancelToken()
+        )
         self._future: Future = Future()
 
     def done(self) -> bool:
@@ -67,14 +91,50 @@ class PendingSolve:
         """Cancel if still queued; running/finished requests are unaffected."""
         return self._future.cancel()
 
+    def request_cancel(self) -> bool:
+        """Cancel queued work, or cooperatively abort a running solve.
+
+        Queued requests are cancelled outright (as :meth:`cancel`). A request
+        already running has its :attr:`cancel_token` fired instead: the worker
+        aborts at its next wavefront boundary and stores
+        :class:`~repro.errors.SolveCancelled`. Returns ``True`` when the
+        request is cancelled or the abort was signalled in time — best-effort
+        for running work, since the solve may complete before it observes the
+        token.
+        """
+        if self._future.cancel():
+            return True
+        self.cancel_token.cancel()
+        return not self._future.done()
+
     def exception(self, timeout: float | None = None):
+        """The exception the worker stored, or ``None`` on success.
+
+        Mirrors :meth:`concurrent.futures.Future.exception`: an exception
+        *stored in the future* — including a worker-side
+        :class:`~repro.errors.ServiceTimeout` — is **returned**, not raised.
+        Raised are only the waiting failures: :class:`ServiceTimeout` when
+        the request's own deadline passes while still waiting, and
+        :class:`concurrent.futures.TimeoutError` when the caller's
+        ``timeout`` elapses first.
+        """
+        budget = timeout
+        if self.deadline is not None:
+            remaining = self.deadline - time.monotonic()
+            budget = remaining if budget is None else min(budget, remaining)
         try:
-            self.result(timeout)
-        except (ServiceTimeout, FutureTimeoutError):
+            return self._future.exception(budget)
+        except FutureTimeoutError:
+            if (
+                self.deadline is not None
+                and time.monotonic() >= self.deadline
+                and not self._future.done()
+            ):
+                raise ServiceTimeout(
+                    f"request for {self.request.problem.name!r} exceeded its "
+                    f"{self.request.timeout!r} s timeout"
+                ) from None
             raise
-        except Exception as exc:  # noqa: BLE001 - mirror Future.exception
-            return exc
-        return None
 
     def result(self, timeout: float | None = None) -> SolveResult:
         """Wait for the result.
@@ -118,10 +178,18 @@ class SolveService:
         LRU capacity of the result cache; ``0`` disables caching entirely.
     default_timeout:
         Deadline (seconds from submission) applied to requests that do not
-        carry their own; ``None`` means no deadline.
+        carry their own; ``None`` means no deadline. Enforced in the queue
+        *and* inside the executor (cooperative abort at the next wavefront).
     retries:
         How many times a *failed* execution is retried before the exception
-        reaches the caller (default: retry once).
+        reaches the caller (default: retry once). Timeouts and cancellations
+        are terminal — they are never retried.
+    backoff_base / backoff_max:
+        Exponential-backoff schedule between retry attempts: attempt ``n``
+        sleeps ``min(backoff_max, backoff_base * 2**(n-1))`` scaled by a
+        uniform jitter in ``[0.5, 1.5)``. A delay that would overshoot the
+        request's remaining deadline fails fast with :class:`ServiceTimeout`
+        instead of sleeping.
     options:
         Service-wide :class:`ExecOptions`; individual requests may override.
     """
@@ -135,6 +203,8 @@ class SolveService:
         cache_size: int = 128,
         default_timeout: float | None = None,
         retries: int = 1,
+        backoff_base: float = 0.05,
+        backoff_max: float = 2.0,
         options: ExecOptions | None = None,
     ) -> None:
         if workers < 1:
@@ -143,10 +213,16 @@ class SolveService:
             raise ValueError(f"queue_size must be >= 1, got {queue_size}")
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
+        if backoff_base < 0 or backoff_max < 0:
+            raise ValueError("backoff_base/backoff_max cannot be negative")
         self.framework = Framework(platform, options)
         self.queue_size = queue_size
         self.default_timeout = default_timeout
         self.retries = retries
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
+        self._sleep = time.sleep  # patchable seam for backoff tests
+        self._rng = random.Random()
         self.cache: ResultCache | None = (
             ResultCache(cache_size) if cache_size > 0 else None
         )
@@ -235,14 +311,17 @@ class SolveService:
 
     def stats(self) -> dict[str, object]:
         """A snapshot for dashboards: queue, workers, cache."""
-        out: dict[str, object] = {
-            "queue_depth": self.queue_depth(),
+        with self._lock:
+            depth = len(self._queue)
+            closed = self._closed
+            workers = len(self._workers)
+        return {
+            "queue_depth": depth,
             "queue_size": self.queue_size,
-            "workers": len(self._workers),
-            "closed": self._closed,
+            "workers": workers,
+            "closed": closed,
             "cache": None if self.cache is None else self.cache.stats(),
         }
-        return out
 
     # -- worker internals ------------------------------------------------------
 
@@ -256,6 +335,11 @@ class SolveService:
                 _, _, pending = heapq.heappop(self._queue)
                 get_metrics().gauge("serve.queue.depth").set(len(self._queue))
             self._process(pending)
+
+    def _backoff_delay(self, attempt: int) -> float:
+        """Jittered exponential delay before retry ``attempt`` (1-based)."""
+        delay = min(self.backoff_max, self.backoff_base * 2 ** (attempt - 1))
+        return delay * (0.5 + self._rng.random())
 
     def _process(self, pending: PendingSolve) -> None:
         metrics = get_metrics()
@@ -312,9 +396,22 @@ class SolveService:
             attempts = 0
             while True:
                 try:
+                    check_fault("serve.execute")
                     with metrics.histogram("serve.execute_ms").time():
-                        result = self._execute(request)
+                        result = self._execute(request, pending)
                     break
+                except SolveCancelled as exc:
+                    metrics.counter("serve.requests.aborted").inc()
+                    span.set(outcome="cancelled")
+                    pending._future.set_exception(exc)
+                    return
+                except ServiceTimeout as exc:
+                    # The executor hit the deadline mid-run; the worker is
+                    # free again within one wavefront. Never retried.
+                    metrics.counter("serve.requests.timeout").inc()
+                    span.set(outcome="timeout")
+                    pending._future.set_exception(exc)
+                    return
                 except Exception as exc:  # noqa: BLE001 - surfaced via future
                     attempts += 1
                     if attempts > self.retries:
@@ -322,8 +419,27 @@ class SolveService:
                         span.set(outcome="failed", error=type(exc).__name__)
                         pending._future.set_exception(exc)
                         return
+                    delay = self._backoff_delay(attempts)
+                    if pending.deadline is not None:
+                        remaining = pending.deadline - time.monotonic()
+                        if remaining <= delay:
+                            # Fail fast: sleeping would overshoot the
+                            # deadline, so surface the timeout now with the
+                            # triggering failure chained for diagnosis.
+                            metrics.counter("serve.requests.timeout").inc()
+                            span.set(outcome="timeout", retried=attempts)
+                            timeout_exc = ServiceTimeout(
+                                f"request for {request.problem.name!r} has "
+                                f"{max(0.0, remaining):.3f} s left, less than "
+                                f"the {delay:.3f} s retry backoff"
+                            )
+                            timeout_exc.__cause__ = exc
+                            pending._future.set_exception(timeout_exc)
+                            return
                     metrics.counter("serve.retries").inc()
                     span.set(retried=attempts)
+                    if delay > 0:
+                        self._sleep(delay)
 
             if key is not None:
                 self.cache.put(key, result)
@@ -331,14 +447,35 @@ class SolveService:
             metrics.histogram("serve.latency_ms").observe(
                 (time.monotonic() - pending.submitted_at) * 1e3
             )
+            if result.stats.get("degraded"):
+                span.set(degraded=result.stats["degraded"])
             span.set(outcome="miss" if key is not None else "uncached")
             pending._future.set_result(result)
 
-    def _execute(self, request: SolveRequest) -> SolveResult:
+    def _execute(self, request: SolveRequest, pending: PendingSolve) -> SolveResult:
+        """One framework run with the request's control plane injected.
+
+        The deadline and cancel token are threaded into the run's
+        :class:`ExecOptions` *after* cache-key computation (both fields are
+        ``repr``-excluded, so keys stay stable either way); a request-level
+        options deadline, if any, is tightened to the earlier of the two.
+        """
         run = self.framework.solve if request.functional else self.framework.estimate
+        base = request.options or self.framework.options
+        deadline = pending.deadline
+        if base.deadline is not None:
+            deadline = (
+                base.deadline if deadline is None
+                else min(deadline, base.deadline)
+            )
+        options = base
+        if deadline is not None or pending.cancel_token is not None:
+            options = replace(
+                base, deadline=deadline, cancel_token=pending.cancel_token
+            )
         return run(
             request.problem,
             executor=request.executor,
             params=request.params,
-            options=request.options,
+            options=options,
         )

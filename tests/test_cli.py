@@ -95,6 +95,43 @@ class TestServe:
         assert "serve.requests.submitted" in out
 
 
+class TestInjectFault:
+    def test_solve_degrades_on_gpu_fault(self, capsys):
+        assert main(
+            ["solve", "levenshtein", "--size", "48",
+             "--inject-fault", "machine.gpu:nth=1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "degraded" in out and "cpu-only" in out
+        assert "corner" in out  # the table still came out
+
+    def test_serve_chaos_reports_typed_outcomes(self, capsys):
+        assert main(
+            ["serve", "--requests", "8", "--size", "32", "--workers", "2",
+             "--inject-fault", "machine.gpu:rate=1.0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "outcomes" in out
+        assert "degraded to cpu-only" in out
+
+    def test_serve_survives_hard_faults(self, capsys):
+        assert main(
+            ["serve", "--requests", "6", "--size", "24", "--workers", "2",
+             "--no-cache", "--inject-fault", "exec.span:rate=0.5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "outcomes" in out  # every request completed or failed typed
+
+    @pytest.mark.parametrize("cmd", ["solve", "serve"])
+    def test_bad_spec_is_a_clean_error(self, cmd, capsys):
+        argv = (
+            [cmd, "levenshtein", "--size", "24"] if cmd == "solve"
+            else [cmd, "--requests", "1", "--size", "24"]
+        )
+        assert main(argv + ["--inject-fault", "nonsense"]) == 2
+        assert "bad --inject-fault spec" in capsys.readouterr().err
+
+
 class TestTune:
     def test_tune_output(self, capsys):
         assert main(["tune", "lcs", "--size", "256"]) == 0
