@@ -55,7 +55,8 @@ from .types import (
 )
 from .core.cellfunc import CellFunction, EvalContext
 from .core.classification import classify, table1_rows, transfer_need
-from .core.framework import Framework, estimate, solve
+from .batch import BatchGroup, BatchItem, BatchPlanner, batch_key
+from .core.framework import Framework, estimate, solve, solve_many
 from .core.partition import HeteroParams
 from .core.problem import LDDPProblem
 from .core.schedule import schedule_for
@@ -95,6 +96,7 @@ __all__ = [
     "Framework",
     "solve",
     "estimate",
+    "solve_many",
     "ExecOptions",
     "SolveResult",
     "HeteroParams",
@@ -110,6 +112,11 @@ __all__ = [
     "SolveRequest",
     "PendingSolve",
     "ResultCache",
+    # batching
+    "BatchPlanner",
+    "BatchGroup",
+    "BatchItem",
+    "batch_key",
     # resilience
     "CancelToken",
     "raise_if_cancelled",

@@ -8,15 +8,34 @@ Examples::
     repro-lddp solve levenshtein --size 512 --platform high --executor hetero
     repro-lddp solve lcs --size 256 --trace out.json --metrics
     repro-lddp serve --requests 64 --workers 4 --metrics
+    repro-lddp serve --requests 64 --coalesce-window 0.02 --no-cache
+    repro-lddp batch --problems levenshtein --instances 32 --size 128 --compare
+    repro-lddp batch --manifest examples/batch_manifest.json --metrics
     repro-lddp tune lcs --size 2048
     repro-lddp profile knight-move --rows 8 --cols 10
+
+``batch`` solves a fleet of instances through ``Framework.solve_many``,
+stacking batch-compatible ones into shared sweeps (see docs/batching.md);
+``--manifest`` takes a JSON list of ``{"problem", "size", "seed", "count"}``
+entries, ``--compare`` times the same fleet per-instance and prints the
+speedup.
+
+``serve --coalesce-window SECONDS`` lets workers drain batch-compatible
+queued requests into one batched execution (``--max-batch`` caps the batch;
+0 seconds, the default, keeps pure per-request serving).
+
+``--no-kernel-fastpath`` (on ``solve``; ``ExecOptions(kernel_fastpath=False)``
+in code) disables the compiled kernel plans of :mod:`repro.kernels` and runs
+every span through the generic gather/scatter — the ablation baseline of
+docs/performance.md.
 
 ``--trace out.json`` records live instrumentation spans plus the simulated
 timeline as Chrome ``trace_event`` JSON — open it in ``chrome://tracing`` or
 https://ui.perfetto.dev (see docs/observability.md). ``--metrics`` dumps the
 process metrics registry after the run.
 
-``--inject-fault SITE:SPEC`` (repeatable, on ``solve`` and ``serve``) arms
+``--inject-fault SITE:SPEC`` (repeatable, on ``solve``, ``serve`` and
+``batch``) arms
 the chaos layer of :mod:`repro.faults` for the run — e.g.
 ``--inject-fault "machine.gpu:nth=1"`` kills the first GPU cost-model call
 (exercising CPU-only degradation) and ``--inject-fault
@@ -181,6 +200,8 @@ def _cmd_serve(args) -> int:
         workers=args.workers,
         queue_size=args.queue_size,
         cache_size=cache_size,
+        coalesce_window=args.coalesce_window,
+        max_batch=args.max_batch,
     ) as svc:
         pending = []
         for k in range(args.requests):
@@ -210,6 +231,7 @@ def _cmd_serve(args) -> int:
     hits = metrics.counter("serve.cache.hits").value
     misses = metrics.counter("serve.cache.misses").value
     degraded = metrics.counter("serve.degraded").value
+    coalesced = metrics.counter("batch.coalesced").value
     latency = metrics.histogram("serve.latency_ms")
     print(f"platform  : {svc.framework.platform.name}")
     print(f"workload  : {args.requests} requests over "
@@ -220,6 +242,9 @@ def _cmd_serve(args) -> int:
     print(f"cache     : {hits} hits / {misses} misses"
           + (" (disabled)" if cache_size == 0 else ""))
     print(f"backoff   : {rejections} overload rejections absorbed")
+    if args.coalesce_window > 0:
+        print(f"coalesced : {coalesced} requests answered from batches "
+              f"(window {args.coalesce_window:g} s)")
     outcome_line = f"outcomes  : {completed} completed, " \
                    f"{sum(failures.values())} failed"
     if failures:
@@ -234,6 +259,104 @@ def _cmd_serve(args) -> int:
         print(f"latency   : p50={latency.percentile(50):g} ms "
               f"p90={latency.percentile(90):g} ms "
               f"p99={latency.percentile(99):g} ms")
+    if args.metrics:
+        print("metrics   :")
+        print(metrics.render())
+    return 0
+
+
+def _batch_problems(args) -> list:
+    """Build the instance fleet for ``repro-lddp batch``.
+
+    Makers that take a ``seed`` get consecutive seeds so instances carry
+    distinct payloads (the realistic fleet); seedless makers repeat.
+    """
+    if args.manifest:
+        import json
+
+        with open(args.manifest) as fh:
+            entries = json.load(fh)
+        if not isinstance(entries, list) or not entries:
+            raise ValueError("manifest must be a non-empty JSON list")
+        specs = []
+        for entry in entries:
+            name = entry.get("problem")
+            if name not in _PROBLEMS:
+                raise ValueError(
+                    f"unknown problem {name!r} in manifest; "
+                    f"choose from {sorted(_PROBLEMS)}"
+                )
+            specs.append((name, int(entry.get("size", args.size)),
+                          int(entry.get("seed", 0)),
+                          int(entry.get("count", 1))))
+    else:
+        specs = [(name, args.size, 0, args.instances)
+                 for name in args.problems]
+    problems = []
+    for name, size, seed, count in specs:
+        maker = _PROBLEMS[name]
+        for k in range(count):
+            try:
+                problems.append(maker(size, seed=seed + k))
+            except TypeError:
+                problems.append(maker(size))
+    return problems
+
+
+def _cmd_batch(args) -> int:
+    import time
+
+    from .obs import get_metrics
+
+    try:
+        problems = _batch_problems(args)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        fault_ctx = _fault_context(args)
+    except ValueError as exc:
+        print(f"error: bad --inject-fault spec: {exc}", file=sys.stderr)
+        return 2
+    fw = Framework(_platform(args.platform))
+    metrics = get_metrics()
+    with fault_ctx:
+        t0 = time.perf_counter()
+        results = fw.solve_many(
+            problems, executor=args.executor, max_batch=args.max_batch
+        )
+        batched_s = time.perf_counter() - t0
+
+    groups = metrics.counter("batch.groups").value
+    stacked = metrics.counter("batch.stacked").value
+    swept = metrics.counter("batch.swept").value
+    degraded = metrics.counter("batch.degraded").value
+    print(f"platform  : {fw.platform.name}")
+    print(f"fleet     : {len(problems)} instances -> {groups} groups "
+          f"(max batch {args.max_batch})")
+    print(f"tiers     : {stacked} stacked, {swept} swept"
+          + (f", {degraded} degraded to per-instance" if degraded else ""))
+    print(f"batched   : {batched_s:.3f} s "
+          f"({len(problems) / batched_s:.1f} solves/s)")
+    if args.compare:
+        t0 = time.perf_counter()
+        solo = [fw.solve(p, executor=args.executor) for p in problems]
+        solo_s = time.perf_counter() - t0
+        import numpy as np
+
+        identical = all(
+            np.array_equal(a.table, b.table) for a, b in zip(solo, results)
+        )
+        print(f"solo      : {solo_s:.3f} s "
+              f"({len(problems) / solo_s:.1f} solves/s)")
+        print(f"speedup   : {solo_s / batched_s:.2f}x "
+              f"(tables {'bit-identical' if identical else 'DIFFER'})")
+        if not identical:
+            return 1
+    corner = results[0]
+    if corner.table is not None:
+        print(f"first     : {corner.problem} corner={corner.table[-1, -1]} "
+              f"mode={corner.stats.get('batch_mode', 'solo')}")
     if args.metrics:
         print("metrics   :")
         print(metrics.render())
@@ -372,6 +495,12 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--cache-size", type=int, default=128)
     p.add_argument("--no-cache", action="store_true",
                    help="disable the result cache (cold-path baseline)")
+    p.add_argument("--coalesce-window", type=float, default=0.0,
+                   metavar="SECONDS",
+                   help="wait this long for batch-compatible requests and "
+                        "solve them as one batch (0 disables coalescing)")
+    p.add_argument("--max-batch", type=int, default=16,
+                   help="cap on requests coalesced into one batch")
     p.add_argument(
         "--problems", nargs="+", choices=sorted(_PROBLEMS),
         default=["levenshtein", "lcs", "dtw", "needleman-wunsch"],
@@ -385,6 +514,40 @@ def main(argv: list[str] | None = None) -> int:
              "request must still complete or fail with a typed error",
     )
     p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "batch",
+        help="solve a fleet of instances, stacking compatible ones "
+             "(Framework.solve_many)",
+    )
+    p.add_argument(
+        "--manifest", metavar="PATH", default=None,
+        help="JSON list of {problem, size, seed, count} fleet entries "
+             "(overrides --problems/--instances/--size)",
+    )
+    p.add_argument(
+        "--problems", nargs="+", choices=sorted(_PROBLEMS),
+        default=["levenshtein"], help="problem kinds in the fleet",
+    )
+    p.add_argument("--instances", type=int, default=16,
+                   help="instances per problem kind (distinct seeds)")
+    p.add_argument("--size", type=int, default=128)
+    p.add_argument("--max-batch", type=int, default=64,
+                   help="cap on instances stacked into one group")
+    p.add_argument("--platform", choices=["high", "low", "phi"], default="high")
+    p.add_argument("--executor", choices=list(Framework.executors()),
+                   default="hetero")
+    p.add_argument("--compare", action="store_true",
+                   help="also time per-instance solves and verify the tables "
+                        "are bit-identical (exit 1 if not)")
+    p.add_argument("--metrics", action="store_true",
+                   help="dump the metrics registry after the run")
+    p.add_argument(
+        "--inject-fault", action="append", metavar="SITE:SPEC", default=None,
+        help="arm a chaos fault for the run, e.g. 'batch.execute:nth=1' "
+             "degrades the first group to per-instance solves (repeatable)",
+    )
+    p.set_defaults(fn=_cmd_batch)
 
     p = sub.add_parser("tune", help="two-step empirical parameter search")
     p.add_argument("problem", choices=sorted(_PROBLEMS))

@@ -38,7 +38,7 @@ from .classification import classify
 from .partition import HeteroParams
 from .problem import LDDPProblem
 
-__all__ = ["Framework", "SolveResult", "solve", "estimate"]
+__all__ = ["Framework", "SolveResult", "solve", "estimate", "solve_many"]
 
 
 class Framework:
@@ -165,6 +165,47 @@ class Framework:
             kwargs["params"] = params
         return ex.solve(problem, **kwargs) if functional else ex.estimate(problem, **kwargs)
 
+    def solve_many(
+        self,
+        problems,
+        executor: str = "hetero",
+        params: HeteroParams | None = None,
+        *,
+        options: ExecOptions | None = None,
+        max_batch: int = 64,
+        timeout: float | None = None,
+        cancel_token: CancelToken | None = None,
+    ) -> list[SolveResult]:
+        """Solve a fleet of problems, batching compatible instances.
+
+        Instances that share geometry, dtype, cell/init code, executor and
+        options (see :func:`repro.batch.batch_key` — payload *content* is
+        excluded) are stacked into one ``(B, rows, cols)`` sweep per group
+        of at most ``max_batch``; incompatible instances run per-instance.
+        Results come back in input order, bit-identical to calling
+        :meth:`solve` on each problem. ``timeout``/``cancel_token`` apply to
+        every instance (checked per wavefront); the first failure re-raises
+        after the whole fleet has been attempted. See ``docs/batching.md``.
+        """
+        from ..batch import BatchItem, BatchPlanner, execute_group
+
+        problems = list(problems)
+        deadline = time.monotonic() + timeout if timeout is not None else None
+        items = [
+            BatchItem(index=k, problem=p, executor=executor, options=options,
+                      params=params, deadline=deadline,
+                      cancel_token=cancel_token)
+            for k, p in enumerate(problems)
+        ]
+        outcomes: list[SolveResult | BaseException | None] = [None] * len(items)
+        for group in BatchPlanner(max_batch=max_batch).plan(items):
+            for item, outcome in zip(group.items, execute_group(group, self)):
+                outcomes[item.index] = outcome
+        for outcome in outcomes:
+            if isinstance(outcome, BaseException):
+                raise outcome
+        return outcomes  # type: ignore[return-value]
+
     def compare(
         self,
         problem: LDDPProblem,
@@ -217,3 +258,18 @@ def estimate(
     """One-call timing estimate — :func:`solve` without the table."""
     return Framework(platform, options).estimate(problem, executor=executor,
                                                  params=params)
+
+
+def solve_many(
+    problems,
+    *,
+    platform: Platform | None = None,
+    executor: str = "hetero",
+    options: ExecOptions | None = None,
+    params: HeteroParams | None = None,
+    max_batch: int = 64,
+) -> list[SolveResult]:
+    """One-call batched solve of a fleet — see :meth:`Framework.solve_many`."""
+    return Framework(platform, options).solve_many(
+        problems, executor=executor, params=params, max_batch=max_batch,
+    )

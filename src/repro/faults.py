@@ -10,8 +10,11 @@ site                checked in
                     span dispatched by any executor)
 ``kernels.plan``    :meth:`repro.kernels.cache.PlanCache.get` (plan lookup /
                     compilation — a fault here degrades to the generic path)
-``kernels.span``    :meth:`repro.kernels.plan.KernelPlan.execute` (a fault
-                    here degrades that span to the generic path)
+``kernels.span``    :meth:`repro.kernels.plan.KernelPlan.execute` and
+                    :meth:`~repro.kernels.plan.KernelPlan.execute_batch` (a
+                    fault here degrades that span to the generic path)
+``batch.execute``   :func:`repro.batch.execute_group` (a fault here degrades
+                    the whole group to per-instance solves)
 ``machine.cpu``     :meth:`repro.machine.cpu.CPUModel.parallel_time`
 ``machine.gpu``     :meth:`repro.machine.gpu.GPUModel.kernel_time` (a fault
                     here degrades hetero/multi executors to CPU-only)

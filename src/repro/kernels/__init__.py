@@ -7,6 +7,11 @@ content-keyed LRU — replaces the generic gather/scatter with precomputed
 strided views, interior/boundary splits and a reusable scratch arena. See
 ``docs/performance.md`` for the design and the measured speedups
 (``BENCH_kernels.json``).
+
+Every plan also carries a batched twin of each span spec: given a stack of
+``B`` same-shape tables, :meth:`KernelPlan.execute_batch` applies one
+wavefront to all ``B`` instances with a leading batch axis on every view
+and buffer — the stacked tier of :mod:`repro.batch` (``docs/batching.md``).
 """
 
 from .cache import PlanCache, clear_plan_cache, get_plan_cache, plan_for

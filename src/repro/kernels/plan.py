@@ -329,6 +329,100 @@ class KernelPlan:
             return self._execute_index(spec, problem, table, aux, lo, hi), True
         return self._execute_slice(spec, problem, table, aux, t, lo, hi), True
 
+    def execute_batch(self, problem, stack, t) -> int:
+        """One cell call computing wavefront ``t`` across a ``(B, R, C)`` stack.
+
+        The batch generalisation of :meth:`execute`: neighbour reads become
+        ``(B, width)`` views/buffers over ``stack.reshape(B, -1)``, ``ctx.i``
+        / ``ctx.j`` broadcast across the batch axis, and one cell-function
+        call fills the wavefront of every layer at once. Only valid when all
+        layers hold *identical payload bytes* and the problem has no aux
+        arrays (the caller — :mod:`repro.batch` — proves both).
+
+        Raises (rather than silently degrading) when the stack does not
+        match the plan's key or the wavefront has no batched structure; the
+        batch executor then falls back to its per-instance sweep, which is
+        value-identical because cell functions are elementwise-pure.
+        Returns the total number of cells written (``B * width``).
+        """
+        check_fault("kernels.span")
+        flags = stack.flags
+        if (
+            stack.ndim != 3
+            or stack.shape[1:] != self.table_shape
+            or stack.dtype != self.dtype
+            or not flags.c_contiguous
+            or not flags.writeable
+        ):
+            raise ValueError(
+                f"stack {stack.shape}/{stack.dtype} does not match plan "
+                f"{self.table_shape}/{self.dtype} (or is not a writeable "
+                "C-contiguous array)"
+            )
+        spec = self._spec(t)
+        if spec.width == 0:
+            return 0
+        if spec.mode == "generic":
+            raise ValueError(f"wavefront {t} has no batched structure")
+        B = int(stack.shape[0])
+        if spec.mode == "index":
+            return self._execute_index_batch(spec, problem, stack, B)
+        return self._execute_slice_batch(spec, problem, stack, B)
+
+    def _batch_buf(self, name: str, B: int, w: int) -> np.ndarray:
+        arena = self._arena()
+        key = f"batch:{name}"
+        buf = arena.get(key)
+        if buf is None or buf.shape[0] != B or buf.shape[1] < w:
+            buf = np.empty((B, self.schedule.max_width), dtype=self.dtype)
+            arena[key] = buf
+        return buf[:, :w]
+
+    def _execute_slice_batch(self, spec, problem, stack, B) -> int:
+        w = spec.width
+        flat2 = stack.reshape(B, -1)
+        kwargs = {"w": None, "nw": None, "n": None, "ne": None}
+        if spec.pre == 0 and spec.suf == 0:
+            for name, _, isl, _, _, _, _ in spec.nbr:
+                kwargs[name] = flat2[:, isl]
+        else:
+            ihi = w - spec.suf
+            for name, _, isl, opos, bpos, ni_c, nj_c in spec.nbr:
+                vals = self._batch_buf(name, B, w)
+                if ihi > spec.pre:
+                    np.copyto(vals[:, spec.pre:ihi], flat2[:, isl])
+                if opos.size:
+                    vals[:, opos] = self.oob_value
+                if bpos.size:
+                    vals[:, bpos] = stack[:, ni_c, nj_c]
+                kwargs[name] = vals
+        ctx = EvalContext(
+            i=np.broadcast_to(spec.iview, (B, w)),
+            j=np.broadcast_to(spec.jview, (B, w)),
+            payload=problem.payload, aux={}, **kwargs,
+        )
+        flat2[:, spec.wslice] = problem.cell(ctx)
+        return B * w
+
+    def _execute_index_batch(self, spec, problem, stack, B) -> int:
+        w = spec.width
+        kwargs = {"w": None, "nw": None, "n": None, "ne": None}
+        for name, ni, nj, mask, ni_c, nj_c in spec.nbr_index:
+            if mask is None:
+                kwargs[name] = stack[:, ni, nj]
+                continue
+            vals = self._batch_buf(name, B, w)
+            vals[...] = self.oob_value
+            vals[:, mask] = stack[:, ni_c, nj_c]
+            kwargs[name] = vals
+        ctx = EvalContext(
+            i=np.broadcast_to(spec.gi, (B, w)),
+            j=np.broadcast_to(spec.gj, (B, w)),
+            payload=problem.payload, aux={}, **kwargs,
+        )
+        stack[:, spec.gi, spec.gj] = problem.cell(ctx)
+        return B * w
+
     def _execute_slice(self, spec, problem, table, aux, t, lo, hi) -> int:
         w = spec.width
         flat = table.reshape(-1)

@@ -4,7 +4,10 @@ The production-traffic layer over :class:`~repro.core.framework.Framework`
 (see ``docs/serving.md``): requests go onto a bounded priority queue, a
 worker pool drains them, repeated problems resolve from an LRU cache of
 bit-identical results, and the whole path is observable through
-:mod:`repro.obs`.
+:mod:`repro.obs`. With ``coalesce_window > 0`` a worker additionally waits
+a short window and drains batch-compatible queued requests (same
+:func:`~repro.batch.batch_key`) into one batched execution — see
+``docs/batching.md``.
 
     from repro.serve import SolveRequest, SolveService
 

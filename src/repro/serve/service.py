@@ -18,7 +18,12 @@ stream-of-requests server (the ROADMAP's production-traffic seam):
   boundary — an expired request frees its worker within one wavefront;
 * a failed execution is **retried with exponential backoff and jitter**,
   re-checking the remaining deadline before each attempt (never sleeping
-  into a guaranteed timeout).
+  into a guaranteed timeout);
+* with ``coalesce_window > 0``, a worker that picks up a request briefly
+  drains **batch-compatible** queued requests (same
+  :func:`repro.batch.batch_key`) and executes them as one stacked sweep —
+  per-request caching, deadlines, cancellation and degradation semantics
+  are preserved member by member (see ``docs/batching.md``).
 
 Everything is instrumented through :mod:`repro.obs`: a ``serve.queue.depth``
 gauge, ``serve.cache.hits``/``serve.cache.misses`` counters, latency
@@ -47,6 +52,7 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import replace
 from typing import Iterable
 
+from ..batch import BatchItem, batch_key, execute_items
 from ..cancel import CancelToken
 from ..core.framework import Framework
 from ..core.problem import LDDPProblem
@@ -64,6 +70,8 @@ from .cache import ResultCache
 from .request import SolveRequest, request_key
 
 __all__ = ["PendingSolve", "SolveService"]
+
+_BATCH_KEY_UNSET = object()  # memo sentinel for PendingSolve._batch_key
 
 
 class PendingSolve:
@@ -83,6 +91,7 @@ class PendingSolve:
             else CancelToken()
         )
         self._future: Future = Future()
+        self._batch_key = _BATCH_KEY_UNSET  # lazily memoized by the service
 
     def done(self) -> bool:
         return self._future.done()
@@ -192,6 +201,16 @@ class SolveService:
         instead of sleeping.
     options:
         Service-wide :class:`ExecOptions`; individual requests may override.
+    coalesce_window:
+        Seconds a worker waits, after picking up a request, for
+        batch-compatible requests to coalesce with before executing. ``0``
+        (the default) disables coalescing entirely — every request runs on
+        its own, exactly as before. Compatibility is
+        :func:`repro.batch.batch_key` equality; cached hits short-circuit
+        *before* joining a batch, and per-member deadlines/cancel tokens
+        stay live inside the batched sweep.
+    max_batch:
+        Cap on requests coalesced into one batched execution.
     """
 
     def __init__(
@@ -206,6 +225,8 @@ class SolveService:
         backoff_base: float = 0.05,
         backoff_max: float = 2.0,
         options: ExecOptions | None = None,
+        coalesce_window: float = 0.0,
+        max_batch: int = 16,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -215,12 +236,20 @@ class SolveService:
             raise ValueError(f"retries must be >= 0, got {retries}")
         if backoff_base < 0 or backoff_max < 0:
             raise ValueError("backoff_base/backoff_max cannot be negative")
+        if coalesce_window < 0:
+            raise ValueError(
+                f"coalesce_window cannot be negative, got {coalesce_window}"
+            )
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         self.framework = Framework(platform, options)
         self.queue_size = queue_size
         self.default_timeout = default_timeout
         self.retries = retries
         self.backoff_base = backoff_base
         self.backoff_max = backoff_max
+        self.coalesce_window = coalesce_window
+        self.max_batch = max_batch
         self._sleep = time.sleep  # patchable seam for backoff tests
         self._rng = random.Random()
         self.cache: ResultCache | None = (
@@ -264,7 +293,11 @@ class SolveService:
             heapq.heappush(self._queue, (request.priority, self._seq, pending))
             metrics.counter("serve.requests.submitted").inc()
             metrics.gauge("serve.queue.depth").set(len(self._queue))
-            self._not_empty.notify()
+            # notify_all, not notify: with coalescing on, a worker sitting in
+            # its coalescing wait shares this condition with idle workers — a
+            # single notify could be absorbed by the coalescer and strand the
+            # request until the window closes.
+            self._not_empty.notify_all()
         return pending
 
     def submit_problem(self, problem: LDDPProblem, **kwargs) -> PendingSolve:
@@ -334,7 +367,10 @@ class SolveService:
                     return  # closed and drained
                 _, _, pending = heapq.heappop(self._queue)
                 get_metrics().gauge("serve.queue.depth").set(len(self._queue))
-            self._process(pending)
+            if self.coalesce_window > 0:
+                self._process_coalesced(pending)
+            else:
+                self._process(pending)
 
     def _backoff_delay(self, attempt: int) -> float:
         """Jittered exponential delay before retry ``attempt`` (1-based)."""
@@ -393,64 +429,280 @@ class SolveService:
                 metrics.counter("serve.cache.misses").inc()
 
             pending.cache_hit = False
-            attempts = 0
-            while True:
-                try:
-                    check_fault("serve.execute")
-                    with metrics.histogram("serve.execute_ms").time():
-                        result = self._execute(request, pending)
-                    break
-                except SolveCancelled as exc:
-                    metrics.counter("serve.requests.aborted").inc()
-                    span.set(outcome="cancelled")
-                    pending._future.set_exception(exc)
-                    return
-                except ServiceTimeout as exc:
-                    # The executor hit the deadline mid-run; the worker is
-                    # free again within one wavefront. Never retried.
-                    metrics.counter("serve.requests.timeout").inc()
-                    span.set(outcome="timeout")
-                    pending._future.set_exception(exc)
-                    return
-                except Exception as exc:  # noqa: BLE001 - surfaced via future
-                    attempts += 1
-                    if attempts > self.retries:
-                        metrics.counter("serve.requests.failed").inc()
-                        span.set(outcome="failed", error=type(exc).__name__)
-                        pending._future.set_exception(exc)
-                        return
-                    delay = self._backoff_delay(attempts)
-                    if pending.deadline is not None:
-                        remaining = pending.deadline - time.monotonic()
-                        if remaining <= delay:
-                            # Fail fast: sleeping would overshoot the
-                            # deadline, so surface the timeout now with the
-                            # triggering failure chained for diagnosis.
-                            metrics.counter("serve.requests.timeout").inc()
-                            span.set(outcome="timeout", retried=attempts)
-                            timeout_exc = ServiceTimeout(
-                                f"request for {request.problem.name!r} has "
-                                f"{max(0.0, remaining):.3f} s left, less than "
-                                f"the {delay:.3f} s retry backoff"
-                            )
-                            timeout_exc.__cause__ = exc
-                            pending._future.set_exception(timeout_exc)
-                            return
-                    metrics.counter("serve.retries").inc()
-                    span.set(retried=attempts)
-                    if delay > 0:
-                        self._sleep(delay)
+            self._attempt(pending, span, key)
 
-            if key is not None:
-                self.cache.put(key, result)
-            metrics.counter("serve.requests.completed").inc()
-            metrics.histogram("serve.latency_ms").observe(
+    def _attempt(self, pending: PendingSolve, span, key) -> None:
+        """The retry loop for one claimed request: execute, back off, finish.
+
+        ``span`` is the request's open ``serve.request`` span; ``key`` its
+        cache key (``None`` when uncacheable). Shared by the per-request
+        path and the coalescer's per-member fallback after a batch failure.
+        """
+        metrics = get_metrics()
+        request = pending.request
+        attempts = 0
+        while True:
+            try:
+                check_fault("serve.execute")
+                with metrics.histogram("serve.execute_ms").time():
+                    result = self._execute(request, pending)
+                break
+            except SolveCancelled as exc:
+                metrics.counter("serve.requests.aborted").inc()
+                span.set(outcome="cancelled")
+                pending._future.set_exception(exc)
+                return
+            except ServiceTimeout as exc:
+                # The executor hit the deadline mid-run; the worker is
+                # free again within one wavefront. Never retried.
+                metrics.counter("serve.requests.timeout").inc()
+                span.set(outcome="timeout")
+                pending._future.set_exception(exc)
+                return
+            except Exception as exc:  # noqa: BLE001 - surfaced via future
+                attempts += 1
+                if attempts > self.retries:
+                    metrics.counter("serve.requests.failed").inc()
+                    span.set(outcome="failed", error=type(exc).__name__)
+                    pending._future.set_exception(exc)
+                    return
+                delay = self._backoff_delay(attempts)
+                if pending.deadline is not None:
+                    remaining = pending.deadline - time.monotonic()
+                    if remaining <= delay:
+                        # Fail fast: sleeping would overshoot the
+                        # deadline, so surface the timeout now with the
+                        # triggering failure chained for diagnosis.
+                        metrics.counter("serve.requests.timeout").inc()
+                        span.set(outcome="timeout", retried=attempts)
+                        timeout_exc = ServiceTimeout(
+                            f"request for {request.problem.name!r} has "
+                            f"{max(0.0, remaining):.3f} s left, less than "
+                            f"the {delay:.3f} s retry backoff"
+                        )
+                        timeout_exc.__cause__ = exc
+                        pending._future.set_exception(timeout_exc)
+                        return
+                metrics.counter("serve.retries").inc()
+                span.set(retried=attempts)
+                if delay > 0:
+                    self._sleep(delay)
+
+        self._finish(pending, span, key, result)
+
+    def _finish(self, pending: PendingSolve, span, key, result: SolveResult) -> None:
+        """Cache, count and resolve one successfully executed request."""
+        metrics = get_metrics()
+        if key is not None:
+            self.cache.put(key, result)
+        metrics.counter("serve.requests.completed").inc()
+        metrics.histogram("serve.latency_ms").observe(
+            (time.monotonic() - pending.submitted_at) * 1e3
+        )
+        if result.stats.get("degraded"):
+            span.set(degraded=result.stats["degraded"])
+        span.set(outcome="miss" if key is not None else "uncached")
+        pending._future.set_result(result)
+
+    # -- coalescing ------------------------------------------------------------
+
+    def _batch_key_of(self, pending: PendingSolve) -> str | None:
+        """Memoized :func:`repro.batch.batch_key` for one queued request."""
+        memo = pending._batch_key
+        if memo is _BATCH_KEY_UNSET:
+            request = pending.request
+            memo = pending._batch_key = batch_key(
+                request.problem,
+                executor=request.executor,
+                options=request.options or self.framework.options,
+                params=request.params,
+                functional=request.functional,
+            )
+        return memo
+
+    def _process_coalesced(self, leader: PendingSolve) -> None:
+        """Coalescing entry point: drain compatible requests, then execute."""
+        key = self._batch_key_of(leader)
+        if key is None:
+            self._process(leader)
+            return
+        members = self._drain_compatible(leader, key)
+        if not members:
+            self._process(leader)
+            return
+        self._process_batch([leader] + members)
+
+    def _drain_compatible(self, leader: PendingSolve, key: str) -> list[PendingSolve]:
+        """Pull batch-compatible requests off the queue for up to the window.
+
+        Returns at most ``max_batch - 1`` requests whose batch key equals
+        ``key``, removing them from the queue (incompatible entries are left
+        untouched, in priority order). Waits on the queue condition until
+        the coalescing window — capped by the leader's own deadline —
+        closes, the batch fills, or the service closes.
+        """
+        end = time.monotonic() + self.coalesce_window
+        if leader.deadline is not None:
+            end = min(end, leader.deadline)
+        members: list[PendingSolve] = []
+        with self._not_empty:
+            while True:
+                keep = []
+                took = False
+                for entry in self._queue:
+                    if (
+                        len(members) + 1 < self.max_batch
+                        and self._batch_key_of(entry[2]) == key
+                    ):
+                        members.append(entry[2])
+                        took = True
+                    else:
+                        keep.append(entry)
+                if took:
+                    keep.sort()  # a sorted list is a valid heap
+                    self._queue[:] = keep
+                    get_metrics().gauge("serve.queue.depth").set(len(keep))
+                if len(members) + 1 >= self.max_batch or self._closed:
+                    break
+                remaining = end - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._not_empty.wait(remaining)
+        return members
+
+    def _process_batch(self, members: list[PendingSolve]) -> None:
+        """Resolve a coalesced set: short-circuit, batch-execute, scatter.
+
+        Per member, in order: claim the future (drop if cancelled), fail
+        expired deadlines, serve cache hits — all *before* batch execution,
+        so a cached or dead request never pays for the batch. Survivors run
+        as one :func:`repro.batch.execute_items` group with their deadlines
+        and cancel tokens live per wavefront; a member whose batched run
+        fails retryably falls back to the per-request retry path.
+        """
+        metrics = get_metrics()
+        tracer = get_tracer()
+        run: list[tuple[PendingSolve, object]] = []
+        for pending in members:
+            request = pending.request
+            if not pending._future.set_running_or_notify_cancel():
+                metrics.counter("serve.requests.cancelled").inc()
+                continue
+            metrics.histogram("serve.queue_wait_ms").observe(
                 (time.monotonic() - pending.submitted_at) * 1e3
             )
-            if result.stats.get("degraded"):
-                span.set(degraded=result.stats["degraded"])
-            span.set(outcome="miss" if key is not None else "uncached")
-            pending._future.set_result(result)
+            if (
+                pending.deadline is not None
+                and time.monotonic() >= pending.deadline
+            ):
+                metrics.counter("serve.requests.timeout").inc()
+                with tracer.span(
+                    "serve.request", cat="serve",
+                    problem=request.problem.name, executor=request.executor,
+                    priority=request.priority,
+                ) as span:
+                    span.set(outcome="timeout")
+                pending._future.set_exception(
+                    ServiceTimeout(
+                        f"request for {request.problem.name!r} expired "
+                        f"after {request.timeout or self.default_timeout!r}"
+                        " s in the queue"
+                    )
+                )
+                continue
+            key = None
+            if self.cache is not None and request.cacheable:
+                key = request_key(
+                    request,
+                    self.framework.platform,
+                    request.options or self.framework.options,
+                )
+                hit = self.cache.get(key)
+                if hit is not None:
+                    pending.cache_hit = True
+                    metrics.counter("serve.cache.hits").inc()
+                    metrics.histogram("serve.latency_ms").observe(
+                        (time.monotonic() - pending.submitted_at) * 1e3
+                    )
+                    metrics.counter("serve.requests.completed").inc()
+                    with tracer.span(
+                        "serve.request", cat="serve",
+                        problem=request.problem.name,
+                        executor=request.executor,
+                        priority=request.priority,
+                    ) as span:
+                        span.set(outcome="hit")
+                    pending._future.set_result(hit)
+                    continue
+                metrics.counter("serve.cache.misses").inc()
+            pending.cache_hit = False
+            run.append((pending, key))
+
+        if not run:
+            return
+        if len(run) == 1:
+            pending, key = run[0]
+            request = pending.request
+            with tracer.span(
+                "serve.request",
+                cat="serve",
+                problem=request.problem.name,
+                executor=request.executor,
+                priority=request.priority,
+            ) as span:
+                self._attempt(pending, span, key)
+            return
+
+        metrics.counter("batch.coalesced").inc(len(run))
+        items = []
+        for k, (pending, _) in enumerate(run):
+            request = pending.request
+            base = request.options or self.framework.options
+            deadline = pending.deadline
+            if base.deadline is not None:
+                deadline = (
+                    base.deadline if deadline is None
+                    else min(deadline, base.deadline)
+                )
+            items.append(BatchItem(
+                index=k,
+                problem=request.problem,
+                executor=request.executor,
+                options=base,
+                params=request.params,
+                functional=request.functional,
+                deadline=deadline,
+                cancel_token=pending.cancel_token,
+                key=self._batch_key_of(pending),
+            ))
+        with metrics.histogram("serve.execute_ms").time():
+            outcomes = execute_items(items, self.framework)
+        for (pending, key), outcome in zip(run, outcomes):
+            request = pending.request
+            with tracer.span(
+                "serve.request",
+                cat="serve",
+                problem=request.problem.name,
+                executor=request.executor,
+                priority=request.priority,
+                coalesced=len(run),
+            ) as span:
+                if isinstance(outcome, SolveResult):
+                    self._finish(pending, span, key, outcome)
+                elif isinstance(outcome, SolveCancelled):
+                    metrics.counter("serve.requests.aborted").inc()
+                    span.set(outcome="cancelled")
+                    pending._future.set_exception(outcome)
+                elif isinstance(outcome, ServiceTimeout):
+                    metrics.counter("serve.requests.timeout").inc()
+                    span.set(outcome="timeout")
+                    pending._future.set_exception(outcome)
+                else:
+                    # Retryable failure inside the batch: this member gets
+                    # the full per-request retry path (fresh attempts — the
+                    # batched try was the free one).
+                    span.set(batch_failed=type(outcome).__name__)
+                    self._attempt(pending, span, key)
 
     def _execute(self, request: SolveRequest, pending: PendingSolve) -> SolveResult:
         """One framework run with the request's control plane injected.
