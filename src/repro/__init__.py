@@ -77,6 +77,7 @@ from .obs import (
     use_tracer,
 )
 from .serve import PendingSolve, ResultCache, SolveRequest, SolveService
+from .slo import SLOPolicy
 from .tuning.autotune import TuneResult, autotune
 
 __all__ = [
@@ -112,6 +113,7 @@ __all__ = [
     "SolveRequest",
     "PendingSolve",
     "ResultCache",
+    "SLOPolicy",
     # batching
     "BatchPlanner",
     "BatchGroup",

@@ -9,6 +9,8 @@ Examples::
     repro-lddp solve lcs --size 256 --trace out.json --metrics
     repro-lddp serve --requests 64 --workers 4 --metrics
     repro-lddp serve --requests 64 --coalesce-window 0.02 --no-cache
+    repro-lddp serve --requests 64 --slo --timeout 0.5 --workers 4
+    repro-lddp soak --duration 5 --report soak-report.json --gate
     repro-lddp batch --problems levenshtein --instances 32 --size 128 --compare
     repro-lddp batch --manifest examples/batch_manifest.json --metrics
     repro-lddp tune lcs --size 2048
@@ -179,7 +181,7 @@ def _cmd_solve(args) -> int:
 def _cmd_serve(args) -> int:
     import time
 
-    from .errors import ReproError, ServiceOverloaded
+    from .errors import AdmissionRejected, ReproError, ServiceOverloaded
     from .obs import get_metrics
     from .serve import SolveRequest, SolveService
 
@@ -195,21 +197,34 @@ def _cmd_serve(args) -> int:
     except ValueError as exc:
         print(f"error: bad --inject-fault spec: {exc}", file=sys.stderr)
         return 2
+    slo = None
+    if args.slo:
+        from .slo import SLOPolicy
+
+        slo = SLOPolicy(max_workers=max(args.workers, 1))
     with fault_ctx, SolveService(
         _platform(args.platform),
-        workers=args.workers,
+        workers=args.workers if slo is None else slo.min_workers,
         queue_size=args.queue_size,
         cache_size=cache_size,
         coalesce_window=args.coalesce_window,
         max_batch=args.max_batch,
+        slo=slo,
     ) as svc:
         pending = []
+        shed = 0
         for k in range(args.requests):
             problem = mix[k % len(mix)](args.size)
-            request = SolveRequest(problem, executor=args.executor)
+            request = SolveRequest(
+                problem, executor=args.executor, timeout=args.timeout
+            )
             while True:
                 try:
                     pending.append(svc.submit(request))
+                    break
+                except AdmissionRejected:
+                    # Priced out for its deadline — retrying won't help.
+                    shed += 1
                     break
                 except ServiceOverloaded:
                     # Bounded queue said no: back off briefly and retry —
@@ -242,6 +257,12 @@ def _cmd_serve(args) -> int:
     print(f"cache     : {hits} hits / {misses} misses"
           + (" (disabled)" if cache_size == 0 else ""))
     print(f"backoff   : {rejections} overload rejections absorbed")
+    if slo is not None:
+        s = svc.stats()["slo"]
+        print(f"slo       : {s['admitted']} admitted, {shed} shed, "
+              f"{s['downgraded']} downgraded, "
+              f"{s['scale_ups']} scale-ups / {s['scale_downs']} scale-downs "
+              f"(pool {slo.min_workers}-{slo.max_workers})")
     if args.coalesce_window > 0:
         print(f"coalesced : {coalesced} requests answered from batches "
               f"(window {args.coalesce_window:g} s)")
@@ -263,6 +284,12 @@ def _cmd_serve(args) -> int:
         print("metrics   :")
         print(metrics.render())
     return 0
+
+
+def _cmd_soak(args) -> int:
+    from .slo.soak import soak_main
+
+    return soak_main(args)
 
 
 def _batch_problems(args) -> list:
@@ -513,7 +540,23 @@ def main(argv: list[str] | None = None) -> int:
         help="arm a chaos fault for the whole workload (repeatable); every "
              "request must still complete or fail with a typed error",
     )
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="per-request deadline (enables admission pricing "
+                        "under --slo)")
+    p.add_argument("--slo", action="store_true",
+                   help="enable the SLO policy brain: closed-form admission, "
+                        "EDF ordering and worker-pool autoscaling "
+                        "(--workers becomes the autoscaler ceiling)")
     p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "soak", help="SLO soak/chaos run: mixed traffic, fault plan, "
+                     "attainment report (see docs/serving.md)"
+    )
+    from .slo.soak import add_soak_args
+
+    add_soak_args(p)
+    p.set_defaults(fn=_cmd_soak)
 
     p = sub.add_parser(
         "batch",

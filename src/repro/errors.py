@@ -82,6 +82,27 @@ class ServiceOverloaded(ServiceError):
     """The service's bounded request queue is full — retry later."""
 
 
+class AdmissionRejected(ServiceOverloaded):
+    """The SLO admission controller priced the request out at enqueue time.
+
+    The closed-form estimator predicted that, given the current backlog and
+    worker count, the request cannot finish before its deadline (and no
+    permitted down-tier would fit either), so the service sheds it *before*
+    it occupies queue space or a worker. Raised only by ``submit()`` —
+    never after work has started. A subtype of :class:`ServiceOverloaded`,
+    so existing back-off loops keep working unchanged.
+    """
+
+
+class QuotaExceeded(ServiceOverloaded):
+    """The request's tenant has exhausted its token-bucket quota.
+
+    Per-tenant buckets refill continuously at the configured rate (see
+    :class:`repro.slo.SLOPolicy`); callers should back off and retry, as
+    with any :class:`ServiceOverloaded`.
+    """
+
+
 class ServiceTimeout(ServiceError):
     """A deadline passed: in the queue, mid-execution, or while waiting.
 

@@ -65,14 +65,27 @@ class Counter:
 
 
 class Gauge:
-    """A last-write-wins scalar."""
+    """A last-write-wins scalar, with atomic add/subtract for level tracking.
+
+    ``set`` stamps an absolute value (queue depth after a push); ``inc`` /
+    ``dec`` adjust under a lock, for gauges maintained as running levels
+    from several threads (live worker count, in-flight batches).
+    """
 
     def __init__(self, name: str) -> None:
         self.name = name
         self._value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         self._value = float(value)
+
+    def inc(self, delta: float = 1.0) -> None:
+        with self._lock:
+            self._value += float(delta)
+
+    def dec(self, delta: float = 1.0) -> None:
+        self.inc(-delta)
 
     @property
     def value(self) -> float:

@@ -66,20 +66,31 @@ def problem_signature(problem: LDDPProblem) -> str:
 
 
 def request_key(
-    request: "SolveRequest", platform: Platform, options: ExecOptions
+    request: "SolveRequest",
+    platform: Platform,
+    options: ExecOptions,
+    *,
+    executor: str | None = None,
+    functional: bool | None = None,
 ) -> str:
     """Full cache key: problem signature x platform x options x dispatch.
 
     ``options`` is the *effective* options for the run (the request override
-    or the service default) so option ablations never collide.
+    or the service default) so option ablations never collide. ``executor``
+    and ``functional`` override the request's own fields when the SLO
+    admission controller down-tiered the run — a downgraded execution must
+    never share a cache entry with the full-fidelity one.
     """
     h = hashlib.sha256()
     _update(h, "problem", (request.signature or "").encode())
     _update(h, "platform", repr(platform).encode())
     _update(h, "options", repr(options).encode())
-    _update(h, "executor", request.executor.encode())
+    _update(h, "executor",
+            (request.executor if executor is None else executor).encode())
     _update(h, "params", repr(request.params).encode())
-    _update(h, "functional", repr(request.functional).encode())
+    _update(h, "functional", repr(
+        request.functional if functional is None else functional
+    ).encode())
     return h.hexdigest()
 
 
@@ -131,6 +142,17 @@ class SolveRequest:
     cacheable:
         ``False`` skips signature computation and the result cache — the
         escape hatch for payloads without a content key.
+    tenant:
+        Quota-accounting identity (see :class:`repro.slo.SLOPolicy`). Has
+        no effect on execution or cache keys — two tenants submitting the
+        same problem share one cache entry.
+    downgradable:
+        Opt-in for the SLO admission controller to down-tier this request
+        from ``solve`` to ``estimate`` (timing model only, ``table=None``)
+        rather than reject it when its deadline is otherwise infeasible.
+        Executor down-tiers are governed by the policy alone; the
+        solve->estimate downgrade changes what the caller gets back, so it
+        requires this flag.
     """
 
     problem: LDDPProblem
@@ -142,6 +164,8 @@ class SolveRequest:
     functional: bool = True
     cacheable: bool = True
     size: int | None = None
+    tenant: str = "default"
+    downgradable: bool = False
     signature: str | None = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:

@@ -57,6 +57,8 @@ from ..cancel import CancelToken
 from ..core.framework import Framework
 from ..core.problem import LDDPProblem
 from ..errors import (
+    AdmissionRejected,
+    QuotaExceeded,
     ServiceClosed,
     ServiceOverloaded,
     ServiceTimeout,
@@ -66,6 +68,7 @@ from ..exec.base import ExecOptions, SolveResult
 from ..faults import check_fault
 from ..machine.platform import Platform
 from ..obs import get_metrics, get_tracer
+from ..slo import AdmissionController, Autoscaler, Pricer, QuotaManager, SLOPolicy
 from .cache import ResultCache
 from .request import SolveRequest, request_key
 
@@ -82,6 +85,11 @@ class PendingSolve:
         self.deadline = deadline
         self.submitted_at = time.monotonic()
         self.cache_hit: bool | None = None  # set by the worker
+        # Effective execution plan: identical to the request unless the SLO
+        # admission controller down-tiered it at submit time.
+        self.effective_executor: str = request.executor
+        self.effective_functional: bool = request.functional
+        self.downgraded: str | None = None  # admission down-tier reason
         # One token per request: reuse a caller-supplied one so firing either
         # side aborts the same run.
         opts = request.options
@@ -92,6 +100,8 @@ class PendingSolve:
         )
         self._future: Future = Future()
         self._batch_key = _BATCH_KEY_UNSET  # lazily memoized by the service
+        self._units: float | None = None  # closed-form price (SLO mode)
+        self._priced_wall: float = 0.0  # predicted wall s, backlog accounting
 
     def done(self) -> bool:
         return self._future.done()
@@ -211,6 +221,16 @@ class SolveService:
         stay live inside the batched sweep.
     max_batch:
         Cap on requests coalesced into one batched execution.
+    slo:
+        An :class:`repro.slo.SLOPolicy` turning on the policy brain:
+        closed-form admission control at ``submit()`` (rejections raise
+        :class:`~repro.errors.AdmissionRejected`, a
+        :class:`ServiceOverloaded` subtype), earliest-feasible-deadline
+        ordering within each priority band, per-tenant token-bucket quotas
+        (:class:`~repro.errors.QuotaExceeded`) and a background autoscaler
+        that keeps the worker pool between the policy's
+        ``min_workers``/``max_workers``. ``None`` (the default) preserves
+        the fixed-pool FIFO-priority semantics exactly.
     """
 
     def __init__(
@@ -227,6 +247,7 @@ class SolveService:
         options: ExecOptions | None = None,
         coalesce_window: float = 0.0,
         max_batch: int = 16,
+        slo: SLOPolicy | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -255,25 +276,77 @@ class SolveService:
         self.cache: ResultCache | None = (
             ResultCache(cache_size) if cache_size > 0 else None
         )
-        self._queue: list[tuple[int, int, PendingSolve]] = []
+        self._queue: list[tuple[int, float, int, PendingSolve]] = []
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
         self._seq = 0
         self._closed = False
-        self._workers = [
-            threading.Thread(
-                target=self._worker_loop, name=f"solve-worker-{i}", daemon=True
+        self._busy = 0  # workers currently processing a request
+        self._backlog_wall = 0.0  # predicted wall s of queued work (SLO)
+        self._queued_keys: dict[str, int] = {}  # batch key -> queued count
+        self._active_batch_keys: dict[str, int] = {}  # mid-coalesce keys
+        self._latency_ewma: float | None = None  # ms, autoscaler signal
+        # -- SLO machinery (all None/off without a policy) ---------------------
+        self.slo = slo
+        self._pricer: Pricer | None = None
+        self._admission: AdmissionController | None = None
+        self._quotas: QuotaManager | None = None
+        self._autoscaler: Autoscaler | None = None
+        self._stop_scaling = threading.Event()
+        self._scaler_thread: threading.Thread | None = None
+        self._retire = 0  # workers asked to exit at their next idle check
+        self._counters = {
+            "admitted": 0, "shed": 0, "downgraded": 0, "quota_rejected": 0,
+            "scale_ups": 0, "scale_downs": 0,
+        }
+        if slo is not None:
+            workers = max(slo.min_workers, min(slo.max_workers, workers))
+            self._pricer = Pricer(self.framework)
+            self._admission = AdmissionController(slo, self._pricer)
+            self._quotas = QuotaManager(slo)
+            self._autoscaler = Autoscaler(slo)
+        self._workers: list[threading.Thread] = []
+        self._all_workers: list[threading.Thread] = []
+        for _ in range(workers):
+            self._spawn_worker()
+        get_metrics().gauge("serve.workers").set(len(self._workers))
+        if slo is not None:
+            self._scaler_thread = threading.Thread(
+                target=self._autoscale_loop, name="solve-autoscaler",
+                daemon=True,
             )
-            for i in range(workers)
-        ]
-        for t in self._workers:
-            t.start()
+            self._scaler_thread.start()
 
     # -- submission ------------------------------------------------------------
 
     def submit(self, request: SolveRequest) -> PendingSolve:
-        """Enqueue a request; returns immediately with a future handle."""
+        """Enqueue a request; returns immediately with a future handle.
+
+        With an :class:`~repro.slo.SLOPolicy` installed this is also the
+        *only* place policy can refuse work: tenant quota first
+        (:class:`~repro.errors.QuotaExceeded`), then closed-form admission
+        (:class:`~repro.errors.AdmissionRejected` or a down-tier) — an
+        admitted request is never shed later.
+        """
         metrics = get_metrics()
+        units = None
+        key = _BATCH_KEY_UNSET
+        if self.slo is not None:
+            # Price outside the lock: batch-key hashing and the closed-form
+            # scan are pure, and the LRU makes repeat keys O(1).
+            key = batch_key(
+                request.problem,
+                executor=request.executor,
+                options=request.options or self.framework.options,
+                params=request.params,
+                functional=request.functional,
+            )
+            units = self._pricer.units(
+                request.problem,
+                options=request.options or self.framework.options,
+                params=request.params,
+                key=key,
+            )
         with self._not_empty:
             if self._closed:
                 raise ServiceClosed("service is closed; no further requests")
@@ -289,8 +362,26 @@ class SolveService:
             )
             deadline = None if timeout is None else time.monotonic() + timeout
             pending = PendingSolve(request, deadline)
+            order = 0.0
+            if self.slo is not None:
+                if self._quotas is not None and not self._quotas.admit(
+                    request.tenant
+                ):
+                    self._counters["quota_rejected"] += 1
+                    metrics.counter("serve.quota.rejected").inc()
+                    raise QuotaExceeded(
+                        f"tenant {request.tenant!r} is over its quota "
+                        f"({self.slo.quota_for(request.tenant)!r}); "
+                        "back off and retry"
+                    )
+                pending._batch_key = key
+                pending._units = units
+                order = self._admit(pending, timeout, units, key, metrics)
             self._seq += 1
-            heapq.heappush(self._queue, (request.priority, self._seq, pending))
+            heapq.heappush(
+                self._queue, (request.priority, order, self._seq, pending)
+            )
+            self._note_enqueued(pending)
             metrics.counter("serve.requests.submitted").inc()
             metrics.gauge("serve.queue.depth").set(len(self._queue))
             # notify_all, not notify: with coalescing on, a worker sitting in
@@ -299,6 +390,98 @@ class SolveService:
             # request until the window closes.
             self._not_empty.notify_all()
         return pending
+
+    def _admit(self, pending, timeout, units, key, metrics) -> float:
+        """SLO admission for one submission (caller holds the lock).
+
+        Raises :class:`AdmissionRejected` for priced-out requests, applies
+        down-tiers to ``pending``'s effective plan, and returns the heap
+        ordering key — latest feasible start under EDF scheduling, a
+        constant otherwise.
+        """
+        policy = self.slo
+        request = pending.request
+        decision = None
+        if policy.admission and timeout is not None:
+            decision = self._admission.decide(
+                deadline_remaining=timeout,
+                units=units,
+                executor=request.executor,
+                functional=request.functional,
+                backlog_wall=self._backlog_wall,
+                workers=len(self._workers),
+                downgradable=request.downgradable,
+                coalescible=self._coalescible(key),
+            )
+            if not decision.admitted:
+                self._counters["shed"] += 1
+                metrics.counter("serve.admission.shed").inc()
+                raise AdmissionRejected(
+                    f"request for {request.problem.name!r} shed at "
+                    f"admission: {decision.reason}"
+                )
+            if decision.action == "downgrade":
+                pending.effective_executor = decision.executor
+                pending.effective_functional = decision.functional
+                pending.downgraded = decision.reason
+                # The down-tiered run coalesces with its own kind, not with
+                # full-fidelity batch-mates: recompute the key.
+                pending._batch_key = batch_key(
+                    request.problem,
+                    executor=decision.executor,
+                    options=request.options or self.framework.options,
+                    params=request.params,
+                    functional=decision.functional,
+                )
+                self._counters["downgraded"] += 1
+                metrics.counter("serve.admission.downgraded").inc()
+        self._counters["admitted"] += 1
+        metrics.counter("serve.admission.admitted").inc()
+        predicted = (
+            decision.predicted_exec if decision is not None
+            and decision.predicted_exec is not None
+            else (
+                self._pricer.predict(
+                    units, pending.effective_executor,
+                    pending.effective_functional,
+                ) if units is not None else 0.0
+            )
+        )
+        pending._priced_wall = predicted
+        if policy.scheduling and pending.deadline is not None:
+            # EDF on feasibility: run whoever must start soonest to still
+            # make its deadline. No-deadline work sorts last in its band.
+            return pending.deadline - predicted
+        return 0.0 if pending.deadline is not None or not policy.scheduling \
+            else float("inf")
+
+    def _coalescible(self, key: str | None) -> bool:
+        """Whether batch-compatible work is queued or mid-coalesce now."""
+        if key is None or self.coalesce_window <= 0:
+            return False
+        return bool(
+            self._queued_keys.get(key) or self._active_batch_keys.get(key)
+        )
+
+    def _note_enqueued(self, pending: PendingSolve) -> None:
+        """Backlog/key accounting for one queued request (lock held)."""
+        self._backlog_wall += pending._priced_wall
+        if self.coalesce_window > 0 and self.slo is not None:
+            key = pending._batch_key
+            if key is not _BATCH_KEY_UNSET and key is not None:
+                self._queued_keys[key] = self._queued_keys.get(key, 0) + 1
+
+    def _note_dequeued(self, pending: PendingSolve) -> None:
+        """Reverse of :meth:`_note_enqueued` (lock held)."""
+        self._backlog_wall = max(0.0, self._backlog_wall - pending._priced_wall)
+        if self.coalesce_window > 0 and self.slo is not None:
+            key = pending._batch_key
+            if key is not _BATCH_KEY_UNSET and key is not None:
+                count = self._queued_keys.get(key, 0) - 1
+                if count > 0:
+                    self._queued_keys[key] = count
+                else:
+                    self._queued_keys.pop(key, None)
 
     def submit_problem(self, problem: LDDPProblem, **kwargs) -> PendingSolve:
         """Shorthand: wrap ``problem`` in a :class:`SolveRequest` and submit."""
@@ -316,18 +499,27 @@ class SolveService:
     # -- lifecycle -------------------------------------------------------------
 
     def close(self, wait: bool = True) -> None:
-        """Stop accepting work; drain the queue (``wait``) or fail it fast."""
+        """Stop accepting work; drain the queue (``wait``) or fail it fast.
+
+        Joins every worker ever started — including workers the autoscaler
+        already retired — so a closed service provably leaks no threads.
+        """
+        self._stop_scaling.set()
         with self._not_empty:
             self._closed = True
             drained: list[PendingSolve] = []
             if not wait:
-                drained = [pending for _, _, pending in self._queue]
+                drained = [entry[-1] for entry in self._queue]
                 self._queue.clear()
+                self._backlog_wall = 0.0
+                self._queued_keys.clear()
                 get_metrics().gauge("serve.queue.depth").set(0)
             self._not_empty.notify_all()
         for pending in drained:
             pending._future.cancel()
-        for t in self._workers:
+        if self._scaler_thread is not None:
+            self._scaler_thread.join()
+        for t in self._all_workers:
             t.join()
 
     def __enter__(self) -> "SolveService":
@@ -343,34 +535,129 @@ class SolveService:
             return len(self._queue)
 
     def stats(self) -> dict[str, object]:
-        """A snapshot for dashboards: queue, workers, cache."""
+        """A snapshot for dashboards: queue, workers, cache, SLO counters.
+
+        Always present: queue/worker/cache fields plus ``workers_busy``,
+        ``workers_started`` (threads ever spawned) and ``workers_alive``
+        (threads not yet joined — equals ``workers`` plus any retired
+        worker still unwinding). With an :class:`~repro.slo.SLOPolicy`
+        installed, an ``"slo"`` sub-dict adds the admission/shed/downgrade
+        and autoscale counters, predicted backlog, pricer calibration and
+        per-tenant quota books.
+        """
         with self._lock:
             depth = len(self._queue)
             closed = self._closed
             workers = len(self._workers)
-        return {
+            busy = self._busy
+            started = len(self._all_workers)
+            alive = sum(1 for t in self._all_workers if t.is_alive())
+            counters = dict(self._counters)
+            backlog = self._backlog_wall
+            latency = self._latency_ewma
+        out: dict[str, object] = {
             "queue_depth": depth,
             "queue_size": self.queue_size,
             "workers": workers,
+            "workers_busy": busy,
+            "workers_started": started,
+            "workers_alive": alive,
             "closed": closed,
             "cache": None if self.cache is None else self.cache.stats(),
         }
+        if self.slo is not None:
+            out["slo"] = {
+                **counters,
+                "backlog_wall_s": backlog,
+                "latency_ewma_ms": latency,
+                "calibration": self._pricer.calibration(),
+                "tenants": self._quotas.snapshot(),
+            }
+        return out
 
     # -- worker internals ------------------------------------------------------
 
+    def _spawn_worker(self) -> None:
+        """Start one worker thread (lock not required; threads self-register)."""
+        thread = threading.Thread(
+            target=self._worker_loop,
+            name=f"solve-worker-{len(self._all_workers)}",
+            daemon=True,
+        )
+        self._workers.append(thread)
+        self._all_workers.append(thread)
+        thread.start()
+
     def _worker_loop(self) -> None:
+        me = threading.current_thread()
         while True:
             with self._not_empty:
                 while not self._queue and not self._closed:
+                    if self._retire > 0:
+                        # Scale-down: retire between requests, never mid-solve.
+                        self._retire -= 1
+                        if me in self._workers:
+                            self._workers.remove(me)
+                        get_metrics().gauge("serve.workers").set(
+                            len(self._workers)
+                        )
+                        return
                     self._not_empty.wait()
                 if not self._queue:
                     return  # closed and drained
-                _, _, pending = heapq.heappop(self._queue)
+                entry = heapq.heappop(self._queue)
+                pending = entry[-1]
+                self._note_dequeued(pending)
+                self._busy += 1
                 get_metrics().gauge("serve.queue.depth").set(len(self._queue))
-            if self.coalesce_window > 0:
-                self._process_coalesced(pending)
-            else:
-                self._process(pending)
+            try:
+                if self.coalesce_window > 0:
+                    self._process_coalesced(pending)
+                else:
+                    self._process(pending)
+            finally:
+                with self._lock:
+                    self._busy -= 1
+
+    # -- autoscaling -----------------------------------------------------------
+
+    def _autoscale_loop(self) -> None:
+        """Background thread: reconcile pool size every ``scale_interval``."""
+        metrics = get_metrics()
+        while not self._stop_scaling.wait(self.slo.scale_interval):
+            with self._not_empty:
+                if self._closed:
+                    return
+                target = self._autoscaler.desired(
+                    depth=len(self._queue),
+                    workers=len(self._workers),
+                    busy=self._busy,
+                    latency_ms=self._latency_ewma,
+                )
+                current = len(self._workers)
+                if target > current:
+                    for _ in range(target - current):
+                        self._spawn_worker()
+                    self._counters["scale_ups"] += 1
+                    metrics.counter("serve.autoscale.up").inc(target - current)
+                    metrics.gauge("serve.workers").set(len(self._workers))
+                elif target < current:
+                    # Ask (current - target) idle workers to exit at their
+                    # next queue check; a worker mid-solve finishes first.
+                    self._retire += current - target
+                    self._counters["scale_downs"] += 1
+                    metrics.counter("serve.autoscale.down").inc(
+                        current - target
+                    )
+                    self._not_empty.notify_all()
+
+    def _note_latency(self, wall_ms: float) -> None:
+        """Feed the autoscaler's latency EWMA (lock held by caller)."""
+        prior = self._latency_ewma
+        self._latency_ewma = (
+            wall_ms if prior is None else 0.8 * prior + 0.2 * wall_ms
+        )
+        get_metrics().gauge("serve.latency.ewma_ms").set(self._latency_ewma)
 
     def _backoff_delay(self, attempt: int) -> float:
         """Jittered exponential delay before retry ``attempt`` (1-based)."""
@@ -390,9 +677,11 @@ class SolveService:
             "serve.request",
             cat="serve",
             problem=request.problem.name,
-            executor=request.executor,
+            executor=pending.effective_executor,
             priority=request.priority,
         ) as span:
+            if pending.downgraded is not None:
+                span.set(downgraded=pending.downgraded)
             if (
                 pending.deadline is not None
                 and time.monotonic() >= pending.deadline
@@ -414,6 +703,8 @@ class SolveService:
                     request,
                     self.framework.platform,
                     request.options or self.framework.options,
+                    executor=pending.effective_executor,
+                    functional=pending.effective_functional,
                 )
                 hit = self.cache.get(key)
                 if hit is not None:
@@ -444,8 +735,10 @@ class SolveService:
         while True:
             try:
                 check_fault("serve.execute")
+                started = time.monotonic()
                 with metrics.histogram("serve.execute_ms").time():
                     result = self._execute(request, pending)
+                self._observe_run(pending, time.monotonic() - started)
                 break
             except SolveCancelled as exc:
                 metrics.counter("serve.requests.aborted").inc()
@@ -490,15 +783,27 @@ class SolveService:
 
         self._finish(pending, span, key, result)
 
+    def _observe_run(self, pending: PendingSolve, wall: float) -> None:
+        """Feed one measured execution back into the pricer's calibration."""
+        if self._pricer is not None and pending._units is not None:
+            self._pricer.observe(
+                pending.effective_executor,
+                pending.effective_functional,
+                pending._units,
+                wall,
+            )
+
     def _finish(self, pending: PendingSolve, span, key, result: SolveResult) -> None:
         """Cache, count and resolve one successfully executed request."""
         metrics = get_metrics()
         if key is not None:
             self.cache.put(key, result)
         metrics.counter("serve.requests.completed").inc()
-        metrics.histogram("serve.latency_ms").observe(
-            (time.monotonic() - pending.submitted_at) * 1e3
-        )
+        latency_ms = (time.monotonic() - pending.submitted_at) * 1e3
+        metrics.histogram("serve.latency_ms").observe(latency_ms)
+        if self.slo is not None:
+            with self._lock:
+                self._note_latency(latency_ms)
         if result.stats.get("degraded"):
             span.set(degraded=result.stats["degraded"])
         span.set(outcome="miss" if key is not None else "uncached")
@@ -507,16 +812,21 @@ class SolveService:
     # -- coalescing ------------------------------------------------------------
 
     def _batch_key_of(self, pending: PendingSolve) -> str | None:
-        """Memoized :func:`repro.batch.batch_key` for one queued request."""
+        """Memoized :func:`repro.batch.batch_key` for one queued request.
+
+        Keyed on the *effective* plan: a down-tiered request coalesces with
+        runs that will actually execute the same way, not with its original
+        tier.
+        """
         memo = pending._batch_key
         if memo is _BATCH_KEY_UNSET:
             request = pending.request
             memo = pending._batch_key = batch_key(
                 request.problem,
-                executor=request.executor,
+                executor=pending.effective_executor,
                 options=request.options or self.framework.options,
                 params=request.params,
-                functional=request.functional,
+                functional=pending.effective_functional,
             )
         return memo
 
@@ -526,11 +836,27 @@ class SolveService:
         if key is None:
             self._process(leader)
             return
-        members = self._drain_compatible(leader, key)
-        if not members:
-            self._process(leader)
-            return
-        self._process_batch([leader] + members)
+        # Register the in-flight key so admission can price a compatible
+        # late arrival at its marginal (coalesced) cost, not full freight.
+        if self.slo is not None:
+            with self._lock:
+                self._active_batch_keys[key] = (
+                    self._active_batch_keys.get(key, 0) + 1
+                )
+        try:
+            members = self._drain_compatible(leader, key)
+            if not members:
+                self._process(leader)
+                return
+            self._process_batch([leader] + members)
+        finally:
+            if self.slo is not None:
+                with self._lock:
+                    count = self._active_batch_keys.get(key, 0) - 1
+                    if count > 0:
+                        self._active_batch_keys[key] = count
+                    else:
+                        self._active_batch_keys.pop(key, None)
 
     def _drain_compatible(self, leader: PendingSolve, key: str) -> list[PendingSolve]:
         """Pull batch-compatible requests off the queue for up to the window.
@@ -552,9 +878,10 @@ class SolveService:
                 for entry in self._queue:
                     if (
                         len(members) + 1 < self.max_batch
-                        and self._batch_key_of(entry[2]) == key
+                        and self._batch_key_of(entry[-1]) == key
                     ):
-                        members.append(entry[2])
+                        members.append(entry[-1])
+                        self._note_dequeued(entry[-1])
                         took = True
                     else:
                         keep.append(entry)
@@ -616,6 +943,8 @@ class SolveService:
                     request,
                     self.framework.platform,
                     request.options or self.framework.options,
+                    executor=pending.effective_executor,
+                    functional=pending.effective_functional,
                 )
                 hit = self.cache.get(key)
                 if hit is not None:
@@ -628,7 +957,7 @@ class SolveService:
                     with tracer.span(
                         "serve.request", cat="serve",
                         problem=request.problem.name,
-                        executor=request.executor,
+                        executor=pending.effective_executor,
                         priority=request.priority,
                     ) as span:
                         span.set(outcome="hit")
@@ -667,27 +996,33 @@ class SolveService:
             items.append(BatchItem(
                 index=k,
                 problem=request.problem,
-                executor=request.executor,
+                executor=pending.effective_executor,
                 options=base,
                 params=request.params,
-                functional=request.functional,
+                functional=pending.effective_functional,
                 deadline=deadline,
                 cancel_token=pending.cancel_token,
                 key=self._batch_key_of(pending),
             ))
+        started = time.monotonic()
         with metrics.histogram("serve.execute_ms").time():
             outcomes = execute_items(items, self.framework)
+        # Calibrate on the *marginal* cost: the batch amortises one sweep
+        # over len(run) members, so each member's observed wall share is the
+        # honest per-request price for future coalesced admissions.
+        member_wall = (time.monotonic() - started) / len(run)
         for (pending, key), outcome in zip(run, outcomes):
             request = pending.request
             with tracer.span(
                 "serve.request",
                 cat="serve",
                 problem=request.problem.name,
-                executor=request.executor,
+                executor=pending.effective_executor,
                 priority=request.priority,
                 coalesced=len(run),
             ) as span:
                 if isinstance(outcome, SolveResult):
+                    self._observe_run(pending, member_wall)
                     self._finish(pending, span, key, outcome)
                 elif isinstance(outcome, SolveCancelled):
                     metrics.counter("serve.requests.aborted").inc()
@@ -712,7 +1047,10 @@ class SolveService:
         ``repr``-excluded, so keys stay stable either way); a request-level
         options deadline, if any, is tightened to the earlier of the two.
         """
-        run = self.framework.solve if request.functional else self.framework.estimate
+        run = (
+            self.framework.solve if pending.effective_functional
+            else self.framework.estimate
+        )
         base = request.options or self.framework.options
         deadline = pending.deadline
         if base.deadline is not None:
@@ -727,7 +1065,7 @@ class SolveService:
             )
         return run(
             request.problem,
-            executor=request.executor,
+            executor=pending.effective_executor,
             params=request.params,
             options=options,
         )

@@ -1,0 +1,154 @@
+"""Admission control: price at enqueue, shed or down-tier doomed work.
+
+The controller answers one question per deadlined submission, *before* the
+request takes queue space: given the backlog already admitted and the
+current worker count, can this request finish before its deadline? The
+predicted completion is::
+
+    wait  = admitted backlog (predicted wall seconds) / workers
+    exec  = priced units x calibrated ratio x safety_factor
+    completion = wait + exec + dispatch_overhead
+
+A request that fits is admitted. One that does not is first offered any
+permitted down-tier — a cheaper executor, or (for requests that opted in)
+``solve`` -> ``estimate`` — and only then rejected with
+:class:`~repro.errors.AdmissionRejected`. Decisions are pure functions of
+their snapshot inputs, which gives the two invariants the property tests
+pin down:
+
+* **monotone in capacity** — ``wait`` strictly shrinks as ``workers``
+  grows, so adding capacity can never reject a previously admitted
+  request (nor demote an admit to a downgrade);
+* **enqueue-only** — rejection is a ``submit()``-time outcome; once work
+  is admitted the controller never sees it again, so nothing is shed
+  after it starts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .policy import SLOPolicy
+from .pricing import Pricer
+
+__all__ = ["AdmissionController", "AdmissionDecision"]
+
+#: Ordering for the monotone-capacity property: more capacity may only move
+#: a decision toward ``admit``.
+_TIER = {"reject": 0, "downgrade": 1, "admit": 2}
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of pricing one submission.
+
+    ``executor``/``functional`` are the *effective* execution plan — they
+    differ from the request's own only for ``action == "downgrade"``.
+    ``predicted_exec`` / ``predicted_completion`` are wall seconds (safety
+    factor included); ``None`` when the request was unpriceable or carried
+    no deadline and was waved through.
+    """
+
+    action: str  # "admit" | "downgrade" | "reject"
+    executor: str
+    functional: bool
+    predicted_exec: float | None = None
+    predicted_completion: float | None = None
+    reason: str = ""
+
+    @property
+    def admitted(self) -> bool:
+        return self.action != "reject"
+
+    def tier(self) -> int:
+        return _TIER[self.action]
+
+
+class AdmissionController:
+    """Prices submissions against the policy; see the module docstring."""
+
+    def __init__(self, policy: SLOPolicy, pricer: Pricer) -> None:
+        self.policy = policy
+        self.pricer = pricer
+
+    def _completion(
+        self, units: float, executor: str, functional: bool,
+        backlog_wall: float, workers: int,
+    ) -> tuple[float, float]:
+        wait = backlog_wall / max(1, workers)
+        exec_wall = (
+            self.pricer.predict(units, executor, functional)
+            * self.policy.safety_factor
+        )
+        # dispatch_overhead covers the fixed enqueue->wakeup->dispatch cost
+        # the execution price cannot see — it is what makes sub-millisecond
+        # deadlines infeasible even on an idle service.
+        return wait + exec_wall + self.policy.dispatch_overhead, exec_wall
+
+    def decide(
+        self,
+        *,
+        deadline_remaining: float | None,
+        units: float | None,
+        executor: str,
+        functional: bool,
+        backlog_wall: float,
+        workers: int,
+        downgradable: bool = False,
+        coalescible: bool = False,
+    ) -> AdmissionDecision:
+        """Price one submission snapshot. Pure — no state is mutated.
+
+        ``deadline_remaining`` is seconds from now until the request's
+        deadline (``None`` = no deadline); ``backlog_wall`` the predicted
+        wall seconds of work already queued; ``coalescible`` whether a
+        batch-compatible request is already queued or mid-coalesce (the
+        marginal-cost discount of ``policy.coalesce_share`` applies).
+        """
+        if deadline_remaining is None or units is None:
+            return AdmissionDecision(
+                "admit", executor, functional,
+                reason="no deadline" if units is not None else "unpriceable",
+            )
+        share = self.policy.coalesce_share if coalescible else 1.0
+        completion, exec_wall = self._completion(
+            units * share, executor, functional, backlog_wall, workers
+        )
+        if completion <= deadline_remaining:
+            return AdmissionDecision(
+                "admit", executor, functional,
+                predicted_exec=exec_wall, predicted_completion=completion,
+            )
+        if self.policy.downgrade:
+            down = self.policy.downgrade_executor.get(executor)
+            if down is not None:
+                completion2, exec2 = self._completion(
+                    units * share, down, functional, backlog_wall, workers
+                )
+                if completion2 <= deadline_remaining:
+                    return AdmissionDecision(
+                        "downgrade", down, functional,
+                        predicted_exec=exec2,
+                        predicted_completion=completion2,
+                        reason=f"executor {executor!r} -> {down!r}",
+                    )
+            if functional and downgradable:
+                completion3, exec3 = self._completion(
+                    units, executor, False, backlog_wall, workers
+                )
+                if completion3 <= deadline_remaining:
+                    return AdmissionDecision(
+                        "downgrade", executor, False,
+                        predicted_exec=exec3,
+                        predicted_completion=completion3,
+                        reason="solve -> estimate",
+                    )
+        return AdmissionDecision(
+            "reject", executor, functional,
+            predicted_exec=exec_wall, predicted_completion=completion,
+            reason=(
+                f"predicted completion {completion * 1e3:.2f} ms exceeds "
+                f"deadline {deadline_remaining * 1e3:.2f} ms "
+                f"({workers} workers, {backlog_wall * 1e3:.2f} ms backlog)"
+            ),
+        )

@@ -1,0 +1,63 @@
+"""Autoscaling policy: target worker count from queue and latency gauges.
+
+:class:`Autoscaler` is the pure decision core the service's scaling thread
+consults every ``policy.scale_interval`` seconds. It is deliberately
+mechanism-free — it returns a *target* pool size and the service applies it
+(spawning threads, or marking waiting workers for retirement) — so the
+decision rules are unit-testable without threads:
+
+* **scale up** when the queue backlog exceeds ``backlog_per_worker`` per
+  worker, enough to bring the ratio back under target (bounded by
+  ``max_workers``); or when the latency EWMA overshoots
+  ``target_latency_ms`` (if configured);
+* **scale down** by one worker after ``scale_down_after`` consecutive idle
+  evaluations (empty queue, no busy workers), never below ``min_workers`` —
+  hysteresis so a bursty lull does not thrash the pool.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .policy import SLOPolicy
+
+__all__ = ["Autoscaler"]
+
+
+class Autoscaler:
+    """Stateful (idle-streak) but lock-free; call from one thread."""
+
+    def __init__(self, policy: SLOPolicy) -> None:
+        self.policy = policy
+        self._idle_streak = 0
+
+    def desired(
+        self, *, depth: int, workers: int, busy: int = 0,
+        latency_ms: float | None = None,
+    ) -> int:
+        """Target pool size for one evaluation snapshot."""
+        policy = self.policy
+        workers = max(1, workers)
+        if depth > policy.backlog_per_worker * workers:
+            self._idle_streak = 0
+            need = math.ceil(depth / policy.backlog_per_worker)
+            return min(policy.max_workers, max(workers + 1, need))
+        if (
+            policy.target_latency_ms is not None
+            and latency_ms is not None
+            and latency_ms > policy.target_latency_ms
+            and (depth > 0 or busy > 0)
+        ):
+            self._idle_streak = 0
+            return min(policy.max_workers, workers + 1)
+        if depth == 0 and busy == 0:
+            self._idle_streak += 1
+            if (
+                self._idle_streak >= policy.scale_down_after
+                and workers > policy.min_workers
+            ):
+                self._idle_streak = 0
+                return max(policy.min_workers, workers - 1)
+        else:
+            self._idle_streak = 0
+        return max(policy.min_workers, min(policy.max_workers, workers))

@@ -1,0 +1,140 @@
+"""Request pricing: closed-form cost units, calibrated into wall seconds.
+
+The paper's closed-form makespan scan (:func:`repro.exec.fast_estimate.
+fast_hetero_makespan`, the model behind ``Framework.estimate`` and Table II)
+is the natural pricing function for admission control: it costs microseconds
+per *new* problem geometry and returns a number proportional to the work one
+solve performs. Two refinements turn that into a wall-clock predictor:
+
+* **Price caching by batch key.** Batch-compatible requests (same
+  :func:`repro.batch.batch_key` — geometry, dtype, cell code, executor,
+  options, mode) are indistinguishable to the estimator, so their price is
+  computed once and reused from an LRU — the same sharing contract the
+  batch layer exploits for its one-plan-one-estimate stacked sweeps.
+  ``slo.price.computed`` / ``slo.price.cached`` count the split.
+* **EWMA calibration.** Simulated units model the paper's target machine,
+  not this host. The service reports each run's observed wall time back via
+  :meth:`Pricer.observe`; an exponentially-weighted ratio per
+  ``(executor, mode)`` converts units into predicted host seconds. Until a
+  pair is first observed it falls back to a conservative seed (estimates
+  are seeded far cheaper than solves — they never fill the table).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from ..core.partition import HeteroParams
+from ..core.problem import LDDPProblem
+from ..exec.base import ExecOptions
+from ..obs import get_metrics
+
+__all__ = ["Pricer"]
+
+#: Seed wall-seconds-per-unit ratios before the first observation of an
+#: ``(executor, functional)`` pair: solves fill tables (expensive), estimates
+#: only run the timing model.  Calibration replaces these within one request.
+_SEED_RATIO = {True: 1.0, False: 0.05}
+
+
+class Pricer:
+    """Prices requests in closed-form units and calibrates to wall clock.
+
+    Thread-safe; one instance per :class:`~repro.serve.SolveService`.
+    ``alpha`` is the EWMA weight of each new observation.
+    """
+
+    def __init__(self, framework, *, cache_size: int = 512,
+                 alpha: float = 0.2) -> None:
+        if cache_size < 1:
+            raise ValueError(f"cache_size must be >= 1, got {cache_size}")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.framework = framework
+        self.alpha = alpha
+        self._cache_size = cache_size
+        self._prices: OrderedDict[str, float | None] = OrderedDict()
+        self._ratios: dict[tuple[str, bool], float] = {}
+        self._lock = threading.Lock()
+
+    # -- units ------------------------------------------------------------------
+
+    def units(
+        self,
+        problem: LDDPProblem,
+        *,
+        options: ExecOptions | None = None,
+        params: HeteroParams | None = None,
+        key: str | None = None,
+    ) -> float | None:
+        """Closed-form cost units for one solve, or ``None`` if unpriceable.
+
+        ``key`` is the request's :func:`repro.batch.batch_key`; when given,
+        the price is served from (and stored into) the LRU, so a fleet of
+        batch-compatible requests is priced exactly once.
+        """
+        metrics = get_metrics()
+        if key is not None:
+            with self._lock:
+                if key in self._prices:
+                    self._prices.move_to_end(key)
+                    metrics.counter("slo.price.cached").inc()
+                    return self._prices[key]
+        try:
+            units = self._priced(
+                problem, options or self.framework.options, params
+            )
+        except Exception:
+            units = None
+        metrics.counter("slo.price.computed").inc()
+        if key is not None:
+            with self._lock:
+                self._prices[key] = units
+                self._prices.move_to_end(key)
+                while len(self._prices) > self._cache_size:
+                    self._prices.popitem(last=False)
+        return units
+
+    def _priced(self, problem, options, params) -> float:
+        from ..exec.fast_estimate import fast_hetero_makespan
+
+        return fast_hetero_makespan(
+            problem, self.framework.platform, params, options
+        )
+
+    # -- calibration ------------------------------------------------------------
+
+    def ratio(self, executor: str, functional: bool) -> float:
+        """Wall-seconds per unit for ``(executor, functional)``."""
+        with self._lock:
+            return self._ratios.get(
+                (executor, functional), _SEED_RATIO[functional]
+            )
+
+    def predict(self, units: float, executor: str, functional: bool) -> float:
+        """Predicted wall seconds for a run priced at ``units``."""
+        return units * self.ratio(executor, functional)
+
+    def observe(
+        self, executor: str, functional: bool, units: float, wall: float
+    ) -> None:
+        """Feed back one observed ``(units, wall seconds)`` pair."""
+        if units <= 0 or wall < 0:
+            return
+        observed = wall / units
+        key = (executor, functional)
+        with self._lock:
+            prev = self._ratios.get(key)
+            self._ratios[key] = (
+                observed if prev is None
+                else prev + self.alpha * (observed - prev)
+            )
+
+    def calibration(self) -> dict[str, float]:
+        """Snapshot of learned ratios, for stats()/reports."""
+        with self._lock:
+            return {
+                f"{ex}:{'solve' if fn else 'estimate'}": ratio
+                for (ex, fn), ratio in sorted(self._ratios.items())
+            }

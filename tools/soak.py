@@ -1,0 +1,35 @@
+#!/usr/bin/env python
+"""Standalone soak/chaos runner (CI entry point).
+
+Drives the same harness as ``repro-lddp soak`` without requiring the
+package to be installed — it prepends ``src/`` to ``sys.path`` when run
+from a checkout::
+
+    python tools/soak.py --duration 15 --report soak-report.json --gate
+
+See :mod:`repro.slo.soak` for what the run does and what the gate asserts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.slo.soak import add_soak_args, soak_main  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="SLO soak/chaos harness for the solve service"
+    )
+    add_soak_args(parser)
+    return soak_main(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())
