@@ -39,7 +39,7 @@ import numpy as np
 from repro import Framework
 from repro.machine.platform import hetero_high
 from repro.problems import make_levenshtein
-from repro.serve import SolveRequest, SolveService
+from repro.serve import ServiceConfig, SolveRequest, SolveService
 
 REPO_ROOT = Path(__file__).parent.parent
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -66,13 +66,13 @@ def measure(quick: bool = False, workers: int = 4) -> dict:
     fw = Framework(hetero_high())
     oracle = [fw.solve(p).table for p in fleet]  # also warms the plan cache
 
-    with SolveService(hetero_high(), workers=workers, queue_size=n + 8,
-                      cache_size=0) as svc:
+    with SolveService(hetero_high(), config=ServiceConfig(workers=workers, queue_size=n + 8,
+                      cache_size=0)) as svc:
         solo_s, solo_res = _drain(svc, fleet)
 
-    with SolveService(hetero_high(), workers=workers, queue_size=n + 8,
+    with SolveService(hetero_high(), config=ServiceConfig(workers=workers, queue_size=n + 8,
                       cache_size=0, coalesce_window=0.02,
-                      max_batch=n) as svc:
+                      max_batch=n)) as svc:
         coal_s, coal_res = _drain(svc, fleet)
 
     t0 = time.perf_counter()

@@ -25,7 +25,7 @@ from pathlib import Path
 
 from repro.machine.platform import hetero_high
 from repro.problems import make_dtw, make_lcs, make_levenshtein, make_needleman_wunsch
-from repro.serve import SolveRequest, SolveService
+from repro.serve import ServiceConfig, SolveRequest, SolveService
 
 RESULTS_DIR = Path(__file__).parent / "results"
 MAKERS = (make_levenshtein, make_lcs, make_dtw, make_needleman_wunsch)
@@ -50,12 +50,12 @@ def measure(quick: bool = False, workers: int = 4) -> dict:
     size = 48 if quick else 160
     n = 24 if quick else 64
 
-    with SolveService(hetero_high(), workers=workers, queue_size=n + 8,
-                      cache_size=0) as cold_svc:
+    with SolveService(hetero_high(), config=ServiceConfig(workers=workers, queue_size=n + 8,
+                      cache_size=0)) as cold_svc:
         cold_s = _drain(cold_svc, _workload(n, size))
 
-    with SolveService(hetero_high(), workers=workers, queue_size=n + 8,
-                      cache_size=64) as warm_svc:
+    with SolveService(hetero_high(), config=ServiceConfig(workers=workers, queue_size=n + 8,
+                      cache_size=64)) as warm_svc:
         _drain(warm_svc, _workload(len(MAKERS), size))  # pre-warm: one of each
         hits0, misses0 = warm_svc.cache.hits, warm_svc.cache.misses
         warm_s = _drain(warm_svc, _workload(n, size))

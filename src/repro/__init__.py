@@ -29,10 +29,14 @@ Quickstart::
 explicitly (``Framework(hetero_low())``) to reuse a platform, or serve a
 stream of requests concurrently with a cached worker pool::
 
-    from repro.serve import SolveService
+    from repro.serve import ServiceConfig, SolveService
 
-    with SolveService(workers=4) as svc:
+    cfg = ServiceConfig(workers=4)           # backend="process" scales out
+    with SolveService(config=cfg) as svc:
         results = svc.map([problem] * 100)   # repeated solves hit the cache
+
+The module-level entry points also accept ``service=`` so scripts can route
+one-off calls through a shared service: ``repro.solve(problem, service=svc)``.
 """
 
 from ._version import __version__
@@ -76,7 +80,13 @@ from .obs import (
     get_tracer,
     use_tracer,
 )
-from .serve import PendingSolve, ResultCache, SolveRequest, SolveService
+from .serve import (
+    PendingSolve,
+    ResultCache,
+    ServiceConfig,
+    SolveRequest,
+    SolveService,
+)
 from .slo import SLOPolicy
 from .tuning.autotune import TuneResult, autotune
 
@@ -109,6 +119,7 @@ __all__ = [
     "unregister_executor",
     "executor_names",
     # serving
+    "ServiceConfig",
     "SolveService",
     "SolveRequest",
     "PendingSolve",

@@ -105,8 +105,7 @@ def _solo(item: BatchItem, framework: Framework) -> SolveResult:
     options = item.options
     if item.deadline is not None or item.cancel_token is not None:
         base = options or framework.options
-        options = replace(
-            base,
+        options = base.replace(
             deadline=item.deadline if item.deadline is not None
             else base.deadline,
             cancel_token=item.cancel_token if item.cancel_token is not None
@@ -145,7 +144,7 @@ def _execute_stack(
     # enforced wavefront by wavefront below), then replicated per result.
     est_options = options
     if options.deadline is not None or options.cancel_token is not None:
-        est_options = replace(options, deadline=None, cancel_token=None)
+        est_options = options.replace(deadline=None, cancel_token=None)
     est = framework.estimate(rep.problem, executor=rep.executor,
                              params=rep.params, options=est_options)
 

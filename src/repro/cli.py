@@ -183,7 +183,7 @@ def _cmd_serve(args) -> int:
 
     from .errors import AdmissionRejected, ReproError, ServiceOverloaded
     from .obs import get_metrics
-    from .serve import SolveRequest, SolveService
+    from .serve import ServiceConfig, SolveRequest, SolveService
 
     mix = [_PROBLEMS[name] for name in args.problems]
     cache_size = 0 if args.no_cache else args.cache_size
@@ -202,15 +202,16 @@ def _cmd_serve(args) -> int:
         from .slo import SLOPolicy
 
         slo = SLOPolicy(max_workers=max(args.workers, 1))
-    with fault_ctx, SolveService(
-        _platform(args.platform),
+    config = ServiceConfig(
+        backend=args.backend,
         workers=args.workers if slo is None else slo.min_workers,
         queue_size=args.queue_size,
         cache_size=cache_size,
         coalesce_window=args.coalesce_window,
         max_batch=args.max_batch,
         slo=slo,
-    ) as svc:
+    )
+    with fault_ctx, SolveService(_platform(args.platform), config=config) as svc:
         pending = []
         shed = 0
         for k in range(args.requests):
@@ -251,7 +252,7 @@ def _cmd_serve(args) -> int:
     print(f"platform  : {svc.framework.platform.name}")
     print(f"workload  : {args.requests} requests over "
           f"{len(args.problems)} problems (size {args.size}), "
-          f"{args.workers} workers, queue {args.queue_size}")
+          f"{args.workers} {args.backend} workers, queue {args.queue_size}")
     print(f"throughput: {args.requests / elapsed:.1f} req/s "
           f"({elapsed:.3f} s total)")
     print(f"cache     : {hits} hits / {misses} misses"
@@ -518,6 +519,10 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--executor", choices=list(Framework.executors()),
                    default="hetero")
     p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--backend", choices=["thread", "process"], default="thread",
+                   help="execution backend: 'thread' runs solves in-process, "
+                        "'process' scales out over a spawn-based worker pool "
+                        "with shared-memory result transport")
     p.add_argument("--queue-size", type=int, default=64)
     p.add_argument("--cache-size", type=int, default=128)
     p.add_argument("--no-cache", action="store_true",

@@ -20,7 +20,6 @@ the framework for you:
 from __future__ import annotations
 
 import time
-from dataclasses import replace
 from typing import Mapping
 
 from ..cancel import CancelToken
@@ -144,8 +143,7 @@ class Framework:
 
         if timeout is not None or cancel_token is not None:
             base = options or self.options
-            options = replace(
-                base,
+            options = base.replace(
                 deadline=(
                     time.monotonic() + timeout
                     if timeout is not None else base.deadline
@@ -228,21 +226,40 @@ class Framework:
 # -- module-level one-call API -------------------------------------------------
 
 
+def _require_no_platform(platform, service, what: str) -> None:
+    if platform is not None:
+        raise TypeError(
+            f"{what}() takes either service= or platform=, not both — the "
+            "service already owns a platform"
+        )
+
+
 def solve(
     problem: LDDPProblem,
     *,
+    options: ExecOptions | None = None,
+    service=None,
     platform: Platform | None = None,
     executor: str = "hetero",
-    options: ExecOptions | None = None,
     params: HeteroParams | None = None,
 ) -> SolveResult:
-    """One-call solve: build a :class:`Framework` and run ``problem`` on it.
+    """One-call solve: run ``problem`` on a fresh framework or a service.
 
-    Equivalent to ``Framework(platform, options).solve(problem, executor,
-    params)`` — the convenience entry point for scripts and notebooks. For
-    many solves over one platform, construct a :class:`Framework` (or a
-    :class:`repro.serve.SolveService`) and reuse it instead.
+    The module-level entry points share one shape —
+    ``(problem, *, options, service)`` — so a script can switch between
+    direct execution and the serve layer without rewriting the call:
+    without ``service`` this builds a throwaway :class:`Framework`
+    (equivalent to ``Framework(platform, options).solve(...)``); with a
+    :class:`repro.serve.SolveService` the call is submitted there instead,
+    inheriting the service's cache, backend and retry semantics (and its
+    platform — passing both ``service`` and ``platform`` is an error). For
+    many solves over one platform, reuse a :class:`Framework` or a service.
     """
+    if service is not None:
+        _require_no_platform(platform, service, "solve")
+        return service.solve(
+            problem, executor=executor, options=options, params=params
+        )
     return Framework(platform, options).solve(problem, executor=executor,
                                               params=params)
 
@@ -250,12 +267,24 @@ def solve(
 def estimate(
     problem: LDDPProblem,
     *,
+    options: ExecOptions | None = None,
+    service=None,
     platform: Platform | None = None,
     executor: str = "hetero",
-    options: ExecOptions | None = None,
     params: HeteroParams | None = None,
 ) -> SolveResult:
-    """One-call timing estimate — :func:`solve` without the table."""
+    """One-call timing estimate — :func:`solve` without the table.
+
+    Same ``(problem, *, options, service)`` shape as :func:`solve`; with a
+    service the request is submitted as a non-functional (estimate-only)
+    solve.
+    """
+    if service is not None:
+        _require_no_platform(platform, service, "estimate")
+        return service.solve(
+            problem, executor=executor, options=options, params=params,
+            functional=False,
+        )
     return Framework(platform, options).estimate(problem, executor=executor,
                                                  params=params)
 
@@ -263,13 +292,25 @@ def estimate(
 def solve_many(
     problems,
     *,
+    options: ExecOptions | None = None,
+    service=None,
     platform: Platform | None = None,
     executor: str = "hetero",
-    options: ExecOptions | None = None,
     params: HeteroParams | None = None,
     max_batch: int = 64,
 ) -> list[SolveResult]:
-    """One-call batched solve of a fleet — see :meth:`Framework.solve_many`."""
+    """One-call batched solve of a fleet — see :meth:`Framework.solve_many`.
+
+    Same ``(problems, *, options, service)`` shape as :func:`solve`; with a
+    service every instance is submitted there (the service's coalescing
+    window, when enabled, re-batches compatible instances) and results
+    return in input order.
+    """
+    if service is not None:
+        _require_no_platform(platform, service, "solve_many")
+        return service.map(
+            problems, executor=executor, options=options, params=params
+        )
     return Framework(platform, options).solve_many(
         problems, executor=executor, params=params, max_batch=max_batch,
     )

@@ -92,6 +92,18 @@ class ExecOptions:
         default=None, repr=False, compare=False
     )
 
+    def replace(self, **changes) -> "ExecOptions":
+        """A copy with ``changes`` applied — the one way to derive options.
+
+        ``opts.replace(deadline=d, cancel_token=tok)`` is how per-call
+        control (deadlines, tokens, ablation switches) is layered onto a
+        base :class:`ExecOptions` without mutating it; every call site that
+        used ad-hoc ``dataclasses.replace`` merges goes through here.
+        """
+        import dataclasses
+
+        return dataclasses.replace(self, **changes)
+
 
 @dataclass
 class SolveResult:

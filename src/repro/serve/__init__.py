@@ -20,15 +20,23 @@ Rejections and expiries surface as :class:`~repro.errors.ServiceOverloaded`,
 :class:`~repro.errors.ServiceTimeout` and :class:`~repro.errors.ServiceClosed`.
 """
 
+from .backends import ProcessPoolBackend, ThreadBackend
 from .cache import ResultCache
+from .config import BACKENDS, ServiceConfig
 from .request import SolveRequest, problem_signature, request_key
 from .service import PendingSolve, SolveService
+from .shm import SegmentIndex
 
 __all__ = [
+    "BACKENDS",
+    "ProcessPoolBackend",
     "ResultCache",
+    "SegmentIndex",
+    "ServiceConfig",
     "SolveRequest",
     "PendingSolve",
     "SolveService",
+    "ThreadBackend",
     "problem_signature",
     "request_key",
 ]

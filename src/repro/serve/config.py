@@ -1,0 +1,211 @@
+"""`ServiceConfig` — the one documented way to configure a solve service.
+
+Six PRs of growth left :class:`~repro.serve.SolveService` with a sprawling
+constructor (queue, cache, coalescing, SLO, backoff kwargs). This module
+redesigns that surface into a single frozen dataclass:
+
+* ``ServiceConfig`` holds every service knob, validates once at
+  construction, and is immutable — a config can be shared, logged
+  (``describe()``), and echoed back verbatim from ``stats()["config"]``;
+* ``backend`` selects the execution backend: ``"thread"`` (the in-process
+  worker pool of PRs 2-6) or ``"process"`` (the process pool with
+  shared-memory result transport — see :mod:`repro.serve.backends`);
+* the legacy constructor kwargs remain accepted through exactly one
+  deprecation shim, :meth:`ServiceConfig.from_kwargs`, which emits a
+  :class:`DeprecationWarning` naming the kwargs used. Repo-internal callers
+  are migrated; CI turns the warning into an error so none regress.
+
+Usage::
+
+    from repro.serve import ServiceConfig, SolveService
+
+    cfg = ServiceConfig(backend="process", workers=4, cache_size=256)
+    with SolveService(platform, config=cfg) as svc:
+        ...
+
+Migration table (old kwarg -> config field) in ``docs/serving.md``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from dataclasses import dataclass, field, fields
+from typing import TYPE_CHECKING, Any
+
+from ..exec.base import ExecOptions
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from ..slo import SLOPolicy
+
+__all__ = ["ServiceConfig", "BACKENDS"]
+
+#: Recognised execution backends (``ServiceConfig.backend``).
+BACKENDS = ("thread", "process")
+
+#: The legacy ``SolveService(...)`` keyword names the shim accepts. Field
+#: names were kept identical on purpose: migration is mechanical.
+_LEGACY_KWARGS = (
+    "workers",
+    "queue_size",
+    "cache_size",
+    "default_timeout",
+    "retries",
+    "backoff_base",
+    "backoff_max",
+    "options",
+    "coalesce_window",
+    "max_batch",
+    "slo",
+)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Every knob of one :class:`~repro.serve.SolveService`, validated once.
+
+    Parameters
+    ----------
+    backend:
+        ``"thread"`` — solves run on the service's worker threads inside
+        this process (one GIL; best for cache-heavy or I/O-light traffic).
+        ``"process"`` — solves run in a pool of spawned worker processes,
+        result tables return zero-copy through POSIX shared memory, and
+        requests shard across workers by consistent-hashed batch key (see
+        ``docs/serving.md`` — "Choosing a backend").
+    workers:
+        Execution concurrency: worker threads, and (process backend) worker
+        processes paired 1:1 with the dispatch threads.
+    queue_size:
+        Maximum waiting requests before ``submit`` raises
+        :class:`~repro.errors.ServiceOverloaded`.
+    cache_size:
+        Result-cache capacity; ``0`` disables caching. Thread backend: LRU
+        of frozen heap copies (hits are fresh writable copies). Process
+        backend: LRU *segment index* over the shared-memory result blocks
+        (hits are zero-copy read-only views; copy to mutate).
+    default_timeout:
+        Deadline (seconds from submission) for requests without their own.
+    retries:
+        Retries for a *failed* execution (timeouts/cancellations excluded).
+    backoff_base / backoff_max:
+        Exponential retry backoff schedule (jittered).
+    options:
+        Service-wide :class:`~repro.exec.base.ExecOptions`; per-request
+        overrides still apply.
+    coalesce_window:
+        Seconds a worker waits for batch-compatible requests to coalesce
+        into one stacked execution (``0`` disables).
+    max_batch:
+        Cap on requests coalesced into one batched execution.
+    slo:
+        Optional :class:`~repro.slo.SLOPolicy` enabling the policy brain
+        (admission, EDF, quotas, autoscaling).
+    start_method:
+        :mod:`multiprocessing` start method for the process backend.
+        ``"spawn"`` (the default) is the safe choice — the service parent
+        is multi-threaded, which makes ``fork`` hazardous — and is what the
+        spawn-safe worker initializer is tested against.
+    """
+
+    backend: str = "thread"
+    workers: int = 4
+    queue_size: int = 64
+    cache_size: int = 128
+    default_timeout: float | None = None
+    retries: int = 1
+    backoff_base: float = 0.05
+    backoff_max: float = 2.0
+    options: ExecOptions | None = None
+    coalesce_window: float = 0.0
+    max_batch: int = 16
+    slo: "SLOPolicy | None" = None
+    start_method: str = "spawn"
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.queue_size < 1:
+            raise ValueError(
+                f"queue_size must be >= 1, got {self.queue_size}"
+            )
+        if self.cache_size < 0:
+            raise ValueError(
+                f"cache_size cannot be negative, got {self.cache_size}"
+            )
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ValueError("backoff_base/backoff_max cannot be negative")
+        if self.coalesce_window < 0:
+            raise ValueError(
+                f"coalesce_window cannot be negative, got "
+                f"{self.coalesce_window}"
+            )
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.default_timeout is not None and self.default_timeout < 0:
+            raise ValueError(
+                f"default_timeout cannot be negative, got "
+                f"{self.default_timeout}"
+            )
+        if self.start_method not in ("spawn", "forkserver", "fork"):
+            raise ValueError(
+                f"start_method must be spawn/forkserver/fork, got "
+                f"{self.start_method!r}"
+            )
+
+    # -- derivation ------------------------------------------------------------
+
+    def replace(self, **changes) -> "ServiceConfig":
+        """A copy with ``changes`` applied (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+    @classmethod
+    def from_kwargs(cls, *, _warn: bool = True, **kwargs) -> "ServiceConfig":
+        """The deprecation shim: legacy ``SolveService(...)`` kwargs -> config.
+
+        Accepts exactly the pre-redesign constructor keywords (field names
+        are unchanged) and emits one :class:`DeprecationWarning` naming the
+        kwargs used. Unknown names raise ``TypeError`` like a misspelled
+        keyword argument always did.
+        """
+        unknown = set(kwargs) - set(_LEGACY_KWARGS)
+        if unknown:
+            raise TypeError(
+                f"unexpected SolveService keyword(s) {sorted(unknown)}; "
+                f"configure via ServiceConfig(...) — legacy kwargs are "
+                f"{sorted(_LEGACY_KWARGS)}"
+            )
+        if kwargs and _warn:
+            warnings.warn(
+                "SolveService keyword configuration "
+                f"({', '.join(sorted(kwargs))}) is deprecated; pass "
+                "config=ServiceConfig(...) instead (see docs/serving.md "
+                "for the migration table)",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        return cls(**kwargs)
+
+    # -- introspection ---------------------------------------------------------
+
+    def describe(self) -> dict[str, Any]:
+        """A JSON-serializable echo of the resolved config.
+
+        Nested objects (``options``, ``slo``) are rendered as their
+        ``repr`` — stable, diffable, and exactly what ``stats()["config"]``
+        returns for dashboards.
+        """
+        out: dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name in ("options", "slo"):
+                out[f.name] = None if value is None else repr(value)
+            else:
+                out[f.name] = value
+        return out

@@ -32,11 +32,18 @@ histograms (``serve.queue_wait_ms``, ``serve.execute_ms``,
 ``serve.execute`` is a fault-injection site (see :mod:`repro.faults` and
 ``docs/resilience.md``). See ``docs/serving.md`` for failure semantics.
 
+Execution itself is pluggable (:mod:`repro.serve.backends`): the default
+``"thread"`` backend runs solves on the worker threads in-process, while
+``backend="process"`` ships them to a pool of spawned worker processes with
+zero-copy shared-memory result transport and batch-key sharding — see
+``docs/serving.md`` ("Choosing a backend").
+
 Usage::
 
-    from repro.serve import SolveRequest, SolveService
+    from repro.serve import ServiceConfig, SolveRequest, SolveService
 
-    with SolveService(workers=4, queue_size=256, cache_size=128) as svc:
+    cfg = ServiceConfig(workers=4, queue_size=256, cache_size=128)
+    with SolveService(config=cfg) as svc:
         pending = [svc.submit(SolveRequest(p)) for p in problems]
         results = [p.result() for p in pending]
 """
@@ -49,10 +56,9 @@ import threading
 import time
 from concurrent.futures import Future
 from concurrent.futures import TimeoutError as FutureTimeoutError
-from dataclasses import replace
 from typing import Iterable
 
-from ..batch import BatchItem, batch_key, execute_items
+from ..batch import BatchItem, batch_key
 from ..cancel import CancelToken
 from ..core.framework import Framework
 from ..core.problem import LDDPProblem
@@ -64,13 +70,16 @@ from ..errors import (
     ServiceTimeout,
     SolveCancelled,
 )
-from ..exec.base import ExecOptions, SolveResult
+from ..exec.base import SolveResult
 from ..faults import check_fault
 from ..machine.platform import Platform
 from ..obs import get_metrics, get_tracer
-from ..slo import AdmissionController, Autoscaler, Pricer, QuotaManager, SLOPolicy
+from ..slo import AdmissionController, Autoscaler, Pricer, QuotaManager
+from .backends import make_backend
 from .cache import ResultCache
+from .config import ServiceConfig
 from .request import SolveRequest, request_key
+from .shm import SegmentIndex
 
 __all__ = ["PendingSolve", "SolveService"]
 
@@ -188,94 +197,75 @@ class SolveService:
     ----------
     platform:
         Machine model shared by every request (default ``hetero_high``).
-    workers:
-        Worker-thread count (the concurrency of in-flight solves).
-    queue_size:
-        Maximum *waiting* requests; beyond it ``submit`` raises
-        :class:`ServiceOverloaded`.
-    cache_size:
-        LRU capacity of the result cache; ``0`` disables caching entirely.
-    default_timeout:
-        Deadline (seconds from submission) applied to requests that do not
-        carry their own; ``None`` means no deadline. Enforced in the queue
-        *and* inside the executor (cooperative abort at the next wavefront).
-    retries:
-        How many times a *failed* execution is retried before the exception
-        reaches the caller (default: retry once). Timeouts and cancellations
-        are terminal — they are never retried.
-    backoff_base / backoff_max:
-        Exponential-backoff schedule between retry attempts: attempt ``n``
-        sleeps ``min(backoff_max, backoff_base * 2**(n-1))`` scaled by a
-        uniform jitter in ``[0.5, 1.5)``. A delay that would overshoot the
-        request's remaining deadline fails fast with :class:`ServiceTimeout`
-        instead of sleeping.
-    options:
-        Service-wide :class:`ExecOptions`; individual requests may override.
-    coalesce_window:
-        Seconds a worker waits, after picking up a request, for
-        batch-compatible requests to coalesce with before executing. ``0``
-        (the default) disables coalescing entirely — every request runs on
-        its own, exactly as before. Compatibility is
-        :func:`repro.batch.batch_key` equality; cached hits short-circuit
-        *before* joining a batch, and per-member deadlines/cancel tokens
-        stay live inside the batched sweep.
-    max_batch:
-        Cap on requests coalesced into one batched execution.
-    slo:
-        An :class:`repro.slo.SLOPolicy` turning on the policy brain:
-        closed-form admission control at ``submit()`` (rejections raise
-        :class:`~repro.errors.AdmissionRejected`, a
-        :class:`ServiceOverloaded` subtype), earliest-feasible-deadline
-        ordering within each priority band, per-tenant token-bucket quotas
-        (:class:`~repro.errors.QuotaExceeded`) and a background autoscaler
-        that keeps the worker pool between the policy's
-        ``min_workers``/``max_workers``. ``None`` (the default) preserves
-        the fixed-pool FIFO-priority semantics exactly.
+    config:
+        A :class:`~repro.serve.config.ServiceConfig` — the one documented
+        way to configure the service (queue, cache, retries, coalescing,
+        SLO policy, and the execution ``backend``). ``stats()["config"]``
+        echoes the resolved config back.
+    **legacy:
+        The pre-redesign constructor keywords (``workers=``,
+        ``queue_size=``, ...), accepted through
+        :meth:`ServiceConfig.from_kwargs` with a :class:`DeprecationWarning`.
+        Mutually exclusive with ``config``. See ``docs/serving.md`` for the
+        migration table.
+
+    Execution is delegated to the configured backend
+    (:mod:`repro.serve.backends`): ``"thread"`` runs solves on the service's
+    own worker threads; ``"process"`` ships them to a pool of spawned
+    worker processes (paired 1:1 with the dispatch threads) with
+    shared-memory result transport and batch-key sharding. The result cache
+    follows the backend: a copying LRU (:class:`~repro.serve.cache.ResultCache`)
+    in-process, a zero-copy :class:`~repro.serve.shm.SegmentIndex` over the
+    shared-memory segments for the process pool.
     """
 
     def __init__(
         self,
         platform: Platform | None = None,
-        *,
-        workers: int = 4,
-        queue_size: int = 64,
-        cache_size: int = 128,
-        default_timeout: float | None = None,
-        retries: int = 1,
-        backoff_base: float = 0.05,
-        backoff_max: float = 2.0,
-        options: ExecOptions | None = None,
-        coalesce_window: float = 0.0,
-        max_batch: int = 16,
-        slo: SLOPolicy | None = None,
+        config: ServiceConfig | None = None,
+        **legacy,
     ) -> None:
-        if workers < 1:
-            raise ValueError(f"workers must be >= 1, got {workers}")
-        if queue_size < 1:
-            raise ValueError(f"queue_size must be >= 1, got {queue_size}")
-        if retries < 0:
-            raise ValueError(f"retries must be >= 0, got {retries}")
-        if backoff_base < 0 or backoff_max < 0:
-            raise ValueError("backoff_base/backoff_max cannot be negative")
-        if coalesce_window < 0:
-            raise ValueError(
-                f"coalesce_window cannot be negative, got {coalesce_window}"
-            )
-        if max_batch < 1:
-            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
-        self.framework = Framework(platform, options)
-        self.queue_size = queue_size
-        self.default_timeout = default_timeout
-        self.retries = retries
-        self.backoff_base = backoff_base
-        self.backoff_max = backoff_max
-        self.coalesce_window = coalesce_window
-        self.max_batch = max_batch
+        if config is not None:
+            if legacy:
+                raise TypeError(
+                    "pass either config=ServiceConfig(...) or legacy "
+                    f"keyword arguments, not both (got {sorted(legacy)})"
+                )
+            if not isinstance(config, ServiceConfig):
+                raise TypeError(
+                    f"config must be a ServiceConfig, got "
+                    f"{type(config).__name__}"
+                )
+        else:
+            config = ServiceConfig.from_kwargs(**legacy)
+        slo = config.slo
+        if slo is not None:
+            config = config.replace(workers=max(
+                slo.min_workers, min(slo.max_workers, config.workers)
+            ))
+        self.config = config
+        self.framework = Framework(platform, config.options)
+        self.queue_size = config.queue_size
+        self.default_timeout = config.default_timeout
+        self.retries = config.retries
+        self.backoff_base = config.backoff_base
+        self.backoff_max = config.backoff_max
+        self.coalesce_window = config.coalesce_window
+        self.max_batch = config.max_batch
         self._sleep = time.sleep  # patchable seam for backoff tests
         self._rng = random.Random()
-        self.cache: ResultCache | None = (
-            ResultCache(cache_size) if cache_size > 0 else None
+        self._workers: list[threading.Thread] = []
+        self._all_workers: list[threading.Thread] = []
+        self._backend = make_backend(
+            config, self.framework, lambda: len(self._workers)
         )
+        self.cache: ResultCache | SegmentIndex | None = None
+        if config.cache_size > 0:
+            self.cache = (
+                SegmentIndex(config.cache_size)
+                if config.backend == "process"
+                else ResultCache(config.cache_size)
+            )
         self._queue: list[tuple[int, float, int, PendingSolve]] = []
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
@@ -299,15 +289,18 @@ class SolveService:
             "admitted": 0, "shed": 0, "downgraded": 0, "quota_rejected": 0,
             "scale_ups": 0, "scale_downs": 0,
         }
+        # Process dispatch pays a real IPC round-trip the execution price
+        # cannot see; admission adds it on top of dispatch_overhead.
+        self._extra_overhead = (
+            slo.process_overhead
+            if slo is not None and config.backend == "process" else 0.0
+        )
         if slo is not None:
-            workers = max(slo.min_workers, min(slo.max_workers, workers))
             self._pricer = Pricer(self.framework)
             self._admission = AdmissionController(slo, self._pricer)
             self._quotas = QuotaManager(slo)
             self._autoscaler = Autoscaler(slo)
-        self._workers: list[threading.Thread] = []
-        self._all_workers: list[threading.Thread] = []
-        for _ in range(workers):
+        for _ in range(config.workers):
             self._spawn_worker()
         get_metrics().gauge("serve.workers").set(len(self._workers))
         if slo is not None:
@@ -412,6 +405,7 @@ class SolveService:
                 workers=len(self._workers),
                 downgradable=request.downgradable,
                 coalescible=self._coalescible(key),
+                extra_overhead=self._extra_overhead,
             )
             if not decision.admitted:
                 self._counters["shed"] += 1
@@ -521,6 +515,12 @@ class SolveService:
             self._scaler_thread.join()
         for t in self._all_workers:
             t.join()
+        self._backend.close()
+        if isinstance(self.cache, SegmentIndex):
+            # Drop the index's segment references: with every result handed
+            # out and now the index drained, the last reference drop unlinks
+            # each block — a closed service leaks no /dev/shm segments.
+            self.cache.clear()
 
     def __enter__(self) -> "SolveService":
         return self
@@ -537,33 +537,49 @@ class SolveService:
     def stats(self) -> dict[str, object]:
         """A snapshot for dashboards: queue, workers, cache, SLO counters.
 
-        Always present: queue/worker/cache fields plus ``workers_busy``,
+        ``workers`` / ``workers_busy`` are **backend-aggregated**: they
+        count the execution units of whichever backend is configured
+        (worker processes for ``backend="process"``, the in-process pool
+        otherwise) rather than reading thread-pool fields directly —
+        dispatch threads and backend workers are paired 1:1, so the busy
+        count is the number of in-flight executions either way. The
+        thread-pool view stays available as ``dispatch_threads`` plus
         ``workers_started`` (threads ever spawned) and ``workers_alive``
-        (threads not yet joined — equals ``workers`` plus any retired
-        worker still unwinding). With an :class:`~repro.slo.SLOPolicy`
-        installed, an ``"slo"`` sub-dict adds the admission/shed/downgrade
-        and autoscale counters, predicted backlog, pricer calibration and
-        per-tenant quota books.
+        (threads not yet joined). ``config`` echoes the resolved
+        :class:`~repro.serve.config.ServiceConfig`; ``backend`` carries the
+        backend's own aggregation (for the process pool: pids, restart and
+        inline-fallback counts, per-worker-process job counters and metric
+        snapshots). With an :class:`~repro.slo.SLOPolicy` installed, an
+        ``"slo"`` sub-dict adds the admission/shed/downgrade and autoscale
+        counters, predicted backlog, pricer calibration and per-tenant
+        quota books.
         """
         with self._lock:
             depth = len(self._queue)
             closed = self._closed
-            workers = len(self._workers)
+            threads = len(self._workers)
             busy = self._busy
             started = len(self._all_workers)
             alive = sum(1 for t in self._all_workers if t.is_alive())
             counters = dict(self._counters)
             backlog = self._backlog_wall
             latency = self._latency_ewma
+        backend_stats = self._backend.stats()
+        workers = backend_stats.get("workers", threads)
+        get_metrics().gauge("serve.workers").set(workers)
+        get_metrics().gauge("serve.workers_busy").set(busy)
         out: dict[str, object] = {
             "queue_depth": depth,
             "queue_size": self.queue_size,
             "workers": workers,
             "workers_busy": busy,
+            "dispatch_threads": threads,
             "workers_started": started,
             "workers_alive": alive,
             "closed": closed,
             "cache": None if self.cache is None else self.cache.stats(),
+            "config": self.config.describe(),
+            "backend": backend_stats,
         }
         if self.slo is not None:
             out["slo"] = {
@@ -625,6 +641,7 @@ class SolveService:
         """Background thread: reconcile pool size every ``scale_interval``."""
         metrics = get_metrics()
         while not self._stop_scaling.wait(self.slo.scale_interval):
+            resize_to = None
             with self._not_empty:
                 if self._closed:
                     return
@@ -641,6 +658,7 @@ class SolveService:
                     self._counters["scale_ups"] += 1
                     metrics.counter("serve.autoscale.up").inc(target - current)
                     metrics.gauge("serve.workers").set(len(self._workers))
+                    resize_to = target
                 elif target < current:
                     # Ask (current - target) idle workers to exit at their
                     # next queue check; a worker mid-solve finishes first.
@@ -650,6 +668,12 @@ class SolveService:
                         current - target
                     )
                     self._not_empty.notify_all()
+                    resize_to = target
+            if resize_to is not None:
+                # Backend pool follows the dispatch pool 1:1; resized
+                # outside the service lock (process spawn is slow, and the
+                # backend takes its own lock).
+                self._backend.resize(resize_to)
 
     def _note_latency(self, wall_ms: float) -> None:
         """Feed the autoscaler's latency EWMA (lock held by caller)."""
@@ -1004,9 +1028,12 @@ class SolveService:
                 cancel_token=pending.cancel_token,
                 key=self._batch_key_of(pending),
             ))
+        affinity = (
+            items[0].key if self._backend.kind == "process" else None
+        )
         started = time.monotonic()
         with metrics.histogram("serve.execute_ms").time():
-            outcomes = execute_items(items, self.framework)
+            outcomes = self._backend.execute_batch(items, affinity=affinity)
         # Calibrate on the *marginal* cost: the batch amortises one sweep
         # over len(run) members, so each member's observed wall share is the
         # honest per-request price for future coalesced admissions.
@@ -1040,17 +1067,17 @@ class SolveService:
                     self._attempt(pending, span, key)
 
     def _execute(self, request: SolveRequest, pending: PendingSolve) -> SolveResult:
-        """One framework run with the request's control plane injected.
+        """One backend run with the request's control plane injected.
 
         The deadline and cancel token are threaded into the run's
-        :class:`ExecOptions` *after* cache-key computation (both fields are
-        ``repr``-excluded, so keys stay stable either way); a request-level
-        options deadline, if any, is tightened to the earlier of the two.
+        :class:`~repro.exec.base.ExecOptions` *after* cache-key computation
+        (both fields are ``repr``-excluded, so keys stay stable either
+        way); a request-level options deadline, if any, is tightened to the
+        earlier of the two. On the process backend, the request's batch key
+        rides along as the sharding affinity — batch-compatible requests
+        consistently hash to the same worker process, whose plan cache
+        stays warm for that shape.
         """
-        run = (
-            self.framework.solve if pending.effective_functional
-            else self.framework.estimate
-        )
         base = request.options or self.framework.options
         deadline = pending.deadline
         if base.deadline is not None:
@@ -1060,12 +1087,18 @@ class SolveService:
             )
         options = base
         if deadline is not None or pending.cancel_token is not None:
-            options = replace(
-                base, deadline=deadline, cancel_token=pending.cancel_token
+            options = base.replace(
+                deadline=deadline, cancel_token=pending.cancel_token
             )
-        return run(
-            request.problem,
+        affinity = (
+            self._batch_key_of(pending)
+            if self._backend.kind == "process" else None
+        )
+        return self._backend.execute(
+            problem=request.problem,
             executor=pending.effective_executor,
             params=request.params,
             options=options,
+            functional=pending.effective_functional,
+            affinity=affinity,
         )

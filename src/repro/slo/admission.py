@@ -73,7 +73,7 @@ class AdmissionController:
 
     def _completion(
         self, units: float, executor: str, functional: bool,
-        backlog_wall: float, workers: int,
+        backlog_wall: float, workers: int, extra_overhead: float = 0.0,
     ) -> tuple[float, float]:
         wait = backlog_wall / max(1, workers)
         exec_wall = (
@@ -82,8 +82,10 @@ class AdmissionController:
         )
         # dispatch_overhead covers the fixed enqueue->wakeup->dispatch cost
         # the execution price cannot see — it is what makes sub-millisecond
-        # deadlines infeasible even on an idle service.
-        return wait + exec_wall + self.policy.dispatch_overhead, exec_wall
+        # deadlines infeasible even on an idle service. extra_overhead is
+        # the backend's surcharge on top (the process pool's IPC round-trip).
+        overhead = self.policy.dispatch_overhead + extra_overhead
+        return wait + exec_wall + overhead, exec_wall
 
     def decide(
         self,
@@ -96,6 +98,7 @@ class AdmissionController:
         workers: int,
         downgradable: bool = False,
         coalescible: bool = False,
+        extra_overhead: float = 0.0,
     ) -> AdmissionDecision:
         """Price one submission snapshot. Pure — no state is mutated.
 
@@ -103,7 +106,10 @@ class AdmissionController:
         deadline (``None`` = no deadline); ``backlog_wall`` the predicted
         wall seconds of work already queued; ``coalescible`` whether a
         batch-compatible request is already queued or mid-coalesce (the
-        marginal-cost discount of ``policy.coalesce_share`` applies).
+        marginal-cost discount of ``policy.coalesce_share`` applies);
+        ``extra_overhead`` a backend surcharge in seconds added to every
+        completion (the service passes ``policy.process_overhead`` when
+        running the process backend).
         """
         if deadline_remaining is None or units is None:
             return AdmissionDecision(
@@ -112,7 +118,8 @@ class AdmissionController:
             )
         share = self.policy.coalesce_share if coalescible else 1.0
         completion, exec_wall = self._completion(
-            units * share, executor, functional, backlog_wall, workers
+            units * share, executor, functional, backlog_wall, workers,
+            extra_overhead,
         )
         if completion <= deadline_remaining:
             return AdmissionDecision(
@@ -123,7 +130,8 @@ class AdmissionController:
             down = self.policy.downgrade_executor.get(executor)
             if down is not None:
                 completion2, exec2 = self._completion(
-                    units * share, down, functional, backlog_wall, workers
+                    units * share, down, functional, backlog_wall, workers,
+                    extra_overhead,
                 )
                 if completion2 <= deadline_remaining:
                     return AdmissionDecision(
@@ -134,7 +142,8 @@ class AdmissionController:
                     )
             if functional and downgradable:
                 completion3, exec3 = self._completion(
-                    units, executor, False, backlog_wall, workers
+                    units, executor, False, backlog_wall, workers,
+                    extra_overhead,
                 )
                 if completion3 <= deadline_remaining:
                     return AdmissionDecision(

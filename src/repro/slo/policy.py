@@ -55,6 +55,11 @@ class SLOPolicy:
         enqueue -> worker-wakeup -> dispatch cost that execution pricing
         cannot see. It is what makes sub-millisecond deadlines correctly
         infeasible even on an idle service.
+    process_overhead:
+        Additional fixed seconds a ``backend="process"`` service adds on
+        top of ``dispatch_overhead`` when pricing admissions: the
+        pickle -> queue -> shared-memory-materialize round-trip each
+        cross-process dispatch pays. Ignored by the thread backend.
     coalesce_share:
         Marginal cost fraction charged to a request whose batch key is
         already queued or mid-coalesce (it will share one stacked sweep,
@@ -96,6 +101,7 @@ class SLOPolicy:
     downgrade: bool = True
     safety_factor: float = 2.0
     dispatch_overhead: float = 0.005
+    process_overhead: float = 0.02
     coalesce_share: float = 0.5
     min_workers: int = 1
     max_workers: int = 4
@@ -127,6 +133,11 @@ class SLOPolicy:
             raise ValueError(
                 "dispatch_overhead cannot be negative, got "
                 f"{self.dispatch_overhead}"
+            )
+        if self.process_overhead < 0:
+            raise ValueError(
+                "process_overhead cannot be negative, got "
+                f"{self.process_overhead}"
             )
         if not 0.0 < self.coalesce_share <= 1.0:
             raise ValueError(

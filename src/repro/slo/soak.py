@@ -53,7 +53,7 @@ from ..core.framework import Framework
 from ..errors import AdmissionRejected, QuotaExceeded, ReproError, ServiceOverloaded
 from ..faults import FaultPlan, inject_faults
 from ..machine.platform import hetero_high
-from ..serve import SolveRequest, SolveService
+from ..serve import ServiceConfig, SolveRequest, SolveService
 from .policy import SLOPolicy
 
 __all__ = ["SoakConfig", "run_soak", "add_soak_args", "config_from_args", "soak_main"]
@@ -92,6 +92,7 @@ class SoakConfig:
     burst_size: int = 32
     burst_at: float = 0.45  # fraction of the traffic window
     fault_specs: tuple[str, ...] = ("serve.execute:rate=0.03",)
+    backend: str = "thread"
     metered_tenant_share: float = 0.2
     metered_quota: tuple[float, float] = (25.0, 10.0)
     oracle_checks: int = 6
@@ -197,8 +198,8 @@ def _run_phase(
     miss_details: list[dict] = []
     samples: list[tuple[object, np.ndarray]] = []
     max_workers_seen = 0
-    with SolveService(
-        hetero_high(),
+    service_config = ServiceConfig(
+        backend=config.backend,
         workers=config.workers,
         queue_size=config.queue_size,
         cache_size=0,  # every request pays real work — no cache shortcuts
@@ -206,7 +207,8 @@ def _run_phase(
         coalesce_window=config.coalesce_window,
         max_batch=config.max_batch,
         slo=policy,
-    ) as svc:
+    )
+    with SolveService(hetero_high(), config=service_config) as svc:
         # Warmup: one undeadlined solve per (kind, size) calibrates the
         # pricer's unit->wall ratios and warms plan caches before any
         # request is priced against a deadline.
@@ -373,6 +375,9 @@ def add_soak_args(parser) -> None:
                         help="traffic schedule seed")
     parser.add_argument("--max-workers", type=int, default=4,
                         help="autoscaler ceiling")
+    parser.add_argument("--backend", choices=["thread", "process"],
+                        default="thread",
+                        help="service execution backend for both phases")
     parser.add_argument(
         "--inject-fault", action="append", metavar="SITE:SPEC", default=None,
         help="chaos fault spec(s) armed for the whole run (default: "
@@ -395,6 +400,7 @@ def config_from_args(args) -> SoakConfig:
         rps=args.rps,
         seed=args.seed,
         max_workers=args.max_workers,
+        backend=args.backend,
         fault_specs=tuple(specs),
     )
 

@@ -34,7 +34,7 @@ from repro.faults import FaultPlan, inject_faults
 from repro.obs import get_metrics
 from repro.obs.metrics import MetricsRegistry, set_metrics
 from repro.problems import make_levenshtein, make_synthetic
-from repro.serve import SolveRequest, SolveService
+from repro.serve import ServiceConfig, SolveRequest, SolveService
 from repro.types import ContributingSet
 
 SETTINGS = settings(max_examples=25, deadline=None)
@@ -312,15 +312,15 @@ def test_batch_metrics_and_span(fw, fresh_metrics):
 
 
 def test_coalescing_disabled_by_default():
-    svc = SolveService(workers=1)
+    svc = SolveService(config=ServiceConfig(workers=1))
     try:
         assert svc.coalesce_window == 0.0
     finally:
         svc.close()
     with pytest.raises(ValueError):
-        SolveService(coalesce_window=-0.1)
+        SolveService(config=ServiceConfig(coalesce_window=-0.1))
     with pytest.raises(ValueError):
-        SolveService(max_batch=0)
+        SolveService(config=ServiceConfig(max_batch=0))
 
 
 def test_coalesced_service_bit_identical(fw, fresh_metrics):
@@ -329,8 +329,8 @@ def test_coalesced_service_bit_identical(fw, fresh_metrics):
     oracle = {id(p): fw.solve(p).table for p in problems}
     results = {}
     errors = []
-    with SolveService(workers=2, coalesce_window=0.05, cache_size=0,
-                      max_batch=8) as svc:
+    with SolveService(config=ServiceConfig(workers=2, coalesce_window=0.05, cache_size=0,
+                      max_batch=8)) as svc:
         def submit_half(half):
             try:
                 pend = [(p, svc.submit(SolveRequest(p))) for p in half]
@@ -359,7 +359,7 @@ def test_coalescing_mixed_compatibility(fw):
     syn = [make_synthetic(ContributingSet.of("W", "NW"), 10, 12)
            for _ in range(2)]
     fleet = lev + syn
-    with SolveService(workers=2, coalesce_window=0.03, cache_size=0) as svc:
+    with SolveService(config=ServiceConfig(workers=2, coalesce_window=0.03, cache_size=0)) as svc:
         res = svc.map(fleet)
     for p, r in zip(fleet, res):
         np.testing.assert_array_equal(r.table, fw.solve(p).table)
@@ -370,7 +370,7 @@ def test_cache_hit_short_circuits_before_coalescing(fresh_metrics):
     warm = make_levenshtein(24, seed=0)
     cold = [make_levenshtein(24, seed=s) for s in range(1, 4)]
     blocker = make_synthetic(ContributingSet.of("W"), 40, 40)
-    with SolveService(workers=1, coalesce_window=0.05, cache_size=16) as svc:
+    with SolveService(config=ServiceConfig(workers=1, coalesce_window=0.05, cache_size=16)) as svc:
         svc.solve(warm)  # populate the cache
         hits0 = fresh_metrics.counter("serve.cache.hits").value
         instances0 = fresh_metrics.counter("batch.instances").value
@@ -393,7 +393,7 @@ def test_coalesced_deadline_expiry_in_queue(fresh_metrics):
     """A request that expires while queued fails without joining a batch."""
     blocker = make_synthetic(ContributingSet.of("W"), 64, 64)
     fleet = [make_levenshtein(24, seed=s) for s in range(3)]
-    with SolveService(workers=1, coalesce_window=0.02, cache_size=0) as svc:
+    with SolveService(config=ServiceConfig(workers=1, coalesce_window=0.02, cache_size=0)) as svc:
         hold = svc.submit(SolveRequest(blocker))
         doomed = svc.submit(SolveRequest(fleet[0], timeout=1e-4))
         rest = [svc.submit(SolveRequest(p)) for p in fleet[1:]]
@@ -408,7 +408,7 @@ def test_coalesced_deadline_expiry_in_queue(fresh_metrics):
 def test_coalesced_uncacheable_requests(fw):
     """cacheable=False requests still coalesce (batch key is cache-free)."""
     fleet = [make_levenshtein(24, seed=s) for s in range(6)]
-    with SolveService(workers=1, coalesce_window=0.05, cache_size=16) as svc:
+    with SolveService(config=ServiceConfig(workers=1, coalesce_window=0.05, cache_size=16)) as svc:
         blocker = make_synthetic(ContributingSet.of("W"), 40, 40)
         hold = svc.submit(SolveRequest(blocker))
         pend = [svc.submit(SolveRequest(p, cacheable=False)) for p in fleet]

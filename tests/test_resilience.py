@@ -41,7 +41,7 @@ from repro.machine.platform import hetero_high
 from repro.multi import MultiHeteroExecutor, hetero_tri
 from repro.obs import MetricsRegistry, get_metrics, set_metrics
 from repro.problems import make_levenshtein
-from repro.serve import SolveRequest, SolveService
+from repro.serve import ServiceConfig, SolveRequest, SolveService
 
 
 @pytest.fixture(autouse=True)
@@ -503,7 +503,7 @@ def _wait_until(predicate, timeout=5.0, interval=0.005):
 class TestServiceDeadlines:
     def test_queue_expiry_is_distinct_from_mid_execution(self):
         gate = threading.Event()
-        with SolveService(hetero_high(), workers=1, retries=0) as svc:
+        with SolveService(hetero_high(), config=ServiceConfig(workers=1, retries=0)) as svc:
             blocker = svc.submit_problem(make_event_problem(gate))
             queued = svc.submit_problem(make_levenshtein(16), timeout=0.02)
             time.sleep(0.06)  # let the deadline lapse while still queued
@@ -518,7 +518,7 @@ class TestServiceDeadlines:
     def test_mid_execution_timeout_frees_the_worker(self):
         """The expired solve aborts at a wavefront boundary and the single
         worker immediately picks up the next request."""
-        with SolveService(hetero_high(), workers=1, retries=0) as svc:
+        with SolveService(hetero_high(), config=ServiceConfig(workers=1, retries=0)) as svc:
             slow = svc.submit_problem(
                 make_slow_problem(per_wavefront=0.01), timeout=0.08,
                 executor="cpu",
@@ -538,7 +538,7 @@ class TestServiceDeadlines:
     def test_exception_returns_worker_stored_timeout(self):
         """Regression: a ServiceTimeout stored *in the future* is returned by
         ``exception()`` (Future semantics), not raised at the caller."""
-        with SolveService(hetero_high(), workers=1, retries=0) as svc:
+        with SolveService(hetero_high(), config=ServiceConfig(workers=1, retries=0)) as svc:
             slow = svc.submit_problem(
                 make_slow_problem(per_wavefront=0.01), timeout=0.08,
                 executor="cpu",
@@ -550,7 +550,7 @@ class TestServiceDeadlines:
     def test_exception_raises_while_still_waiting_past_deadline(self):
         gate = threading.Event()
         try:
-            with SolveService(hetero_high(), workers=1, retries=0) as svc:
+            with SolveService(hetero_high(), config=ServiceConfig(workers=1, retries=0)) as svc:
                 svc.submit_problem(make_event_problem(gate))
                 queued = svc.submit_problem(make_levenshtein(16), timeout=0.02)
                 time.sleep(0.05)
@@ -566,7 +566,7 @@ class TestServiceCancellation:
         """A future cancelled while queued is dropped by the worker through
         ``set_running_or_notify_cancel`` — never executed."""
         gate = threading.Event()
-        with SolveService(hetero_high(), workers=1, retries=0) as svc:
+        with SolveService(hetero_high(), config=ServiceConfig(workers=1, retries=0)) as svc:
             blocker = svc.submit_problem(make_event_problem(gate))
             queued = svc.submit_problem(make_levenshtein(16))
             assert queued.cancel() is True
@@ -577,7 +577,7 @@ class TestServiceCancellation:
         assert get_metrics().counter("serve.requests.cancelled").value == 1
 
     def test_request_cancel_aborts_running_solve(self):
-        with SolveService(hetero_high(), workers=1, retries=0) as svc:
+        with SolveService(hetero_high(), config=ServiceConfig(workers=1, retries=0)) as svc:
             slow = svc.submit_problem(
                 make_slow_problem(per_wavefront=0.01), executor="cpu"
             )
@@ -595,7 +595,7 @@ class TestServiceCancellation:
     def test_caller_supplied_token_reaches_the_run(self):
         """A token handed in through request options aborts the same run."""
         tok = CancelToken()
-        with SolveService(hetero_high(), workers=1, retries=0) as svc:
+        with SolveService(hetero_high(), config=ServiceConfig(workers=1, retries=0)) as svc:
             slow = svc.submit(
                 SolveRequest(
                     make_slow_problem(per_wavefront=0.01),
@@ -613,8 +613,7 @@ class TestServiceRetry:
     def test_transient_fault_is_retried_to_success(self):
         with inject_faults("serve.execute:nth=1"):
             with SolveService(
-                hetero_high(), workers=1, retries=1, backoff_base=0.0
-            ) as svc:
+                hetero_high(), config=ServiceConfig(workers=1, retries=1, backoff_base=0.0)) as svc:
                 result = svc.solve(make_levenshtein(16))
         assert result.table is not None
         metrics = get_metrics()
@@ -625,9 +624,8 @@ class TestServiceRetry:
     def test_backoff_delays_are_exponential_and_jittered(self):
         delays: list[float] = []
         with SolveService(
-            hetero_high(), workers=1, retries=3,
-            backoff_base=0.01, backoff_max=0.03,
-        ) as svc:
+            hetero_high(), config=ServiceConfig(workers=1, retries=3,
+            backoff_base=0.01, backoff_max=0.03)) as svc:
             svc._sleep = delays.append  # don't actually sleep
             pending = svc.submit_problem(make_failing_problem(), executor="cpu")
             with pytest.raises(RuntimeError, match="always fails"):
@@ -648,9 +646,8 @@ class TestServiceRetry:
             raise AssertionError("retry slept into a guaranteed timeout")
 
         with SolveService(
-            hetero_high(), workers=1, retries=3,
-            backoff_base=30.0, backoff_max=30.0,
-        ) as svc:
+            hetero_high(), config=ServiceConfig(workers=1, retries=3,
+            backoff_base=30.0, backoff_max=30.0)) as svc:
             svc._sleep = no_sleep
             pending = svc.submit_problem(
                 make_failing_problem(), executor="cpu", timeout=2.0
@@ -663,7 +660,7 @@ class TestServiceRetry:
         assert get_metrics().counter("serve.requests.timeout").value == 1
 
     def test_timeouts_are_never_retried(self):
-        with SolveService(hetero_high(), workers=1, retries=5) as svc:
+        with SolveService(hetero_high(), config=ServiceConfig(workers=1, retries=5)) as svc:
             pending = svc.submit_problem(
                 make_slow_problem(per_wavefront=0.01), timeout=0.08,
                 executor="cpu",
@@ -675,7 +672,7 @@ class TestServiceRetry:
 
 class TestServiceStats:
     def test_stats_snapshot_is_consistent(self):
-        svc = SolveService(hetero_high(), workers=2)
+        svc = SolveService(hetero_high(), config=ServiceConfig(workers=2))
         try:
             snapshot = svc.stats()
             assert snapshot["workers"] == 2
@@ -687,7 +684,7 @@ class TestServiceStats:
 
     def test_backoff_parameters_validated(self):
         with pytest.raises(ValueError):
-            SolveService(hetero_high(), workers=1, backoff_base=-0.1)
+            SolveService(hetero_high(), config=ServiceConfig(workers=1, backoff_base=-0.1))
 
 
 # -- chaos: the end-to-end contract -------------------------------------------
@@ -708,9 +705,8 @@ class TestChaos:
             "machine.gpu:rate=0.8", "kernels.plan:rate=0.5", seed=3
         ):
             with SolveService(
-                hetero_high(), workers=2, retries=1, backoff_base=0.0,
-                cache_size=0,
-            ) as svc:
+                hetero_high(), config=ServiceConfig(workers=2, retries=1, backoff_base=0.0,
+                cache_size=0)) as svc:
                 pending = [svc.submit_problem(p) for p in problems]
                 for expect, pnd in zip(oracle, pending):
                     try:
@@ -726,7 +722,7 @@ class TestChaos:
             for p in problems
         ]
         with inject_faults("machine.gpu:rate=1.0"):
-            with SolveService(hetero_high(), workers=2, retries=1) as svc:
+            with SolveService(hetero_high(), config=ServiceConfig(workers=2, retries=1)) as svc:
                 results = svc.map(problems)
         for expect, result in zip(oracle, results):
             assert result.stats["degraded"] == "cpu-only"

@@ -18,7 +18,7 @@ from repro.errors import (
 from repro.machine.platform import hetero_high
 from repro.obs import MetricsRegistry, get_metrics, set_metrics
 from repro.problems import make_dithering, make_lcs, make_levenshtein
-from repro.serve import ResultCache, SolveRequest, SolveService, problem_signature
+from repro.serve import ResultCache, ServiceConfig, SolveRequest, SolveService, problem_signature
 
 
 @pytest.fixture(autouse=True)
@@ -86,7 +86,7 @@ class TestDeterminism:
     def test_result_identical_to_direct_framework_solve(self):
         c = costs()
         direct = Framework(hetero_high()).solve(make_costs_problem(c.copy()))
-        with SolveService(hetero_high(), workers=2) as svc:
+        with SolveService(hetero_high(), config=ServiceConfig(workers=2)) as svc:
             served = svc.solve(make_costs_problem(c.copy()))
         assert np.array_equal(served.table, direct.table)
         assert served.simulated_time == direct.simulated_time
@@ -95,7 +95,7 @@ class TestDeterminism:
     def test_cache_hit_bit_for_bit_equal(self):
         c = costs()
         direct = Framework(hetero_high()).solve(make_costs_problem(c.copy()))
-        with SolveService(hetero_high(), workers=1) as svc:
+        with SolveService(hetero_high(), config=ServiceConfig(workers=1)) as svc:
             first = svc.solve(make_costs_problem(c.copy()))
             second = svc.solve(make_costs_problem(c.copy()))
         assert svc.cache.hits == 1 and svc.cache.misses == 1
@@ -105,7 +105,7 @@ class TestDeterminism:
 
     def test_aux_arrays_served_and_cached(self):
         direct = Framework(hetero_high()).solve(make_dithering(16, seed=3))
-        with SolveService(hetero_high(), workers=1) as svc:
+        with SolveService(hetero_high(), config=ServiceConfig(workers=1)) as svc:
             first = svc.solve(make_dithering(16, seed=3))
             second = svc.solve(make_dithering(16, seed=3))
         assert svc.cache.hits == 1
@@ -116,7 +116,7 @@ class TestDeterminism:
 
     def test_estimate_requests_cache_without_tables(self):
         direct = Framework(hetero_high()).estimate(make_lcs(64, materialize=False))
-        with SolveService(hetero_high(), workers=1) as svc:
+        with SolveService(hetero_high(), config=ServiceConfig(workers=1)) as svc:
             pends = [
                 svc.submit(
                     SolveRequest(make_lcs(64, materialize=False), functional=False)
@@ -133,7 +133,7 @@ class TestDeterminism:
         from repro import ExecOptions
 
         p = make_lcs(48, materialize=False)
-        with SolveService(hetero_high(), workers=1) as svc:
+        with SolveService(hetero_high(), config=ServiceConfig(workers=1)) as svc:
             a = svc.submit(
                 SolveRequest(p, executor="gpu", functional=False,
                              options=ExecOptions(use_wavefront_layout=True))
@@ -157,7 +157,7 @@ class TestPayloadAliasing:
         request = SolveRequest(problem)
         c += 100.0  # caller mutates *after* the request is built
         direct = Framework(hetero_high()).solve(make_costs_problem(original))
-        with SolveService(hetero_high(), workers=1) as svc:
+        with SolveService(hetero_high(), config=ServiceConfig(workers=1)) as svc:
             served = svc.submit(request).result()
         assert np.array_equal(served.table, direct.table)
         # the snapshot is private and frozen; the caller's problem untouched
@@ -167,7 +167,7 @@ class TestPayloadAliasing:
     def test_mutating_returned_table_cannot_poison_cache(self):
         c = costs(seed=2)
         direct = Framework(hetero_high()).solve(make_costs_problem(c.copy()))
-        with SolveService(hetero_high(), workers=1) as svc:
+        with SolveService(hetero_high(), config=ServiceConfig(workers=1)) as svc:
             first = svc.solve(make_costs_problem(c.copy()))
             first.table[:] = -1.0
             second = svc.solve(make_costs_problem(c.copy()))
@@ -179,7 +179,7 @@ class TestPayloadAliasing:
         p1 = make_costs_problem(c.copy())
         p2 = make_costs_problem(c.copy() + 1.0)
         assert problem_signature(p1) != problem_signature(p2)
-        with SolveService(hetero_high(), workers=1) as svc:
+        with SolveService(hetero_high(), config=ServiceConfig(workers=1)) as svc:
             r1 = svc.solve(p1)
             r2 = svc.solve(p2)
             r1_again = svc.solve(make_costs_problem(c.copy()))
@@ -194,7 +194,7 @@ class TestPayloadAliasing:
             SolveRequest(problem)
         request = SolveRequest(problem, cacheable=False)
         assert request.signature is None
-        with SolveService(hetero_high(), workers=1) as svc:
+        with SolveService(hetero_high(), config=ServiceConfig(workers=1)) as svc:
             res = svc.submit(request).result()
         assert res.table is not None
         assert svc.cache.hits == 0 and svc.cache.misses == 0
@@ -210,7 +210,7 @@ class TestConcurrency:
         expected = [fw.solve(make_costs_problem(c.copy())) for c in pool]
         failures = []
 
-        with SolveService(hetero_high(), workers=4, queue_size=256) as svc:
+        with SolveService(hetero_high(), config=ServiceConfig(workers=4, queue_size=256)) as svc:
             def client(tid):
                 try:
                     for k in range(6):
@@ -241,7 +241,7 @@ class TestConcurrency:
     def test_priority_orders_queued_work(self):
         gate = threading.Event()
         order: list[str] = []
-        with SolveService(hetero_high(), workers=1, cache_size=0) as svc:
+        with SolveService(hetero_high(), config=ServiceConfig(workers=1, cache_size=0)) as svc:
             svc.submit_problem(
                 make_event_problem(gate, "gate", marker="gate", order=order),
                 cacheable=False,
@@ -264,7 +264,7 @@ class TestConcurrency:
 class TestAdmission:
     def test_queue_full_rejects_with_service_overloaded(self):
         gate = threading.Event()
-        with SolveService(hetero_high(), workers=1, queue_size=2) as svc:
+        with SolveService(hetero_high(), config=ServiceConfig(workers=1, queue_size=2)) as svc:
             blocker = svc.submit_problem(
                 make_event_problem(gate), cacheable=False
             )
@@ -284,7 +284,7 @@ class TestAdmission:
 
     def test_expired_request_raises_service_timeout(self):
         gate = threading.Event()
-        with SolveService(hetero_high(), workers=1) as svc:
+        with SolveService(hetero_high(), config=ServiceConfig(workers=1)) as svc:
             svc.submit_problem(make_event_problem(gate), cacheable=False)
             while svc.queue_depth() > 0:
                 time.sleep(0.001)
@@ -312,7 +312,7 @@ class TestAdmission:
             name="flaky", shape=(4, 6),
             contributing=ContributingSet.of("W"), cell=cell, init=init,
         )
-        with SolveService(hetero_high(), workers=1) as svc:
+        with SolveService(hetero_high(), config=ServiceConfig(workers=1)) as svc:
             res = svc.submit_problem(problem, cacheable=False).result()
         assert res.table is not None
         assert attempts["n"] == 2
@@ -334,7 +334,7 @@ class TestAdmission:
             name="doomed", shape=(4, 6),
             contributing=ContributingSet.of("W"), cell=cell, init=init,
         )
-        with SolveService(hetero_high(), workers=1) as svc:
+        with SolveService(hetero_high(), config=ServiceConfig(workers=1)) as svc:
             pending = svc.submit_problem(problem, cacheable=False)
             with pytest.raises(RuntimeError, match="hardware on fire"):
                 pending.result()
@@ -344,13 +344,13 @@ class TestAdmission:
         assert m.counter("serve.requests.failed").value == 1
 
     def test_closed_service_rejects_submissions(self):
-        svc = SolveService(hetero_high(), workers=1)
+        svc = SolveService(hetero_high(), config=ServiceConfig(workers=1))
         svc.close()
         with pytest.raises(ServiceClosed):
             svc.submit_problem(make_costs_problem(costs()))
 
     def test_close_drains_pending_work(self):
-        svc = SolveService(hetero_high(), workers=2)
+        svc = SolveService(hetero_high(), config=ServiceConfig(workers=2))
         pending = [
             svc.submit_problem(make_costs_problem(costs(seed=s)))
             for s in range(6)
@@ -366,7 +366,7 @@ class TestAdmission:
 class TestMetricsExported:
     def test_queue_depth_cache_and_latency_metrics(self):
         c = costs()
-        with SolveService(hetero_high(), workers=2) as svc:
+        with SolveService(hetero_high(), config=ServiceConfig(workers=2)) as svc:
             for _ in range(4):
                 svc.solve(make_costs_problem(c.copy()))
         m = get_metrics()
@@ -396,7 +396,7 @@ class TestMetricsExported:
         c = costs()
         tracer = Tracer()
         with use_tracer(tracer):
-            with SolveService(hetero_high(), workers=1) as svc:
+            with SolveService(hetero_high(), config=ServiceConfig(workers=1)) as svc:
                 svc.solve(make_costs_problem(c.copy()))
                 svc.solve(make_costs_problem(c.copy()))
         spans = [s for s in tracer.finished_spans() if s.name == "serve.request"]

@@ -13,7 +13,7 @@ from hypothesis import strategies as st
 
 from repro import ContributingSet, Framework, LDDPProblem
 from repro.machine.platform import hetero_high
-from repro.serve import SolveRequest, SolveService
+from repro.serve import ServiceConfig, SolveRequest, SolveService
 
 _POOL_SIZE = 4
 
@@ -60,8 +60,8 @@ _EXPECTED = [
 )
 @settings(max_examples=12, deadline=None)
 def test_any_request_ordering_matches_direct_solve(orders, workers):
-    with SolveService(hetero_high(), workers=workers, queue_size=64,
-                      cache_size=8) as svc:
+    with SolveService(hetero_high(), config=ServiceConfig(workers=workers, queue_size=64,
+                      cache_size=8)) as svc:
         pending = [
             (idx, svc.submit(SolveRequest(_pool_problem(idx), priority=prio)))
             for idx, prio in orders

@@ -27,7 +27,7 @@ from repro.errors import (
 )
 from repro.faults import inject_faults
 from repro.obs import MetricsRegistry, get_metrics, set_metrics
-from repro.serve import SolveRequest, SolveService
+from repro.serve import ServiceConfig, SolveRequest, SolveService
 from repro.serve.request import request_key
 from repro.slo import (
     AdmissionController,
@@ -427,7 +427,7 @@ def calibrate(svc: SolveService, ratio: float = 1.0) -> None:
 
 class TestServiceAdmission:
     def test_impossible_deadline_rejected_at_submit(self):
-        with SolveService(workers=1, cache_size=0, slo=strict_policy()) as svc:
+        with SolveService(config=ServiceConfig(workers=1, cache_size=0, slo=strict_policy())) as svc:
             svc.solve(make_costs_problem(16))  # calibrate for real
             with pytest.raises(AdmissionRejected):
                 svc.submit(SolveRequest(make_costs_problem(24), timeout=1e-9))
@@ -440,7 +440,7 @@ class TestServiceAdmission:
         assert issubclass(QuotaExceeded, ServiceOverloaded)
 
     def test_no_deadline_always_admitted(self):
-        with SolveService(workers=1, cache_size=0, slo=strict_policy()) as svc:
+        with SolveService(config=ServiceConfig(workers=1, cache_size=0, slo=strict_policy())) as svc:
             result = svc.solve(make_costs_problem(16))
             assert result.table is not None
             assert svc.stats()["slo"]["admitted"] == 1
@@ -448,7 +448,7 @@ class TestServiceAdmission:
     def test_rejection_never_after_work_starts(self):
         """Admitted requests may time out or fail — never be shed."""
         policy = strict_policy()
-        with SolveService(workers=2, cache_size=0, slo=policy) as svc:
+        with SolveService(config=ServiceConfig(workers=2, cache_size=0, slo=policy)) as svc:
             svc.solve(make_costs_problem(16))
             pending = []
             for k in range(30):
@@ -464,7 +464,7 @@ class TestServiceAdmission:
 
     def test_estimate_downgrade_marks_pending_and_skips_table(self):
         policy = strict_policy(downgrade_executor={})
-        with SolveService(workers=1, cache_size=0, slo=policy) as svc:
+        with SolveService(config=ServiceConfig(workers=1, cache_size=0, slo=policy)) as svc:
             problem = make_costs_problem(24)
             units = svc._pricer.units(problem)
             # Pin the calibration so the solve misses the deadline by 10x
@@ -493,7 +493,7 @@ class TestServiceAdmission:
 
     def test_quota_exceeded_raised_and_counted(self):
         policy = strict_policy(tenant_quotas={"limited": (0.1, 1)})
-        with SolveService(workers=1, cache_size=0, slo=policy) as svc:
+        with SolveService(config=ServiceConfig(workers=1, cache_size=0, slo=policy)) as svc:
             ok = svc.submit(SolveRequest(
                 make_costs_problem(16), tenant="limited"
             ))
@@ -512,7 +512,7 @@ class TestServiceAdmission:
             assert stats["tenants"]["free"]["rejected"] == 0
 
     def test_stats_exposes_slo_counters(self):
-        with SolveService(workers=2, cache_size=0, slo=strict_policy()) as svc:
+        with SolveService(config=ServiceConfig(workers=2, cache_size=0, slo=strict_policy())) as svc:
             svc.solve(make_costs_problem(16))
             stats = svc.stats()
             for key in ("workers", "workers_busy", "workers_started",
@@ -526,7 +526,7 @@ class TestServiceAdmission:
             assert "hetero:solve" in slo["calibration"]
 
     def test_stats_has_no_slo_section_without_policy(self):
-        with SolveService(workers=1) as svc:
+        with SolveService(config=ServiceConfig(workers=1)) as svc:
             assert "slo" not in svc.stats()
             assert svc.stats()["workers_started"] == 1
 
@@ -536,9 +536,8 @@ class TestCoalescedPricing:
         """Batch-compatible submissions share one closed-form price."""
         gate = threading.Event()
         policy = strict_policy()
-        with SolveService(
-            workers=1, cache_size=0, coalesce_window=0.01, slo=policy
-        ) as svc:
+        with SolveService(config=ServiceConfig(
+            workers=1, cache_size=0, coalesce_window=0.01, slo=policy)) as svc:
             blocker = svc.submit(SolveRequest(make_event_problem(gate)))
             computed_before = fresh_metrics.counter("slo.price.computed").value
             pending = [
@@ -559,9 +558,8 @@ class TestCoalescedPricing:
     def test_queued_compatible_work_is_coalescible(self):
         gate = threading.Event()
         policy = strict_policy()
-        with SolveService(
-            workers=1, cache_size=0, coalesce_window=0.01, slo=policy
-        ) as svc:
+        with SolveService(config=ServiceConfig(
+            workers=1, cache_size=0, coalesce_window=0.01, slo=policy)) as svc:
             blocker = svc.submit(SolveRequest(make_event_problem(gate)))
             first = svc.submit(SolveRequest(make_costs_problem(16, seed=0)))
             with svc._lock:
@@ -585,7 +583,7 @@ class TestEDFScheduling:
         gate = threading.Event()
         order: list[str] = []
         policy = strict_policy()
-        with SolveService(workers=1, cache_size=0, slo=policy) as svc:
+        with SolveService(config=ServiceConfig(workers=1, cache_size=0, slo=policy)) as svc:
             calibrate(svc)
             blocker = svc.submit(SolveRequest(make_event_problem(gate)))
             time.sleep(0.05)  # let the worker claim the blocker
@@ -605,7 +603,7 @@ class TestEDFScheduling:
         gate = threading.Event()
         order: list[str] = []
         policy = strict_policy(scheduling=False, admission=False)
-        with SolveService(workers=1, cache_size=0, slo=policy) as svc:
+        with SolveService(config=ServiceConfig(workers=1, cache_size=0, slo=policy)) as svc:
             calibrate(svc)
             blocker = svc.submit(SolveRequest(make_event_problem(gate)))
             time.sleep(0.05)
@@ -625,7 +623,7 @@ class TestEDFScheduling:
         gate = threading.Event()
         order: list[str] = []
         policy = strict_policy()
-        with SolveService(workers=1, cache_size=0, slo=policy) as svc:
+        with SolveService(config=ServiceConfig(workers=1, cache_size=0, slo=policy)) as svc:
             calibrate(svc)
             blocker = svc.submit(SolveRequest(make_event_problem(gate)))
             time.sleep(0.05)
@@ -645,7 +643,7 @@ class TestEDFScheduling:
         gate = threading.Event()
         order: list[str] = []
         policy = strict_policy()
-        with SolveService(workers=1, cache_size=0, slo=policy) as svc:
+        with SolveService(config=ServiceConfig(workers=1, cache_size=0, slo=policy)) as svc:
             calibrate(svc)
             blocker = svc.submit(SolveRequest(make_event_problem(gate)))
             time.sleep(0.05)
@@ -672,9 +670,8 @@ class TestAutoscalerIntegration:
         )
         # The latency fault keeps each run slow enough that the queue has
         # real depth when the scaler thread samples it.
-        with inject_faults("serve.execute:latency=0.03"), SolveService(
-            workers=1, cache_size=0, slo=policy
-        ) as svc:
+        with inject_faults("serve.execute:latency=0.03"), SolveService(config=ServiceConfig(
+            workers=1, cache_size=0, slo=policy)) as svc:
             pending = [
                 svc.submit(SolveRequest(make_costs_problem(24, seed=k)))
                 for k in range(12)
@@ -699,7 +696,7 @@ class TestAutoscalerIntegration:
             backlog_per_worker=0.5, scale_down_after=1,
         )
         gates = [threading.Event(), threading.Event()]
-        with SolveService(workers=2, cache_size=0, slo=policy) as svc:
+        with SolveService(config=ServiceConfig(workers=2, cache_size=0, slo=policy)) as svc:
             busy = [
                 svc.submit(SolveRequest(make_event_problem(g, f"busy{k}")))
                 for k, g in enumerate(gates)
@@ -721,9 +718,8 @@ class TestAutoscalerIntegration:
             min_workers=1, max_workers=3, scale_interval=0.02,
             backlog_per_worker=1.0, scale_down_after=50,
         )
-        with inject_faults("serve.execute:latency=0.05"), SolveService(
-            workers=1, cache_size=0, slo=policy
-        ) as svc:
+        with inject_faults("serve.execute:latency=0.05"), SolveService(config=ServiceConfig(
+            workers=1, cache_size=0, slo=policy)) as svc:
             pending = [
                 svc.submit(SolveRequest(make_costs_problem(16, seed=k)))
                 for k in range(10)
@@ -742,7 +738,7 @@ class TestAutoscalerIntegration:
         )
         blocker_gate = threading.Event()
         victim_gate = threading.Event()
-        with SolveService(workers=1, cache_size=0, slo=policy) as svc:
+        with SolveService(config=ServiceConfig(workers=1, cache_size=0, slo=policy)) as svc:
             started = svc.stats()["workers_started"]
             blocker = svc.submit(SolveRequest(
                 make_event_problem(blocker_gate, "blocker")
