@@ -7,6 +7,7 @@ Examples::
     repro-lddp figure fig10 --quick
     repro-lddp solve levenshtein --size 512 --platform high --executor hetero
     repro-lddp solve lcs --size 256 --trace out.json --metrics
+    repro-lddp solve dithering --size 256 --executor cpu-blocked --dataflow
     repro-lddp serve --requests 64 --workers 4 --metrics
     repro-lddp serve --requests 64 --coalesce-window 0.02 --no-cache
     repro-lddp serve --requests 64 --slo --timeout 0.5 --workers 4
@@ -30,6 +31,13 @@ queued requests into one batched execution (``--max-batch`` caps the batch;
 in code) disables the compiled kernel plans of :mod:`repro.kernels` and runs
 every span through the generic gather/scatter — the ablation baseline of
 docs/performance.md.
+
+``--dataflow`` (on ``solve``; ``ExecOptions(dataflow=True)`` in code) runs
+the ``cpu-blocked`` executor barrier-free: a dependency-counted ready queue
+(:mod:`repro.dataflow`) replaces the per-block-wavefront fork/join, with the
+DES switched to its list-scheduled dataflow mode. Combine with
+``--executor cpu-blocked``; tables stay bit-identical to every other
+executor.
 
 ``--trace out.json`` records live instrumentation spans plus the simulated
 timeline as Chrome ``trace_event`` JSON — open it in ``chrome://tracing`` or
@@ -137,9 +145,12 @@ def _cmd_solve(args) -> int:
         return 2
     maker = _PROBLEMS[args.problem]
     problem = maker(args.size, materialize=not args.estimate)
-    options = (
-        ExecOptions(kernel_fastpath=False) if args.no_kernel_fastpath else None
-    )
+    opt_kwargs = {}
+    if args.no_kernel_fastpath:
+        opt_kwargs["kernel_fastpath"] = False
+    if args.dataflow:
+        opt_kwargs["dataflow"] = True
+    options = ExecOptions(**opt_kwargs) if opt_kwargs else None
     fw = Framework(_platform(args.platform), options)
     run = fw.estimate if args.estimate else fw.solve
     tracer = Tracer() if args.trace else NullTracer()
@@ -155,6 +166,7 @@ def _cmd_solve(args) -> int:
     print(f"executor  : {res.executor}")
     print(f"simulated : {res.simulated_ms:.3f} ms")
     for key in ("t_switch", "t_share", "cpu_utilization", "gpu_utilization",
+                "schedule", "worker_occupancy", "max_queue_depth",
                 "degraded", "degraded_reason"):
         if key in res.stats:
             val = res.stats[key]
@@ -501,6 +513,12 @@ def main(argv: list[str] | None = None) -> int:
         "--no-kernel-fastpath", action="store_true",
         help="disable the compiled kernel-plan fast path — every span runs "
              "the generic masked gather/scatter (A/B baseline)",
+    )
+    p.add_argument(
+        "--dataflow", action="store_true",
+        help="barrier-free tile execution on the cpu-blocked executor: a "
+             "dependency-counted ready queue replaces the per-block-wavefront "
+             "fork/join (see docs/performance.md)",
     )
     p.add_argument(
         "--inject-fault", action="append", metavar="SITE:SPEC", default=None,

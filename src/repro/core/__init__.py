@@ -1,6 +1,7 @@
 """Core of the LDDP-Plus framework: classification, problem spec, scheduling,
 partitioning and the top-level :class:`~repro.core.framework.Framework`."""
 
+from .blocking import BlockGrid, SkewedBlockGrid, grid_for
 from .classification import classify, conflicts, representative_set, table1_rows
 from .cellfunc import CellFunction, EvalContext
 from .problem import LDDPProblem
@@ -9,6 +10,9 @@ from .partition import PhasePlan, HeteroParams, build_phase_plan
 from .framework import Framework, SolveResult
 
 __all__ = [
+    "BlockGrid",
+    "SkewedBlockGrid",
+    "grid_for",
     "classify",
     "conflicts",
     "representative_set",

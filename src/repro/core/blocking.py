@@ -19,6 +19,8 @@ multicore algorithms, specialized to the paper's four patterns.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict, namedtuple
 from dataclasses import dataclass
 
 import numpy as np
@@ -27,7 +29,15 @@ from ..errors import ScheduleError
 from ..types import Pattern
 from .schedule import WavefrontSchedule, schedule_for
 
-__all__ = ["Block", "BlockGrid", "SkewedBlockGrid", "SkewedBlock"]
+__all__ = [
+    "Block",
+    "BlockGrid",
+    "SkewedBlockGrid",
+    "SkewedBlock",
+    "grid_for",
+    "blocking_cache_info",
+    "clear_blocking_cache",
+]
 
 
 @dataclass(frozen=True)
@@ -199,3 +209,77 @@ class SkewedBlockGrid:
         for t in range(self.num_iterations):
             out.extend(self.blocks(t))
         return out
+
+
+# -- grid cache ----------------------------------------------------------------
+#
+# The blocked executor used to rebuild its grid (and the grid's block-level
+# schedule) on every solve, even for identical (shape, block, pattern) keys.
+# Grids are immutable geometry, so cache them by content — the same contract
+# as `strategy_for` in repro.patterns.registry. The key is fully value-based
+# (no object identities), so any two problems with the same computed shape
+# share one grid object.
+
+_CACHE_LOCK = threading.Lock()
+_GRID_CACHE: "OrderedDict[tuple, BlockGrid | SkewedBlockGrid]" = OrderedDict()
+_GRID_CACHE_CAP = 128
+_cache_hits = 0
+_cache_misses = 0
+
+BlockingCacheInfo = namedtuple("BlockingCacheInfo", "hits misses size capacity")
+
+
+def blocking_cache_info() -> BlockingCacheInfo:
+    """Hit/miss/size counters of the grid cache (for tests/diagnostics)."""
+    with _CACHE_LOCK:
+        return BlockingCacheInfo(
+            _cache_hits, _cache_misses, len(_GRID_CACHE), _GRID_CACHE_CAP
+        )
+
+
+def clear_blocking_cache() -> None:
+    """Drop all cached grids and reset the counters."""
+    global _cache_hits, _cache_misses
+    with _CACHE_LOCK:
+        _GRID_CACHE.clear()
+        _cache_hits = 0
+        _cache_misses = 0
+
+
+def grid_for(
+    rows: int,
+    cols: int,
+    block: int,
+    *,
+    pattern: Pattern | None = None,
+    skewed: bool = False,
+) -> "BlockGrid | SkewedBlockGrid":
+    """The tiling of a ``(rows, cols)`` region, served from a content LRU.
+
+    ``skewed=True`` returns a :class:`SkewedBlockGrid` (``pattern`` is
+    ignored — skewed tiles always run under the tile-level anti-diagonal);
+    otherwise a :class:`BlockGrid` scheduled by ``pattern`` (required).
+    """
+    global _cache_hits, _cache_misses
+    if not skewed and pattern is None:
+        raise ScheduleError("square grids need a block-level pattern")
+    key = (skewed, None if skewed else pattern, rows, cols, block)
+    with _CACHE_LOCK:
+        grid = _GRID_CACHE.get(key)
+        if grid is not None:
+            _GRID_CACHE.move_to_end(key)
+            _cache_hits += 1
+            return grid
+        _cache_misses += 1
+
+    grid = (
+        SkewedBlockGrid(rows, cols, block)
+        if skewed
+        else BlockGrid(pattern, rows, cols, block)
+    )
+
+    with _CACHE_LOCK:
+        _GRID_CACHE[key] = grid
+        while len(_GRID_CACHE) > _GRID_CACHE_CAP:
+            _GRID_CACHE.popitem(last=False)
+    return grid

@@ -1,0 +1,41 @@
+"""Barrier-free tile-dataflow execution (ROADMAP: "kill the wavefront barrier").
+
+Three pieces, composed by the blocked executor's ``ExecOptions.dataflow``
+mode:
+
+* :mod:`repro.dataflow.graph` — derive each tile's exact predecessor set
+  from the pattern's dependency vectors applied to the tiling geometry
+  (square or skewed), cached by content signature;
+* :mod:`repro.dataflow.scheduler` — a dependency-counted ready queue drained
+  by a persistent worker pool, with per-tile cancellation/fault hooks and
+  ready-queue/occupancy instrumentation;
+* :mod:`repro.dataflow.timing` — the matching DES model
+  (:func:`repro.sim.dataflow.schedule_tiles` over per-tile costs) behind
+  ``schedule="dataflow"`` timelines and admission pricing.
+"""
+
+from .graph import (
+    TileGraph,
+    clear_graph_cache,
+    graph_cache_info,
+    graph_for,
+    skewed_offsets,
+    square_offsets,
+)
+from .scheduler import DataflowStats, default_workers, run_dataflow
+from .timing import dataflow_timeline, simulate_dataflow, tile_costs
+
+__all__ = [
+    "TileGraph",
+    "graph_for",
+    "graph_cache_info",
+    "clear_graph_cache",
+    "square_offsets",
+    "skewed_offsets",
+    "DataflowStats",
+    "run_dataflow",
+    "default_workers",
+    "tile_costs",
+    "simulate_dataflow",
+    "dataflow_timeline",
+]

@@ -1,0 +1,257 @@
+"""Tile dependency graphs: the geometry behind barrier-free execution.
+
+The blocked executor's barrier synchronizes every tile of block-wavefront
+``t`` before any tile of ``t + 1`` may start — but the paper's local
+dependency property means a tile only waits on the handful of neighbour
+tiles its cells actually read. This module derives that exact predecessor
+set from the pattern's dependency vectors applied to the tiling geometry:
+
+* **Square grids** (NE-free sets): a cell dependency ``W``/``N``/``NW``
+  crossing a tile boundary lands in the tile-level ``(0,-1)`` / ``(-1,0)``
+  / ``{(0,-1),(-1,0),(-1,-1)}`` neighbour (the NW corner cell is the only
+  one reaching ``(-1,-1)``; with ``block == 1`` it is the only NW target).
+* **Skewed grids** (NE-containing sets): in ``(i, v)`` space with
+  ``v = 2i + j``, every representative-set dependency has ``di in {0,-1}``
+  and ``dv in {-3,-2,-1}``; at tile granularity ``(I, T)`` the reachable
+  predecessor offsets are the cross product of
+  ``dI in ({di} if block == 1 else {0, di})`` with
+  ``dT in {(lv + dv) // block for lv in range(block)}``, minus ``(0, 0)``
+  (intra-tile dependencies are respected by the tile's ascending-``v``
+  sweep). All offsets are componentwise ``<= 0``, so the graph is a DAG
+  for every one of the 15 contributing sets and every block size —
+  including ``block < 3`` skewed tilings, where an offset like ``(0, -2)``
+  appears and a plain W/NW/N neighbour model would be wrong.
+
+The graph is stored CSR-style (NumPy index arrays, built vectorized) so
+paper-scale grids stay cheap, and cached by content signature alongside
+the kernel-plan cache's contract: any two problems with the same tiling
+geometry and contributing mask share one immutable graph object.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict, namedtuple
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.blocking import BlockGrid, SkewedBlockGrid
+from ..errors import ScheduleError
+from ..types import ContributingSet
+
+__all__ = [
+    "TileGraph",
+    "square_offsets",
+    "skewed_offsets",
+    "graph_for",
+    "graph_cache_info",
+    "clear_graph_cache",
+]
+
+
+def square_offsets(cs: ContributingSet, block: int) -> tuple[tuple[int, int], ...]:
+    """Tile-level predecessor offsets ``(dI, dJ)`` for a square tiling."""
+    if cs.ne:
+        raise ScheduleError("square tilings cannot host NE dependencies")
+    if block <= 0:
+        raise ScheduleError("block size must be positive")
+    offs: set[tuple[int, int]] = set()
+    if cs.w:
+        offs.add((0, -1))
+    if cs.n:
+        offs.add((-1, 0))
+    if cs.nw:
+        if block == 1:
+            offs.add((-1, -1))
+        else:
+            offs.update({(0, -1), (-1, 0), (-1, -1)})
+    return tuple(sorted(offs))
+
+
+#: Knight-index deltas ``(di, dv)`` of the four representative dependencies
+#: under ``v = 2i + j``.
+_KNIGHT_DELTAS = {"w": (0, -1), "nw": (-1, -3), "n": (-1, -2), "ne": (-1, -1)}
+
+
+def skewed_offsets(cs: ContributingSet, block: int) -> tuple[tuple[int, int], ...]:
+    """Tile-level predecessor offsets ``(dI, dT)`` for a skewed tiling."""
+    if block <= 0:
+        raise ScheduleError("block size must be positive")
+    offs: set[tuple[int, int]] = set()
+    for name, (di, dv) in _KNIGHT_DELTAS.items():
+        if not getattr(cs, name):
+            continue
+        d_is = {di} if block == 1 else {0, di}
+        d_ts = {(lv + dv) // block for lv in range(block)}
+        for d_i in d_is:
+            for d_t in d_ts:
+                if (d_i, d_t) != (0, 0):
+                    offs.add((d_i, d_t))
+    return tuple(sorted(offs))
+
+
+@dataclass(frozen=True, eq=False)
+class TileGraph:
+    """Immutable tile dependency DAG over an ``nrows x ncols`` tile grid.
+
+    Node ``nid = I * ncols + J`` is the tile at ``(I, J)`` — ``(bi, bj)``
+    for square grids, ``(bi, bt)`` for skewed ones. Successors and
+    predecessors are CSR index arrays; ``indegree[nid]`` is the number of
+    predecessor tiles that must finish before ``nid`` may start (the
+    dataflow scheduler's remaining-count seed).
+    """
+
+    skewed: bool
+    nrows: int
+    ncols: int
+    block: int
+    mask: int
+    offsets: tuple[tuple[int, int], ...]
+    indegree: np.ndarray
+    succ_indptr: np.ndarray
+    succ_indices: np.ndarray
+    pred_indptr: np.ndarray
+    pred_indices: np.ndarray
+
+    @property
+    def num_nodes(self) -> int:
+        return self.nrows * self.ncols
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.succ_indices.shape[0])
+
+    def roots(self) -> np.ndarray:
+        """Node ids with no predecessors, ascending (the initial ready set)."""
+        return np.flatnonzero(self.indegree == 0)
+
+    def successors(self, nid: int) -> np.ndarray:
+        return self.succ_indices[self.succ_indptr[nid]:self.succ_indptr[nid + 1]]
+
+    def predecessors(self, nid: int) -> np.ndarray:
+        return self.pred_indices[self.pred_indptr[nid]:self.pred_indptr[nid + 1]]
+
+    def signature(self) -> str:
+        """SHA-256 content signature (same contract as ``PlanKey``)."""
+        h = hashlib.sha256()
+        h.update(
+            f"tilegraph|skewed={self.skewed}|nrows={self.nrows}"
+            f"|ncols={self.ncols}|block={self.block}|mask={self.mask}".encode()
+        )
+        return h.hexdigest()
+
+
+def _build_graph(
+    skewed: bool, nrows: int, ncols: int, block: int, cs: ContributingSet
+) -> TileGraph:
+    offsets = skewed_offsets(cs, block) if skewed else square_offsets(cs, block)
+    n = nrows * ncols
+    ids = np.arange(n, dtype=np.int64)
+    row = ids // ncols
+    col = ids - row * ncols
+    src_parts: list[np.ndarray] = []
+    dst_parts: list[np.ndarray] = []
+    for d_i, d_j in offsets:
+        pi = row + d_i
+        pj = col + d_j
+        ok = (pi >= 0) & (pj >= 0)  # offsets are <= 0: only lower bounds bind
+        src_parts.append(pi[ok] * ncols + pj[ok])
+        dst_parts.append(ids[ok])
+    if src_parts:
+        src = np.concatenate(src_parts)
+        dst = np.concatenate(dst_parts)
+    else:
+        src = np.empty(0, dtype=np.int64)
+        dst = np.empty(0, dtype=np.int64)
+
+    indegree = np.bincount(dst, minlength=n).astype(np.int64)
+
+    by_src = np.argsort(src, kind="stable")
+    succ_indices = dst[by_src]
+    succ_indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(src, minlength=n), out=succ_indptr[1:])
+
+    by_dst = np.argsort(dst, kind="stable")
+    pred_indices = src[by_dst]
+    pred_indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(indegree, out=pred_indptr[1:])
+
+    for arr in (indegree, succ_indptr, succ_indices, pred_indptr, pred_indices):
+        arr.setflags(write=False)
+    return TileGraph(
+        skewed=skewed,
+        nrows=nrows,
+        ncols=ncols,
+        block=block,
+        mask=cs.mask,
+        offsets=offsets,
+        indegree=indegree,
+        succ_indptr=succ_indptr,
+        succ_indices=succ_indices,
+        pred_indptr=pred_indptr,
+        pred_indices=pred_indices,
+    )
+
+
+# -- graph cache ---------------------------------------------------------------
+#
+# Same shape as the grid cache in repro.core.blocking: value-based key,
+# thread-safe LRU, hit/miss counters. Distinct (rows, cols) regions that tile
+# to the same (nrows, ncols, block, mask) share one graph.
+
+_CACHE_LOCK = threading.Lock()
+_GRAPH_CACHE: "OrderedDict[tuple, TileGraph]" = OrderedDict()
+_GRAPH_CACHE_CAP = 64
+_cache_hits = 0
+_cache_misses = 0
+
+GraphCacheInfo = namedtuple("GraphCacheInfo", "hits misses size capacity")
+
+
+def graph_cache_info() -> GraphCacheInfo:
+    """Hit/miss/size counters of the tile-graph cache."""
+    with _CACHE_LOCK:
+        return GraphCacheInfo(
+            _cache_hits, _cache_misses, len(_GRAPH_CACHE), _GRAPH_CACHE_CAP
+        )
+
+
+def clear_graph_cache() -> None:
+    """Drop all cached tile graphs and reset the counters."""
+    global _cache_hits, _cache_misses
+    with _CACHE_LOCK:
+        _GRAPH_CACHE.clear()
+        _cache_hits = 0
+        _cache_misses = 0
+
+
+def graph_for(
+    grid: "BlockGrid | SkewedBlockGrid", contributing: ContributingSet
+) -> TileGraph:
+    """The tile dependency graph of ``grid`` under ``contributing``, cached."""
+    global _cache_hits, _cache_misses
+    skewed = isinstance(grid, SkewedBlockGrid)
+    if skewed:
+        nrows, ncols = grid.brows, grid.bvs
+    else:
+        if contributing.ne:
+            raise ScheduleError("square tilings cannot host NE dependencies")
+        nrows, ncols = grid.brows, grid.bcols
+    key = (skewed, nrows, ncols, grid.block, contributing.mask)
+    with _CACHE_LOCK:
+        graph = _GRAPH_CACHE.get(key)
+        if graph is not None:
+            _GRAPH_CACHE.move_to_end(key)
+            _cache_hits += 1
+            return graph
+        _cache_misses += 1
+
+    graph = _build_graph(skewed, nrows, ncols, grid.block, contributing)
+
+    with _CACHE_LOCK:
+        _GRAPH_CACHE[key] = graph
+        while len(_GRAPH_CACHE) > _GRAPH_CACHE_CAP:
+            _GRAPH_CACHE.popitem(last=False)
+    return graph

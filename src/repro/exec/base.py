@@ -61,6 +61,18 @@ class ExecOptions:
         (:mod:`repro.kernels`). Off: every span runs the generic masked
         gather/scatter path — the A/B knob behind the CLI's
         ``--no-kernel-fastpath``.
+    dataflow:
+        Run the blocked executor (``cpu-blocked``) barrier-free: tiles are
+        scheduled by a dependency-counted ready queue (:mod:`repro.dataflow`)
+        instead of fork/joining at every block wavefront, and the timing
+        model switches to the DES's list-scheduled dataflow mode. The CLI's
+        ``--dataflow``. Tables stay bit-identical; a dataflow failure
+        degrades back to the barrier path.
+    dataflow_workers:
+        Host worker-thread count for the dataflow pool (default:
+        ``os.cpu_count()``). A tuning knob for the *real* sweep only — the
+        timing model always uses the platform's modeled core count — so it
+        is excluded from the cache-key ``repr`` like ``deadline``.
     degrade_to_cpu:
         When the GPU machine model fails mid-run (a
         :class:`~repro.errors.PlatformError` or injected fault), the
@@ -86,6 +98,8 @@ class ExecOptions:
     validate_timeline: bool = False
     block_size: int = 64
     kernel_fastpath: bool = True
+    dataflow: bool = False
+    dataflow_workers: int | None = field(default=None, repr=False, compare=False)
     degrade_to_cpu: bool = True
     deadline: float | None = field(default=None, repr=False, compare=False)
     cancel_token: CancelToken | None = field(

@@ -19,17 +19,26 @@ Tile shape is chosen per contributing set:
 The trade: coarser tiles mean fewer parallel units, so very large blocks
 starve cores. ``benchmarks/bench_ablation_blocking.py`` sweeps the block
 size and exposes the resulting U-curve.
+
+``ExecOptions.dataflow`` removes the barrier entirely: tiles run under the
+dependency-counted ready queue of :mod:`repro.dataflow` (a tile starts the
+moment its predecessor tiles finish), the timing model switches to the
+DES's list-scheduled dataflow mode, and any dataflow failure that is not a
+deadline/cancel degrades back to this barrier path bit-identically
+(``dataflow.degraded``).
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
-from ..core.blocking import Block, BlockGrid, SkewedBlock, SkewedBlockGrid
+from ..core.blocking import Block, SkewedBlock, grid_for
 from ..core.cellfunc import EvalContext, gather_neighbors
 from ..core.problem import LDDPProblem
 from ..core.schedule import schedule_for
-from ..errors import ExecutionError
+from ..errors import ExecutionError, ServiceTimeout, SolveCancelled
 from ..obs import get_metrics, get_tracer
 from ..patterns.registry import strategy_for
 from ..sim.engine import Engine
@@ -43,6 +52,19 @@ from .base import (
 )
 
 __all__ = ["BlockedCPUExecutor", "evaluate_block", "evaluate_skewed_block"]
+
+
+@lru_cache(maxsize=512)
+def _local_schedule(pattern, rows: int, cols: int):
+    """Per-tile cell schedules, memoized.
+
+    Every tile of one grid shares a handful of distinct geometries (interior
+    tiles are all ``block x block``), and the dataflow pool hits this from
+    many threads at once — ``schedule_for`` itself is uncached pure
+    geometry, so memoize here. Identity-stable results also keep
+    ``evaluate_span``'s one-entry hot-state memo effective across tiles.
+    """
+    return schedule_for(pattern, rows, cols)
 
 
 def _evaluate_batch(problem, table, aux, gi, gj) -> None:
@@ -73,7 +95,7 @@ def evaluate_block(
     distinct block geometry x origin). ``options`` threads deadline/cancel
     control through the span evaluator (checked per local wavefront).
     """
-    local = schedule_for(pattern, block.rows, block.cols)
+    local = _local_schedule(pattern, block.rows, block.cols)
     done = 0
     for t in range(local.num_iterations):
         if local.width(t) == 0:
@@ -124,6 +146,133 @@ class BlockedCPUExecutor(Executor):
             raise ExecutionError("block_size must be positive")
         self.block_size = block_size
 
+    # -- barrier path ---------------------------------------------------------
+
+    def _barrier_sweep(
+        self, problem, pattern, grid, skewed, table, aux
+    ) -> int:
+        """The functional fork/join sweep: one pass per block wavefront."""
+        total_done = 0
+        tracer = get_tracer()
+        for t in range(grid.num_iterations):
+            check_control(self.options, f"solve of {problem.name!r}")
+            blocks = grid.blocks(t)
+            if not blocks:
+                continue
+            # Row-major order within the wave. Every cross-tile dependency
+            # offset is componentwise <= 0 (see repro.dataflow.graph), so
+            # ascending (bi, bj) is a valid sequential order even on waves
+            # that carry *intra*-wave tile dependencies — the inverted-L
+            # Γ-wave, whose block>1 tiles fan {NW} into W/N/NW neighbours
+            # inside the same wave, and whose canonical enumeration walks
+            # the column arm bottom-up (tile before its N predecessor).
+            if len(blocks) > 1:
+                blocks = sorted(
+                    blocks, key=lambda b: (b.bi, b.bt if skewed else b.bj)
+                )
+            with tracer.span(
+                "block-wave", cat="wavefront", t=t, blocks=len(blocks),
+            ):
+                for blk in blocks:
+                    if skewed:
+                        total_done += evaluate_skewed_block(problem, table, aux, blk)
+                    else:
+                        total_done += evaluate_block(
+                            problem, pattern, table, aux, blk,
+                            fastpath=self.options.kernel_fastpath,
+                            options=self.options,
+                        )
+        return total_done
+
+    def _barrier_timeline(self, problem, grid, work):
+        """The fork/join timing model: one LPT-packed task per wavefront."""
+        engine = Engine()
+        cpu = self.platform.cpu
+        num_blocks = 0
+        for t in range(grid.num_iterations):
+            check_control(self.options, f"estimate of {problem.name!r}")
+            blocks = grid.blocks(t)
+            if not blocks:
+                continue
+            num_blocks += len(blocks)
+            engine.task(
+                "cpu",
+                cpu.blocked_time([blk.cells for blk in blocks], work),
+                label=f"block-wave[{t}]",
+                kind="compute",
+                iteration=t,
+                blocks=len(blocks),
+            )
+        return engine.run(), num_blocks
+
+    # -- dataflow path --------------------------------------------------------
+
+    def _dataflow_run(
+        self, problem, pattern, grid, skewed, work, table, aux, functional
+    ):
+        """Barrier-free execution + its DES model.
+
+        Returns ``(timeline, total_done, num_tiles, extra_stats)``; a
+        non-control failure of the ready-queue sweep degrades to the barrier
+        path (fresh table, bit-identical result) and reports barrier timing.
+        """
+        from ..dataflow import dataflow_timeline, graph_for, run_dataflow
+
+        check_control(self.options, f"solve of {problem.name!r}")
+        graph = graph_for(grid, problem.contributing)
+        stats: dict = {"schedule": "dataflow", "tiles": graph.num_nodes}
+        total_done = 0
+        if functional:
+            try:
+                df = run_dataflow(
+                    problem, pattern, table, aux, grid, graph,
+                    workers=self.options.dataflow_workers,
+                    fastpath=self.options.kernel_fastpath,
+                    options=self.options,
+                )
+            except (ServiceTimeout, SolveCancelled):
+                raise
+            except Exception as exc:
+                reason = f"{type(exc).__name__}: {exc}"
+                metrics = get_metrics()
+                metrics.counter("dataflow.degraded").inc()
+                metrics.counter(f"exec.{self.name}.degraded").inc()
+                with get_tracer().span(
+                    "dataflow.degraded", cat="degrade",
+                    problem=problem.name, reason=reason,
+                ):
+                    # A partially-written table is value-correct but start
+                    # fresh anyway: the barrier rerun must not depend on how
+                    # far the pool got.
+                    table2 = problem.make_table()
+                    aux2 = problem.make_aux()
+                    total_done = self._barrier_sweep(
+                        problem, pattern, grid, skewed, table2, aux2
+                    )
+                    table[...] = table2
+                    for k, arr in aux2.items():
+                        aux[k][...] = arr
+                timeline, num_blocks = self._barrier_timeline(problem, grid, work)
+                stats.update(
+                    schedule="barrier",
+                    degraded="barrier",
+                    degraded_reason=reason,
+                )
+                return timeline, total_done, num_blocks, stats
+            total_done = df.cells
+            stats.update(
+                pool_workers=df.workers,
+                max_queue_depth=df.max_queue_depth,
+                tile_wait_s=round(df.wait_s, 6),
+                worker_occupancy=round(df.occupancy, 4),
+            )
+        timeline = dataflow_timeline(grid, graph, self.platform.cpu, work)
+        stats["model_workers"] = self.platform.cpu.cores
+        nonempty = sum(1 for t in range(grid.num_iterations) for _ in grid.blocks(t))
+        return timeline, total_done, nonempty, stats
+
+    # -- entry point ----------------------------------------------------------
+
     def _run(self, problem: LDDPProblem, functional: bool) -> SolveResult:
         strategy = strategy_for(
             problem,
@@ -133,62 +282,51 @@ class BlockedCPUExecutor(Executor):
         pattern = strategy.schedule.pattern
         rows, cols = problem.computed_shape
         skewed = problem.contributing.ne
-        if skewed:
-            grid = SkewedBlockGrid(rows, cols, self.block_size)
-        else:
-            grid = BlockGrid(pattern, rows, cols, self.block_size)
+        grid = grid_for(
+            rows, cols, self.block_size, pattern=pattern, skewed=skewed
+        )
         work = problem.cpu_work * strategy.cpu_overhead
+        dataflow = self.options.dataflow
 
         table = aux = None
         if functional:
             table = problem.make_table()
             aux = problem.make_aux()
 
-        engine = Engine()
-        cpu = self.platform.cpu
-        total_done = 0
-        num_blocks = 0
         tracer = get_tracer()
+        extra: dict = {}
         with tracer.span(
             "cpu-blocked.solve", cat="executor",
             problem=problem.name, pattern=pattern.value, functional=functional,
             block_size=self.block_size, tiling="skewed" if skewed else "square",
+            schedule="dataflow" if dataflow else "barrier",
         ):
-            for t in range(grid.num_iterations):
-                check_control(self.options, f"solve of {problem.name!r}")
-                blocks = grid.blocks(t)
-                if not blocks:
-                    continue
-                num_blocks += len(blocks)
-                with tracer.span(
-                    "block-wave", cat="wavefront", t=t, blocks=len(blocks),
-                ):
-                    if functional:
-                        for blk in blocks:
-                            if skewed:
-                                total_done += evaluate_skewed_block(problem, table, aux, blk)
-                            else:
-                                total_done += evaluate_block(
-                                    problem, pattern, table, aux, blk,
-                                    fastpath=self.options.kernel_fastpath,
-                                    options=self.options,
-                                )
-                    engine.task(
-                        "cpu",
-                        cpu.blocked_time([blk.cells for blk in blocks], work),
-                        label=f"block-wave[{t}]",
-                        kind="compute",
-                        iteration=t,
-                        blocks=len(blocks),
-                    )
+            if dataflow:
+                timeline, total_done, num_blocks, extra = self._dataflow_run(
+                    problem, pattern, grid, skewed, work, table, aux, functional
+                )
+            else:
+                total_done = (
+                    self._barrier_sweep(problem, pattern, grid, skewed, table, aux)
+                    if functional
+                    else 0
+                )
+                timeline, num_blocks = self._barrier_timeline(problem, grid, work)
             if functional and total_done != problem.total_computed_cells:
                 raise ExecutionError(
                     f"swept {total_done} cells, expected {problem.total_computed_cells}"
                 )
-
-            timeline = engine.run()
         get_metrics().counter("exec.cpu-blocked.blocks").inc(num_blocks)
         self._maybe_validate(timeline)
+        stats = {
+            "iterations": grid.num_iterations,
+            "block_size": self.block_size,
+            "blocks": num_blocks,
+            "tiling": "skewed" if skewed else "square",
+            "strategy": strategy.name,
+            "schedule": "dataflow" if dataflow else "barrier",
+        }
+        stats.update(extra)
         return SolveResult(
             problem=problem.name,
             executor=self.name,
@@ -197,13 +335,7 @@ class BlockedCPUExecutor(Executor):
             table=table,
             aux=aux or {},
             timeline=timeline,
-            stats={
-                "iterations": grid.num_iterations,
-                "block_size": self.block_size,
-                "blocks": num_blocks,
-                "tiling": "skewed" if skewed else "square",
-                "strategy": strategy.name,
-            },
+            stats=stats,
         )
 
 

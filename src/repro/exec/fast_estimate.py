@@ -17,6 +17,7 @@ platforms, parameters and options.
 
 from __future__ import annotations
 
+from ..core.blocking import grid_for
 from ..core.partition import HeteroParams
 from ..core.problem import LDDPProblem
 from ..exec.base import ExecOptions, check_control, wavefront_contiguous
@@ -25,7 +26,7 @@ from ..machine.platform import Platform
 from ..patterns.registry import strategy_for
 from ..types import TransferDirection, TransferKind
 
-__all__ = ["fast_hetero_makespan"]
+__all__ = ["fast_hetero_makespan", "fast_blocked_makespan"]
 
 
 def fast_hetero_makespan(
@@ -204,3 +205,59 @@ def fast_hetero_makespan(
         makespan = max(makespan, end)
 
     return makespan
+
+
+def fast_blocked_makespan(
+    problem: LDDPProblem,
+    platform: Platform,
+    options: ExecOptions | None = None,
+    block_size: int | None = None,
+) -> float:
+    """Simulated seconds for a ``cpu-blocked`` run, no task graph.
+
+    The phase model matches the blocked executor's DES exactly in both of
+    its modes (``tests/test_dataflow.py`` asserts exact agreement with
+    ``BlockedCPUExecutor.estimate``):
+
+    * **barrier**: the engine serializes one LPT-packed
+      :meth:`~repro.machine.cpu.CPUModel.blocked_time` task per block
+      wavefront on a single ``cpu`` resource, so the makespan is their sum —
+      including the ramp-up/ramp-down waves where only a few tiles exist and
+      most cores idle behind the barrier. The previous practice of pricing
+      blocked runs with :func:`fast_hetero_makespan` had no notion of that
+      barrier idle (it models per-cell splits, not fork/joined tiles) and
+      systematically underestimated ramp-heavy geometries — a *shape* error
+      on Knight-move and native Inverted-L that per-executor EWMA
+      calibration cannot repair;
+    * **dataflow** (``options.dataflow``): the list-scheduled tile DAG of
+      :mod:`repro.sim.dataflow` on ``cpu.cores`` model workers.
+    """
+    options = options or ExecOptions()
+    strategy = strategy_for(
+        problem,
+        pattern_override=options.pattern_override,
+        inverted_l_as_horizontal=options.inverted_l_as_horizontal,
+    )
+    pattern = strategy.schedule.pattern
+    rows, cols = problem.computed_shape
+    skewed = problem.contributing.ne
+    block = block_size if block_size is not None else options.block_size
+    grid = grid_for(rows, cols, block, pattern=pattern, skewed=skewed)
+    work = problem.cpu_work * strategy.cpu_overhead
+    cpu = platform.cpu
+
+    if options.dataflow:
+        from ..dataflow import graph_for, simulate_dataflow
+
+        graph = graph_for(grid, problem.contributing)
+        sched, _ = simulate_dataflow(grid, graph, cpu, work)
+        return sched.makespan
+
+    total = 0.0
+    for t in range(grid.num_iterations):
+        if not t & 1023:  # cooperative checkpoint, amortized over the scan
+            check_control(options, f"estimate of {problem.name!r}")
+        cells = [blk.cells for blk in grid.blocks(t)]
+        if cells:
+            total += cpu.blocked_time(cells, work)
+    return total

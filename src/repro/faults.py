@@ -15,6 +15,9 @@ site                checked in
                     fault here degrades that span to the generic path)
 ``batch.execute``   :func:`repro.batch.execute_group` (a fault here degrades
                     the whole group to per-instance solves)
+``dataflow.tile``   :func:`repro.dataflow.run_dataflow` worker, once per
+                    dequeued tile (a fault here degrades the solve to the
+                    barrier blocked path, bit-identically)
 ``machine.cpu``     :meth:`repro.machine.cpu.CPUModel.parallel_time`
 ``machine.gpu``     :meth:`repro.machine.gpu.GPUModel.kernel_time` (a fault
                     here degrades hetero/multi executors to CPU-only)

@@ -339,6 +339,7 @@ class SolveService:
                 options=request.options or self.framework.options,
                 params=request.params,
                 key=key,
+                executor=request.executor,
             )
         with self._not_empty:
             if self._closed:

@@ -15,7 +15,17 @@ including the overlap that CUDA streams buy (paper Sec. IV-C1).
 
 from .event import Task
 from .engine import Engine
+from .dataflow import DataflowSchedule, schedule_tiles, tile_timeline
 from .stream import Stream
 from .timeline import Timeline, TaskRecord
 
-__all__ = ["Task", "Engine", "Stream", "Timeline", "TaskRecord"]
+__all__ = [
+    "Task",
+    "Engine",
+    "Stream",
+    "Timeline",
+    "TaskRecord",
+    "DataflowSchedule",
+    "schedule_tiles",
+    "tile_timeline",
+]

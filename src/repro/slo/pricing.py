@@ -67,12 +67,18 @@ class Pricer:
         options: ExecOptions | None = None,
         params: HeteroParams | None = None,
         key: str | None = None,
+        executor: str | None = None,
     ) -> float | None:
         """Closed-form cost units for one solve, or ``None`` if unpriceable.
 
         ``key`` is the request's :func:`repro.batch.batch_key`; when given,
         the price is served from (and stored into) the LRU, so a fleet of
-        batch-compatible requests is priced exactly once.
+        batch-compatible requests is priced exactly once. ``executor``
+        selects the phase model: ``cpu-blocked`` requests are priced with
+        the barrier/dataflow blocked scan (whose ramp-phase idle the hetero
+        scan cannot see); everything else uses the heterogeneous scan. The
+        batch key already includes the executor, so the LRU never mixes the
+        two models.
         """
         metrics = get_metrics()
         if key is not None:
@@ -83,7 +89,7 @@ class Pricer:
                     return self._prices[key]
         try:
             units = self._priced(
-                problem, options or self.framework.options, params
+                problem, options or self.framework.options, params, executor
             )
         except Exception:
             units = None
@@ -96,7 +102,13 @@ class Pricer:
                     self._prices.popitem(last=False)
         return units
 
-    def _priced(self, problem, options, params) -> float:
+    def _priced(self, problem, options, params, executor=None) -> float:
+        if executor == "cpu-blocked":
+            from ..exec.fast_estimate import fast_blocked_makespan
+
+            return fast_blocked_makespan(
+                problem, self.framework.platform, options
+            )
         from ..exec.fast_estimate import fast_hetero_makespan
 
         return fast_hetero_makespan(
