@@ -61,6 +61,7 @@ from .core.cellfunc import CellFunction, EvalContext
 from .core.classification import classify, table1_rows, transfer_need
 from .batch import BatchGroup, BatchItem, BatchPlanner, batch_key
 from .core.framework import Framework, estimate, solve, solve_many
+from .core.linear import LinearSpec
 from .core.partition import HeteroParams
 from .core.problem import LDDPProblem
 from .core.schedule import schedule_for
@@ -96,6 +97,7 @@ __all__ = [
     "ContributingSet",
     "Neighbor",
     "LDDPProblem",
+    "LinearSpec",
     "CellFunction",
     "EvalContext",
     # classification

@@ -64,6 +64,7 @@ def batch_key(
     update_hash(h, "contributing", repr(problem.contributing).encode())
     update_hash(h, "dtype", str(problem.dtype).encode())
     update_hash(h, "oob", repr(problem.oob_value).encode())
+    update_hash(h, "linear", repr(problem.linear).encode())
     update_hash(h, "work",
                 f"{problem.cpu_work!r}|{problem.gpu_work!r}".encode())
     update_hash(h, "aux", repr(sorted(

@@ -67,12 +67,14 @@ from .exec.base import ExecOptions
 from .machine.platform import Platform, hetero_high, hetero_low, hetero_phi
 from .problems import (
     make_checkerboard,
+    make_diffusion,
     make_dithering,
     make_dtw,
     make_gotoh,
     make_lcs,
     make_lcsubstr,
     make_levenshtein,
+    make_linear,
     make_needleman_wunsch,
     make_prefix_sum,
     make_smith_waterman,
@@ -90,7 +92,9 @@ _PROBLEMS: dict[str, Callable] = {
     "gotoh": make_gotoh,
     "lcsubstr": make_lcsubstr,
     "prefix-sum": make_prefix_sum,
+    "linear": make_linear,
     "dithering": make_dithering,
+    "diffusion": make_diffusion,
     "checkerboard": make_checkerboard,
 }
 
@@ -150,6 +154,8 @@ def _cmd_solve(args) -> int:
         opt_kwargs["kernel_fastpath"] = False
     if args.dataflow:
         opt_kwargs["dataflow"] = True
+    if args.no_scan:
+        opt_kwargs["scan"] = False
     options = ExecOptions(**opt_kwargs) if opt_kwargs else None
     fw = Framework(_platform(args.platform), options)
     run = fw.estimate if args.estimate else fw.solve
@@ -166,8 +172,9 @@ def _cmd_solve(args) -> int:
     print(f"executor  : {res.executor}")
     print(f"simulated : {res.simulated_ms:.3f} ms")
     for key in ("t_switch", "t_share", "cpu_utilization", "gpu_utilization",
-                "schedule", "worker_occupancy", "max_queue_depth",
-                "degraded", "degraded_reason"):
+                "schedule", "worker_occupancy", "max_queue_depth", "solver",
+                "scan_path", "degraded", "degraded_reason",
+                "scan_degraded_reason"):
         if key in res.stats:
             val = res.stats[key]
             print(f"{key:10s}: {val:.3f}" if isinstance(val, float) else f"{key:10s}: {val}")
@@ -519,6 +526,11 @@ def main(argv: list[str] | None = None) -> int:
         help="barrier-free tile execution on the cpu-blocked executor: a "
              "dependency-counted ready queue replaces the per-block-wavefront "
              "fork/join (see docs/performance.md)",
+    )
+    p.add_argument(
+        "--no-scan", action="store_true",
+        help="disable the scan tier for declared-linear problems — the "
+             "wavefront path serves them instead (A/B baseline)",
     )
     p.add_argument(
         "--inject-fault", action="append", metavar="SITE:SPEC", default=None,

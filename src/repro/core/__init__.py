@@ -4,6 +4,7 @@ partitioning and the top-level :class:`~repro.core.framework.Framework`."""
 from .blocking import BlockGrid, SkewedBlockGrid, grid_for
 from .classification import classify, conflicts, representative_set, table1_rows
 from .cellfunc import CellFunction, EvalContext
+from .linear import LinearSpec
 from .problem import LDDPProblem
 from .schedule import WavefrontSchedule, schedule_for
 from .partition import PhasePlan, HeteroParams, build_phase_plan
@@ -19,6 +20,7 @@ __all__ = [
     "table1_rows",
     "CellFunction",
     "EvalContext",
+    "LinearSpec",
     "LDDPProblem",
     "WavefrontSchedule",
     "schedule_for",

@@ -33,6 +33,7 @@ import numpy as np
 
 from ..errors import CellFunctionError
 from ..types import ContributingSet, Neighbor
+from .linear import LinearSpec
 
 __all__ = ["EvalContext", "CellFunction", "gather_neighbors"]
 
@@ -94,6 +95,7 @@ class CellFunction:
         contributing: ContributingSet,
         name: str | None = None,
         validate: bool = True,
+        linear: "LinearSpec | None" = None,
     ) -> None:
         if not callable(fn):
             raise CellFunctionError("cell function must be callable")
@@ -101,6 +103,12 @@ class CellFunction:
         self.contributing = contributing
         self.name = name or getattr(fn, "__name__", "cell_fn")
         self.validate = validate
+        if linear is not None:
+            linear.validate(contributing, name=self.name)
+        #: Declared :class:`~repro.core.linear.LinearSpec` capability, or
+        #: ``None`` — carried onto any :class:`~repro.core.problem.LDDPProblem`
+        #: built from this function, where the scan tier picks it up.
+        self.linear = linear
 
     def __call__(self, ctx: EvalContext) -> np.ndarray:
         out = self.fn(ctx)

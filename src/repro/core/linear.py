@@ -1,0 +1,80 @@
+"""Declared linearity of a cell function (the scan tier's capability flag).
+
+"On the Computation of 2-Dimensional Recurrence Equations" (PAPERS.md) shows
+that the *linear* subclass of LDDP cell functions,
+
+    w[i,j] = n·w[i-1,j] + w·w[i,j-1] + nw·w[i-1,j-1] + ne·w[i-1,j+1] + d[i,j],
+
+needs no wavefront scheduling: it reduces to first-order prefix scans —
+O(rows·cols) work at O(log) depth (:mod:`repro.scan`). Linearity is not
+detectable from an arbitrary vectorized callable, so it is a *declared*
+capability: a problem (or its :class:`~repro.core.cellfunc.CellFunction`)
+carries a :class:`LinearSpec` naming the four neighbour coefficients, and the
+scan tier verifies the declaration on a seeded sample of cells before
+trusting it — a wrong declaration degrades to the wavefront path, it never
+produces a wrong table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ProblemSpecError
+from ..types import ContributingSet
+
+__all__ = ["LinearSpec"]
+
+Coeff = "int | float"
+
+
+@dataclass(frozen=True)
+class LinearSpec:
+    """Coefficients of a linear cell function, one per representative cell.
+
+    ``w``/``nw``/``n``/``ne`` multiply the corresponding contributing-cell
+    values; the remaining additive term ``d[i,j]`` is *not* declared — the
+    scan solver recovers it by evaluating the cell function with all
+    neighbour arrays zero (linearity makes the result exactly ``d``).
+
+    A coefficient may be zero for a declared member (the scan drops the
+    term), but a *nonzero* coefficient for a neighbour outside the problem's
+    contributing set is a spec error — the cell function never sees that
+    neighbour, so the declaration could not possibly hold.
+    """
+
+    w: int | float = 0
+    nw: int | float = 0
+    n: int | float = 0
+    ne: int | float = 0
+
+    @property
+    def separable(self) -> bool:
+        """Whether the recurrence factors into a column scan then a row scan.
+
+        With ``ne == 0`` and ``nw == -(n·w)`` the generating function
+        factors as ``(1 - n·X)(1 - w·Y)·W = D`` — prefix-sum's
+        ``(w, nw, n) = (1, -1, 1)`` is the canonical instance (double
+        ``cumsum``). The factorization also requires a zero boundary, which
+        the solver checks separately (``fixed_rows == fixed_cols == 0`` and
+        ``oob_value == 0``).
+        """
+        return self.ne == 0 and self.nw == -(self.n * self.w)
+
+    def coeffs(self) -> dict[str, int | float]:
+        """The four coefficients keyed by neighbour name."""
+        return {"w": self.w, "nw": self.nw, "n": self.n, "ne": self.ne}
+
+    def validate(self, contributing: ContributingSet, name: str = "problem") -> None:
+        """Reject nonzero coefficients for neighbours the cell never reads."""
+        members = {
+            "w": contributing.w,
+            "nw": contributing.nw,
+            "n": contributing.n,
+            "ne": contributing.ne,
+        }
+        for nb, coeff in self.coeffs().items():
+            if coeff != 0 and not members[nb]:
+                raise ProblemSpecError(
+                    f"{name}: linear= declares coefficient {nb}={coeff!r} but "
+                    f"{nb.upper()} is not in the contributing set {contributing}"
+                )

@@ -12,10 +12,11 @@ from typing import Any, Callable, Mapping
 
 import numpy as np
 
-from ..errors import ProblemSpecError
+from ..errors import CellFunctionError, ProblemSpecError
 from ..types import ContributingSet, Pattern
 from .cellfunc import CellFunction, EvalContext
 from .classification import classify
+from .linear import LinearSpec
 from .schedule import WavefrontSchedule, schedule_for
 
 __all__ = ["LDDPProblem"]
@@ -59,6 +60,21 @@ class LDDPProblem:
         solve result.
     oob_value:
         Fill value for contributing-cell reads that fall outside the table.
+    linear:
+        Declared :class:`~repro.core.linear.LinearSpec` capability: the cell
+        function is affine in its neighbour values with these coefficients.
+        Routes the problem to the scan tier (:mod:`repro.scan`) — O(log)
+        depth instead of O(rows+cols) wavefronts — verified on a seeded
+        sample before the result is trusted. May also be declared on the
+        :class:`~repro.core.cellfunc.CellFunction` itself; it is inherited
+        from there when this field is ``None``.
+    estimate_only:
+        The constructor skipped materializing the payload (keeping only an
+        ``_nbytes_hint``), so the cell function has no data to read:
+        ``estimate`` works, functional solves are refused up front with a
+        :class:`~repro.errors.CellFunctionError` (see
+        :meth:`require_solvable`) instead of crashing with a bare
+        ``KeyError`` deep inside a worker.
     cpu_work, gpu_work:
         Per-cell arithmetic intensity relative to the machine models' unit
         cell, per device. These encode *problem* properties (branchiness,
@@ -77,6 +93,8 @@ class LDDPProblem:
     payload: dict[str, Any] = field(default_factory=dict)
     aux_specs: dict[str, np.dtype] = field(default_factory=dict)
     oob_value: float | int = 0
+    linear: LinearSpec | None = None
+    estimate_only: bool = False
     cpu_work: float = 1.0
     gpu_work: float = 1.0
 
@@ -96,11 +114,23 @@ class LDDPProblem:
             raise ProblemSpecError("work factors must be positive")
         self.dtype = np.dtype(self.dtype)
         if not isinstance(self.cell, CellFunction):
-            self.cell = CellFunction(self.cell, self.contributing, name=self.name)
+            self.cell = CellFunction(
+                self.cell, self.contributing, name=self.name, linear=self.linear
+            )
         elif self.cell.contributing != self.contributing:
             raise ProblemSpecError(
                 "cell function contributing set does not match the problem's"
             )
+        cell_linear = getattr(self.cell, "linear", None)
+        if self.linear is None:
+            self.linear = cell_linear
+        elif cell_linear is not None and cell_linear != self.linear:
+            raise ProblemSpecError(
+                f"{self.name}: problem declares linear={self.linear} but its "
+                f"cell function declares linear={cell_linear}"
+            )
+        if self.linear is not None:
+            self.linear.validate(self.contributing, name=self.name)
 
     # -- derived geometry ---------------------------------------------------
 
@@ -137,6 +167,24 @@ class LDDPProblem:
         return schedule_for(pat, r, c)
 
     # -- table management ----------------------------------------------------
+
+    def require_solvable(self) -> None:
+        """Refuse functional execution of an estimate-only instance.
+
+        Raises a :class:`~repro.errors.CellFunctionError` naming the fix when
+        the problem was built with ``materialize=False`` — the payload holds
+        only a byte-count hint, so the first cell-function call would die
+        with an opaque ``KeyError`` inside a worker. Checked at solve
+        submission (``Executor.solve``, the serve layer's ``submit``) so the
+        error surfaces where the request was made.
+        """
+        if self.estimate_only:
+            raise CellFunctionError(
+                f"{self.name}: built estimate-only (materialize=False) — the "
+                "payload holds only an '_nbytes_hint', not the data the cell "
+                "function reads. Use estimate(), or rebuild the problem with "
+                "materialize=True for a functional solve."
+            )
 
     def make_table(self) -> np.ndarray:
         """Allocate and initialize a fresh table."""

@@ -43,7 +43,19 @@ __all__ = ["DataflowStats", "run_dataflow", "default_workers"]
 
 
 def default_workers() -> int:
-    """Worker-pool size when ``ExecOptions.dataflow_workers`` is unset."""
+    """Worker-pool size when ``ExecOptions.dataflow_workers`` is unset.
+
+    Sized from the process's CPU *affinity* mask where the platform exposes
+    one (``os.sched_getaffinity``), not ``os.cpu_count()``: in containerized
+    CI and sharded process-pool workers the affinity mask is the real budget,
+    and sizing from the host's core count oversubscribes threads.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return max(1, len(getaffinity(0)))
+        except OSError:  # pragma: no cover - platform quirk
+            pass
     return max(1, os.cpu_count() or 1)
 
 
@@ -61,7 +73,15 @@ class DataflowStats:
 
     @property
     def occupancy(self) -> float:
-        """Busy fraction of the pool over the sweep's wall time."""
+        """Busy fraction of the pool over the sweep's wall time.
+
+        ``workers`` is the *spawned* pool size (exactly what the caller
+        requested — no silent clamp to the tile count), and every worker's
+        waits, including the terminal wait for the graph to drain, land in
+        ``wait_s`` — so a 1-tile graph swept by N workers reports the
+        near-zero occupancy it deserves rather than pretending the pool was
+        busy.
+        """
         denom = self.workers * self.wall_s
         return self.busy_s / denom if denom > 0 else 0.0
 
@@ -94,7 +114,6 @@ def run_dataflow(
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     n = graph.num_nodes
-    workers = max(1, min(workers, n))
     skewed = graph.skewed
     ncols = graph.ncols
     what = f"solve of {problem.name!r}"
@@ -136,6 +155,11 @@ def run_dataflow(
                     ):
                         cond.wait()
                     if state["failure"] is not None or state["remaining"] == 0:
+                        # Terminal wait counts too: a worker that blocked
+                        # here until the graph drained (or failed) spent that
+                        # time waiting, and dropping it understates wait_s /
+                        # overstates occupancy on tail-heavy graphs.
+                        waited += perf_counter() - t_wait
                         return
                     nid = ready.popleft()
                     depth_hist.observe(len(ready))

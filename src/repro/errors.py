@@ -40,6 +40,17 @@ class ExecutionError(ReproError):
     """An executor failed while filling the table."""
 
 
+class ScanMismatch(ExecutionError):
+    """A declared ``linear=`` spec failed the scan tier's verification.
+
+    Raised by :mod:`repro.scan` when the seeded spot-check finds the cell
+    function disagreeing with its declared coefficients (or the declaration
+    is unusable, e.g. fractional coefficients on an integer table). The
+    routing layer catches it and degrades to the wavefront path — a wrong
+    declaration costs the fast path, never correctness.
+    """
+
+
 class SimulationError(ReproError):
     """The discrete-event engine detected an inconsistency (e.g. a cycle)."""
 

@@ -69,10 +69,19 @@ class ExecOptions:
         ``--dataflow``. Tables stay bit-identical; a dataflow failure
         degrades back to the barrier path.
     dataflow_workers:
-        Host worker-thread count for the dataflow pool (default:
-        ``os.cpu_count()``). A tuning knob for the *real* sweep only — the
-        timing model always uses the platform's modeled core count — so it
-        is excluded from the cache-key ``repr`` like ``deadline``.
+        Host worker-thread count for the dataflow pool (default: the
+        process's CPU affinity count, see
+        :func:`repro.dataflow.default_workers`). A tuning knob for the
+        *real* sweep only — the timing model always uses the platform's
+        modeled core count — so it is excluded from the cache-key ``repr``
+        like ``deadline``.
+    scan:
+        Offer declared-linear problems (``LDDPProblem.linear``) to the scan
+        tier (:mod:`repro.scan`) before the wavefront path — prefix scans
+        at O(log) depth, verified against the declaration and degrading to
+        the wavefront sweep on any mismatch. Off (the CLI's ``--no-scan``):
+        every solve runs the wavefront path. A semantic knob, so it stays
+        in the cache-key ``repr``.
     degrade_to_cpu:
         When the GPU machine model fails mid-run (a
         :class:`~repro.errors.PlatformError` or injected fault), the
@@ -100,6 +109,7 @@ class ExecOptions:
     kernel_fastpath: bool = True
     dataflow: bool = False
     dataflow_workers: int | None = field(default=None, repr=False, compare=False)
+    scan: bool = True
     degrade_to_cpu: bool = True
     deadline: float | None = field(default=None, repr=False, compare=False)
     cancel_token: CancelToken | None = field(
@@ -380,8 +390,31 @@ class Executor(ABC):
         self.options = options or ExecOptions()
 
     def solve(self, problem: LDDPProblem, **kwargs) -> SolveResult:
-        """Fill the table *and* model the timing."""
-        return self._run(problem, functional=True, **kwargs)
+        """Fill the table *and* model the timing.
+
+        Estimate-only problems (built with ``materialize=False``) are
+        refused up front with a clear
+        :class:`~repro.errors.CellFunctionError` instead of crashing on a
+        missing payload key deep inside a worker.
+
+        Declared-linear problems (``LDDPProblem.linear``) are offered to the
+        scan tier first (:mod:`repro.scan`) unless ``options.scan`` is off;
+        a scan failure degrades to this executor's wavefront path —
+        bit-identical tables — with the reason recorded in
+        ``stats["scan_degraded_reason"]``. Deadline/cancel aborts surface
+        either way.
+        """
+        problem.require_solvable()
+        from ..scan.route import try_scan_solve  # local: repro.scan imports us
+
+        result, scan_reason = try_scan_solve(self, problem)
+        if result is not None:
+            return result
+        result = self._run(problem, functional=True, **kwargs)
+        if scan_reason is not None:
+            result.stats.setdefault("degraded", "wavefront")
+            result.stats["scan_degraded_reason"] = scan_reason
+        return result
 
     def estimate(self, problem: LDDPProblem, **kwargs) -> SolveResult:
         """Model the timing only; no table is allocated or filled.

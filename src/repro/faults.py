@@ -18,6 +18,9 @@ site                checked in
 ``dataflow.tile``   :func:`repro.dataflow.run_dataflow` worker, once per
                     dequeued tile (a fault here degrades the solve to the
                     barrier blocked path, bit-identically)
+``scan.solve``      :func:`repro.scan.try_scan_solve`, once per scan-tier
+                    attempt (a fault here degrades the solve to the
+                    executor's wavefront path, bit-identically)
 ``machine.cpu``     :meth:`repro.machine.cpu.CPUModel.parallel_time`
 ``machine.gpu``     :meth:`repro.machine.gpu.GPUModel.kernel_time` (a fault
                     here degrades hetero/multi executors to CPU-only)

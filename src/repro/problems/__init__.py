@@ -41,9 +41,14 @@ from .gauss_seidel import (
     reference_gs_sweep,
     residual,
 )
-from .dithering import make_dithering, reference_dithering
+from .dithering import make_diffusion, make_dithering, reference_dithering
 from .checkerboard import make_checkerboard, reference_checkerboard
-from .synthetic import make_synthetic, make_fig8_problem, make_fig9_problem
+from .synthetic import (
+    make_fig8_problem,
+    make_fig9_problem,
+    make_linear,
+    make_synthetic,
+)
 
 __all__ = [
     "make_levenshtein",
@@ -66,10 +71,12 @@ __all__ = [
     "gs_solve",
     "residual",
     "make_dithering",
+    "make_diffusion",
     "reference_dithering",
     "make_checkerboard",
     "reference_checkerboard",
     "make_synthetic",
     "make_fig8_problem",
     "make_fig9_problem",
+    "make_linear",
 ]

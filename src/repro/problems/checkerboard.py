@@ -56,6 +56,7 @@ def make_checkerboard(
         fixed_rows=1,
         dtype=np.dtype(np.float64),
         payload=payload,
+        estimate_only=not materialize,
         oob_value=np.inf,
         cpu_work=1.0,
         gpu_work=3.0,  # three neighbour loads per cell: memory-bound kernel

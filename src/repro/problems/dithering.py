@@ -23,10 +23,17 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.cellfunc import EvalContext
+from ..core.linear import LinearSpec
 from ..core.problem import LDDPProblem
 from ..types import ContributingSet
 
-__all__ = ["make_dithering", "dithering_cell", "reference_dithering"]
+__all__ = [
+    "make_dithering",
+    "dithering_cell",
+    "reference_dithering",
+    "make_diffusion",
+    "diffusion_cell",
+]
 
 #: Classic Floyd-Steinberg weights, as gathered by the receiving cell.
 W_EAST = 7.0 / 16.0  # from (i, j-1)
@@ -83,6 +90,7 @@ def make_dithering(
         init=None,
         dtype=np.dtype(np.float32),  # error values: f32 suffices (8-bit pixels)
         payload=payload,
+        estimate_only=not materialize,
         aux_specs={"output": np.dtype(np.float32)},
         oob_value=0.0,
         cpu_work=2.0,  # heavier per-pixel arithmetic than an edit-distance cell
@@ -118,3 +126,59 @@ def reference_dithering(
                 if j + 1 < cols:
                     work[i + 1, j + 1] += e * 1.0 / 16.0
     return out, err
+
+
+def diffusion_cell(ctx: EvalContext) -> np.ndarray:
+    image = ctx.payload["image"]
+    acc = W_EAST * ctx.w + W_SW * ctx.nw + W_S * ctx.n + W_SE * ctx.ne
+    return image[ctx.i, ctx.j] + acc
+
+
+def make_diffusion(
+    rows: int,
+    cols: int | None = None,
+    seed: int = 0,
+    materialize: bool = True,
+) -> LDDPProblem:
+    """The *linear part* of Floyd-Steinberg dithering: diffusion, no quantizer.
+
+    Dropping the threshold/quantization step from :func:`dithering_cell`
+    leaves the pure error-diffusion operator — each cell is the image value
+    plus the Floyd-Steinberg-weighted sum of all four upstream neighbours.
+    That is exactly the affine form the scan tier handles, declared here as
+    ``linear=LinearSpec(w=7/16, nw=1/16, n=5/16, ne=3/16)``: the one stock
+    problem exercising the NE coefficient (and with it the rowscan path's
+    upper-right boundary handling) on the knight-move contributing set.
+
+    float64 rather than the dithering table's float32: the scan regroups
+    float arithmetic (tolerance-checked, not bit-exact), and the wider
+    accumulator keeps the wavefront-vs-scan comparison well inside the
+    verification tolerances at benchmark sizes.
+    """
+    cols = rows if cols is None else cols
+    if materialize:
+        # Same smooth test card as make_dithering, at full float64.
+        ii = np.arange(rows, dtype=np.float64)[:, None]
+        jj = np.arange(cols, dtype=np.float64)[None, :]
+        image = 255.0 * (
+            0.5
+            + 0.35 * np.sin(ii / max(rows, 1) * 3.1) * np.cos(jj / max(cols, 1) * 2.3)
+            + 0.15 * (ii + jj) / max(rows + cols, 1)
+        )
+        payload: dict = {"image": np.clip(image, 0.0, 255.0)}
+    else:
+        payload = {"_nbytes_hint": rows * cols * 8}
+    return LDDPProblem(
+        name=f"diffusion-{rows}x{cols}",
+        shape=(rows, cols),
+        contributing=ContributingSet.of("W", "NW", "N", "NE"),
+        cell=diffusion_cell,
+        init=None,
+        dtype=np.dtype(np.float64),
+        payload=payload,
+        oob_value=0.0,
+        linear=LinearSpec(w=W_EAST, nw=W_SW, n=W_S, ne=W_SE),
+        estimate_only=not materialize,
+        cpu_work=1.5,
+        gpu_work=2.0,
+    )

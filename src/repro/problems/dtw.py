@@ -78,6 +78,7 @@ def make_dtw(
         fixed_cols=1,
         dtype=np.dtype(np.float64),
         payload=payload,
+        estimate_only=not materialize,
         cpu_work=1.2,
         gpu_work=1.5,
     )

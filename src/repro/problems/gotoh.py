@@ -99,6 +99,7 @@ def make_gotoh(
         fixed_cols=1,
         dtype=GOTOH_DTYPE,
         payload=payload,
+        estimate_only=not materialize,
         cpu_work=2.5,  # three coupled recurrences per cell
         gpu_work=3.5,
     )

@@ -54,6 +54,7 @@ def make_lcs(
         fixed_cols=1,
         dtype=np.dtype(dtype),
         payload=payload,
+        estimate_only=not materialize,
         cpu_work=1.0,
         gpu_work=1.5,
     )

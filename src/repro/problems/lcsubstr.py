@@ -58,6 +58,7 @@ def make_lcsubstr(
         fixed_cols=1,
         dtype=np.dtype(np.int32),
         payload=payload,
+        estimate_only=not materialize,
         cpu_work=0.8,
         gpu_work=1.0,
     )

@@ -67,6 +67,7 @@ def make_levenshtein(
         fixed_cols=1,
         dtype=np.dtype(dtype),
         payload=payload,
+        estimate_only=not materialize,
         cpu_work=1.0,
         gpu_work=1.5,  # data-dependent branching diverges on the GPU
     )

@@ -71,6 +71,7 @@ def make_needleman_wunsch(
         fixed_cols=1,
         dtype=np.dtype(np.int32),
         payload=payload,
+        estimate_only=not materialize,
         cpu_work=1.2,
         gpu_work=1.6,
     )

@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.cellfunc import EvalContext
+from ..core.linear import LinearSpec
 from ..core.problem import LDDPProblem
 from ..types import ContributingSet
 
@@ -22,8 +23,13 @@ __all__ = ["make_prefix_sum", "prefix_sum_cell", "reference_prefix_sum"]
 
 
 def prefix_sum_cell(ctx: EvalContext) -> np.ndarray:
-    x = ctx.payload["x"]
-    return x[ctx.i, ctx.j] + ctx.w + ctx.n - ctx.nw
+    # Fancy indexing yields a fresh batch array; fold the neighbour terms
+    # in place rather than allocating a temporary per operand.
+    out = ctx.payload["x"][ctx.i, ctx.j]
+    out += ctx.w
+    out += ctx.n
+    out -= ctx.nw
+    return out
 
 
 def make_prefix_sum(
@@ -57,6 +63,10 @@ def make_prefix_sum(
         dtype=np.dtype(np.int64 if integer else np.float64),
         payload=payload,
         oob_value=0,  # S vanishes outside the table: exactly the boundary rule
+        # Inclusion-exclusion is linear with nw = -(n·w): the scan tier
+        # solves it as the separable double cumsum (repro.scan).
+        linear=LinearSpec(w=1, nw=-1, n=1),
+        estimate_only=not materialize,
         cpu_work=0.8,
         gpu_work=1.0,
     )

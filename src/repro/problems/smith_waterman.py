@@ -66,6 +66,7 @@ def make_smith_waterman(
         fixed_cols=1,
         dtype=np.dtype(np.int32),
         payload=payload,
+        estimate_only=not materialize,
         cpu_work=1.3,
         gpu_work=1.8,
     )

@@ -9,6 +9,10 @@
 * :func:`make_fig9_problem` is the paper's Fig. 9 workload,
   ``f(i,j) = min(f(i-1,j-1), f(i-1,j)) + c`` (contributing set {NW, N}),
   a horizontal case-1 pattern.
+* :func:`make_linear` builds an arbitrary declared-linear recurrence
+  ``w = a·N + b·W + c·NW + e·NE + d_ij`` over a random ``d`` grid — the
+  parametric workload of the scan tier (:mod:`repro.scan`), sweepable over
+  every coefficient combination and both dtype families.
 """
 
 from __future__ import annotations
@@ -16,10 +20,16 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.cellfunc import EvalContext
+from ..core.linear import LinearSpec
 from ..core.problem import LDDPProblem
 from ..types import ContributingSet
 
-__all__ = ["make_synthetic", "make_fig8_problem", "make_fig9_problem"]
+__all__ = [
+    "make_synthetic",
+    "make_fig8_problem",
+    "make_fig9_problem",
+    "make_linear",
+]
 
 
 def _min_plus_one(ctx: EvalContext) -> np.ndarray:
@@ -118,4 +128,67 @@ def make_fig9_problem(
         dtype=np.dtype(np.float64),
         payload=payload,
         oob_value=0.0,
+    )
+
+
+def _linear_cell(ctx: EvalContext) -> np.ndarray:
+    pl = ctx.payload
+    out = pl["d"][ctx.i, ctx.j]
+    for name in ("w", "nw", "n", "ne"):
+        vals = getattr(ctx, name)
+        coeff = pl["c_" + name]
+        if vals is not None and coeff != 0:
+            out = out + coeff * vals
+    return out
+
+
+def make_linear(
+    rows: int,
+    cols: int | None = None,
+    *,
+    a: int | float = 1,
+    b: int | float = 1,
+    c: int | float = 0,
+    e: int | float = 0,
+    seed: int = 0,
+    integer: bool = True,
+    materialize: bool = True,
+) -> LDDPProblem:
+    """A declared-linear recurrence ``w = a·N + b·W + c·NW + e·NE + d_ij``.
+
+    ``d`` is a random grid (small int64 values, or standard normals with
+    ``integer=False``); the contributing set is exactly the neighbours with
+    nonzero coefficients (at least one must be nonzero). Integer instances
+    wrap around in int64 — deliberately: the scan tier's bit-exactness claim
+    is about the Z/2^64 ring, and wraparound workloads are where regrouped
+    arithmetic would betray a non-ring shortcut.
+    """
+    cols = rows if cols is None else cols
+    coeffs = {"w": b, "nw": c, "n": a, "ne": e}
+    members = [name.upper() for name, co in coeffs.items() if co != 0]
+    if not members:
+        raise ValueError("make_linear needs at least one nonzero coefficient")
+    if materialize:
+        rng = np.random.default_rng(seed)
+        if integer:
+            d = rng.integers(-50, 50, size=(rows, cols)).astype(np.int64)
+        else:
+            d = rng.normal(size=(rows, cols))
+        payload: dict = {"d": d}
+    else:
+        payload = {"_nbytes_hint": rows * cols * 8}
+    payload.update({"c_" + name: co for name, co in coeffs.items()})
+    return LDDPProblem(
+        name=f"linear-{rows}x{cols}",
+        shape=(rows, cols),
+        contributing=ContributingSet.of(*members),
+        cell=_linear_cell,
+        init=None,
+        dtype=np.dtype(np.int64 if integer else np.float64),
+        payload=payload,
+        oob_value=0,
+        linear=LinearSpec(w=b, nw=c, n=a, ne=e),
+        estimate_only=not materialize,
+        cpu_work=0.8,
+        gpu_work=1.0,
     )

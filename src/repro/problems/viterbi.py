@@ -80,6 +80,7 @@ def make_viterbi(
         fixed_rows=1,
         dtype=np.dtype(np.float64),
         payload=payload,
+        estimate_only=not materialize,
         oob_value=NEG,
         cpu_work=1.4,
         gpu_work=1.8,

@@ -1,0 +1,312 @@
+"""Prefix-scan solver for declared-linear 2-D recurrences.
+
+Solves
+
+    w[i,j] = n·w[i-1,j] + b·w[i,j-1] + c·w[i-1,j-1] + e·w[i-1,j+1] + d[i,j]
+
+(coefficients from the problem's :class:`~repro.core.linear.LinearSpec`,
+``b = spec.w``, ``c = spec.nw``, ``e = spec.ne``) without wavefront
+scheduling:
+
+* **separable** — when ``e == 0``, ``c == -(n·b)`` and the boundary is zero
+  (no fixed rows/cols, ``oob_value == 0``) the generating function factors
+  as ``(1 - n·X)(1 - b·Y)·W = D``: a column scan with coefficient ``n``
+  followed by a row scan with coefficient ``b``. Prefix-sum
+  (``b = n = 1, c = -1``) is the double ``cumsum``.
+* **rowscan** — the general case walks rows top-down: row ``i`` folds the
+  three already-finished upper-row terms into a drive vector ``g`` and
+  solves the first-order recurrence ``w[j] = b·w[j-1] + g[j]`` with a
+  vectorized scan — ``cumsum`` for ``b == 1``, otherwise a Hillis–Steele
+  doubling scan (log₂ passes, each a full-row multiply-add).
+
+The additive term ``d`` is never declared: :func:`linear_term` recovers it
+by evaluating the cell function once with every neighbour array zero —
+linearity makes the result exactly ``d``. Before any table is trusted,
+:func:`verify_spec` re-evaluates the cell function on a seeded sample of
+cells with random neighbour values and compares against the declared affine
+form; any disagreement raises :class:`~repro.errors.ScanMismatch` and the
+router degrades to the wavefront path.
+
+**Exactness.** Integer tables are bit-exact: every path uses only adds and
+multiplies in the table dtype, and NumPy integer arithmetic is the
+wraparound ring Z/2^k — where reassociation is exact — so the doubling
+scan's regrouped polynomial ``Σ bᵏ·g[j-k]`` equals the sequential
+recurrence bit for bit. Float tables reassociate *rounding* instead, which
+is why the scan tier is verified/tolerance-checked rather than assumed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.cellfunc import EvalContext
+from ..core.problem import LDDPProblem
+from ..errors import ScanMismatch
+
+__all__ = ["ScanMismatch", "linear_term", "scan_solve", "verify_spec"]
+
+_NEIGHBORS = ("w", "nw", "n", "ne")
+
+#: Sample size of the pre-trust declaration spot-check.
+VERIFY_SAMPLES = 16
+#: Float-mode tolerances: one cell function application's worth of rounding.
+VERIFY_RTOL = 1e-5
+VERIFY_ATOL = 1e-8
+
+
+def _scalar(value, dtype: np.dtype):
+    """``value`` as a 0-d scalar of ``dtype`` (exact for integer dtypes)."""
+    return np.asarray(value, dtype=dtype)[()]
+
+
+def _linear_scan(g: np.ndarray, coeff, axis: int) -> np.ndarray:
+    """First-order linear scan ``out[k] = coeff·out[k-1] + g[k]`` along ``axis``.
+
+    ``coeff`` must already be a dtype-matching scalar. Returns a new array
+    (or ``g`` itself for the trivial cases); ``g`` is never mutated. The
+    general case is the Hillis–Steele doubling scan over the associative
+    pairs ``(value, coeff_power)`` — ⌈log₂ n⌉ vectorized passes.
+    """
+    size = g.shape[axis]
+    if size <= 1 or coeff == 0:
+        return g
+    if coeff == 1:
+        return np.cumsum(g, axis=axis, dtype=g.dtype)
+    out = np.moveaxis(g.copy(), axis, 0)
+    powers = np.full_like(out, coeff)
+    k = 1
+    while k < size:
+        # Slice-overlap-safe: each RHS materializes before assignment.
+        out[k:] = out[k:] + powers[k:] * out[:-k]
+        powers[k:] = powers[k:] * powers[:-k]
+        k *= 2
+    return np.moveaxis(out, 0, axis)
+
+
+def _axis0_scan_inplace(work: np.ndarray, coeff) -> None:
+    """In-place ``work[i] = coeff·work[i-1] + work[i]`` down a 2-D array.
+
+    The row-at-a-time sequential loop beats both ``np.cumsum(axis=0)`` and
+    the doubling scan here: each step is one vectorized multiply-add on a
+    contiguous row that stays in cache, versus log₂ n full-array passes.
+    It *is* the sequential recurrence, so exactness is immediate.
+    """
+    if coeff == 1:
+        for i in range(1, work.shape[0]):
+            work[i] += work[i - 1]
+    else:
+        for i in range(1, work.shape[0]):
+            work[i] += coeff * work[i - 1]
+
+
+def linear_term(problem: LDDPProblem) -> np.ndarray:
+    """The additive term ``d[i,j]`` over the computed region, by zero-probe.
+
+    One vectorized cell-function call with every contributing-neighbour
+    array zeroed: for a genuinely linear function the affine form collapses
+    to ``d``. (For a *mis*declared function the output is still consumed as
+    ``d`` — :func:`verify_spec` is what catches the lie.)
+
+    The probe passes *broadcastable* index arrays — ``i`` of shape (R, 1),
+    ``j`` of shape (1, C), neighbours of shape (1, 1) — so payload gathers
+    like ``x[ctx.i, ctx.j]`` produce (R, C) directly without materializing
+    R·C flat index arrays. A cell function that chokes on broadcast shapes
+    raises, which the router degrades to the wavefront path.
+
+    Always returns a fresh, writable, C-contiguous (R, C) array in the
+    table dtype — callers are free to scan it in place.
+    """
+    R, C = problem.computed_shape
+    rows, cols = problem.shape
+    gi = np.arange(problem.fixed_rows, rows, dtype=np.int64)[:, None]
+    gj = np.arange(problem.fixed_cols, cols, dtype=np.int64)[None, :]
+    neighbors = {
+        name: (
+            np.zeros((1, 1), dtype=problem.dtype)
+            if getattr(problem.contributing, name)
+            else None
+        )
+        for name in _NEIGHBORS
+    }
+    ctx = EvalContext(i=gi, j=gj, payload=problem.payload, aux={}, **neighbors)
+    # Call the raw fn: CellFunction's per-batch shape check expects
+    # ``out.shape == ctx.i.shape``, which broadcast probing deliberately
+    # widens to (R, C). verify_spec still runs through the checked wrapper.
+    fn = getattr(problem.cell, "fn", problem.cell)
+    out = np.asarray(fn(ctx)).astype(problem.dtype, copy=False)
+    if out.shape != (R, C):
+        # Constant-d cells collapse under broadcasting; expand (with a copy:
+        # broadcast_to views are read-only and callers scan d in place).
+        return np.ascontiguousarray(np.broadcast_to(out, (R, C)))
+    if not (out.flags.writeable and out.flags.owndata and
+            out.flags.c_contiguous):
+        return out.copy()
+    return out
+
+
+def verify_spec(
+    problem: LDDPProblem, d: np.ndarray, samples: int = VERIFY_SAMPLES
+) -> None:
+    """Spot-check the declared coefficients before trusting the scan.
+
+    Evaluates the real cell function on a seeded sample of cells with random
+    neighbour values and compares against ``Σ coeff·neighbour + d``. Exact
+    comparison for integer dtypes, ``rtol``/``atol`` for floats. Raises
+    :class:`~repro.errors.ScanMismatch` on the first disagreement — the
+    router turns that into a wavefront run, so a wrong ``linear=`` can cost
+    the fast path but never correctness.
+    """
+    spec = problem.linear
+    R, C = problem.computed_shape
+    dtype = problem.dtype
+    integer = np.issubdtype(dtype, np.integer)
+    rng = np.random.default_rng((R * 1_000_003 + C) ^ 0x5CA7)
+    k = min(samples, R * C)
+    flat = rng.choice(R * C, size=k, replace=False)
+    ri, rj = np.divmod(flat.astype(np.int64), C)
+    expected = d[ri, rj].astype(dtype, copy=True)
+    neighbors: dict[str, np.ndarray | None] = {}
+    for name in _NEIGHBORS:
+        if not getattr(problem.contributing, name):
+            neighbors[name] = None
+            continue
+        if integer:
+            vals = rng.integers(-9, 10, size=k).astype(dtype)
+        else:
+            vals = rng.normal(size=k).astype(dtype)
+        neighbors[name] = vals
+        coeff = getattr(spec, name)
+        if coeff != 0:
+            expected = expected + _scalar(coeff, dtype) * vals
+    ctx = EvalContext(
+        i=ri + problem.fixed_rows,
+        j=rj + problem.fixed_cols,
+        payload=problem.payload,
+        aux={},
+        **neighbors,
+    )
+    got = np.asarray(problem.cell(ctx)).astype(dtype, copy=False)
+    if integer:
+        ok = bool(np.array_equal(got, expected))
+    else:
+        ok = bool(
+            np.allclose(
+                got.astype(np.float64),
+                expected.astype(np.float64),
+                rtol=VERIFY_RTOL,
+                atol=VERIFY_ATOL,
+            )
+        )
+    if not ok:
+        bad = int(np.flatnonzero(got != expected)[0]) if k else 0
+        raise ScanMismatch(
+            f"{problem.name}: cell function disagrees with its declared "
+            f"linear={spec} at sampled cell "
+            f"(i={int(ri[bad]) + problem.fixed_rows}, "
+            f"j={int(rj[bad]) + problem.fixed_cols}): "
+            f"got {got[bad]!r}, affine form predicts {expected[bad]!r}"
+        )
+
+
+def _check_coefficients(problem: LDDPProblem) -> None:
+    spec = problem.linear
+    if not np.issubdtype(problem.dtype, np.integer):
+        return
+    for name, coeff in spec.coeffs().items():
+        if not float(coeff).is_integer():
+            raise ScanMismatch(
+                f"{problem.name}: fractional coefficient {name}={coeff!r} "
+                f"cannot be exact on integer table dtype {problem.dtype}"
+            )
+
+
+def _rowscan_fill(problem: LDDPProblem, d: np.ndarray, table: np.ndarray) -> None:
+    """General path: per-row drive vector + first-order scan, top-down.
+
+    Handles fixed boundary rows/columns (read from the initialized table)
+    and out-of-table neighbour reads (``oob_value``), exactly as
+    :func:`~repro.core.cellfunc.gather_neighbors` would.
+    """
+    spec = problem.linear
+    dtype = table.dtype
+    rows, cols = problem.shape
+    fr, fc = problem.fixed_rows, problem.fixed_cols
+    R, C = problem.computed_shape
+    a = _scalar(spec.n, dtype)
+    b = _scalar(spec.w, dtype)
+    c = _scalar(spec.nw, dtype)
+    e = _scalar(spec.ne, dtype)
+    oob = _scalar(problem.oob_value, dtype)
+    for r in range(R):
+        gi = fr + r
+        total = d[r]  # linear_term owns d: rows may be folded into in place
+        if a != 0 or c != 0 or e != 0:
+            if gi >= 1:
+                up = table[gi - 1, fc:]
+            else:
+                up = np.full(C, oob, dtype=dtype)
+            if a != 0:
+                total += a * up
+            if c != 0:
+                upleft = np.empty(C, dtype=dtype)
+                upleft[0] = table[gi - 1, fc - 1] if gi >= 1 and fc >= 1 else oob
+                upleft[1:] = up[:-1]
+                total += c * upleft
+            if e != 0:
+                upright = np.empty(C, dtype=dtype)
+                upright[: C - 1] = up[1:]
+                upright[C - 1] = oob
+                total += e * upright
+        if b != 0:
+            west = table[gi, fc - 1] if fc >= 1 else oob
+            total[0] += b * west
+            total = _linear_scan(total, b, axis=0)
+        table[gi, fc:] = total
+
+
+def scan_solve(problem: LDDPProblem) -> tuple[np.ndarray, dict]:
+    """Solve a declared-linear problem with prefix scans.
+
+    Returns ``(table, stats)`` with ``stats["scan_path"]`` naming the path
+    taken (``"separable"`` or ``"rowscan"``). Raises
+    :class:`~repro.errors.ScanMismatch` when the declaration is unusable or
+    fails verification; the routing layer (:mod:`repro.scan.route`) owns
+    turning that into a wavefront run.
+    """
+    spec = problem.linear
+    if spec is None:
+        raise ScanMismatch(f"{problem.name}: no linear= declaration")
+    _check_coefficients(problem)
+    d = linear_term(problem)
+    verify_spec(problem, d)
+    if (
+        spec.separable
+        and problem.fixed_rows == 0
+        and problem.fixed_cols == 0
+        and _scalar(problem.oob_value, problem.dtype) == 0
+    ):
+        # linear_term hands over a fresh owned array: scan it in place
+        # (cumsum with out= for the coeff-1 axes) and, when the table has
+        # no init function, adopt it as the table outright — the zero
+        # boundary means make_table() would only allocate zeros to be
+        # immediately overwritten.
+        work = d
+        a_ = _scalar(spec.n, problem.dtype)
+        b_ = _scalar(spec.w, problem.dtype)
+        if a_ != 0 and work.shape[0] > 1:
+            _axis0_scan_inplace(work, a_)
+        if b_ == 1 and work.shape[1] > 1:
+            np.cumsum(work, axis=1, out=work)
+        else:
+            work = _linear_scan(work, b_, axis=1)
+        if problem.init is None:
+            table = np.ascontiguousarray(work)
+        else:
+            table = problem.make_table()
+            table[...] = work
+        path = "separable"
+    else:
+        table = problem.make_table()
+        _rowscan_fill(problem, d, table)
+        path = "rowscan"
+    return table, {"scan_path": path}

@@ -322,6 +322,10 @@ class SolveService:
         admitted request is never shed later.
         """
         metrics = get_metrics()
+        if request.functional:
+            # Estimate-only instances fail here, at submission, with a clear
+            # error — not with a KeyError inside a worker thread.
+            request.problem.require_solvable()
         units = None
         key = _BATCH_KEY_UNSET
         if self.slo is not None:

@@ -103,6 +103,15 @@ class Pricer:
         return units
 
     def _priced(self, problem, options, params, executor=None) -> float:
+        from ..scan.route import scan_applicable
+
+        if scan_applicable(problem, options, executor):
+            # Declared-linear solves route to the scan tier: O(n·m) work at
+            # O(log) depth. Pricing them with the wavefront models would
+            # overprice (and wrongly shed) exactly the cheapest requests.
+            from ..scan.timing import scan_makespan
+
+            return scan_makespan(problem, self.framework.platform, options)
         if executor == "cpu-blocked":
             from ..exec.fast_estimate import fast_blocked_makespan
 

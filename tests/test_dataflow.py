@@ -29,6 +29,7 @@ from repro.core.blocking import (
     clear_blocking_cache,
     grid_for,
 )
+from repro.core.problem import LDDPProblem
 from repro.dataflow import (
     DataflowStats,
     clear_graph_cache,
@@ -273,6 +274,71 @@ class TestBitEquality:
         assert stats.tiles == graph.num_nodes
         assert stats.workers == 3
         assert 0.0 <= stats.occupancy <= 1.0
+
+
+# -- worker accounting: pool sizing and terminal-wait bookkeeping -------------
+
+
+class TestWorkerAccounting:
+    """Regressions for the two worker-sizing/accounting bugs.
+
+    * the pool was silently clamped to the tile count, so ``stats.workers``
+      lied about the requested pool and occupancy came out flattering;
+    * a worker's *terminal* wait (blocking on the queue condition until the
+      run drains) was dropped from ``waited``, so ``wait_s`` undercounted
+      and occupancy overstated utilization.
+    """
+
+    def test_one_tile_graph_reports_requested_pool(self, fw):
+        """A 1-tile graph swept by 8 workers: 7 of them only ever wait.
+
+        Pre-fix the pool was clamped to ``min(workers, tiles) == 1`` and
+        stats reported perfect occupancy for a run that wasted 7 threads.
+        """
+        p = make_synthetic(ContributingSet.of("W", "N"), 8, 8)
+        grid = grid_for(8, 8, 8, pattern=Pattern.ANTI_DIAGONAL)
+        graph = graph_for(grid, p.contributing)
+        assert graph.num_nodes == 1
+        table, aux = p.make_table(), p.make_aux()
+        stats = run_dataflow(
+            p, Pattern.ANTI_DIAGONAL, table, aux, grid, graph, workers=8
+        )
+        assert stats.workers == 8
+        assert stats.occupancy < 0.25
+        ref = fw.solve(p, executor="sequential").table
+        assert np.array_equal(ref, table)
+
+    def test_terminal_wait_lands_in_wait_s(self):
+        """Idle workers' drain-wait must be accounted, not dropped.
+
+        One slow tile pins one worker; the other three block on the queue
+        condition until the run drains — a *terminal* wait. Pre-fix that
+        wait was discarded on the exit path, so ``wait_s`` came out near
+        zero; post-fix it dwarfs the single worker's busy time.
+        """
+        def napping_cell(ctx):
+            time.sleep(0.01)
+            return np.minimum(ctx.w, ctx.n) + 1
+
+        p = LDDPProblem(
+            name="napping-4x4",
+            shape=(4, 4),
+            contributing=ContributingSet.of("W", "N"),
+            cell=napping_cell,
+            init=None,
+            dtype=np.dtype(np.int64),
+            oob_value=0,
+        )
+        grid = grid_for(4, 4, 4, pattern=Pattern.ANTI_DIAGONAL)
+        graph = graph_for(grid, p.contributing)
+        assert graph.num_nodes == 1
+        table, aux = p.make_table(), p.make_aux()
+        stats = run_dataflow(
+            p, Pattern.ANTI_DIAGONAL, table, aux, grid, graph, workers=4
+        )
+        assert stats.workers == 4
+        assert stats.busy_s > 0.0
+        assert stats.wait_s > stats.busy_s * 0.5
 
 
 # -- control: cancellation, deadlines, faults ---------------------------------
