@@ -39,6 +39,13 @@ DES switched to its list-scheduled dataflow mode. Combine with
 ``--executor cpu-blocked``; tables stay bit-identical to every other
 executor.
 
+``serve --delta`` (``ExecOptions(delta=True)`` in code) turns the request
+stream into near-duplicate traffic (each cycle re-requests the mix with a
+one-element payload edit) and lets the service answer exact-cache misses by
+*delta patching* a cached base: copy the base table, recompute only the
+edit's forward invalidation cone (:mod:`repro.delta`). Bit-identical to a
+fresh solve; failures degrade to the full solve. See docs/delta-solving.md.
+
 ``--trace out.json`` records live instrumentation spans plus the simulated
 timeline as Chrome ``trace_event`` JSON — open it in ``chrome://tracing`` or
 https://ui.perfetto.dev (see docs/observability.md). ``--metrics`` dumps the
@@ -174,7 +181,8 @@ def _cmd_solve(args) -> int:
     for key in ("t_switch", "t_share", "cpu_utilization", "gpu_utilization",
                 "schedule", "worker_occupancy", "max_queue_depth", "solver",
                 "scan_path", "degraded", "degraded_reason",
-                "scan_degraded_reason"):
+                "scan_degraded_reason", "delta_seeds", "delta_cone_cells",
+                "delta_cone_fraction", "delta_degraded_reason"):
         if key in res.stats:
             val = res.stats[key]
             print(f"{key:10s}: {val:.3f}" if isinstance(val, float) else f"{key:10s}: {val}")
@@ -195,6 +203,32 @@ def _cmd_solve(args) -> int:
         print("metrics   :")
         print(get_metrics().render())
     return 0
+
+
+def _near_duplicate(problem, k: int):
+    """A copy of ``problem`` with one payload element edited by ``k``.
+
+    The serve command's ``--delta`` traffic shape: each cycle re-requests
+    the same instances with a one-element payload edit, the near-duplicate
+    stream the delta tier exists for. ``k == 0`` returns the problem as-is
+    (the base). Problems without an array payload pass through unchanged.
+    """
+    if k <= 0:
+        return problem
+    from dataclasses import replace
+
+    import numpy as np
+
+    payload = dict(problem.payload)
+    for name in sorted(payload):
+        value = payload[name]
+        if isinstance(value, np.ndarray) and value.size:
+            arr = value.copy()
+            flat = arr.reshape(-1)
+            flat[-1] = flat[-1] + k
+            payload[name] = arr
+            return replace(problem, payload=payload)
+    return problem
 
 
 def _cmd_serve(args) -> int:
@@ -226,6 +260,7 @@ def _cmd_serve(args) -> int:
         workers=args.workers if slo is None else slo.min_workers,
         queue_size=args.queue_size,
         cache_size=cache_size,
+        options=ExecOptions(delta=True) if args.delta else None,
         coalesce_window=args.coalesce_window,
         max_batch=args.max_batch,
         slo=slo,
@@ -235,6 +270,8 @@ def _cmd_serve(args) -> int:
         shed = 0
         for k in range(args.requests):
             problem = mix[k % len(mix)](args.size)
+            if args.delta:
+                problem = _near_duplicate(problem, k // len(mix))
             request = SolveRequest(
                 problem, executor=args.executor, timeout=args.timeout
             )
@@ -276,6 +313,14 @@ def _cmd_serve(args) -> int:
           f"({elapsed:.3f} s total)")
     print(f"cache     : {hits} hits / {misses} misses"
           + (" (disabled)" if cache_size == 0 else ""))
+    if args.delta:
+        delta_hits = metrics.counter("serve.cache.delta_hit").value
+        delta_degraded = metrics.counter("serve.cache.delta_degraded").value
+        cache_stats = svc.cache.stats() if svc.cache is not None else {}
+        print(f"delta     : {delta_hits} patched / "
+              f"{cache_stats.get('delta_candidates', 0)} candidates, "
+              f"{delta_degraded} degraded to full solve, "
+              f"{cache_stats.get('base_entries', 0)} bases")
     print(f"backoff   : {rejections} overload rejections absorbed")
     if slo is not None:
         s = svc.stats()["slo"]
@@ -582,6 +627,12 @@ def main(argv: list[str] | None = None) -> int:
                    help="enable the SLO policy brain: closed-form admission, "
                         "EDF ordering and worker-pool autoscaling "
                         "(--workers becomes the autoscaler ceiling)")
+    p.add_argument("--delta", action="store_true",
+                   help="enable the delta tier (ExecOptions.delta) and shape "
+                        "the workload as near-duplicate traffic: each cycle "
+                        "re-requests the mix with a one-element payload edit, "
+                        "served by patching the cached base's invalidation "
+                        "cone (see docs/delta-solving.md)")
     p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser(

@@ -80,6 +80,27 @@ class LDDPProblem:
         cell, per device. These encode *problem* properties (branchiness,
         extra state, memory traffic) that hit the two devices differently —
         e.g. error-diffusion dithering is divergence-heavy on a GPU.
+    payload_locality:
+        Declared payload→cell read locality, used by the delta tier
+        (:mod:`repro.delta`) to turn a payload diff directly into probe
+        candidates instead of re-evaluating the whole table. Maps a payload
+        entry name to one of
+
+        * ``("row", o)`` — 1-D entry; element ``k`` is read only by cells in
+          global table row ``k + o`` (any column),
+        * ``("col", o)`` — 1-D entry; element ``k`` is read only by cells in
+          global column ``k + o``,
+        * ``("cell", r, c)`` — 2-D entry; element ``(p, q)`` is read only by
+          the global cell ``(p + r, q + c)``,
+        * ``"global"`` — read everywhere (explicit opt-out).
+
+        Entries without a declaration are treated as ``"global"``. Like
+        :class:`~repro.core.linear.LinearSpec` this is a *declared*
+        capability and a correctness contract: the delta tier spot-checks
+        it on a seeded sample each patch and degrades to a full solve when
+        the sample catches a lie, but a wrong declaration that slips past
+        the sample produces a stale patch — declare conservatively
+        (``"global"`` is always safe).
     """
 
     name: str
@@ -97,6 +118,7 @@ class LDDPProblem:
     estimate_only: bool = False
     cpu_work: float = 1.0
     gpu_work: float = 1.0
+    payload_locality: Mapping[str, Any] | None = None
 
     def __post_init__(self) -> None:
         rows, cols = self.shape
@@ -131,6 +153,14 @@ class LDDPProblem:
             )
         if self.linear is not None:
             self.linear.validate(self.contributing, name=self.name)
+        if self.payload_locality is not None:
+            for entry, spec in self.payload_locality.items():
+                if not _valid_locality_spec(spec):
+                    raise ProblemSpecError(
+                        f"{self.name}: bad payload_locality[{entry!r}] = "
+                        f"{spec!r}; expected ('row', o), ('col', o), "
+                        "('cell', r, c) or 'global'"
+                    )
 
     # -- derived geometry ---------------------------------------------------
 
@@ -212,6 +242,17 @@ class LDDPProblem:
             name: np.zeros(self.shape, dtype=np.dtype(dt))
             for name, dt in self.aux_specs.items()
         }
+
+
+def _valid_locality_spec(spec: Any) -> bool:
+    """Whether ``spec`` is a well-formed ``payload_locality`` value."""
+    if spec == "global":
+        return True
+    if not isinstance(spec, tuple) or not spec:
+        return False
+    kind, *offs = spec
+    arity = {"row": 1, "col": 1, "cell": 2}.get(kind)
+    return arity == len(offs) and all(isinstance(o, int) for o in offs)
 
 
 def _compatible(cs: ContributingSet, pattern: Pattern) -> bool:

@@ -1,0 +1,72 @@
+"""The near-match index key: delta-stable parts of the batch key.
+
+Two instances can serve as delta base/target for each other exactly when a
+patched replay of one is meaningful for the other: same table geometry,
+same recurrence (cell/init code, contributing set, dtype, boundary
+handling), same semantic execution options.  The payload *bytes* are the
+one thing allowed to differ — that is the whole point — and the executor
+stays out too, because every executor produces the same table
+bit-identically, so a base solved by ``hetero`` can seed a delta patch for
+a request addressed to ``cpu``.
+
+Compare :func:`repro.batch.batch_key`, which this mirrors: the batch key
+additionally pins ``payload_nbytes`` and the executor (a stack shares one
+timing model), while the delta key drops both.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from ..core.partition import HeteroParams
+from ..core.problem import LDDPProblem
+from ..exec.base import ExecOptions
+from ..signature import hash_callable, update_hash
+
+__all__ = ["delta_key"]
+
+
+def delta_key(
+    problem: LDDPProblem,
+    *,
+    options: ExecOptions | None = None,
+    params: HeteroParams | None = None,
+) -> str | None:
+    """SHA-256 near-match key, or ``None`` when the cell fn is unkeyable.
+
+    ``options`` should be the *effective* options for the run; its ``repr``
+    excludes the run-scoped ``deadline``/``cancel_token``/tuning fields, so
+    per-request deadlines never hide a usable base.
+    """
+    h = hashlib.sha256()
+    update_hash(h, "delta-key")
+    update_hash(h, "shape", repr(problem.shape).encode())
+    update_hash(h, "fixed",
+                f"{problem.fixed_rows}|{problem.fixed_cols}".encode())
+    update_hash(h, "contributing", repr(problem.contributing).encode())
+    update_hash(h, "dtype", str(problem.dtype).encode())
+    update_hash(h, "oob", repr(problem.oob_value).encode())
+    update_hash(h, "linear", repr(problem.linear).encode())
+    update_hash(h, "work",
+                f"{problem.cpu_work!r}|{problem.gpu_work!r}".encode())
+    update_hash(h, "aux", repr(sorted(
+        (k, str(np.dtype(v))) for k, v in problem.aux_specs.items()
+    )).encode())
+    locality = problem.payload_locality
+    update_hash(h, "locality", repr(
+        None if locality is None else sorted(locality.items())
+    ).encode())
+    update_hash(h, "options", repr(options or ExecOptions()).encode())
+    update_hash(h, "params", repr(params).encode())
+    try:
+        hash_callable(h, problem.cell, "cell")
+        if problem.init is not None:
+            update_hash(h, "has-init")
+            hash_callable(h, problem.init, "init")
+    except Exception:
+        # A recurrence whose identity cannot be content-keyed cannot prove
+        # it matches a cached base — no near-match indexing for it.
+        return None
+    return h.hexdigest()

@@ -51,6 +51,18 @@ class ScanMismatch(ExecutionError):
     """
 
 
+class DeltaUnsupported(ExecutionError):
+    """An incremental delta patch cannot (or should not) be applied.
+
+    Raised by :mod:`repro.delta` when a near-match cache probe turns out not
+    to be patchable: the payload structure moved, the problem writes aux
+    outputs, the invalidation cone exceeds ``ExecOptions.delta_max_cone`` of
+    the table, or the ``delta.patch`` fault site fires. The serve layer
+    catches it and degrades to a full solve bit-identically, recording the
+    reason — a failed delta costs the shortcut, never correctness.
+    """
+
+
 class SimulationError(ReproError):
     """The discrete-event engine detected an inconsistency (e.g. a cycle)."""
 

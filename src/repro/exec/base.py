@@ -82,6 +82,21 @@ class ExecOptions:
         the wavefront sweep on any mismatch. Off (the CLI's ``--no-scan``):
         every solve runs the wavefront path. A semantic knob, so it stays
         in the cache-key ``repr``.
+    delta:
+        Let the serve layer satisfy this request by *delta patching* a
+        cached near-duplicate base (:mod:`repro.delta`): on an exact-cache
+        miss with a near-match base available, copy the base table and
+        recompute only the payload edit's forward invalidation cone.
+        Bit-identical to a fresh solve; any patch failure degrades to the
+        full solve with a stats reason. The CLI's ``--delta``. A semantic
+        knob (it changes which cache tiers may serve the request), so it
+        stays in the cache-key ``repr``.
+    delta_max_cone:
+        Degrade a delta patch to a full solve once the invalidation cone
+        exceeds this fraction of the computed region (the wave clip —
+        patching near-full tables costs more than resolving them). A
+        tuning knob, excluded from the cache-key ``repr`` like
+        ``dataflow_workers``.
     degrade_to_cpu:
         When the GPU machine model fails mid-run (a
         :class:`~repro.errors.PlatformError` or injected fault), the
@@ -110,6 +125,8 @@ class ExecOptions:
     dataflow: bool = False
     dataflow_workers: int | None = field(default=None, repr=False, compare=False)
     scan: bool = True
+    delta: bool = False
+    delta_max_cone: float = field(default=0.5, repr=False, compare=False)
     degrade_to_cpu: bool = True
     deadline: float | None = field(default=None, repr=False, compare=False)
     cancel_token: CancelToken | None = field(

@@ -21,6 +21,9 @@ site                checked in
 ``scan.solve``      :func:`repro.scan.try_scan_solve`, once per scan-tier
                     attempt (a fault here degrades the solve to the
                     executor's wavefront path, bit-identically)
+``delta.patch``     :func:`repro.delta.delta_patch`, once per delta-patch
+                    attempt (a fault here degrades the request to a full
+                    solve, bit-identically)
 ``machine.cpu``     :meth:`repro.machine.cpu.CPUModel.parallel_time`
 ``machine.gpu``     :meth:`repro.machine.gpu.GPUModel.kernel_time` (a fault
                     here degrades hetero/multi executors to CPU-only)

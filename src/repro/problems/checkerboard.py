@@ -60,6 +60,7 @@ def make_checkerboard(
         oob_value=np.inf,
         cpu_work=1.0,
         gpu_work=3.0,  # three neighbour loads per cell: memory-bound kernel
+        payload_locality={"cost": ("cell", 0, 0)},
     )
 
 

@@ -81,6 +81,7 @@ def make_dtw(
         estimate_only=not materialize,
         cpu_work=1.2,
         gpu_work=1.5,
+        payload_locality={"x": ("row", 1), "y": ("col", 1)},
     )
 
 

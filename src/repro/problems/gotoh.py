@@ -102,6 +102,7 @@ def make_gotoh(
         estimate_only=not materialize,
         cpu_work=2.5,  # three coupled recurrences per cell
         gpu_work=3.5,
+        payload_locality={"a": ("row", 1), "b": ("col", 1)},
     )
 
 

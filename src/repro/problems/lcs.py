@@ -57,6 +57,7 @@ def make_lcs(
         estimate_only=not materialize,
         cpu_work=1.0,
         gpu_work=1.5,
+        payload_locality={"a": ("row", 1), "b": ("col", 1)},
     )
 
 

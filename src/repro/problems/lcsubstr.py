@@ -61,6 +61,7 @@ def make_lcsubstr(
         estimate_only=not materialize,
         cpu_work=0.8,
         gpu_work=1.0,
+        payload_locality={"a": ("row", 1), "b": ("col", 1)},
     )
 
 

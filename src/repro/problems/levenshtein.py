@@ -70,4 +70,5 @@ def make_levenshtein(
         estimate_only=not materialize,
         cpu_work=1.0,
         gpu_work=1.5,  # data-dependent branching diverges on the GPU
+        payload_locality={"a": ("row", 1), "b": ("col", 1)},
     )

@@ -74,4 +74,5 @@ def make_needleman_wunsch(
         estimate_only=not materialize,
         cpu_work=1.2,
         gpu_work=1.6,
+        payload_locality={"a": ("row", 1), "b": ("col", 1)},
     )

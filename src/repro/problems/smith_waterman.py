@@ -69,4 +69,5 @@ def make_smith_waterman(
         estimate_only=not materialize,
         cpu_work=1.3,
         gpu_work=1.8,
+        payload_locality={"a": ("row", 1), "b": ("col", 1)},
     )

@@ -84,6 +84,7 @@ def make_viterbi(
         oob_value=NEG,
         cpu_work=1.4,
         gpu_work=1.8,
+        payload_locality={"obs": ("row", 1)},
     )
 
 

@@ -6,6 +6,15 @@ on every hit (fresh writable copies). A caller scribbling over a returned
 ``result.table`` therefore can never poison what the next caller receives —
 the bit-for-bit-equality guarantee of the service's cache-hit path rests on
 this.
+
+Alongside the exact-match entries the cache keeps a **base-instance index**
+for the delta tier (:mod:`repro.delta`): one representative
+``(payload snapshot, frozen result)`` per near-match key
+(:func:`repro.delta.delta_key` — the delta-stable parts of the batch key,
+payload excluded). An exact miss can then probe :meth:`get_base` for a
+near-duplicate base to patch instead of resolving from scratch. Base
+entries share the frozen result object with the exact entry, so the index
+costs one payload snapshot per key, not a second table copy.
 """
 
 from __future__ import annotations
@@ -13,6 +22,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import replace
+from typing import Any, Mapping
 
 import numpy as np
 
@@ -55,10 +65,15 @@ class ResultCache:
             raise ValueError(f"cache capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self._entries: OrderedDict[str, SolveResult] = OrderedDict()
+        self._bases: OrderedDict[
+            str, tuple[Mapping[str, Any], SolveResult]
+        ] = OrderedDict()
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._delta_candidates = 0
+        self._delta_hits = 0
 
     def get(self, key: str) -> SolveResult | None:
         """The cached result for ``key`` (a fresh copy), or ``None``."""
@@ -71,8 +86,22 @@ class ResultCache:
             self._hits += 1
         return _thaw(entry)
 
-    def put(self, key: str, result: SolveResult) -> None:
-        """Insert (or refresh) ``key``, evicting least-recently-used entries."""
+    def put(
+        self,
+        key: str,
+        result: SolveResult,
+        *,
+        base_key: str | None = None,
+        payload: Mapping[str, Any] | None = None,
+    ) -> None:
+        """Insert (or refresh) ``key``, evicting least-recently-used entries.
+
+        With ``base_key``/``payload`` the frozen result is additionally
+        registered in the base-instance index under the near-match key, with
+        ``payload`` stored as the diffing snapshot. The caller owns the
+        snapshot's immutability (the serve layer passes the request's
+        already-frozen payload, so no copy is taken here).
+        """
         frozen = _freeze(result)
         with self._lock:
             self._entries[key] = frozen
@@ -80,10 +109,44 @@ class ResultCache:
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self._evictions += 1
+            if base_key is not None and payload is not None:
+                self._bases[base_key] = (payload, frozen)
+                self._bases.move_to_end(base_key)
+                while len(self._bases) > self.capacity:
+                    self._bases.popitem(last=False)
+
+    def get_base(
+        self, base_key: str
+    ) -> tuple[Mapping[str, Any], SolveResult] | None:
+        """The near-match base for ``base_key``, or ``None``.
+
+        Counts a **delta candidate** on a hit (an exact miss that had a
+        near-match available — the delta tier's addressable traffic). The
+        result is returned *frozen*, not thawed: the delta patch copies the
+        table itself, and freezing guarantees it cannot corrupt the entry.
+        """
+        with self._lock:
+            entry = self._bases.get(base_key)
+            if entry is None:
+                return None
+            self._bases.move_to_end(base_key)
+            self._delta_candidates += 1
+        return entry
+
+    def has_base(self, base_key: str) -> bool:
+        """Peek the base index without counting a candidate (admission)."""
+        with self._lock:
+            return base_key in self._bases
+
+    def note_delta_hit(self) -> None:
+        """Record that a candidate was actually served by a delta patch."""
+        with self._lock:
+            self._delta_hits += 1
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._bases.clear()
 
     def __len__(self) -> int:
         with self._lock:
@@ -105,6 +168,14 @@ class ResultCache:
     def evictions(self) -> int:
         return self._evictions
 
+    @property
+    def delta_candidates(self) -> int:
+        return self._delta_candidates
+
+    @property
+    def delta_hits(self) -> int:
+        return self._delta_hits
+
     def stats(self) -> dict[str, int]:
         with self._lock:
             return {
@@ -113,4 +184,7 @@ class ResultCache:
                 "hits": self._hits,
                 "misses": self._misses,
                 "evictions": self._evictions,
+                "base_entries": len(self._bases),
+                "delta_candidates": self._delta_candidates,
+                "delta_hits": self._delta_hits,
             }

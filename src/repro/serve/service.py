@@ -70,7 +70,8 @@ from ..errors import (
     ServiceTimeout,
     SolveCancelled,
 )
-from ..exec.base import SolveResult
+from ..delta import delta_applicable, delta_key, delta_patch
+from ..exec.base import ExecOptions, SolveResult
 from ..faults import check_fault
 from ..machine.platform import Platform
 from ..obs import get_metrics, get_tracer
@@ -109,6 +110,8 @@ class PendingSolve:
         )
         self._future: Future = Future()
         self._batch_key = _BATCH_KEY_UNSET  # lazily memoized by the service
+        self._delta_key = _BATCH_KEY_UNSET  # near-match key, memoized too
+        self._delta_reason: str | None = None  # why a delta patch degraded
         self._units: float | None = None  # closed-form price (SLO mode)
         self._priced_wall: float = 0.0  # predicted wall s, backlog accounting
 
@@ -338,12 +341,34 @@ class SolveService:
                 params=request.params,
                 functional=request.functional,
             )
+            options = request.options or self.framework.options
+            delta_fraction = None
+            if (
+                options.delta
+                and request.functional
+                and isinstance(self.cache, ResultCache)
+                and delta_applicable(request.problem, options) is None
+            ):
+                dkey = delta_key(
+                    request.problem, options=options, params=request.params
+                )
+                if dkey is not None and self.cache.has_base(dkey):
+                    # A near-match base is cached: price the request as the
+                    # delta patch it will most likely run, not the full
+                    # solve it avoids. The suffixed LRU key keeps full and
+                    # delta prices for one batch shape apart.
+                    delta_fraction = self.slo.delta_cone_fraction
             units = self._pricer.units(
                 request.problem,
-                options=request.options or self.framework.options,
+                options=options,
                 params=request.params,
-                key=key,
+                key=(
+                    key + ":delta"
+                    if (delta_fraction is not None and key is not None)
+                    else key
+                ),
                 executor=request.executor,
+                delta_cone_fraction=delta_fraction,
             )
         with self._not_empty:
             if self._closed:
@@ -757,9 +782,32 @@ class SolveService:
         ``span`` is the request's open ``serve.request`` span; ``key`` its
         cache key (``None`` when uncacheable). Shared by the per-request
         path and the coalescer's per-member fallback after a batch failure.
+
+        With ``ExecOptions.delta`` the delta tier runs first: an exact-miss
+        request with a cached near-match base is served by patching the
+        base's table (:mod:`repro.delta`) — bit-identical, counted as
+        ``serve.cache.delta_hit``. A failed patch falls through to the full
+        solve below, never into the retry accounting (retrying a patch
+        that just proved inapplicable is pointless). Timeouts and
+        cancellations raised inside the patch surface normally.
         """
         metrics = get_metrics()
         request = pending.request
+        try:
+            result = self._try_delta(pending, span, key)
+        except SolveCancelled as exc:
+            metrics.counter("serve.requests.aborted").inc()
+            span.set(outcome="cancelled")
+            pending._future.set_exception(exc)
+            return
+        except ServiceTimeout as exc:
+            metrics.counter("serve.requests.timeout").inc()
+            span.set(outcome="timeout")
+            pending._future.set_exception(exc)
+            return
+        if result is not None:
+            self._finish(pending, span, key, result)
+            return
         attempts = 0
         while True:
             try:
@@ -822,11 +870,105 @@ class SolveService:
                 wall,
             )
 
+    def _delta_key_of(self, pending: PendingSolve) -> str | None:
+        """Memoized :func:`repro.delta.delta_key` for one request."""
+        memo = pending._delta_key
+        if memo is _BATCH_KEY_UNSET:
+            request = pending.request
+            memo = pending._delta_key = delta_key(
+                request.problem,
+                options=request.options or self.framework.options,
+                params=request.params,
+            )
+        return memo
+
+    def _try_delta(self, pending: PendingSolve, span, key) -> SolveResult | None:
+        """Serve an exact-cache miss by patching a near-match base, if any.
+
+        Returns the patched result (bit-identical to a fresh solve), or
+        ``None`` — either because the request is not a delta candidate (no
+        opt-in, no base cached, structurally ineligible) or because the
+        patch degraded, in which case ``pending._delta_reason`` carries the
+        reason for :meth:`_finish` to surface. Only the thread backend's
+        :class:`ResultCache` holds base payloads; the process backend's
+        segment index does not, so delta is silently a no-op there.
+        """
+        if key is None or not isinstance(self.cache, ResultCache):
+            return None
+        request = pending.request
+        options = request.options or self.framework.options
+        if not options.delta or not pending.effective_functional:
+            return None
+        if delta_applicable(request.problem, options) is not None:
+            return None
+        dkey = self._delta_key_of(pending)
+        if dkey is None:
+            return None
+        base = self.cache.get_base(dkey)
+        if base is None:
+            return None
+        base_payload, base_result = base
+        metrics = get_metrics()
+        try:
+            result = delta_patch(
+                request.problem,
+                base_payload,
+                base_result,
+                platform=self.framework.platform,
+                options=self._control_options(request, pending),
+                executor=pending.effective_executor,
+            )
+        except (ServiceTimeout, SolveCancelled):
+            raise
+        except Exception as exc:  # noqa: BLE001 - degrade, never fail
+            pending._delta_reason = f"{type(exc).__name__}: {exc}"
+            metrics.counter("serve.cache.delta_degraded").inc()
+            return None
+        metrics.counter("serve.cache.delta_hit").inc()
+        self.cache.note_delta_hit()
+        span.set(delta=True)
+        return result
+
+    def _base_key_for(
+        self, pending: PendingSolve, result: SolveResult
+    ) -> str | None:
+        """The near-match key to register ``result`` under, or ``None``.
+
+        Any cacheable functional result of a delta-enabled request becomes
+        a base — including delta-patched results, so edit chains keep
+        patching against the freshest table instead of the original.
+        """
+        request = pending.request
+        options = request.options or self.framework.options
+        if not options.delta or not isinstance(self.cache, ResultCache):
+            return None
+        if not pending.effective_functional or result.table is None:
+            return None
+        if delta_applicable(request.problem, options) is not None:
+            return None
+        return self._delta_key_of(pending)
+
     def _finish(self, pending: PendingSolve, span, key, result: SolveResult) -> None:
         """Cache, count and resolve one successfully executed request."""
         metrics = get_metrics()
+        if pending._delta_reason is not None:
+            # A delta patch was attempted and degraded to this full solve;
+            # surface the reason like the scan tier does.
+            result.stats.setdefault("degraded", "full-solve")
+            result.stats["delta_degraded_reason"] = pending._delta_reason
         if key is not None:
-            self.cache.put(key, result)
+            base_key = self._base_key_for(pending, result)
+            if base_key is not None:
+                # Register the result as a delta base: the request's payload
+                # is already a frozen snapshot (SolveRequest freezes it), so
+                # it is safe to keep as the diffing reference.
+                self.cache.put(
+                    key, result,
+                    base_key=base_key,
+                    payload=pending.request.problem.payload,
+                )
+            else:
+                self.cache.put(key, result)
         metrics.counter("serve.requests.completed").inc()
         latency_ms = (time.monotonic() - pending.submitted_at) * 1e3
         metrics.histogram("serve.latency_ms").observe(latency_ms)
@@ -1071,6 +1213,30 @@ class SolveService:
                     span.set(batch_failed=type(outcome).__name__)
                     self._attempt(pending, span, key)
 
+    def _control_options(
+        self, request: SolveRequest, pending: PendingSolve
+    ) -> ExecOptions:
+        """The request's effective options with its control plane injected.
+
+        Merges the pending deadline with any options-level one (earlier
+        wins) and threads the per-request cancel token; both fields are
+        ``repr``-excluded, so cache keys are unaffected. Shared by the
+        backend execution path and the delta patch, which must honor the
+        same deadline/cancellation contract.
+        """
+        base = request.options or self.framework.options
+        deadline = pending.deadline
+        if base.deadline is not None:
+            deadline = (
+                base.deadline if deadline is None
+                else min(deadline, base.deadline)
+            )
+        if deadline is not None or pending.cancel_token is not None:
+            return base.replace(
+                deadline=deadline, cancel_token=pending.cancel_token
+            )
+        return base
+
     def _execute(self, request: SolveRequest, pending: PendingSolve) -> SolveResult:
         """One backend run with the request's control plane injected.
 
@@ -1083,18 +1249,7 @@ class SolveService:
         consistently hash to the same worker process, whose plan cache
         stays warm for that shape.
         """
-        base = request.options or self.framework.options
-        deadline = pending.deadline
-        if base.deadline is not None:
-            deadline = (
-                base.deadline if deadline is None
-                else min(deadline, base.deadline)
-            )
-        options = base
-        if deadline is not None or pending.cancel_token is not None:
-            options = base.replace(
-                deadline=deadline, cancel_token=pending.cancel_token
-            )
+        options = self._control_options(request, pending)
         affinity = (
             self._batch_key_of(pending)
             if self._backend.kind == "process" else None

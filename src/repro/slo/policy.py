@@ -66,6 +66,14 @@ class SLOPolicy:
         one cached :class:`~repro.kernels.KernelPlan` and one estimate —
         admission must not double-count that work). Only applied when the
         service has coalescing enabled.
+    delta_cone_fraction:
+        Expected invalidation-cone size, as a fraction of the computed
+        region, used to price a request the serve cache can satisfy by a
+        delta patch (:mod:`repro.delta`): admission charges one probe pass
+        plus this fraction of the sweep instead of the full solve.
+        Pessimistic values shed deltas the service could have afforded;
+        optimistic values admit patches that will degrade to full solves —
+        the EWMA calibration absorbs moderate error either way.
     min_workers / max_workers:
         Autoscaler bounds on the worker pool. The pool starts at the
         service's ``workers`` argument clamped into this range and returns
@@ -103,6 +111,7 @@ class SLOPolicy:
     dispatch_overhead: float = 0.005
     process_overhead: float = 0.02
     coalesce_share: float = 0.5
+    delta_cone_fraction: float = 0.25
     min_workers: int = 1
     max_workers: int = 4
     scale_interval: float = 0.2
@@ -142,6 +151,11 @@ class SLOPolicy:
         if not 0.0 < self.coalesce_share <= 1.0:
             raise ValueError(
                 f"coalesce_share must be in (0, 1], got {self.coalesce_share}"
+            )
+        if not 0.0 < self.delta_cone_fraction <= 1.0:
+            raise ValueError(
+                "delta_cone_fraction must be in (0, 1], got "
+                f"{self.delta_cone_fraction}"
             )
         if self.scale_interval <= 0:
             raise ValueError(

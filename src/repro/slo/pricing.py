@@ -68,6 +68,7 @@ class Pricer:
         params: HeteroParams | None = None,
         key: str | None = None,
         executor: str | None = None,
+        delta_cone_fraction: float | None = None,
     ) -> float | None:
         """Closed-form cost units for one solve, or ``None`` if unpriceable.
 
@@ -79,6 +80,15 @@ class Pricer:
         scan cannot see); everything else uses the heterogeneous scan. The
         batch key already includes the executor, so the LRU never mixes the
         two models.
+
+        ``delta_cone_fraction`` prices the request as a *delta patch* of a
+        cached near-match base (:func:`repro.delta.delta_makespan`, one
+        probe pass plus that fraction of the table re-swept) instead of a
+        full solve — the admission controller passes the SLO policy's
+        expected fraction when the serve cache reports a base available, so
+        near-duplicate traffic is no longer over-priced and shed. Callers
+        suffix the LRU ``key`` (``...:delta``) so full and delta prices for
+        one batch shape never collide.
         """
         metrics = get_metrics()
         if key is not None:
@@ -89,7 +99,8 @@ class Pricer:
                     return self._prices[key]
         try:
             units = self._priced(
-                problem, options or self.framework.options, params, executor
+                problem, options or self.framework.options, params, executor,
+                delta_cone_fraction,
             )
         except Exception:
             units = None
@@ -102,9 +113,22 @@ class Pricer:
                     self._prices.popitem(last=False)
         return units
 
-    def _priced(self, problem, options, params, executor=None) -> float:
+    def _priced(
+        self, problem, options, params, executor=None,
+        delta_cone_fraction=None,
+    ) -> float:
         from ..scan.route import scan_applicable
 
+        if delta_cone_fraction is not None:
+            # A near-match base is cached: the expected cost is one probe
+            # pass plus the policy's expected invalidation cone, whatever
+            # executor the full solve would have used.
+            from ..delta.timing import delta_makespan
+
+            return delta_makespan(
+                problem, self.framework.platform,
+                cone_fraction=delta_cone_fraction, options=options,
+            )
         if scan_applicable(problem, options, executor):
             # Declared-linear solves route to the scan tier: O(n·m) work at
             # O(log) depth. Pricing them with the wavefront models would

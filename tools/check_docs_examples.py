@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""Run the runnable code examples embedded in README and docs (CI gate).
+
+Markdown code fences rot silently: an API rename leaves the prose showing
+calls that no longer exist, and nothing fails until a reader pastes them.
+This checker executes every fenced block explicitly marked runnable, so the
+examples stay load-bearing documentation.
+
+A block opts in with an HTML comment on the line directly above the fence::
+
+    <!-- runnable -->
+    ```python
+    import repro
+    ...
+    ```
+
+Two fence languages are understood:
+
+* ``python`` — the block body is executed with the repo's ``src/`` on
+  ``PYTHONPATH``, from the repo root;
+* ``console`` — each ``$ ``-prefixed line is run through the shell (other
+  lines are treated as expected output and ignored).
+
+Everything without the marker is prose and is skipped — docs are free to
+show fragments, pseudo-code and failure output. Like ``check_links.py``
+this never touches the network; keep runnable examples small and offline.
+
+Usage::
+
+    python tools/check_docs_examples.py [root]
+
+Exit status 1 lists every failing block with its file and line number.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+MARKER = "<!-- runnable -->"
+_TIMEOUT = 120  # seconds per block; examples are meant to be small
+
+
+def _iter_markdown(root: Path):
+    yield from sorted(root.glob("*.md"))
+    yield from sorted((root / "docs").glob("*.md"))
+
+
+def extract_blocks(text: str):
+    """Yield ``(line_number, language, code)`` for marked fenced blocks."""
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        if lines[i].strip() == MARKER:
+            j = i + 1
+            if j < len(lines) and lines[j].lstrip().startswith("```"):
+                lang = lines[j].lstrip().lstrip("`").strip()
+                body = []
+                k = j + 1
+                while k < len(lines) and not lines[k].lstrip().startswith("```"):
+                    body.append(lines[k])
+                    k += 1
+                yield j + 1, lang, "\n".join(body)
+                i = k
+        i += 1
+
+
+def _run_python(code: str, root: Path) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(root / "src")
+    return subprocess.run(
+        [sys.executable, "-c", code],
+        cwd=root, env=env, capture_output=True, text=True, timeout=_TIMEOUT,
+    )
+
+
+def _run_console(code: str, root: Path) -> subprocess.CompletedProcess | None:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(root / "src")
+    commands = [
+        line.strip()[2:]
+        for line in code.splitlines()
+        if line.strip().startswith("$ ")
+    ]
+    if not commands:
+        return None
+    return subprocess.run(
+        " && ".join(commands), shell=True,
+        cwd=root, env=env, capture_output=True, text=True, timeout=_TIMEOUT,
+    )
+
+
+def check(root: Path) -> list[str]:
+    problems = []
+    ran = 0
+    for md in _iter_markdown(root):
+        text = md.read_text(encoding="utf-8")
+        for lineno, lang, code in extract_blocks(text):
+            where = f"{md.relative_to(root)}:{lineno}"
+            if lang == "python":
+                proc = _run_python(code, root)
+            elif lang == "console":
+                proc = _run_console(code, root)
+                if proc is None:
+                    continue
+            else:
+                problems.append(
+                    f"{where}: runnable block has unsupported "
+                    f"language {lang!r} (python or console)"
+                )
+                continue
+            ran += 1
+            if proc.returncode != 0:
+                tail = (proc.stderr or proc.stdout).strip().splitlines()[-8:]
+                detail = "\n".join(f"      {t}" for t in tail)
+                problems.append(
+                    f"{where}: {lang} example exited "
+                    f"{proc.returncode}\n{detail}"
+                )
+    if not problems:
+        print(f"docs examples: {ran} runnable block(s) OK")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    root = Path(argv[0]) if argv else Path(__file__).resolve().parent.parent
+    problems = check(root)
+    if problems:
+        print(f"{len(problems)} failing docs example(s):", file=sys.stderr)
+        for p in problems:
+            print(f"  {p}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
